@@ -1,0 +1,97 @@
+// Fig 2 — Taxonomy of energy-neutral, transient, energy-driven and
+// power-neutral computing systems.
+//
+// Classifies the canonical catalogue (the systems the paper places on the
+// figure) and prints the taxonomy table: storage coordinate, class
+// membership, adaptation kind, and region. Checks the memberships the paper
+// asserts in §II.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "edc/core/taxonomy.h"
+#include "edc/sim/table.h"
+
+using namespace edc;
+using core::AdaptationKind;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+std::string mark(bool member) { return member ? "yes" : "-"; }
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig 2: an energy-based taxonomy of computing systems ===\n\n");
+
+  sim::Table table({"system", "storage", "log10(J)", "energy-neutral", "transient",
+                    "power-neutral", "energy-driven", "adaptation", "region"});
+
+  const auto catalogue = core::canonical_catalogue();
+  for (const auto& descriptor : catalogue) {
+    const auto c = core::classify(descriptor);
+    table.add_row({descriptor.name, sim::Table::eng(descriptor.storage, "J", 1),
+                   sim::Table::num(c.storage_log10_j, 1), mark(c.energy_neutral),
+                   mark(c.transient), mark(c.power_neutral), mark(c.energy_driven),
+                   core::to_string(descriptor.adaptation),
+                   c.energy_driven ? "ENERGY-DRIVEN" : "TRADITIONAL"});
+  }
+  table.print(std::cout);
+
+  std::printf("\nNotes:\n");
+  std::printf("  * storage axis: distance from the origin in Fig 2 (log10 joules)\n");
+  std::printf("  * systems below log10(J) = %.1f sit at the 'Theoretical' practical\n",
+              std::log10(core::kPracticalMinimumStorage));
+  std::printf("    minimum arc (decoupling/parasitic capacitance only)\n");
+
+  std::printf("\nMembership checks vs the paper (Section II):\n");
+  auto find = [&](const std::string& name) {
+    for (const auto& d : catalogue) {
+      if (d.name == name) return core::classify(d);
+    }
+    std::printf("  [FAIL] missing %s\n", name.c_str());
+    ++g_failures;
+    return core::Classification{};
+  };
+
+  auto desktop = find("desktop-pc");
+  check(desktop.energy_neutral && !desktop.transient && !desktop.energy_driven,
+        "desktop PC: energy-neutral only, at the theoretical minimum of its axis");
+  auto laptop = find("laptop-hibernate");
+  check(laptop.energy_neutral && laptop.transient && !laptop.energy_driven,
+        "laptop with hibernation: transient (rightmost on the transient axis)");
+  auto wsn = find("wsn-kansal[3]");
+  check(wsn.energy_neutral && !wsn.energy_driven,
+        "energy-neutral WSN [3]: traditional side (harvester made to look like a battery)");
+  auto hibernus = find("hibernus[9]");
+  check(hibernus.transient && hibernus.energy_driven && !hibernus.energy_neutral,
+        "hibernus [9]: transient + energy-driven at the practical minimum");
+  auto mpsoc = find("pn-mpsoc[11]");
+  check(mpsoc.power_neutral && mpsoc.energy_neutral && !mpsoc.transient &&
+            mpsoc.energy_driven,
+        "power-neutral MPSoC [11]: on the energy-neutral axis, power-neutral, energy-driven");
+  auto hibernus_pn = find("hibernus-pn[14]");
+  check(hibernus_pn.transient && hibernus_pn.power_neutral && hibernus_pn.energy_driven,
+        "hibernus-PN [14]: transient AND power-neutral (the paper's Section III system)");
+  auto monjolo = find("monjolo[6]");
+  check(monjolo.transient && monjolo.energy_driven,
+        "monjolo [6]: task-based transient, energy-driven");
+
+  int energy_driven_count = 0;
+  for (const auto& d : catalogue) {
+    if (core::classify(d).energy_driven) ++energy_driven_count;
+  }
+  check(energy_driven_count >= 8, "the shaded energy-driven region covers the "
+                                  "transient and power-neutral families");
+
+  std::printf("\n%s\n", g_failures == 0 ? "ALL SHAPE CHECKS PASSED"
+                                        : "SOME SHAPE CHECKS FAILED");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Micro-benchmarks (google-benchmark): simulator and kernel throughput.
+//
+// Not a paper figure — this tracks the harness' own performance so the
+// repository's experiments stay cheap to run.
+#include <benchmark/benchmark.h>
+
+#include "edc/core/system.h"
+#include "edc/trace/voltage_sources.h"
+#include "edc/workloads/program.h"
+
+using namespace edc;
+
+namespace {
+
+void BM_SupplyNodeStep(benchmark::State& state) {
+  trace::SineVoltageSource source(3.3, 5.0, 0.0, 50.0);
+  circuit::RectifiedSourceDriver driver(source, circuit::RectifierParams{});
+  circuit::SupplyNode node(22e-6, 0.0);
+  circuit::ResistiveLoad load(5000.0);
+  Seconds t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.step(t, 1e-5, driver, load, 4));
+    t += 1e-5;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SupplyNodeStep);
+
+void BM_ProgramTick(benchmark::State& state, const char* kind) {
+  auto program = workloads::make_program(kind, 1);
+  for (auto _ : state) {
+    if (program->done()) program->reset();
+    program->run_tick();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_ProgramTick, fft, "fft");
+BENCHMARK_CAPTURE(BM_ProgramTick, crc, "crc");
+BENCHMARK_CAPTURE(BM_ProgramTick, aes, "aes");
+BENCHMARK_CAPTURE(BM_ProgramTick, sort, "sort");
+BENCHMARK_CAPTURE(BM_ProgramTick, raytrace, "raytrace");
+
+void BM_SnapshotRoundTrip(benchmark::State& state) {
+  auto program = workloads::make_program("fft", 1);
+  for (int i = 0; i < 1000; ++i) program->run_tick();
+  for (auto _ : state) {
+    auto snapshot = program->save_state();
+    program->restore_state(snapshot);
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_SnapshotRoundTrip);
+
+void BM_FullIntermittentSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SystemBuilder builder;
+    auto system = builder
+                      .voltage_source(std::make_unique<trace::SquareVoltageSource>(
+                          3.3, 10.0, 0.3, 0.0, 50.0))
+                      .capacitance(22e-6)
+                      .bleed(10000.0)
+                      .workload("fft-small", 3)
+                      .policy_hibernus()
+                      .build();
+    benchmark::DoNotOptimize(system.run(0.5));
+  }
+}
+BENCHMARK(BM_FullIntermittentSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// Writing your own checkpoint policy.
+//
+// The policy hook API (edc/checkpoint/policy_base.h) exposes everything the
+// built-in policies use: comparator configuration, boundary callbacks, the
+// save/restore/resume commands and V_CC polling. This example implements a
+// simple hybrid — "eager hibernus" — that snapshots at V_H like hibernus
+// but also commits a periodic background snapshot while the supply is
+// healthy, trading extra NVM writes for less re-execution if the reactive
+// save is ever torn.
+//
+// Build & run:  ./custom_policy
+#include <cstdio>
+
+#include "edc/checkpoint/policy_base.h"
+#include "edc/checkpoint/thresholds.h"
+#include "edc/core/system.h"
+#include "edc/workloads/crc32.h"
+
+namespace {
+
+using namespace edc;
+
+class EagerHibernusPolicy final : public checkpoint::PolicyBase {
+ public:
+  EagerHibernusPolicy(Farads capacitance, Seconds background_period)
+      : capacitance_(capacitance), background_period_(background_period) {}
+
+  void attach(mcu::Mcu& mcu) override {
+    v_hibernate_ = checkpoint::hibernate_threshold_for_image(
+        mcu.power(), mcu.snapshot_image_bytes(), mcu.frequency(), capacitance_, 2.0);
+    v_restore_ = v_hibernate_ + 0.4;
+    mcu.add_comparator("VH", v_hibernate_, 0.0);
+    mcu.add_comparator("VR", v_restore_, 0.0);
+  }
+
+  void on_boot(mcu::Mcu& mcu, Seconds t) override {
+    if (mcu.vcc() >= v_restore_) {
+      begin(mcu, t);
+    } else {
+      mcu.enter_wait(t);
+    }
+  }
+
+  void on_comparator(mcu::Mcu& mcu, const circuit::ComparatorEvent& event) override {
+    if (event.name == "VH" && event.edge == circuit::Edge::falling &&
+        mcu.state() == mcu::McuState::active) {
+      mcu.request_save(event.time);
+    } else if (event.name == "VR" && event.edge == circuit::Edge::rising &&
+               (mcu.state() == mcu::McuState::wait ||
+                mcu.state() == mcu::McuState::sleep)) {
+      begin(mcu, event.time);
+    }
+  }
+
+  void on_boundary(mcu::Mcu& mcu, workloads::Boundary boundary, Seconds t) override {
+    // The eager part: a background snapshot every background_period_ while
+    // the supply is comfortably high.
+    if (boundary == workloads::Boundary::function &&
+        t - last_background_save_ > background_period_ && mcu.vcc() > v_restore_) {
+      last_background_save_ = t;
+      ++background_saves_;
+      mcu.request_save(t);
+    }
+  }
+
+  void on_save_complete(mcu::Mcu& mcu, Seconds t) override {
+    if (mcu.vcc() >= v_restore_) {
+      mcu.resume_execution(t);  // background save or recovered supply
+    } else {
+      mcu.enter_sleep(t);
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "eager-hibernus"; }
+  [[nodiscard]] int background_saves() const noexcept { return background_saves_; }
+
+ private:
+  void begin(mcu::Mcu& mcu, Seconds t) {
+    if (mcu.ram_valid()) {
+      mcu.resume_execution(t);
+    } else if (mcu.nvm().has_valid_snapshot()) {
+      mcu.request_restore(t);
+    } else {
+      mcu.start_program_fresh(t);
+    }
+  }
+
+  Farads capacitance_;
+  Seconds background_period_;
+  Volts v_hibernate_ = 0.0;
+  Volts v_restore_ = 0.0;
+  Seconds last_background_save_ = -1e9;
+  int background_saves_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace edc;
+
+  workloads::Crc32Program golden_program(128 * 1024, 7);
+  const std::uint64_t golden = workloads::golden_digest(golden_program);
+
+  auto policy = std::make_unique<EagerHibernusPolicy>(22e-6, 50e-3);
+  const auto* policy_view = policy.get();
+
+  auto system = core::SystemBuilder()
+                    .voltage_source(std::make_unique<trace::SquareVoltageSource>(
+                        3.3, 10.0, 0.4, 0.0, 50.0))
+                    .capacitance(22e-6)
+                    .bleed(10000.0)
+                    .program(std::make_unique<workloads::Crc32Program>(128 * 1024, 7))
+                    .policy(std::move(policy))
+                    .build();
+
+  const auto result = system.run(20.0);
+
+  std::printf("custom policy: %s\n\n", system.policy_name().c_str());
+  std::printf("completed:         %s\n", result.mcu.completed ? "yes" : "no");
+  std::printf("total snapshots:   %llu (background: %d)\n",
+              static_cast<unsigned long long>(result.mcu.saves_completed),
+              policy_view->background_saves());
+  std::printf("restores:          %llu\n",
+              static_cast<unsigned long long>(result.mcu.restores));
+  std::printf("re-executed work:  %.2f Mcycles\n",
+              result.mcu.reexecuted_cycles / 1e6);
+  const bool exact =
+      result.mcu.completed && system.program().result_digest() == golden;
+  std::printf("result exact:      %s\n", exact ? "yes" : "NO");
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+// A battery-free wireless camera (WISPCam [4], §II.B).
+//
+// The camera charges its 6 mF supercapacitor from an RFID reader's field,
+// takes a photo into NVM once enough energy accumulated, and streams the
+// stored photo out in chunks whenever the field is present. Losing power
+// mid-way loses nothing: the photo persists in NVM — task-based transient
+// computing in its purest form.
+//
+// Build & run:  ./wireless_camera
+#include <cstdio>
+
+#include "edc/taskmodel/wispcam.h"
+#include "edc/trace/power_sources.h"
+
+int main() {
+  using namespace edc;
+
+  taskmodel::WispCam camera({});
+
+  // A reader that activates its field for 8 s out of every 10 s.
+  trace::RfFieldSource::Params rf;
+  rf.field_power = 2.5e-3;
+  rf.burst_length = 8.0;
+  rf.burst_period = 10.0;
+  rf.jitter = 0.1;
+  trace::RfFieldSource reader(rf, /*seed=*/7, /*horizon=*/600.0);
+
+  const auto result = camera.run(reader, 600.0);
+
+  std::printf("WISPCam, 10 minutes in a duty-cycled RFID field (%.1f mW)\n\n",
+              rf.field_power * 1e3);
+  std::printf("photos captured:     %d\n", result.photos_captured);
+  std::printf("photos delivered:    %d\n", result.photos_transferred);
+  std::printf("capture -> delivery: %.1f s mean latency\n", result.mean_latency());
+  std::printf("phases interrupted by brown-out (and retried): %d\n",
+              result.interrupted_phases);
+  std::printf("supercap voltage excursion: %.2f .. %.2f V\n", result.voltage.min(),
+              result.voltage.max());
+  std::printf("\nExpression (2) was violated between bursts, yet every delivered\n");
+  std::printf("photo is complete: the NVM carries the state across outages.\n");
+  return result.photos_transferred > 0 ? 0 : 1;
+}

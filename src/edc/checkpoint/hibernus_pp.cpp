@@ -1,0 +1,57 @@
+#include "edc/checkpoint/hibernus_pp.h"
+
+#include "edc/checkpoint/thresholds.h"
+#include "edc/common/check.h"
+
+namespace edc::checkpoint {
+
+InterruptPolicy::Config HibernusPlusPlusPolicy::base_config(const PlusConfig& config) {
+  Config base;
+  // Boot-strap capacitance guess before the first calibration: deliberately
+  // conservative (small C => high V_H) so the very first save cannot tear.
+  base.capacitance = 1e-6;
+  base.margin = config.initial_margin;
+  base.restore_headroom = config.restore_headroom;
+  base.memory_mode = mcu::MemoryMode::sram_execution;
+  return base;
+}
+
+HibernusPlusPlusPolicy::HibernusPlusPlusPolicy(const PlusConfig& config)
+    : InterruptPolicy(base_config(config), "hibernus++"),
+      plus_(config),
+      rng_(config.seed),
+      margin_(config.initial_margin) {
+  EDC_CHECK(static_cast<bool>(config.capacitance_probe),
+            "hibernus++ requires a capacitance probe");
+  EDC_CHECK(config.measurement_error >= 0.0 && config.measurement_error < 0.5,
+            "measurement error must be in [0, 0.5)");
+}
+
+void HibernusPlusPlusPolicy::attach(mcu::Mcu& mcu) { InterruptPolicy::attach(mcu); }
+
+void HibernusPlusPlusPolicy::calibrate(mcu::Mcu& mcu) {
+  // Online discharge experiment: measure C with bounded relative error, then
+  // re-derive both thresholds from Eq 4 with the current margin.
+  const Farads true_c = plus_.capacitance_probe();
+  const double error = 1.0 + plus_.measurement_error * rng_.normal();
+  const Farads measured = true_c * std::max(error, 0.5);
+  set_thresholds_from_capacitance(mcu, measured);
+  mcu.inject_busy(static_cast<double>(plus_.calibration_cycles));
+  calibrated_ = true;
+  ++calibrations_;
+}
+
+void HibernusPlusPlusPolicy::on_boot(mcu::Mcu& mcu, Seconds t) {
+  // A torn save since we last looked means the margin was too thin for the
+  // real storage: grow it and re-measure.
+  if (mcu.nvm().torn_writes() > torn_seen_) {
+    torn_seen_ = mcu.nvm().torn_writes();
+    margin_ *= 1.25;
+    config_.margin = margin_;
+    calibrated_ = false;
+  }
+  if (!calibrated_) calibrate(mcu);
+  InterruptPolicy::on_boot(mcu, t);
+}
+
+}  // namespace edc::checkpoint

@@ -1,0 +1,60 @@
+// Hibernus++ [2]: self-calibrating, adaptive reactive checkpointing.
+//
+// Hibernus needs V_H characterised at design time for a known node
+// capacitance. Hibernus++ measures the platform online instead: at first
+// boot it runs a calibration routine (a timed, controlled discharge whose
+// slope yields C), derives V_H from Eq 4 and pays the calibration overhead
+// once. If the storage later changes — or the estimate proves optimistic
+// and a save is torn — it recalibrates with a larger margin. The result is
+// the paper's §III behaviour: slightly less efficient than a perfectly
+// characterised Hibernus, but correct for *any* amount of storage.
+#pragma once
+
+#include <functional>
+
+#include "edc/checkpoint/interrupt_policy.h"
+#include "edc/trace/rng.h"
+
+namespace edc::checkpoint {
+
+class HibernusPlusPlusPolicy final : public InterruptPolicy {
+ public:
+  struct PlusConfig {
+    /// Physical measurement of the node capacitance (the policy's online
+    /// discharge experiment); typically bound to SupplyNode::capacitance.
+    std::function<Farads()> capacitance_probe;
+    /// 1-sigma relative error of the online measurement.
+    double measurement_error = 0.03;
+    /// Cycles the calibration routine occupies at each (re)calibration.
+    Cycles calibration_cycles = 40000;
+    /// Safety margin on Eq 4 (grows when a torn save is observed).
+    double initial_margin = 1.15;
+    Volts restore_headroom = 0.5;
+    std::uint64_t seed = 42;
+  };
+
+  explicit HibernusPlusPlusPolicy(const PlusConfig& config);
+
+  void attach(mcu::Mcu& mcu) override;
+  void on_boot(mcu::Mcu& mcu, Seconds t) override;
+
+  [[nodiscard]] std::string name() const override { return "hibernus++"; }
+
+  [[nodiscard]] bool calibrated() const noexcept { return calibrated_; }
+  [[nodiscard]] int calibration_count() const noexcept { return calibrations_; }
+  [[nodiscard]] double current_margin() const noexcept { return margin_; }
+
+ private:
+  static Config base_config(const PlusConfig& config);
+
+  void calibrate(mcu::Mcu& mcu);
+
+  PlusConfig plus_;
+  trace::Rng rng_;
+  bool calibrated_ = false;
+  int calibrations_ = 0;
+  double margin_;
+  std::uint64_t torn_seen_ = 0;
+};
+
+}  // namespace edc::checkpoint

@@ -1,0 +1,99 @@
+#include "edc/checkpoint/interrupt_policy.h"
+
+#include <algorithm>
+
+#include "edc/checkpoint/thresholds.h"
+#include "edc/common/check.h"
+
+namespace edc::checkpoint {
+
+InterruptPolicy::InterruptPolicy(const Config& config, std::string policy_name)
+    : config_(config), name_(std::move(policy_name)) {
+  EDC_CHECK(config.capacitance >= 0.0, "capacitance must be non-negative");
+  EDC_CHECK(config.margin >= 1.0, "margin must be at least 1");
+}
+
+void InterruptPolicy::attach(mcu::Mcu& mcu) {
+  EDC_CHECK(config_.capacitance > 0.0,
+            "node capacitance not characterised: set Config::capacitance "
+            "(SystemBuilder fills it in automatically)");
+  mcu.set_memory_mode(config_.memory_mode);
+  // Compute Eq 4's V_H for this program's image size at the current DFS
+  // frequency, then register both comparators with a little hysteresis so
+  // supply ripple does not chatter them.
+  const Volts v_h = checkpoint::hibernate_threshold_for_image(
+      mcu.power(), mcu.snapshot_image_bytes(), mcu.frequency(), config_.capacitance,
+      config_.margin);
+  v_hibernate_ = config_.v_hibernate > 0.0 ? config_.v_hibernate : v_h;
+  v_restore_ = config_.v_restore > 0.0 ? config_.v_restore
+                                       : v_hibernate_ + config_.restore_headroom;
+  EDC_CHECK(v_restore_ > v_hibernate_, "V_R must exceed V_H");
+  // Zero hysteresis: the sleep/continue decisions in the hooks compare
+  // against the same trip levels the comparators use, so a hysteresis band
+  // could strand the policy asleep inside it with no wake edge pending.
+  vh_comparator_ = mcu.add_comparator("VH", v_hibernate_, 0.0);
+  vr_comparator_ = mcu.add_comparator("VR", v_restore_, 0.0);
+  attached_ = true;
+}
+
+void InterruptPolicy::set_thresholds_from_capacitance(mcu::Mcu& mcu, Farads c) {
+  const Volts v_h = checkpoint::hibernate_threshold_for_image(
+      mcu.power(), mcu.snapshot_image_bytes(), mcu.frequency(), c, config_.margin);
+  v_hibernate_ = v_h;
+  if (config_.v_restore <= 0.0) {
+    v_restore_ = v_h + config_.restore_headroom;
+  }
+  if (attached_) {
+    mcu.set_comparator_threshold(vh_comparator_, v_hibernate_);
+    mcu.set_comparator_threshold(vr_comparator_, v_restore_);
+  }
+}
+
+void InterruptPolicy::begin_running(mcu::Mcu& mcu, Seconds t) {
+  if (mcu.ram_valid()) {
+    mcu.resume_execution(t);
+  } else if (mcu.nvm().has_valid_snapshot()) {
+    mcu.request_restore(t);
+  } else {
+    mcu.start_program_fresh(t);
+  }
+}
+
+void InterruptPolicy::on_boot(mcu::Mcu& mcu, Seconds t) {
+  // Freshly powered: wait for the supply to clear V_R before doing work, so
+  // there is enough headroom to reach the next safe point.
+  if (mcu.vcc() >= v_restore_) {
+    begin_running(mcu, t);
+  } else {
+    mcu.enter_wait(t);
+  }
+}
+
+void InterruptPolicy::on_comparator(mcu::Mcu& mcu,
+                                    const circuit::ComparatorEvent& event) {
+  if (event.name == "VH" && event.edge == circuit::Edge::falling) {
+    // Imminent supply failure: snapshot now (single save per outage).
+    if (mcu.state() == mcu::McuState::active) {
+      mcu.request_save(event.time);
+    }
+    return;
+  }
+  if (event.name == "VR" && event.edge == circuit::Edge::rising) {
+    const auto state = mcu.state();
+    if (state == mcu::McuState::wait || state == mcu::McuState::sleep) {
+      begin_running(mcu, event.time);
+    }
+  }
+}
+
+void InterruptPolicy::on_save_complete(mcu::Mcu& mcu, Seconds t) {
+  // If the supply already recovered past V_R while we were saving, the VR
+  // comparator will not produce a fresh rising edge — resume directly.
+  if (mcu.vcc() >= v_restore_) {
+    begin_running(mcu, t);
+    return;
+  }
+  mcu.enter_sleep(t);
+}
+
+}  // namespace edc::checkpoint

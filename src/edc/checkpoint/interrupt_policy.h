@@ -1,0 +1,116 @@
+// Interrupt-driven (reactive) checkpointing — the shared machinery of
+// Hibernus [9], QuickRecall [8] and NVP-style architectures [10].
+//
+// A comparator watches V_CC. When it decays through the hibernate threshold
+// V_H (Eq 4) the volatile state is snapshotted to NVM and the core sleeps.
+// When the supply recovers through the restore threshold V_R, execution
+// continues: directly (RAM intact — the supply dipped but never browned
+// out), from the NVM snapshot (after a brown-out), or from scratch (fresh
+// device, no snapshot yet).
+//
+// The variants differ only in memory mode (which sets the snapshot image
+// size and the active-power premium) and in how V_H is obtained.
+#pragma once
+
+#include "edc/checkpoint/policy_base.h"
+#include "edc/mcu/power_model.h"
+
+namespace edc::checkpoint {
+
+class InterruptPolicy : public PolicyBase {
+ public:
+  struct Config {
+    /// Design-time characterised node capacitance (Eq 4's C). 0 = not yet
+    /// characterised: SystemBuilder fills in the node's real capacitance;
+    /// direct construction must set it before attach().
+    Farads capacitance = 0.0;
+    /// Safety margin multiplying the snapshot energy in Eq 4. The headroom
+    /// must also cover what board leakage drains in parallel with the save
+    /// (Eq 4 budgets the capacitor energy for the snapshot alone).
+    double margin = 1.5;
+    /// Explicit hibernate threshold; 0 = derive from Eq 4. An override
+    /// models a designer picking V_H by hand (it may well violate Eq 4).
+    Volts v_hibernate = 0.0;
+    /// Restore threshold V_R; 0 = auto (V_H + restore_headroom).
+    Volts v_restore = 0.0;
+    /// Headroom above V_H when V_R is auto-derived. Characterises the
+    /// expected source dynamics (design-time input per §III).
+    Volts restore_headroom = 0.5;
+    /// Memory mode this policy runs the MCU in.
+    mcu::MemoryMode memory_mode = mcu::MemoryMode::sram_execution;
+  };
+
+  explicit InterruptPolicy(const Config& config, std::string policy_name);
+
+  void attach(mcu::Mcu& mcu) override;
+  void on_boot(mcu::Mcu& mcu, Seconds t) override;
+  void on_comparator(mcu::Mcu& mcu, const circuit::ComparatorEvent& event) override;
+  void on_save_complete(mcu::Mcu& mcu, Seconds t) override;
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] Volts hibernate_threshold() const noexcept { return v_hibernate_; }
+  [[nodiscard]] Volts restore_threshold() const noexcept { return v_restore_; }
+
+ protected:
+  /// Recomputes V_H (and auto V_R) from a capacitance estimate; updates the
+  /// comparators if already attached. Used by Hibernus++ recalibration.
+  void set_thresholds_from_capacitance(mcu::Mcu& mcu, Farads c);
+
+  Config config_;
+
+ private:
+  void begin_running(mcu::Mcu& mcu, Seconds t);
+
+  std::string name_;
+  Volts v_hibernate_ = 0.0;
+  Volts v_restore_ = 0.0;
+  bool attached_ = false;
+  std::size_t vh_comparator_ = 0;
+  std::size_t vr_comparator_ = 0;
+};
+
+/// Hibernus [9]: SRAM execution, V_H from design-time characterised C.
+class HibernusPolicy final : public InterruptPolicy {
+ public:
+  explicit HibernusPolicy(const Config& config)
+      : InterruptPolicy(with_mode(config, mcu::MemoryMode::sram_execution),
+                        "hibernus") {}
+
+ private:
+  static Config with_mode(Config c, mcu::MemoryMode m) {
+    c.memory_mode = m;
+    return c;
+  }
+};
+
+/// QuickRecall [8]: unified FRAM; registers-only snapshots, FRAM-level
+/// execution power (Eq 5's other regime).
+class QuickRecallPolicy final : public InterruptPolicy {
+ public:
+  explicit QuickRecallPolicy(const Config& config)
+      : InterruptPolicy(with_mode(config, mcu::MemoryMode::unified_fram),
+                        "quickrecall") {}
+
+ private:
+  static Config with_mode(Config c, mcu::MemoryMode m) {
+    c.memory_mode = m;
+    return c;
+  }
+};
+
+/// Non-volatile processor [10]: flip-flop-level state retention; snapshot is
+/// the register file at near-SRAM execution power.
+class NvpPolicy final : public InterruptPolicy {
+ public:
+  explicit NvpPolicy(const Config& config)
+      : InterruptPolicy(with_mode(config, mcu::MemoryMode::nv_processor), "nvp") {}
+
+ private:
+  static Config with_mode(Config c, mcu::MemoryMode m) {
+    c.memory_mode = m;
+    return c;
+  }
+};
+
+}  // namespace edc::checkpoint

@@ -1,0 +1,70 @@
+#include "edc/checkpoint/mementos.h"
+
+#include "edc/common/check.h"
+
+namespace edc::checkpoint {
+
+MementosPolicy::MementosPolicy(const Config& config) : config_(config) {
+  EDC_CHECK(config.v_threshold > 0.0, "threshold must be positive");
+  EDC_CHECK(config.poll_stride >= 1, "poll stride must be at least 1");
+  EDC_CHECK(config.timer_interval > 0.0, "timer interval must be positive");
+}
+
+void MementosPolicy::on_boot(mcu::Mcu& mcu, Seconds t) {
+  // Mementos restarts as soon as the MCU can run: restore the latest
+  // snapshot if one committed, else start over. (No restore threshold —
+  // the documented restore-loop weakness near v_on is intentional.)
+  if (mcu.nvm().has_valid_snapshot()) {
+    mcu.request_restore(t);
+  } else {
+    mcu.start_program_fresh(t);
+  }
+}
+
+bool MementosPolicy::is_candidate(workloads::Boundary boundary) const {
+  using workloads::Boundary;
+  switch (config_.mode) {
+    case Mode::loop:
+      return boundary == Boundary::loop || boundary == Boundary::function;
+    case Mode::function:
+      return boundary == Boundary::function;
+    case Mode::timer:
+      return boundary != Boundary::none;  // timer checked at any tick end
+  }
+  return false;
+}
+
+void MementosPolicy::on_boundary(mcu::Mcu& mcu, workloads::Boundary boundary,
+                                 Seconds t) {
+  if (!is_candidate(boundary)) return;
+
+  if (config_.mode == Mode::timer) {
+    if (t - last_save_time_ >= config_.timer_interval) {
+      last_save_time_ = t;
+      mcu.request_save(t);
+    }
+    return;
+  }
+
+  if (++candidate_counter_ % config_.poll_stride != 0) return;
+  const Volts v = mcu.poll_vcc();  // ADC conversion: time + energy
+  if (v < config_.v_threshold) {
+    mcu.request_save(t);
+  }
+}
+
+void MementosPolicy::on_save_complete(mcu::Mcu& mcu, Seconds t) {
+  // Mementos never sleeps: it computes until the supply gives out.
+  mcu.resume_execution(t);
+}
+
+std::string MementosPolicy::name() const {
+  switch (config_.mode) {
+    case Mode::loop: return "mementos-loop";
+    case Mode::function: return "mementos-function";
+    case Mode::timer: return "mementos-timer";
+  }
+  return "mementos";
+}
+
+}  // namespace edc::checkpoint

@@ -1,0 +1,51 @@
+// Mementos [7]: compile-time instrumented, polling checkpointing.
+//
+// Checkpoint calls are inserted at loop or function boundaries (or fired by
+// a timer). Each call samples V_CC with the ADC (paying the conversion) and
+// snapshots if the voltage is below a fixed design-time threshold. The
+// paper's three downsides all emerge from this model:
+//   1. redundant snapshots (every candidate below threshold saves again);
+//   2. torn snapshots (a save begun too close to brown-out never commits);
+//   3. re-execution (work since the last committed snapshot repeats).
+#pragma once
+
+#include "edc/checkpoint/policy_base.h"
+
+namespace edc::checkpoint {
+
+class MementosPolicy final : public PolicyBase {
+ public:
+  enum class Mode {
+    loop,      ///< candidates at every loop boundary
+    function,  ///< candidates at function boundaries only
+    timer,     ///< unconditional saves every timer interval
+  };
+
+  struct Config {
+    Mode mode = Mode::loop;
+    /// Design-time voltage threshold below which a candidate snapshots.
+    Volts v_threshold = 2.4;
+    /// Timer period for Mode::timer.
+    Seconds timer_interval = 5e-3;
+    /// Poll only every k-th candidate (1 = every candidate; the ablation
+    /// knob for checkpoint-placement density, bench/ablation_mementos).
+    unsigned poll_stride = 1;
+  };
+
+  explicit MementosPolicy(const Config& config);
+
+  void on_boot(mcu::Mcu& mcu, Seconds t) override;
+  void on_boundary(mcu::Mcu& mcu, workloads::Boundary boundary, Seconds t) override;
+  void on_save_complete(mcu::Mcu& mcu, Seconds t) override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  [[nodiscard]] bool is_candidate(workloads::Boundary boundary) const;
+
+  Config config_;
+  unsigned candidate_counter_ = 0;
+  Seconds last_save_time_ = -1e30;
+};
+
+}  // namespace edc::checkpoint

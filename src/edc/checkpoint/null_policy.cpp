@@ -1,0 +1,25 @@
+#include "edc/checkpoint/null_policy.h"
+
+namespace edc::checkpoint {
+
+void NullPolicy::attach(mcu::Mcu& mcu) {
+  if (v_start_ <= 0.0) v_start_ = mcu.power().v_on + 0.1;
+  start_comparator_ = mcu.add_comparator("START", v_start_, 0.0);
+}
+
+void NullPolicy::on_boot(mcu::Mcu& mcu, Seconds t) {
+  if (mcu.vcc() >= v_start_) {
+    mcu.start_program_fresh(t);
+  } else {
+    mcu.enter_wait(t);
+  }
+}
+
+void NullPolicy::on_comparator(mcu::Mcu& mcu, const circuit::ComparatorEvent& event) {
+  if (event.edge == circuit::Edge::rising && event.name == "START" &&
+      mcu.state() == mcu::McuState::wait) {
+    mcu.start_program_fresh(event.time);
+  }
+}
+
+}  // namespace edc::checkpoint

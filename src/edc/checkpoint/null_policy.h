@@ -1,0 +1,28 @@
+// Baseline: no checkpointing at all. Every outage restarts the computation
+// from scratch, so forward progress only happens if the whole workload fits
+// in one on-period. This is the "conventional system" reference against
+// which every transient policy is compared.
+#pragma once
+
+#include "edc/checkpoint/policy_base.h"
+
+namespace edc::checkpoint {
+
+class NullPolicy final : public PolicyBase {
+ public:
+  /// `v_start`: supply level at which the freshly-booted system begins
+  /// running (a plain POR brown-out gate; defaults to just above v_on).
+  explicit NullPolicy(Volts v_start = 0.0) : v_start_(v_start) {}
+
+  void attach(mcu::Mcu& mcu) override;
+  void on_boot(mcu::Mcu& mcu, Seconds t) override;
+  void on_comparator(mcu::Mcu& mcu, const circuit::ComparatorEvent& event) override;
+
+  [[nodiscard]] std::string name() const override { return "none"; }
+
+ private:
+  Volts v_start_;
+  std::size_t start_comparator_ = 0;
+};
+
+}  // namespace edc::checkpoint

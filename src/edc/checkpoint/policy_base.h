@@ -1,0 +1,29 @@
+// Common base for checkpoint policies: no-op hooks plus an attach() phase.
+#pragma once
+
+#include <string>
+
+#include "edc/mcu/hooks.h"
+#include "edc/mcu/mcu.h"
+
+namespace edc::checkpoint {
+
+/// Extends PolicyHooks with a one-time attach() called by the simulation
+/// builder before power is first applied (configure comparators, memory
+/// mode, ...). All hooks default to no-ops so policies override only what
+/// they use.
+class PolicyBase : public mcu::PolicyHooks {
+ public:
+  /// Configures the MCU (comparators, memory mode). Called exactly once.
+  virtual void attach(mcu::Mcu&) {}
+
+  void on_boot(mcu::Mcu&, Seconds) override {}
+  void on_comparator(mcu::Mcu&, const circuit::ComparatorEvent&) override {}
+  void on_boundary(mcu::Mcu&, workloads::Boundary, Seconds) override {}
+  void on_save_complete(mcu::Mcu&, Seconds) override {}
+  void on_restore_complete(mcu::Mcu&, Seconds) override {}
+  void on_power_loss(mcu::Mcu&, Seconds) override {}
+  void on_workload_complete(mcu::Mcu&, Seconds) override {}
+};
+
+}  // namespace edc::checkpoint

@@ -1,0 +1,63 @@
+#include "edc/checkpoint/thresholds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edc/common/check.h"
+
+namespace edc::checkpoint {
+
+Volts hibernate_threshold(Joules save_energy, Farads c, Volts v_min) {
+  EDC_CHECK(save_energy >= 0.0, "save energy must be non-negative");
+  EDC_CHECK(c > 0.0, "capacitance must be positive");
+  EDC_CHECK(v_min >= 0.0, "v_min must be non-negative");
+  return std::sqrt(2.0 * save_energy / c + v_min * v_min);
+}
+
+Joules decay_energy(Volts v_h, Volts v_min, Farads c) {
+  EDC_CHECK(v_h >= v_min, "v_h must be at least v_min");
+  return 0.5 * c * (v_h * v_h - v_min * v_min);
+}
+
+bool save_feasible(Joules save_energy, Volts v_h, Volts v_min, Farads c) {
+  return save_energy <= decay_energy(v_h, v_min, c);
+}
+
+Volts hibernate_threshold_for_image(const mcu::McuPowerModel& power,
+                                    std::size_t image_bytes, Hertz f, Farads c,
+                                    double margin) {
+  EDC_CHECK(margin >= 1.0, "margin must be at least 1");
+  Volts v_h = power.v_min + 0.2;
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    // Save current is drawn at a voltage decaying from v_h toward v_min;
+    // evaluate the energy at the (pessimistic) starting voltage v_h.
+    const Joules e_s = margin * power.save_energy(image_bytes, f, v_h);
+    const Volts next = hibernate_threshold(e_s, c, power.v_min);
+    if (std::abs(next - v_h) < 1e-6) return next;
+    v_h = next;
+  }
+  return v_h;
+}
+
+Hertz crossover_frequency(Watts p_fram, Watts p_sram, Joules e_hibernus,
+                          Joules e_quickrecall) {
+  EDC_CHECK(p_fram > p_sram, "FRAM power must exceed SRAM power");
+  EDC_CHECK(e_hibernus > e_quickrecall,
+            "hibernus snapshot energy must exceed QuickRecall's");
+  return (p_fram - p_sram) / (e_hibernus - e_quickrecall);
+}
+
+Hertz crossover_frequency_for_image(const mcu::McuPowerModel& power,
+                                    std::size_t sram_image_bytes, Hertz f, Volts v) {
+  const Watts p_fram = power.active_current(f, mcu::MemoryMode::unified_fram) * v;
+  const Watts p_sram = power.active_current(f, mcu::MemoryMode::sram_execution) * v;
+  const std::size_t full_image = sram_image_bytes + power.register_file_bytes;
+  const std::size_t reg_image = power.register_file_bytes;
+  const Joules e_hib =
+      power.save_energy(full_image, f, v) + power.restore_energy(full_image, f, v);
+  const Joules e_qr =
+      power.save_energy(reg_image, f, v) + power.restore_energy(reg_image, f, v);
+  return crossover_frequency(p_fram, p_sram, e_hib, e_qr);
+}
+
+}  // namespace edc::checkpoint

@@ -1,0 +1,49 @@
+// The paper's quantitative design rules for transient systems.
+//
+// Eq 4 (hibernate threshold): a snapshot of energy E_S can complete before
+// brown-out iff E_S <= (V_H^2 - V_min^2) * C / 2, i.e. the energy remaining
+// in the node capacitance between V_H and V_min covers the save.
+//
+// Eq 5 (hibernus vs QuickRecall crossover): unified-FRAM execution pays a
+// constant power premium (P_FRAM - P_SRAM) but saves almost nothing per
+// outage; SRAM execution is cheap until snapshots dominate. The break-even
+// supply-interruption frequency is
+//     f_crossover = (P_FRAM - P_SRAM) / (E_hibernus - E_quickrecall).
+#pragma once
+
+#include <cstddef>
+
+#include "edc/common/units.h"
+#include "edc/mcu/power_model.h"
+
+namespace edc::checkpoint {
+
+/// Eq 4 solved for V_H: the minimum hibernate threshold that guarantees a
+/// save of energy `save_energy` completes on capacitance `c` before v_min.
+[[nodiscard]] Volts hibernate_threshold(Joules save_energy, Farads c, Volts v_min);
+
+/// Eq 4 as stated: can a save of `save_energy` complete from `v_h`?
+[[nodiscard]] bool save_feasible(Joules save_energy, Volts v_h, Volts v_min, Farads c);
+
+/// Energy available between v_h and v_min on capacitance c (Eq 4's RHS).
+[[nodiscard]] Joules decay_energy(Volts v_h, Volts v_min, Farads c);
+
+/// Eq 4 with the save energy evaluated self-consistently at V_H: the save
+/// current depends on the supply voltage, and the threshold depends on the
+/// save energy, so we fixed-point iterate (converges in a few rounds).
+/// `margin` > 1 adds a safety factor on the required energy.
+[[nodiscard]] Volts hibernate_threshold_for_image(const mcu::McuPowerModel& power,
+                                                  std::size_t image_bytes, Hertz f,
+                                                  Farads c, double margin = 1.25);
+
+/// Eq 5. Requires e_hibernus > e_quickrecall and p_fram > p_sram.
+[[nodiscard]] Hertz crossover_frequency(Watts p_fram, Watts p_sram, Joules e_hibernus,
+                                        Joules e_quickrecall);
+
+/// Eq 5 evaluated from the MCU power model: per-snapshot energies include
+/// one save plus one restore at (f, v); powers are active execution powers.
+[[nodiscard]] Hertz crossover_frequency_for_image(const mcu::McuPowerModel& power,
+                                                  std::size_t sram_image_bytes,
+                                                  Hertz f, Volts v);
+
+}  // namespace edc::checkpoint

@@ -1,0 +1,67 @@
+#include "edc/circuit/comparator.h"
+
+#include <algorithm>
+
+#include "edc/common/check.h"
+
+namespace edc::circuit {
+
+Comparator::Comparator(std::string name, Volts threshold, Volts hysteresis)
+    : name_(std::move(name)), threshold_(threshold), hysteresis_(hysteresis) {
+  EDC_CHECK(threshold >= 0.0, "threshold must be non-negative");
+  EDC_CHECK(hysteresis >= 0.0, "hysteresis must be non-negative");
+}
+
+void Comparator::reset(Volts v) { output_high_ = v > rising_trip(); }
+
+void Comparator::set_threshold(Volts threshold) {
+  EDC_CHECK(threshold >= 0.0, "threshold must be non-negative");
+  threshold_ = threshold;
+}
+
+std::optional<ComparatorEvent> Comparator::update(Volts v_prev, Seconds t_prev,
+                                                  Volts v_now, Seconds t_now) {
+  const Volts trip = output_high_ ? falling_trip() : rising_trip();
+  const bool crossed =
+      output_high_ ? (v_now <= trip && v_prev > trip) : (v_now >= trip && v_prev < trip);
+  if (!crossed) {
+    // Handle the degenerate case where the step lands exactly on the trip
+    // from an equal previous value: no edge.
+    return std::nullopt;
+  }
+  const double denom = v_now - v_prev;
+  const double frac = denom == 0.0 ? 1.0 : std::clamp((trip - v_prev) / denom, 0.0, 1.0);
+  ComparatorEvent event;
+  event.name = name_;
+  event.edge = output_high_ ? Edge::falling : Edge::rising;
+  event.time = t_prev + (t_now - t_prev) * frac;
+  event.threshold = trip;
+  output_high_ = !output_high_;
+  return event;
+}
+
+std::size_t ComparatorBank::add(Comparator comparator) {
+  comparators_.push_back(std::move(comparator));
+  return comparators_.size() - 1;
+}
+
+std::vector<ComparatorEvent> ComparatorBank::update(Volts v_prev, Seconds t_prev,
+                                                    Volts v_now, Seconds t_now) {
+  std::vector<ComparatorEvent> events;
+  for (auto& comparator : comparators_) {
+    if (auto event = comparator.update(v_prev, t_prev, v_now, t_now)) {
+      events.push_back(*std::move(event));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ComparatorEvent& a, const ComparatorEvent& b) {
+              return a.time < b.time;
+            });
+  return events;
+}
+
+void ComparatorBank::reset(Volts v) {
+  for (auto& comparator : comparators_) comparator.reset(v);
+}
+
+}  // namespace edc::circuit

@@ -1,0 +1,72 @@
+// Voltage comparators with hysteresis.
+//
+// Hibernus (§III) is interrupt-driven: a comparator watching V_CC fires when
+// the supply decays through the hibernate threshold V_H, and again when it
+// recovers through the restore threshold V_R. This models that analog block.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "edc/common/units.h"
+
+namespace edc::circuit {
+
+enum class Edge { rising, falling };
+
+struct ComparatorEvent {
+  std::string name;  ///< comparator label, e.g. "VH" or "VR"
+  Edge edge = Edge::falling;
+  Seconds time = 0.0;  ///< interpolated crossing instant
+  Volts threshold = 0.0;
+};
+
+/// One comparator: output is high when v > threshold (+/- hysteresis/2).
+class Comparator {
+ public:
+  Comparator(std::string name, Volts threshold, Volts hysteresis = 0.0);
+
+  /// Examines the voltage transition (v_prev at t_prev) -> (v_now at t_now)
+  /// and returns the crossing event if the output toggled. Linear
+  /// interpolation yields the crossing instant.
+  std::optional<ComparatorEvent> update(Volts v_prev, Seconds t_prev, Volts v_now,
+                                        Seconds t_now);
+
+  /// Re-arms the comparator to the state implied by `v` with no event.
+  void reset(Volts v);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Volts threshold() const noexcept { return threshold_; }
+  void set_threshold(Volts threshold);
+  [[nodiscard]] bool output() const noexcept { return output_high_; }
+
+ private:
+  [[nodiscard]] Volts rising_trip() const noexcept { return threshold_ + hysteresis_ / 2; }
+  [[nodiscard]] Volts falling_trip() const noexcept { return threshold_ - hysteresis_ / 2; }
+
+  std::string name_;
+  Volts threshold_;
+  Volts hysteresis_;
+  bool output_high_ = false;
+};
+
+/// A bank of comparators sharing the supply-node voltage; returns all events
+/// of a step ordered by interpolated time.
+class ComparatorBank {
+ public:
+  /// Adds a comparator and returns its index.
+  std::size_t add(Comparator comparator);
+
+  [[nodiscard]] Comparator& at(std::size_t index) { return comparators_.at(index); }
+  [[nodiscard]] std::size_t size() const noexcept { return comparators_.size(); }
+
+  std::vector<ComparatorEvent> update(Volts v_prev, Seconds t_prev, Volts v_now,
+                                      Seconds t_now);
+  void reset(Volts v);
+
+ private:
+  std::vector<Comparator> comparators_;
+};
+
+}  // namespace edc::circuit

@@ -1,0 +1,50 @@
+#include "edc/circuit/converter.h"
+
+#include <algorithm>
+
+#include "edc/common/check.h"
+
+namespace edc::circuit {
+
+Converter::Converter(double peak_efficiency, Watts quiescent_power)
+    : peak_efficiency_(peak_efficiency), quiescent_power_(quiescent_power) {
+  EDC_CHECK(peak_efficiency > 0.0 && peak_efficiency <= 1.0,
+            "peak efficiency must be in (0,1]");
+  EDC_CHECK(quiescent_power >= 0.0, "quiescent power must be non-negative");
+}
+
+Watts Converter::convert(Watts input) const {
+  EDC_CHECK(input >= 0.0, "input power must be non-negative");
+  return input * efficiency(input);
+}
+
+double Converter::efficiency(Watts input) const {
+  if (input <= 0.0) return 0.0;
+  return peak_efficiency_ * input / (input + quiescent_power_);
+}
+
+EnergyBuffer::EnergyBuffer(Joules capacity, Joules initial, double charge_efficiency)
+    : capacity_(capacity), level_(initial), charge_efficiency_(charge_efficiency) {
+  EDC_CHECK(capacity > 0.0, "capacity must be positive");
+  EDC_CHECK(initial >= 0.0 && initial <= capacity, "initial level out of range");
+  EDC_CHECK(charge_efficiency > 0.0 && charge_efficiency <= 1.0,
+            "charge efficiency must be in (0,1]");
+}
+
+Joules EnergyBuffer::charge(Joules input) {
+  EDC_CHECK(input >= 0.0, "charge must be non-negative");
+  const Joules headroom = capacity_ - level_;
+  const Joules absorbable_source_side = headroom / charge_efficiency_;
+  const Joules taken = std::min(input, absorbable_source_side);
+  level_ += taken * charge_efficiency_;
+  return taken;
+}
+
+Joules EnergyBuffer::discharge(Joules wanted) {
+  EDC_CHECK(wanted >= 0.0, "discharge must be non-negative");
+  const Joules given = std::min(wanted, level_);
+  level_ -= given;
+  return given;
+}
+
+}  // namespace edc::circuit

@@ -1,0 +1,54 @@
+// Power-domain conversion components for energy-neutral systems (Fig 3):
+// the efficiency chain between harvester, storage and load.
+#pragma once
+
+#include <vector>
+
+#include "edc/common/units.h"
+
+namespace edc::circuit {
+
+/// A DC/DC converter with a load-dependent efficiency curve: efficiency is
+/// poor at very light load (quiescent-dominated) and flattens near its peak.
+/// Modelled as eta(p) = eta_peak * p / (p + p_quiescent_equiv).
+class Converter {
+ public:
+  Converter(double peak_efficiency, Watts quiescent_power);
+
+  /// Output power for a given input power.
+  [[nodiscard]] Watts convert(Watts input) const;
+
+  /// Efficiency at a given input power (0 when input is 0).
+  [[nodiscard]] double efficiency(Watts input) const;
+
+ private:
+  double peak_efficiency_;
+  Watts quiescent_power_;
+};
+
+/// An ideal-storage element in the power domain (used by the energy-neutral
+/// controller): tracks stored energy between 0 and capacity, with round-trip
+/// efficiency applied on charge.
+class EnergyBuffer {
+ public:
+  EnergyBuffer(Joules capacity, Joules initial, double charge_efficiency = 0.95);
+
+  /// Offers `input` joules for storage; returns the amount actually absorbed
+  /// (before efficiency loss), i.e. the amount removed from the source side.
+  Joules charge(Joules input);
+
+  /// Requests `wanted` joules; returns the amount actually delivered.
+  Joules discharge(Joules wanted);
+
+  [[nodiscard]] Joules level() const noexcept { return level_; }
+  [[nodiscard]] Joules capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double state_of_charge() const noexcept { return level_ / capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return level_ <= 0.0; }
+
+ private:
+  Joules capacity_;
+  Joules level_;
+  double charge_efficiency_;
+};
+
+}  // namespace edc::circuit

@@ -1,0 +1,68 @@
+#include "edc/circuit/rectifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edc/common/check.h"
+
+namespace edc::circuit {
+
+RectifiedSourceDriver::RectifiedSourceDriver(const trace::VoltageSource& source,
+                                             RectifierParams params)
+    : source_(&source), params_(params) {
+  EDC_CHECK(params.diode_drop >= 0.0, "diode drop must be non-negative");
+}
+
+Volts RectifiedSourceDriver::rectified_open_circuit(Seconds t) const {
+  const Volts v = source_->open_circuit_voltage(t);
+  switch (params_.kind) {
+    case RectifierKind::half_wave:
+      return std::max(v - params_.diode_drop, 0.0);
+    case RectifierKind::full_wave:
+      return std::max(std::abs(v) - 2.0 * params_.diode_drop, 0.0);
+  }
+  return 0.0;
+}
+
+Amps RectifiedSourceDriver::current_into(Volts v_node, Seconds t) const {
+  const Volts v_rect = rectified_open_circuit(t);
+  if (v_rect <= v_node) return 0.0;
+  return (v_rect - v_node) / source_->series_resistance();
+}
+
+std::string RectifiedSourceDriver::name() const {
+  return (params_.kind == RectifierKind::half_wave ? "halfwave(" : "fullwave(") +
+         source_->name() + ")";
+}
+
+HarvesterPowerDriver::HarvesterPowerDriver(const trace::PowerSource& source,
+                                           Params params)
+    : source_(&source), params_(params) {
+  EDC_CHECK(params.efficiency > 0.0 && params.efficiency <= 1.0,
+            "efficiency must be in (0,1]");
+  EDC_CHECK(params.v_ceiling > 0.0, "ceiling must be positive");
+  EDC_CHECK(params.i_max > 0.0, "current limit must be positive");
+  EDC_CHECK(params.v_floor > 0.0, "voltage floor must be positive");
+}
+
+Amps HarvesterPowerDriver::current_into(Volts v_node, Seconds t) const {
+  if (v_node >= params_.v_ceiling) return 0.0;
+  const Watts p = params_.efficiency * source_->available_power(t);
+  if (p <= 0.0) return 0.0;
+  const Volts v_eff = std::max(v_node, params_.v_floor);
+  return std::min(p / v_eff, params_.i_max);
+}
+
+std::string HarvesterPowerDriver::name() const {
+  return "harvester(" + source_->name() + ")";
+}
+
+ResistiveLoad::ResistiveLoad(Ohms resistance) : resistance_(resistance) {
+  EDC_CHECK(resistance > 0.0, "resistance must be positive");
+}
+
+ConstantCurrentLoad::ConstantCurrentLoad(Amps current) : current_(current) {
+  EDC_CHECK(current >= 0.0, "current must be non-negative");
+}
+
+}  // namespace edc::circuit

@@ -1,0 +1,68 @@
+// Diode rectifier front-ends coupling an AC Thevenin source to the supply
+// node (Fig 7 / Fig 8 operate a system directly from a half-wave rectified
+// source).
+#pragma once
+
+#include <string>
+
+#include "edc/circuit/supply_driver.h"
+#include "edc/trace/source.h"
+
+namespace edc::circuit {
+
+enum class RectifierKind {
+  half_wave,  ///< single diode: conducts on positive half-cycles only.
+  full_wave,  ///< diode bridge: conducts on both half-cycles, two diode drops.
+};
+
+struct RectifierParams {
+  RectifierKind kind = RectifierKind::half_wave;
+  Volts diode_drop = 0.25;  ///< forward drop per diode (Schottky typical).
+};
+
+/// Couples a trace::VoltageSource through a rectifier into the supply node.
+///
+/// Conduction model: the diode(s) conduct when the rectified open-circuit
+/// voltage exceeds the node voltage by the total diode drop; the current is
+/// then limited by the source's series resistance:
+///
+///   i = max(0, (v_rect(t) - v_drop_total - v_node) / R_series)
+class RectifiedSourceDriver final : public SupplyDriver {
+ public:
+  RectifiedSourceDriver(const trace::VoltageSource& source, RectifierParams params);
+
+  [[nodiscard]] Amps current_into(Volts v_node, Seconds t) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The rectified open-circuit voltage (before the node interaction); this
+  /// is the "half-wave rectified sine-wave voltage" trace of Fig 7.
+  [[nodiscard]] Volts rectified_open_circuit(Seconds t) const;
+
+ private:
+  const trace::VoltageSource* source_;  // non-owning; outlives the driver
+  RectifierParams params_;
+};
+
+/// Couples a trace::PowerSource through a DC/DC harvester converter into the
+/// supply node. The converter delivers eta * P_available as long as the node
+/// is below its regulation ceiling, with a current compliance limit.
+class HarvesterPowerDriver final : public SupplyDriver {
+ public:
+  struct Params {
+    double efficiency = 0.80;   ///< converter efficiency (0, 1].
+    Volts v_ceiling = 5.0;      ///< output regulation ceiling (shunts above).
+    Amps i_max = 0.5;           ///< converter current compliance.
+    Volts v_floor = 0.3;        ///< below this the converter output is current-limited.
+  };
+
+  HarvesterPowerDriver(const trace::PowerSource& source, Params params);
+
+  [[nodiscard]] Amps current_into(Volts v_node, Seconds t) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  const trace::PowerSource* source_;  // non-owning; outlives the driver
+  Params params_;
+};
+
+}  // namespace edc::circuit

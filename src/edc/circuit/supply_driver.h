@@ -1,0 +1,66 @@
+// Interfaces between sources, the supply node, and loads.
+//
+// The supply node is the single electrical node of Fig 4: harvester output,
+// storage/decoupling capacitance, and the computational load all meet here.
+// Anything that pushes current in implements SupplyDriver; anything that
+// draws current implements Load.
+#pragma once
+
+#include <string>
+
+#include "edc/common/units.h"
+
+namespace edc::circuit {
+
+class SupplyDriver {
+ public:
+  virtual ~SupplyDriver() = default;
+
+  /// Current injected into the node when the node voltage is `v_node` at
+  /// time `t`. Must be >= 0 (rectifiers/converters block reverse flow).
+  [[nodiscard]] virtual Amps current_into(Volts v_node, Seconds t) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class Load {
+ public:
+  virtual ~Load() = default;
+
+  /// Current drawn from the node at node voltage `v_node`, time `t`.
+  /// Must be >= 0.
+  [[nodiscard]] virtual Amps current_draw(Volts v_node, Seconds t) const = 0;
+};
+
+/// A fixed resistive load (used in tests against the analytic RC solution).
+class ResistiveLoad final : public Load {
+ public:
+  explicit ResistiveLoad(Ohms resistance);
+
+  [[nodiscard]] Amps current_draw(Volts v_node, Seconds) const override {
+    return v_node > 0.0 ? v_node / resistance_ : 0.0;
+  }
+
+ private:
+  Ohms resistance_;
+};
+
+/// A constant-current load (ideal active MCU approximation).
+class ConstantCurrentLoad final : public Load {
+ public:
+  explicit ConstantCurrentLoad(Amps current);
+
+  [[nodiscard]] Amps current_draw(Volts, Seconds) const override { return current_; }
+
+ private:
+  Amps current_;
+};
+
+/// A driver that injects nothing (harvester absent / night).
+class NullDriver final : public SupplyDriver {
+ public:
+  [[nodiscard]] Amps current_into(Volts, Seconds) const override { return 0.0; }
+  [[nodiscard]] std::string name() const override { return "null"; }
+};
+
+}  // namespace edc::circuit

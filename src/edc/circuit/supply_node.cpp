@@ -1,0 +1,51 @@
+#include "edc/circuit/supply_node.h"
+
+#include <algorithm>
+
+#include "edc/common/check.h"
+
+namespace edc::circuit {
+
+SupplyNode::SupplyNode(Farads capacitance, Volts v_initial)
+    : capacitance_(capacitance), voltage_(v_initial) {
+  EDC_CHECK(capacitance > 0.0, "capacitance must be positive");
+  EDC_CHECK(v_initial >= 0.0, "initial voltage must be non-negative");
+}
+
+SupplyNode::StepEnergy SupplyNode::step(Seconds t, Seconds dt,
+                                        const SupplyDriver& driver, const Load& load,
+                                        int substeps) {
+  EDC_CHECK(dt > 0.0, "dt must be positive");
+  EDC_CHECK(substeps >= 1, "need at least one substep");
+  StepEnergy energy;
+  const Seconds h = dt / static_cast<double>(substeps);
+  for (int i = 0; i < substeps; ++i) {
+    const Seconds t_sub = t + h * static_cast<double>(i);
+    const Amps i_in = driver.current_into(voltage_, t_sub);
+    const Amps i_out = load.current_draw(voltage_, t_sub);
+    const Amps i_bleed = bleed_ > 0.0 ? voltage_ / bleed_ : 0.0;
+    EDC_ASSERT(i_in >= 0.0 && i_out >= 0.0);
+    Volts v_next = voltage_ + (i_in - i_out - i_bleed) / capacitance_ * h;
+    v_next = std::max(v_next, 0.0);  // node cannot go below ground
+    // Energy delivered/drawn during the substep, evaluated at the mean
+    // voltage so the ledger balances with the 0.5*C*V^2 stored energy.
+    const Volts v_mid = 0.5 * (voltage_ + v_next);
+    energy.harvested += i_in * v_mid * h;
+    energy.consumed += i_out * v_mid * h;
+    energy.dissipated += i_bleed * v_mid * h;
+    voltage_ = v_next;
+  }
+  return energy;
+}
+
+void SupplyNode::set_bleed(Ohms bleed_resistance) {
+  EDC_CHECK(bleed_resistance >= 0.0, "bleed resistance must be non-negative");
+  bleed_ = bleed_resistance;
+}
+
+void SupplyNode::set_voltage(Volts v) {
+  EDC_CHECK(v >= 0.0, "voltage must be non-negative");
+  voltage_ = v;
+}
+
+}  // namespace edc::circuit

@@ -1,0 +1,58 @@
+// The single supply node of an energy-driven system (Fig 4): total node
+// capacitance (decoupling + parasitic + any added storage), driven by a
+// SupplyDriver and discharged by a Load.
+//
+// Integration: semi-implicit Euler with fixed substeps. The node ODE is
+//   C dV/dt = I_in(V, t) - I_load(V, t)
+// which is stiff only through the source series resistance; the default
+// substep keeps R_s*C >> dt_sub for every modelled source.
+#pragma once
+
+#include "edc/circuit/supply_driver.h"
+#include "edc/common/units.h"
+
+namespace edc::circuit {
+
+class SupplyNode {
+ public:
+  /// `capacitance` is the *total* node capacitance. `v_initial` is the node
+  /// voltage at t = 0 (usually 0: system starts discharged).
+  SupplyNode(Farads capacitance, Volts v_initial = 0.0);
+
+  [[nodiscard]] Volts voltage() const noexcept { return voltage_; }
+  [[nodiscard]] Farads capacitance() const noexcept { return capacitance_; }
+
+  /// Stored energy 0.5*C*V^2.
+  [[nodiscard]] Joules stored_energy() const noexcept {
+    return 0.5 * capacitance_ * voltage_ * voltage_;
+  }
+
+  /// Energy accounting accumulated by one step() call.
+  struct StepEnergy {
+    Joules harvested = 0.0;   ///< delivered into the node by the driver
+    Joules consumed = 0.0;    ///< drawn from the node by the load
+    Joules dissipated = 0.0;  ///< lost in the bleed/board-leakage resistance
+  };
+
+  /// Board leakage: a resistor in parallel with the node (regulator
+  /// quiescents, pull-ups, measurement dividers). 0 disables it. Real
+  /// transient platforms rely on this bleed to fully discharge between
+  /// supply bursts (cf. the decay-to-zero intervals in Fig 7).
+  void set_bleed(Ohms bleed_resistance);
+  [[nodiscard]] Ohms bleed() const noexcept { return bleed_; }
+
+  /// Advances the node from `t` by `dt` using `substeps` semi-implicit Euler
+  /// substeps. The load current is sampled at the start-of-substep voltage.
+  StepEnergy step(Seconds t, Seconds dt, const SupplyDriver& driver,
+                  const Load& load, int substeps = 4);
+
+  /// Forces the node voltage (tests; initial conditions).
+  void set_voltage(Volts v);
+
+ private:
+  Farads capacitance_;
+  Volts voltage_;
+  Ohms bleed_ = 0.0;  // 0 = no bleed
+};
+
+}  // namespace edc::circuit

@@ -1,0 +1,28 @@
+// Precondition checking helpers.
+//
+// EDC_CHECK(cond, msg)  -- throws std::invalid_argument on failure; used to
+//                          validate constructor arguments and public API
+//                          preconditions.
+// EDC_ASSERT(cond)      -- internal invariant; aborts via assert() in debug
+//                          builds and is compiled out in release builds.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace edc::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const std::string& msg) {
+  throw std::invalid_argument(std::string("edc check failed: ") + expr +
+                              (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace edc::detail
+
+#define EDC_CHECK(cond, msg)                                \
+  do {                                                      \
+    if (!(cond)) ::edc::detail::throw_check_failure(#cond, (msg)); \
+  } while (false)
+
+#define EDC_ASSERT(cond) assert(cond)

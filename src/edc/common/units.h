@@ -1,0 +1,35 @@
+// Units and physical constants used throughout edc.
+//
+// All physical quantities are SI doubles. The aliases below document intent
+// at API boundaries; they are plain typedefs (not strong types) so that
+// numeric code stays readable, per the project convention documented in
+// DESIGN.md §4.
+#pragma once
+
+namespace edc {
+
+using Seconds = double;
+using Hertz = double;
+using Volts = double;
+using Amps = double;
+using Ohms = double;
+using Farads = double;
+using Joules = double;
+using Watts = double;
+using Celsius = double;
+
+/// Cycle counts for the MCU model. 64 bits: a 16 MHz core running for a
+/// simulated week executes ~1e13 cycles.
+using Cycles = unsigned long long;
+
+namespace unit {
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+inline constexpr double milli = 1e-3;
+inline constexpr double micro = 1e-6;
+inline constexpr double nano = 1e-9;
+inline constexpr double pico = 1e-12;
+}  // namespace unit
+
+}  // namespace edc

@@ -1,0 +1,257 @@
+#include "edc/core/system.h"
+
+#include "edc/common/check.h"
+
+namespace edc::core {
+
+sim::SimResult EnergyDrivenSystem::run() { return run(sim_config_.t_end); }
+
+sim::SimResult EnergyDrivenSystem::run(Seconds t_end) {
+  sim::SimConfig config = sim_config_;
+  config.t_end = t_end;
+  sim::Simulator simulator(config, *node_, *driver_, *mcu_);
+  if (governor_) simulator.set_governor(governor_.get());
+  return simulator.run();
+}
+
+SystemBuilder::SystemBuilder() {
+  policy_factory_ = [](const std::function<Farads()>&, Farads node_c) {
+    checkpoint::InterruptPolicy::Config config;
+    config.capacitance = node_c;
+    return std::make_unique<checkpoint::HibernusPolicy>(config);
+  };
+}
+
+SystemBuilder& SystemBuilder::sine_source(Volts amplitude, Hertz frequency,
+                                          Ohms series_resistance) {
+  voltage_source_ = std::make_unique<trace::SineVoltageSource>(amplitude, frequency,
+                                                               0.0, series_resistance);
+  power_source_.reset();
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::dc_source(Volts voltage, Ohms series_resistance) {
+  voltage_source_ = std::make_unique<trace::SineVoltageSource>(0.0, 0.0, voltage,
+                                                               series_resistance);
+  power_source_.reset();
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::wind_source(std::uint64_t seed, Seconds horizon) {
+  return wind_source(trace::WindTurbineSource::Params{}, seed, horizon);
+}
+
+SystemBuilder& SystemBuilder::wind_source(const trace::WindTurbineSource::Params& params,
+                                          std::uint64_t seed, Seconds horizon) {
+  voltage_source_ = std::make_unique<trace::WindTurbineSource>(params, seed, horizon);
+  power_source_.reset();
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::voltage_source(
+    std::unique_ptr<trace::VoltageSource> source, circuit::RectifierParams rectifier) {
+  EDC_CHECK(source != nullptr, "source must not be null");
+  voltage_source_ = std::move(source);
+  rectifier_params_ = rectifier;
+  power_source_.reset();
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::power_source(std::unique_ptr<trace::PowerSource> source) {
+  return power_source(std::move(source), circuit::HarvesterPowerDriver::Params{});
+}
+
+SystemBuilder& SystemBuilder::power_source(
+    std::unique_ptr<trace::PowerSource> source,
+    circuit::HarvesterPowerDriver::Params params) {
+  EDC_CHECK(source != nullptr, "source must not be null");
+  power_source_ = std::move(source);
+  harvester_params_ = params;
+  voltage_source_.reset();
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::capacitance(Farads c) {
+  EDC_CHECK(c > 0.0, "capacitance must be positive");
+  capacitance_ = c;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::initial_voltage(Volts v) {
+  EDC_CHECK(v >= 0.0, "initial voltage must be non-negative");
+  initial_voltage_ = v;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::bleed(Ohms resistance) {
+  EDC_CHECK(resistance >= 0.0, "bleed resistance must be non-negative");
+  bleed_ = resistance;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::workload(const std::string& kind, std::uint64_t seed) {
+  program_ = workloads::make_program(kind, seed);
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::program(std::unique_ptr<workloads::Program> program) {
+  EDC_CHECK(program != nullptr, "program must not be null");
+  program_ = std::move(program);
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::policy_none() {
+  policy_factory_ = [](const std::function<Farads()>&, Farads) {
+    return std::make_unique<checkpoint::NullPolicy>();
+  };
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::policy_hibernus(checkpoint::InterruptPolicy::Config config) {
+  policy_factory_ = [config](const std::function<Farads()>&, Farads node_c) mutable {
+    if (config.capacitance <= 0.0) config.capacitance = node_c;
+    return std::make_unique<checkpoint::HibernusPolicy>(config);
+  };
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::policy_hibernus_pp(
+    std::optional<checkpoint::HibernusPlusPlusPolicy::PlusConfig> config) {
+  policy_factory_ = [config](const std::function<Farads()>& probe, Farads) {
+    auto cfg = config.value_or(checkpoint::HibernusPlusPlusPolicy::PlusConfig{});
+    if (!cfg.capacitance_probe) cfg.capacitance_probe = probe;
+    return std::make_unique<checkpoint::HibernusPlusPlusPolicy>(cfg);
+  };
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::policy_quickrecall(
+    checkpoint::InterruptPolicy::Config config) {
+  policy_factory_ = [config](const std::function<Farads()>&, Farads node_c) mutable {
+    if (config.capacitance <= 0.0) config.capacitance = node_c;
+    return std::make_unique<checkpoint::QuickRecallPolicy>(config);
+  };
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::policy_nvp(checkpoint::InterruptPolicy::Config config) {
+  policy_factory_ = [config](const std::function<Farads()>&, Farads node_c) mutable {
+    if (config.capacitance <= 0.0) config.capacitance = node_c;
+    return std::make_unique<checkpoint::NvpPolicy>(config);
+  };
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::policy_mementos(checkpoint::MementosPolicy::Config config) {
+  policy_factory_ = [config](const std::function<Farads()>&, Farads) {
+    return std::make_unique<checkpoint::MementosPolicy>(config);
+  };
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::policy_burst(taskmodel::BurstTaskPolicy::Config config) {
+  policy_factory_ = [config](const std::function<Farads()>&, Farads node_c) mutable {
+    if (config.capacitance <= 0.0) config.capacitance = node_c;
+    return std::make_unique<taskmodel::BurstTaskPolicy>(config);
+  };
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::policy(std::unique_ptr<checkpoint::PolicyBase> policy) {
+  EDC_CHECK(policy != nullptr, "policy must not be null");
+  auto shared = std::shared_ptr<checkpoint::PolicyBase>(std::move(policy));
+  policy_factory_ = [shared](const std::function<Farads()>&,
+                             Farads) mutable -> std::unique_ptr<checkpoint::PolicyBase> {
+    EDC_CHECK(shared != nullptr, "custom policy already consumed by build()");
+    struct Shim final : checkpoint::PolicyBase {
+      std::shared_ptr<checkpoint::PolicyBase> inner;
+      void attach(mcu::Mcu& m) override { inner->attach(m); }
+      void on_boot(mcu::Mcu& m, Seconds t) override { inner->on_boot(m, t); }
+      void on_comparator(mcu::Mcu& m, const circuit::ComparatorEvent& e) override {
+        inner->on_comparator(m, e);
+      }
+      void on_boundary(mcu::Mcu& m, workloads::Boundary b, Seconds t) override {
+        inner->on_boundary(m, b, t);
+      }
+      void on_save_complete(mcu::Mcu& m, Seconds t) override {
+        inner->on_save_complete(m, t);
+      }
+      void on_restore_complete(mcu::Mcu& m, Seconds t) override {
+        inner->on_restore_complete(m, t);
+      }
+      void on_power_loss(mcu::Mcu& m, Seconds t) override { inner->on_power_loss(m, t); }
+      void on_workload_complete(mcu::Mcu& m, Seconds t) override {
+        inner->on_workload_complete(m, t);
+      }
+      [[nodiscard]] std::string name() const override { return inner->name(); }
+    };
+    auto shim = std::make_unique<Shim>();
+    shim->inner = shared;
+    return shim;
+  };
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::governor_power_neutral(
+    neutral::McuDfsGovernor::Config config) {
+  governor_config_ = config;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::mcu_params(const mcu::McuParams& params) {
+  mcu_params_ = params;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::snapshot_peripherals(bool include) {
+  snapshot_peripherals_ = include;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::sim_config(const sim::SimConfig& config) {
+  sim_config_ = config;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::probe(Seconds interval) {
+  EDC_CHECK(interval > 0.0, "probe interval must be positive");
+  sim_config_.probe_interval = interval;
+  return *this;
+}
+
+EnergyDrivenSystem SystemBuilder::build() {
+  EDC_CHECK(voltage_source_ != nullptr || power_source_ != nullptr,
+            "a source is required (sine_source / wind_source / ...)");
+  EDC_CHECK(program_ != nullptr, "a workload is required (workload / program)");
+
+  EnergyDrivenSystem system;
+  system.voltage_source_ = std::move(voltage_source_);
+  system.power_source_ = std::move(power_source_);
+  if (system.voltage_source_) {
+    system.driver_ = std::make_unique<circuit::RectifiedSourceDriver>(
+        *system.voltage_source_, rectifier_params_);
+  } else {
+    system.driver_ = std::make_unique<circuit::HarvesterPowerDriver>(
+        *system.power_source_, harvester_params_);
+  }
+  system.node_ = std::make_unique<circuit::SupplyNode>(capacitance_, initial_voltage_);
+  if (bleed_ > 0.0) system.node_->set_bleed(bleed_);
+  system.program_ = std::move(program_);
+
+  circuit::SupplyNode* node_ptr = system.node_.get();
+  const std::function<Farads()> probe = [node_ptr] { return node_ptr->capacitance(); };
+  system.policy_ = policy_factory_(probe, capacitance_);
+
+  system.mcu_ =
+      std::make_unique<mcu::Mcu>(mcu_params_, *system.program_, *system.policy_);
+  system.mcu_->set_peripheral_snapshotting(snapshot_peripherals_);
+  system.policy_->attach(*system.mcu_);
+
+  if (governor_config_.has_value()) {
+    system.governor_ = std::make_unique<neutral::McuDfsGovernor>(*governor_config_);
+  }
+  system.sim_config_ = sim_config_;
+  return system;
+}
+
+}  // namespace edc::core

@@ -1,0 +1,82 @@
+#include "edc/core/taxonomy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edc/common/check.h"
+
+namespace edc::core {
+
+const char* to_string(AdaptationKind kind) noexcept {
+  switch (kind) {
+    case AdaptationKind::none: return "none";
+    case AdaptationKind::task_based: return "task-based";
+    case AdaptationKind::continuous: return "continuous";
+  }
+  return "?";
+}
+
+Classification classify(const SystemDescriptor& d) {
+  EDC_CHECK(d.storage >= 0.0, "storage must be non-negative");
+  Classification c;
+  c.energy_neutral = d.relies_on_eq1;
+  c.transient = d.survives_outage;
+  // Power-neutrality needs run-time modulation *and* (near) zero buffering:
+  // with large storage, T in Eq 1 need not shrink toward zero and the system
+  // is merely energy-neutral.
+  c.power_neutral = d.modulates_power && d.storage <= kPowerNeutralStorageLimit &&
+                    d.adaptation == AdaptationKind::continuous;
+  // The shaded Fig 2 region: the energy environment shaped the design, and
+  // the system gives up the "look like a battery" abstraction in at least
+  // one of the three ways.
+  c.energy_driven =
+      d.harvesting_in_design &&
+      (c.transient || c.power_neutral || !d.added_storage);
+  c.storage_log10_j = std::log10(std::max(d.storage, 1e-9));
+  c.at_practical_minimum = d.storage <= kPracticalMinimumStorage;
+  return c;
+}
+
+std::vector<SystemDescriptor> canonical_catalogue() {
+  std::vector<SystemDescriptor> systems;
+
+  // --- Traditional / energy-neutral side (§II.A) -----------------------
+  systems.push_back({"desktop-pc", 0.32, false, true, false, false,
+                     AdaptationKind::none, false});
+  systems.push_back({"smartphone", 40e3, true, true, false, false,
+                     AdaptationKind::none, false});
+  systems.push_back({"laptop-hibernate", 180e3, true, true, true, false,
+                     AdaptationKind::continuous, false});
+  systems.push_back({"wsn-kansal[3]", 1.0e3, true, true, false, true,
+                     AdaptationKind::continuous, true});
+
+  // --- Task-based transient systems (§II.B right of the arc) ------------
+  systems.push_back({"wispcam[4]", 27e-3, true, false, true, false,
+                     AdaptationKind::task_based, true});
+  systems.push_back({"debs-burst[5]", 0.36e-3, true, false, true, false,
+                     AdaptationKind::task_based, true});
+  systems.push_back({"monjolo[6]", 2.0e-3, true, false, true, false,
+                     AdaptationKind::task_based, true});
+
+  // --- Continuous-adaptation transient systems (left of the arc) --------
+  systems.push_back({"mementos[7]", 55e-6, false, false, true, false,
+                     AdaptationKind::continuous, true});
+  systems.push_back({"quickrecall[8]", 50e-6, false, false, true, false,
+                     AdaptationKind::continuous, true});
+  systems.push_back({"hibernus[9]", 50e-6, false, false, true, false,
+                     AdaptationKind::continuous, true});
+  systems.push_back({"hibernus++[2]", 50e-6, false, false, true, false,
+                     AdaptationKind::continuous, true});
+  systems.push_back({"nvp[10]", 5e-6, false, false, true, false,
+                     AdaptationKind::continuous, true});
+
+  // --- Power-neutral systems (§II.C) -------------------------------------
+  systems.push_back({"pn-mpsoc[11]", 12.5e-3, false, true, false, true,
+                     AdaptationKind::continuous, true});
+  systems.push_back({"hibernus-pn[14]", 50e-6, false, false, true, true,
+                     AdaptationKind::continuous, true});
+
+  return systems;
+}
+
+}  // namespace edc::core

@@ -1,0 +1,79 @@
+// The paper's taxonomy of computing systems (Fig 2).
+//
+// Two aspects classify a system (§II): how much energy storage it contains,
+// and whether operation can be sustained despite an intermittent supply.
+// Four overlapping classes result:
+//
+//  * energy-neutral: storage buffers supply/consumption so Eq 1 holds over
+//    a period T and Eq 2 (V_CC >= V_min) is never violated; if Eq 2 is
+//    violated the system fails.
+//  * transient:      correct operation *despite* Eq 2 violations (state
+//    survives outages).
+//  * power-neutral:  consumption is modulated at run time to match the
+//    instantaneous harvested power (Eq 3), feasible only with (near) zero
+//    buffering.
+//  * energy-driven:  the energy environment was a first-class design input
+//    (the shaded region of Fig 2: transient and/or power-neutral systems
+//    and minimal-storage designs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "edc/common/units.h"
+
+namespace edc::core {
+
+enum class AdaptationKind {
+  none,        ///< fixed consumption profile
+  task_based,  ///< buffers enough energy for one atomic task (right of arc)
+  continuous,  ///< adapts within a task / via checkpoints (left of arc)
+};
+
+[[nodiscard]] const char* to_string(AdaptationKind kind) noexcept;
+
+/// Facts about a system, from which its classes follow.
+struct SystemDescriptor {
+  std::string name;
+  /// Total buffered energy the design relies on (storage + decoupling), J.
+  Joules storage = 0.0;
+  /// Deliberately added storage element (battery/supercap), as opposed to
+  /// parasitic/decoupling capacitance only.
+  bool added_storage = false;
+  /// Designed to satisfy Eq 1 over some period T via buffering.
+  bool relies_on_eq1 = false;
+  /// Operates correctly despite V_CC < V_min (Eq 2 violations).
+  bool survives_outage = false;
+  /// Modulates its own power consumption at run time.
+  bool modulates_power = false;
+  AdaptationKind adaptation = AdaptationKind::none;
+  /// The energy environment/subsystem was an input to the system design.
+  bool harvesting_in_design = false;
+};
+
+struct Classification {
+  bool energy_neutral = false;
+  bool transient = false;
+  bool power_neutral = false;
+  bool energy_driven = false;
+  /// Position along the Fig 2 storage axis: log10(storage / 1 J).
+  double storage_log10_j = 0.0;
+  /// Below the practical ("Theoretical") minimum arc — decoupling/parasitic
+  /// energy only.
+  bool at_practical_minimum = false;
+};
+
+/// Storage below which run-time power matching is physically possible
+/// (Eq 3 requires T -> 0, i.e. negligible buffering).
+inline constexpr Joules kPowerNeutralStorageLimit = 0.1;
+
+/// Storage of bare decoupling/parasitic capacitance (the practical floor).
+inline constexpr Joules kPracticalMinimumStorage = 100e-6;
+
+[[nodiscard]] Classification classify(const SystemDescriptor& descriptor);
+
+/// The systems the paper places on Fig 2, with representative storage
+/// magnitudes, in the order discussed in §II.
+[[nodiscard]] std::vector<SystemDescriptor> canonical_catalogue();
+
+}  // namespace edc::core

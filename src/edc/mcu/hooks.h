@@ -1,0 +1,63 @@
+// Policy and governor hook interfaces.
+//
+// A checkpoint policy (edc/checkpoint) steers the MCU through these
+// callbacks; a frequency governor (edc/neutral) adjusts DFS at a fixed
+// control period. Both see the Mcu's command API only — the simulation loop
+// owns timing and the supply node.
+#pragma once
+
+#include <string>
+
+#include "edc/circuit/comparator.h"
+#include "edc/common/units.h"
+#include "edc/workloads/program.h"
+
+namespace edc::mcu {
+
+class Mcu;
+
+class PolicyHooks {
+ public:
+  virtual ~PolicyHooks() = default;
+
+  /// Boot completed (fresh power-up or post-outage reset). The policy must
+  /// decide how execution (re)starts: restore, run from scratch, or wait.
+  virtual void on_boot(Mcu& mcu, Seconds t) = 0;
+
+  /// A supply comparator the policy configured has fired.
+  virtual void on_comparator(Mcu& mcu, const circuit::ComparatorEvent& event) = 0;
+
+  /// The program completed a tick that ended at the given boundary kind
+  /// (loop/function). Mementos-style polling happens here.
+  virtual void on_boundary(Mcu& mcu, workloads::Boundary boundary, Seconds t) = 0;
+
+  /// A snapshot finished committing to NVM.
+  virtual void on_save_complete(Mcu& mcu, Seconds t) = 0;
+
+  /// A snapshot finished restoring; the program is ready to continue.
+  virtual void on_restore_complete(Mcu& mcu, Seconds t) = 0;
+
+  /// Supply fell below v_min while the MCU was on: volatile state lost.
+  virtual void on_power_loss(Mcu& mcu, Seconds t) = 0;
+
+  /// The workload finished (digest available).
+  virtual void on_workload_complete(Mcu& mcu, Seconds t) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class FrequencyGovernor {
+ public:
+  virtual ~FrequencyGovernor() = default;
+
+  /// Invoked every control period while the MCU is powered; may call
+  /// mcu.set_frequency().
+  virtual void control(Mcu& mcu, Volts vcc, Seconds t) = 0;
+
+  /// Control period (s).
+  [[nodiscard]] virtual Seconds period() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace edc::mcu

@@ -1,0 +1,39 @@
+#include "edc/mcu/nvm.h"
+
+#include "edc/common/check.h"
+
+namespace edc::mcu {
+
+void NvmStore::begin_write(Snapshot snapshot) {
+  if (pending_.has_value()) ++torn_;
+  snapshot.sequence = commits_ + 1;
+  pending_ = std::move(snapshot);
+}
+
+void NvmStore::commit() {
+  EDC_CHECK(pending_.has_value(), "no snapshot write in progress");
+  committed_ = std::move(pending_);
+  pending_.reset();
+  ++commits_;
+}
+
+void NvmStore::abandon_write() {
+  if (pending_.has_value()) {
+    pending_.reset();
+    ++torn_;
+  }
+}
+
+const Snapshot& NvmStore::snapshot() const {
+  EDC_CHECK(committed_.has_value(), "no valid snapshot");
+  return *committed_;
+}
+
+void NvmStore::clear() {
+  committed_.reset();
+  pending_.reset();
+  commits_ = 0;
+  torn_ = 0;
+}
+
+}  // namespace edc::mcu

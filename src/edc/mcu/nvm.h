@@ -1,0 +1,56 @@
+// Non-volatile snapshot store with commit semantics.
+//
+// Snapshots are double-buffered (as Mementos' two-bank scheme and hibernus'
+// validity marker both ensure): a write that does not complete before power
+// is lost is discarded and the previously committed snapshot — if any —
+// remains valid. This models the paper's §II.B failure mode "a snapshot
+// might be started but not completed before the supply is interrupted".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "edc/common/units.h"
+
+namespace edc::mcu {
+
+/// One committed system snapshot.
+struct Snapshot {
+  std::vector<std::byte> program_state;  ///< the program's RAM image
+  double carry_cycles = 0.0;             ///< partial progress into the next tick
+  std::uint64_t sequence = 0;            ///< commit counter (debug/tests)
+};
+
+class NvmStore {
+ public:
+  /// Starts writing a snapshot; replaces any write already in progress
+  /// (the abandoned one is counted as torn).
+  void begin_write(Snapshot snapshot);
+
+  /// Commits the in-progress write; it becomes the valid snapshot.
+  void commit();
+
+  /// Power was lost mid-write: the in-progress snapshot is discarded.
+  void abandon_write();
+
+  [[nodiscard]] bool write_in_progress() const noexcept { return pending_.has_value(); }
+  [[nodiscard]] bool has_valid_snapshot() const noexcept { return committed_.has_value(); }
+  [[nodiscard]] const Snapshot& snapshot() const;
+
+  /// Erases everything (fresh device).
+  void clear();
+
+  // Lifetime statistics.
+  [[nodiscard]] std::uint64_t commits() const noexcept { return commits_; }
+  [[nodiscard]] std::uint64_t torn_writes() const noexcept { return torn_; }
+
+ private:
+  std::optional<Snapshot> committed_;
+  std::optional<Snapshot> pending_;
+  std::uint64_t commits_ = 0;
+  std::uint64_t torn_ = 0;
+};
+
+}  // namespace edc::mcu

@@ -1,0 +1,104 @@
+// MCU power/timing model (MSP430FR-class, the platform family of Hibernus,
+// Hibernus++, QuickRecall and Mementos).
+//
+// Constants are calibrated to the magnitudes reported in the papers behind
+// the taxonomy (Balsamo ESL'15 / TCAD'16, Jayakumar JETC'15): ~100 uA/MHz
+// active from FRAM vs ~70 uA/MHz from SRAM, ~1.5 uA LPM3 sleep, multi-KB
+// snapshots writing to FRAM in a few thousand cycles. The model exposes
+// everything the checkpoint policies and Eq 4/Eq 5 need: currents per
+// state, and snapshot/restore cycle counts and energies as functions of the
+// saved image size.
+#pragma once
+
+#include <cstddef>
+
+#include "edc/common/units.h"
+
+namespace edc::mcu {
+
+/// Where code and data live while executing (Eq 5's two regimes, plus the
+/// architectural NVP approach of [10]).
+enum class MemoryMode {
+  sram_execution,  ///< code/data in SRAM; snapshot copies all RAM to NVM
+  unified_fram,    ///< QuickRecall-style: everything in FRAM; only registers volatile
+  nv_processor,    ///< NVP: non-volatile flip-flops shadow the registers
+};
+
+struct McuPowerModel {
+  // Supply thresholds.
+  Volts v_min = 1.8;  ///< brown-out: below this the core loses state
+  Volts v_on = 2.0;   ///< power-on-reset release
+
+  // Active execution currents: I = i_base + slope * f.
+  Amps i_base = 120e-6;
+  Amps i_per_hz_sram = 75e-12;   ///< 75 uA/MHz executing from SRAM
+  Amps i_per_hz_fram = 105e-12;  ///< 105 uA/MHz executing from FRAM
+  Amps i_per_hz_nvp = 86e-12;    ///< NVP: SRAM-like + NV flip-flop overhead
+
+  // FRAM write adds on top of active current while snapshotting/restoring.
+  Amps i_per_hz_nvm_write = 60e-12;
+
+  // Low-power modes.
+  Amps i_sleep = 1.5e-6;     ///< LPM3: RAM retained, comparator alive
+  Amps i_deep_wait = 0.8e-6; ///< waiting for the restore threshold after boot
+
+  // Reset/boot.
+  Cycles boot_cycles = 2000;
+
+  // Snapshot/restore timing (cycles), linear in the image size.
+  Cycles save_overhead_cycles = 500;
+  double save_cycles_per_byte = 3.0;
+  Cycles restore_overhead_cycles = 300;
+  double restore_cycles_per_byte = 2.0;
+
+  // Volatile register/SFR file (always part of a snapshot).
+  std::size_t register_file_bytes = 96;
+
+  // Vcc sampling cost (Mementos' polling; an ADC conversion).
+  Cycles vcc_poll_cycles = 160;
+
+  // ---- Derived queries -----------------------------------------------
+
+  [[nodiscard]] Amps active_current(Hertz f, MemoryMode mode) const {
+    Amps slope = i_per_hz_sram;
+    if (mode == MemoryMode::unified_fram) slope = i_per_hz_fram;
+    if (mode == MemoryMode::nv_processor) slope = i_per_hz_nvp;
+    return i_base + slope * f;
+  }
+
+  [[nodiscard]] Amps save_current(Hertz f) const {
+    return i_base + (i_per_hz_fram + i_per_hz_nvm_write) * f;
+  }
+
+  [[nodiscard]] Amps restore_current(Hertz f) const {
+    return i_base + i_per_hz_fram * f;
+  }
+
+  [[nodiscard]] Cycles save_cycles(std::size_t image_bytes) const {
+    return save_overhead_cycles +
+           static_cast<Cycles>(save_cycles_per_byte * static_cast<double>(image_bytes));
+  }
+
+  [[nodiscard]] Cycles restore_cycles(std::size_t image_bytes) const {
+    return restore_overhead_cycles +
+           static_cast<Cycles>(restore_cycles_per_byte * static_cast<double>(image_bytes));
+  }
+
+  /// Energy to save an image at frequency f and supply v (Eq 4's E_S).
+  [[nodiscard]] Joules save_energy(std::size_t image_bytes, Hertz f, Volts v) const {
+    const Seconds t = static_cast<double>(save_cycles(image_bytes)) / f;
+    return t * save_current(f) * v;
+  }
+
+  /// Energy to restore an image at frequency f and supply v.
+  [[nodiscard]] Joules restore_energy(std::size_t image_bytes, Hertz f, Volts v) const {
+    const Seconds t = static_cast<double>(restore_cycles(image_bytes)) / f;
+    return t * restore_current(f) * v;
+  }
+};
+
+/// The DFS table of the modelled MCU (hibernus-PN modulates across these).
+inline constexpr Hertz kFrequencyTable[] = {1e6, 2e6, 4e6, 8e6, 16e6, 24e6};
+inline constexpr int kFrequencyCount = 6;
+
+}  // namespace edc::mcu

@@ -1,0 +1,44 @@
+#include "edc/neutral/dfs_governor.h"
+
+#include <algorithm>
+
+#include "edc/common/check.h"
+#include "edc/mcu/power_model.h"
+
+namespace edc::neutral {
+
+McuDfsGovernor::McuDfsGovernor(const Config& config) : config_(config) {
+  if (config_.frequencies.empty()) {
+    config_.frequencies.assign(mcu::kFrequencyTable,
+                               mcu::kFrequencyTable + mcu::kFrequencyCount);
+  }
+  EDC_CHECK(std::is_sorted(config_.frequencies.begin(), config_.frequencies.end()),
+            "DFS table must be ascending");
+  EDC_CHECK(config_.band > 0.0, "band must be positive");
+  EDC_CHECK(config_.period > 0.0, "period must be positive");
+}
+
+std::size_t McuDfsGovernor::index_of(Hertz f) const {
+  const auto it =
+      std::min_element(config_.frequencies.begin(), config_.frequencies.end(),
+                       [f](Hertz a, Hertz b) { return std::abs(a - f) < std::abs(b - f); });
+  return static_cast<std::size_t>(std::distance(config_.frequencies.begin(), it));
+}
+
+void McuDfsGovernor::control(mcu::Mcu& mcu, Volts vcc, Seconds) {
+  if (mcu.state() != mcu::McuState::active) return;
+  const std::size_t index = index_of(mcu.frequency());
+  if (vcc > config_.v_ref + config_.band / 2) {
+    if (index + 1 < config_.frequencies.size()) {
+      mcu.set_frequency(config_.frequencies[index + 1]);
+      ++upshifts_;
+    }
+  } else if (vcc < config_.v_ref - config_.band / 2) {
+    if (index > 0) {
+      mcu.set_frequency(config_.frequencies[index - 1]);
+      ++downshifts_;
+    }
+  }
+}
+
+}  // namespace edc::neutral

@@ -1,0 +1,49 @@
+// hibernus-PN [14]: power-neutral DFS for a transiently-powered MCU.
+//
+// While the MCU runs, the governor regulates V_CC toward a reference band
+// by stepping the clock frequency through the DFS table: supply rising
+// above the band -> more performance (higher f, more draw); supply sagging
+// below -> less. Holding V_CC steady means P_consumed tracks P_harvested
+// (Eq 3) using only the decoupling capacitance, and — as in Fig 8 — the
+// system rides through troughs that a fixed-frequency configuration would
+// turn into hibernate/restore cycles.
+#pragma once
+
+#include <vector>
+
+#include "edc/mcu/hooks.h"
+#include "edc/mcu/mcu.h"
+
+namespace edc::neutral {
+
+class McuDfsGovernor final : public mcu::FrequencyGovernor {
+ public:
+  struct Config {
+    /// Regulation target for V_CC.
+    Volts v_ref = 2.9;
+    /// Dead band around v_ref (no frequency change inside it).
+    Volts band = 0.15;
+    /// Control period.
+    Seconds period = 1e-3;
+    /// DFS table (ascending); defaults to the MCU's standard table.
+    std::vector<Hertz> frequencies;
+  };
+
+  explicit McuDfsGovernor(const Config& config);
+
+  void control(mcu::Mcu& mcu, Volts vcc, Seconds t) override;
+  [[nodiscard]] Seconds period() const override { return config_.period; }
+  [[nodiscard]] std::string name() const override { return "hibernus-pn-dfs"; }
+
+  [[nodiscard]] int upshifts() const noexcept { return upshifts_; }
+  [[nodiscard]] int downshifts() const noexcept { return downshifts_; }
+
+ private:
+  [[nodiscard]] std::size_t index_of(Hertz f) const;
+
+  Config config_;
+  int upshifts_ = 0;
+  int downshifts_ = 0;
+};
+
+}  // namespace edc::neutral

@@ -1,0 +1,100 @@
+#include "edc/neutral/energy_neutral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edc/common/check.h"
+
+namespace edc::neutral {
+
+EnergyNeutralController::EnergyNeutralController(const Config& config)
+    : config_(config) {
+  EDC_CHECK(config.slot > 0.0, "slot must be positive");
+  EDC_CHECK(config.period >= config.slot, "period must cover at least one slot");
+  EDC_CHECK(config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0,
+            "alpha must be in (0,1]");
+  EDC_CHECK(config.p_active > config.p_sleep, "active power must exceed sleep");
+  EDC_CHECK(config.duty_min >= 0.0 && config.duty_max <= 1.0 &&
+                config.duty_min < config.duty_max,
+            "bad duty bounds");
+  EDC_CHECK(config.battery_capacity > 0.0, "battery capacity must be positive");
+}
+
+double EnergyNeutralController::Result::eq1_relative_residual() const {
+  if (harvested_total <= 0.0) return 0.0;
+  const Joules delta_battery = battery_final - battery_initial;
+  return std::abs(harvested_total - consumed_total - delta_battery) / harvested_total;
+}
+
+EnergyNeutralController::Result EnergyNeutralController::run(
+    const trace::PowerSource& source, Seconds horizon) const {
+  EDC_CHECK(horizon >= config_.period, "horizon must cover at least one period");
+  Result result;
+
+  const auto slots_per_period =
+      static_cast<std::size_t>(std::llround(config_.period / config_.slot));
+  const auto total_slots = static_cast<std::size_t>(horizon / config_.slot);
+
+  // Per-slot-of-day EWMA predictions, initialised optimistically from the
+  // first slot observation as Kansal does on deployment.
+  std::vector<Watts> prediction(slots_per_period, -1.0);
+
+  circuit::EnergyBuffer battery(config_.battery_capacity,
+                                config_.battery_initial_soc * config_.battery_capacity,
+                                /*charge_efficiency=*/0.95);
+  result.battery_initial = battery.level();
+
+  for (std::size_t slot = 0; slot < total_slots; ++slot) {
+    const Seconds t0 = static_cast<double>(slot) * config_.slot;
+    const std::size_t slot_of_day = slot % slots_per_period;
+
+    // Mean harvest over the slot (16-point quadrature is plenty for the
+    // slow diurnal envelope).
+    Watts harvested = 0.0;
+    for (int q = 0; q < 16; ++q) {
+      harvested += source.available_power(t0 + config_.slot * (q + 0.5) / 16.0);
+    }
+    harvested = harvested / 16.0 * config_.harvest_efficiency;
+
+    Watts predicted = prediction[slot_of_day];
+    if (predicted < 0.0) predicted = harvested;  // first day: observe
+
+    // Duty so that expected consumption matches prediction, with a battery
+    // correction toward the SoC target.
+    const double soc_error = battery.state_of_charge() - config_.soc_target;
+    const Watts correction =
+        config_.soc_gain * soc_error * config_.battery_capacity / config_.period;
+    const Watts power_budget = std::max(predicted + correction, 0.0);
+    double duty = (power_budget - config_.p_sleep) /
+                  (config_.p_active - config_.p_sleep);
+    duty = std::clamp(duty, config_.duty_min, config_.duty_max);
+
+    const Watts consumed = config_.p_sleep + duty * (config_.p_active - config_.p_sleep);
+
+    // Settle the slot's energy through the battery.
+    const Joules e_in = harvested * config_.slot;
+    const Joules e_out = consumed * config_.slot;
+    Joules net = e_in - e_out;
+    bool depleted = false;
+    if (net >= 0.0) {
+      battery.charge(net);
+    } else {
+      const Joules got = battery.discharge(-net);
+      if (got + 1e-12 < -net) depleted = true;  // Eq 2 violated this slot
+    }
+    if (depleted) ++result.depletion_events;
+
+    // Update the predictor with the observation.
+    prediction[slot_of_day] = config_.ewma_alpha * harvested +
+                              (1.0 - config_.ewma_alpha) * predicted;
+
+    result.harvested_total += e_in;
+    result.consumed_total += e_out;
+    result.slots.push_back(SlotRecord{t0, harvested, predicted, duty, consumed,
+                                      battery.state_of_charge()});
+  }
+  result.battery_final = battery.level();
+  return result;
+}
+
+}  // namespace edc::neutral

@@ -1,0 +1,67 @@
+// Energy-neutral operation (Kansal et al. [3], §II.A).
+//
+// A WSN node with a battery buffer adapts its duty cycle so that, over the
+// environment's period T (a day for solar), consumed energy equals
+// harvested energy (Eq 1) while the battery never empties (Eq 2). Harvest
+// is predicted per slot with Kansal's EWMA over the same slot on previous
+// days; the duty cycle is set so planned consumption tracks the prediction,
+// with a proportional battery-level correction toward a target state of
+// charge.
+#pragma once
+
+#include <vector>
+
+#include "edc/circuit/converter.h"
+#include "edc/common/units.h"
+#include "edc/trace/source.h"
+
+namespace edc::neutral {
+
+class EnergyNeutralController {
+ public:
+  struct Config {
+    Seconds slot = 300.0;            ///< control slot (5 min)
+    Seconds period = 86400.0;        ///< energy-neutrality horizon T (1 day)
+    double ewma_alpha = 0.5;         ///< Kansal's EWMA weight
+    Watts p_active = 60e-3;          ///< node power while on (sense+radio)
+    Watts p_sleep = 30e-6;           ///< node power while sleeping
+    double duty_min = 0.005;
+    double duty_max = 0.95;
+    Joules battery_capacity = 50.0;  ///< buffer size (J)
+    double battery_initial_soc = 0.5;
+    double soc_target = 0.5;         ///< battery correction setpoint
+    double soc_gain = 0.5;           ///< proportional correction gain
+    double harvest_efficiency = 0.80;
+  };
+
+  explicit EnergyNeutralController(const Config& config);
+
+  struct SlotRecord {
+    Seconds t = 0.0;
+    Watts harvested = 0.0;   ///< mean harvested power this slot
+    Watts predicted = 0.0;   ///< EWMA prediction used for the decision
+    double duty = 0.0;       ///< duty cycle chosen
+    Watts consumed = 0.0;    ///< mean consumption this slot
+    double soc = 0.0;        ///< battery state of charge at slot end
+  };
+
+  struct Result {
+    std::vector<SlotRecord> slots;
+    Joules harvested_total = 0.0;
+    Joules consumed_total = 0.0;
+    Joules battery_initial = 0.0;
+    Joules battery_final = 0.0;
+    int depletion_events = 0;  ///< slots where the battery hit empty (Eq 2 fail)
+
+    /// |Eq 1 residual| relative to harvested energy, over whole periods.
+    [[nodiscard]] double eq1_relative_residual() const;
+  };
+
+  /// Runs the controller against a harvest source for `horizon` seconds.
+  [[nodiscard]] Result run(const trace::PowerSource& source, Seconds horizon) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace edc::neutral

@@ -1,0 +1,149 @@
+#include "edc/neutral/mpsoc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edc/common/check.h"
+
+namespace edc::neutral {
+
+std::string OperatingPoint::label() const {
+  return std::to_string(little_cores) + "L@" +
+         std::to_string(static_cast<int>(little_freq / 1e6)) + "+" +
+         std::to_string(big_cores) + "B@" +
+         std::to_string(static_cast<int>(big_freq / 1e6));
+}
+
+BigLittleMpsoc::BigLittleMpsoc(const Params& params) : params_(params) {
+  EDC_CHECK(params.little_freq_min <= params.little_freq_max, "bad LITTLE range");
+  EDC_CHECK(params.big_freq_min <= params.big_freq_max, "bad big range");
+  EDC_CHECK(params.serial_fraction >= 0.0 && params.serial_fraction < 1.0,
+            "serial fraction must be in [0,1)");
+}
+
+Watts BigLittleMpsoc::power(const OperatingPoint& op) const {
+  EDC_CHECK(op.little_cores >= 0 && op.little_cores <= 4, "0..4 LITTLE cores");
+  EDC_CHECK(op.big_cores >= 0 && op.big_cores <= 4, "0..4 big cores");
+  Watts total = params_.board_base;
+  if (op.little_cores > 0) {
+    const Volts v = params_.little_v0 + params_.little_v_slope * op.little_freq;
+    total += params_.little_static +
+             op.little_cores * params_.little_ceff * op.little_freq * v * v;
+  }
+  if (op.big_cores > 0) {
+    const Volts v = params_.big_v0 + params_.big_v_slope * op.big_freq;
+    total += params_.big_static + op.big_cores * params_.big_ceff * op.big_freq * v * v;
+  }
+  return total;
+}
+
+double BigLittleMpsoc::fps(const OperatingPoint& op) const {
+  // Aggregate throughput in LITTLE-equivalent cycles/s, Amdahl-limited by
+  // the fastest single core for the serial fraction.
+  const double little_rate = op.little_cores * op.little_freq;
+  const double big_rate = op.big_cores * op.big_freq * params_.big_ipc_ratio;
+  const double parallel_rate = little_rate + big_rate;
+  if (parallel_rate <= 0.0) return 0.0;
+  double serial_core = 0.0;
+  if (op.little_cores > 0) serial_core = op.little_freq;
+  if (op.big_cores > 0) {
+    serial_core = std::max(serial_core, op.big_freq * params_.big_ipc_ratio);
+  }
+  const double s = params_.serial_fraction;
+  const double time_per_frame =
+      params_.frame_cycles * (s / serial_core + (1.0 - s) / parallel_rate);
+  return 1.0 / time_per_frame;
+}
+
+EvaluatedPoint BigLittleMpsoc::evaluate(const OperatingPoint& op) const {
+  return EvaluatedPoint{op, power(op), fps(op)};
+}
+
+std::vector<EvaluatedPoint> BigLittleMpsoc::enumerate_points() const {
+  std::vector<EvaluatedPoint> points;
+  std::vector<Hertz> little_freqs{0.0};
+  for (Hertz f = params_.little_freq_min; f <= params_.little_freq_max + 1.0;
+       f += params_.little_freq_step) {
+    little_freqs.push_back(f);
+  }
+  std::vector<Hertz> big_freqs{0.0};
+  for (Hertz f = params_.big_freq_min; f <= params_.big_freq_max + 1.0;
+       f += params_.big_freq_step) {
+    big_freqs.push_back(f);
+  }
+  for (int nl = 0; nl <= 4; ++nl) {
+    for (Hertz fl : little_freqs) {
+      const bool little_off = (nl == 0 || fl == 0.0);
+      if ((nl == 0) != (fl == 0.0)) continue;  // cores and freq go together
+      for (int nb = 0; nb <= 4; ++nb) {
+        for (Hertz fb : big_freqs) {
+          if ((nb == 0) != (fb == 0.0)) continue;
+          if (little_off && nb == 0) continue;  // at least one core
+          points.push_back(evaluate(OperatingPoint{nl, fl, nb, fb}));
+        }
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<EvaluatedPoint> BigLittleMpsoc::pareto_frontier() const {
+  auto points = enumerate_points();
+  std::sort(points.begin(), points.end(), [](const auto& a, const auto& b) {
+    return a.power < b.power || (a.power == b.power && a.fps > b.fps);
+  });
+  std::vector<EvaluatedPoint> frontier;
+  double best_fps = -1.0;
+  for (const auto& point : points) {
+    if (point.fps > best_fps) {
+      frontier.push_back(point);
+      best_fps = point.fps;
+    }
+  }
+  return frontier;
+}
+
+MpsocPowerNeutralGovernor::MpsocPowerNeutralGovernor(const BigLittleMpsoc& model)
+    : model_(&model), frontier_(model.pareto_frontier()) {
+  EDC_CHECK(!frontier_.empty(), "empty operating-point frontier");
+}
+
+MpsocPowerNeutralGovernor::Decision MpsocPowerNeutralGovernor::select(
+    Watts power_budget) const {
+  Decision decision;
+  decision.chosen = frontier_.front();
+  decision.feasible = frontier_.front().power <= power_budget;
+  for (const auto& point : frontier_) {
+    if (point.power <= power_budget) {
+      decision.chosen = point;  // frontier is fps-ascending with power
+    } else {
+      break;
+    }
+  }
+  return decision;
+}
+
+MpsocPowerNeutralGovernor::TrackingResult MpsocPowerNeutralGovernor::track(
+    const std::vector<Watts>& budget_series, Seconds control_period) const {
+  EDC_CHECK(control_period > 0.0, "control period must be positive");
+  TrackingResult result;
+  result.times.reserve(budget_series.size());
+  std::size_t infeasible = 0;
+  for (std::size_t i = 0; i < budget_series.size(); ++i) {
+    const auto decision = select(budget_series[i]);
+    result.times.push_back(static_cast<double>(i) * control_period);
+    result.budget.push_back(budget_series[i]);
+    result.power.push_back(decision.chosen.power);
+    result.fps.push_back(decision.feasible ? decision.chosen.fps : 0.0);
+    if (!decision.feasible) ++infeasible;
+    result.frames_rendered += (decision.feasible ? decision.chosen.fps : 0.0) *
+                              control_period;
+  }
+  result.infeasible_fraction =
+      budget_series.empty()
+          ? 0.0
+          : static_cast<double>(infeasible) / static_cast<double>(budget_series.size());
+  return result;
+}
+
+}  // namespace edc::neutral

@@ -1,0 +1,118 @@
+// big.LITTLE MPSoC power/performance model (ODROID XU-4 class) and the
+// power-neutral operating-point governor of Fletcher et al. [11].
+//
+// Fig 5 plots raytrace FPS against board power across operating points
+// formed by (enabled LITTLE cores, LITTLE DVFS, enabled big cores, big
+// DVFS). The analytic model below reproduces that cloud: an order of
+// magnitude of power modulation with monotone-but-saturating performance,
+// calibrated against the RaytraceProgram kernel's per-pixel cycle cost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "edc/common/units.h"
+
+namespace edc::neutral {
+
+struct OperatingPoint {
+  int little_cores = 0;     ///< 0..4 enabled LITTLE (A7-class) cores
+  Hertz little_freq = 0.0;  ///< shared LITTLE cluster frequency
+  int big_cores = 0;        ///< 0..4 enabled big (A15-class) cores
+  Hertz big_freq = 0.0;     ///< shared big cluster frequency
+
+  [[nodiscard]] std::string label() const;
+};
+
+struct EvaluatedPoint {
+  OperatingPoint point;
+  Watts power = 0.0;  ///< board power
+  double fps = 0.0;   ///< raytrace frames per second
+};
+
+class BigLittleMpsoc {
+ public:
+  struct Params {
+    // Cluster DVFS ranges (inclusive, stepped).
+    Hertz little_freq_min = 600e6, little_freq_max = 1400e6, little_freq_step = 200e6;
+    Hertz big_freq_min = 600e6, big_freq_max = 2000e6, big_freq_step = 200e6;
+
+    // Dynamic power: P = c_eff * f * V(f)^2 per active core.
+    double little_ceff = 0.15e-9;  ///< F (effective switched capacitance)
+    double big_ceff = 0.65e-9;
+
+    // Per-cluster voltage/frequency curve: V = v0 + k * f.
+    Volts little_v0 = 0.90;
+    double little_v_slope = 0.25e-9;  ///< V per Hz
+    Volts big_v0 = 0.90;
+    double big_v_slope = 0.30e-9;
+
+    // Static power per powered cluster and board base (fans, DRAM, IO).
+    Watts little_static = 0.15;
+    Watts big_static = 0.45;
+    Watts board_base = 0.35;
+
+    // Performance: relative IPC of a big core vs a LITTLE core on the
+    // raytrace kernel, and the parallel (Amdahl) serial fraction.
+    double big_ipc_ratio = 2.1;
+    double serial_fraction = 0.05;
+
+    // Raytrace frame cost in LITTLE-core cycles; calibrated so the fastest
+    // configuration reaches ~0.22 FPS as in Fig 5 (a full-resolution frame
+    // at RaytraceProgram's per-pixel cost, plus scene complexity).
+    double frame_cycles = 8.4e10;
+  };
+
+  BigLittleMpsoc() : BigLittleMpsoc(Params{}) {}
+  explicit BigLittleMpsoc(const Params& params);
+
+  [[nodiscard]] Watts power(const OperatingPoint& op) const;
+  [[nodiscard]] double fps(const OperatingPoint& op) const;
+  [[nodiscard]] EvaluatedPoint evaluate(const OperatingPoint& op) const;
+
+  /// Enumerates every legal operating point (at least one core enabled).
+  [[nodiscard]] std::vector<EvaluatedPoint> enumerate_points() const;
+
+  /// The Pareto frontier of enumerate_points() (max fps per power).
+  [[nodiscard]] std::vector<EvaluatedPoint> pareto_frontier() const;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// Power-neutral operating-point selection [11]: the highest-FPS point whose
+/// power fits the instantaneous harvested budget; falls back to the lowest
+/// power point when even that does not fit (graceful degradation).
+class MpsocPowerNeutralGovernor {
+ public:
+  explicit MpsocPowerNeutralGovernor(const BigLittleMpsoc& model);
+
+  struct Decision {
+    EvaluatedPoint chosen;
+    bool feasible = true;  ///< false if the budget is below every point
+  };
+
+  [[nodiscard]] Decision select(Watts power_budget) const;
+
+  /// Runs the governor over a harvested-power envelope sampled at
+  /// `control_period`, returning the chosen series and delivered frames.
+  struct TrackingResult {
+    std::vector<Seconds> times;
+    std::vector<Watts> budget;
+    std::vector<Watts> power;
+    std::vector<double> fps;
+    double frames_rendered = 0.0;
+    double infeasible_fraction = 0.0;  ///< time share below the lowest point
+  };
+
+  [[nodiscard]] TrackingResult track(const std::vector<Watts>& budget_series,
+                                     Seconds control_period) const;
+
+ private:
+  const BigLittleMpsoc* model_;            // non-owning
+  std::vector<EvaluatedPoint> frontier_;   // sorted by power ascending
+};
+
+}  // namespace edc::neutral

@@ -1,0 +1,172 @@
+#include "edc/sim/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "edc/common/check.h"
+
+namespace edc::sim {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '%'};
+
+struct Frame {
+  int width;
+  int height;
+  double y_lo;
+  double y_hi;
+  std::vector<std::string> grid;  // height rows of width chars
+
+  Frame(int w, int h, double lo, double hi)
+      : width(w), height(h), y_lo(lo), y_hi(hi),
+        grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' ')) {}
+
+  [[nodiscard]] int row_of(double y) const {
+    const double frac = (y - y_lo) / (y_hi - y_lo);
+    const int row = height - 1 - static_cast<int>(std::lround(frac * (height - 1)));
+    return std::clamp(row, 0, height - 1);
+  }
+
+  void put(int col, double y, char glyph) {
+    if (col < 0 || col >= width) return;
+    grid[static_cast<std::size_t>(row_of(y))][static_cast<std::size_t>(col)] = glyph;
+  }
+};
+
+std::string format_axis(double value) {
+  std::ostringstream os;
+  os << std::setw(10) << std::setprecision(4) << std::defaultfloat << value;
+  return os.str();
+}
+
+void render(std::ostream& out, const Frame& frame, Seconds t0, Seconds t1,
+            const PlotOptions& options, const std::string& legend) {
+  if (!options.title.empty()) out << options.title << '\n';
+  if (!legend.empty()) out << legend << '\n';
+  for (int r = 0; r < frame.height; ++r) {
+    const double y =
+        frame.y_hi - (frame.y_hi - frame.y_lo) * static_cast<double>(r) /
+                         static_cast<double>(frame.height - 1);
+    out << format_axis(y) << " |" << frame.grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(frame.width), '-')
+      << '\n';
+  std::ostringstream footer;
+  footer << std::string(11, ' ') << std::setprecision(4) << std::defaultfloat << t0;
+  const std::string t1_str = [&] {
+    std::ostringstream os;
+    os << std::setprecision(4) << std::defaultfloat << t1 << " " << options.x_label;
+    return os.str();
+  }();
+  std::string line = footer.str();
+  const std::size_t pad =
+      line.size() + t1_str.size() < 12 + static_cast<std::size_t>(frame.width)
+          ? 12 + static_cast<std::size_t>(frame.width) - line.size() - t1_str.size()
+          : 1;
+  out << line << std::string(pad, ' ') << t1_str << '\n';
+  if (!options.y_label.empty()) out << "  y: " << options.y_label << '\n';
+}
+
+}  // namespace
+
+void plot(std::ostream& out, const std::vector<std::string>& names,
+          const std::vector<trace::Waveform>& waves, const PlotOptions& options) {
+  EDC_CHECK(!waves.empty(), "nothing to plot");
+  EDC_CHECK(names.size() == waves.size(), "names/waves mismatch");
+
+  double lo = options.y_min, hi = options.y_max;
+  if (lo == hi) {
+    lo = waves.front().min();
+    hi = waves.front().max();
+    for (const auto& wave : waves) {
+      lo = std::min(lo, wave.min());
+      hi = std::max(hi, wave.max());
+    }
+    if (lo == hi) {
+      lo -= 1.0;
+      hi += 1.0;
+    }
+    const double pad = 0.05 * (hi - lo);
+    lo -= pad;
+    hi += pad;
+  }
+
+  Seconds t0 = waves.front().t0();
+  Seconds t1 = waves.front().t_end();
+  for (const auto& wave : waves) {
+    t0 = std::min(t0, wave.t0());
+    t1 = std::max(t1, wave.t_end());
+  }
+
+  Frame frame(options.width, options.height, lo, hi);
+  for (std::size_t s = 0; s < waves.size(); ++s) {
+    const char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    for (int col = 0; col < options.width; ++col) {
+      const Seconds t =
+          t0 + (t1 - t0) * static_cast<double>(col) / static_cast<double>(options.width - 1);
+      frame.put(col, waves[s].at(t), glyph);
+    }
+  }
+
+  std::string legend;
+  if (waves.size() > 1 || !names.front().empty()) {
+    for (std::size_t s = 0; s < names.size(); ++s) {
+      legend += (s ? "   " : "  ");
+      legend += kGlyphs[s % sizeof(kGlyphs)];
+      legend += " = " + names[s];
+    }
+  }
+  render(out, frame, t0, t1, options, legend);
+}
+
+void plot(std::ostream& out, const std::string& name, const trace::Waveform& wave,
+          const PlotOptions& options) {
+  plot(out, std::vector<std::string>{name}, std::vector<trace::Waveform>{wave}, options);
+}
+
+void plot_with_markers(std::ostream& out, const std::string& name,
+                       const trace::Waveform& wave, const std::vector<Marker>& markers,
+                       const PlotOptions& options) {
+  double lo = options.y_min, hi = options.y_max;
+  if (lo == hi) {
+    lo = wave.min();
+    hi = wave.max();
+    for (const auto& marker : markers) {
+      lo = std::min(lo, marker.value);
+      hi = std::max(hi, marker.value);
+    }
+    const double pad = 0.05 * (hi - lo == 0.0 ? 1.0 : hi - lo);
+    lo -= pad;
+    hi += pad;
+  }
+
+  Frame frame(options.width, options.height, lo, hi);
+  for (int col = 0; col < options.width; ++col) {
+    const Seconds t = wave.t0() + (wave.t_end() - wave.t0()) * static_cast<double>(col) /
+                                      static_cast<double>(options.width - 1);
+    frame.put(col, wave.at(t), '*');
+  }
+  for (const auto& marker : markers) {
+    const int row = frame.row_of(marker.value);
+    auto& line = frame.grid[static_cast<std::size_t>(row)];
+    for (int col = 0; col < options.width; ++col) {
+      auto& ch = line[static_cast<std::size_t>(col)];
+      if (ch == ' ') ch = '-';
+    }
+    // Tag the marker label at the right edge.
+    const std::string tag = " " + marker.label;
+    if (tag.size() < line.size()) {
+      line.replace(line.size() - tag.size(), tag.size(), tag);
+    }
+  }
+
+  std::string legend = "  * = " + name;
+  for (const auto& marker : markers) legend += "   -- = " + marker.label;
+  render(out, frame, wave.t0(), wave.t_end(), options, legend);
+}
+
+}  // namespace edc::sim

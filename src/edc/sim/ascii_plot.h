@@ -1,0 +1,44 @@
+// Terminal oscilloscope: renders waveforms as ASCII plots so that each
+// bench can show the figure it reproduces (Fig 1, 7, 8) directly in its
+// output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "edc/trace/waveform.h"
+
+namespace edc::sim {
+
+struct PlotOptions {
+  int width = 100;   ///< plot columns
+  int height = 18;   ///< plot rows
+  std::string title;
+  std::string y_label;
+  std::string x_label = "time (s)";
+  /// Optional fixed y range; if min == max the range is auto-scaled.
+  double y_min = 0.0;
+  double y_max = 0.0;
+};
+
+/// Plots one or more series over a shared time axis. Series are drawn with
+/// '*', '+', 'o', 'x' in order; a legend line names them.
+void plot(std::ostream& out, const std::vector<std::string>& names,
+          const std::vector<trace::Waveform>& waves, const PlotOptions& options);
+
+/// Single-series convenience wrapper.
+void plot(std::ostream& out, const std::string& name, const trace::Waveform& wave,
+          const PlotOptions& options);
+
+/// Draws horizontal threshold markers (e.g. V_H, V_R) into the same frame.
+struct Marker {
+  double value;
+  std::string label;
+};
+
+void plot_with_markers(std::ostream& out, const std::string& name,
+                       const trace::Waveform& wave, const std::vector<Marker>& markers,
+                       const PlotOptions& options);
+
+}  // namespace edc::sim

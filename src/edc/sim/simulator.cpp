@@ -1,0 +1,80 @@
+#include "edc/sim/simulator.h"
+
+#include "edc/common/check.h"
+
+namespace edc::sim {
+
+Simulator::Simulator(const SimConfig& config, circuit::SupplyNode& node,
+                     const circuit::SupplyDriver& driver, mcu::Mcu& mcu)
+    : config_(config), node_(&node), driver_(&driver), mcu_(&mcu) {
+  EDC_CHECK(config.dt > 0.0, "dt must be positive");
+  EDC_CHECK(config.t_end > 0.0, "t_end must be positive");
+  EDC_CHECK(config.node_substeps >= 1, "need at least one substep");
+}
+
+SimResult Simulator::run() {
+  SimResult result;
+  result.stored_initial = node_->stored_energy();
+
+  std::vector<double> probe_vcc, probe_freq, probe_state, probe_power;
+  const bool probing = config_.probe_interval > 0.0;
+  Seconds next_probe = 0.0;
+
+  Seconds next_governor = 0.0;
+  Seconds t = 0.0;
+  Volts v_prev = node_->voltage();
+  mcu::McuState last_state = mcu_->state();
+
+  while (t < config_.t_end) {
+    const Seconds dt = config_.dt;
+
+    const auto energy = node_->step(t, dt, *driver_, *mcu_, config_.node_substeps);
+    result.harvested += energy.harvested;
+    result.consumed += energy.consumed;
+    result.dissipated += energy.dissipated;
+
+    const Volts v_now = node_->voltage();
+    mcu_->supply_update(v_prev, t, v_now, t + dt);
+    mcu_->advance(t, dt, v_now);
+
+    if (governor_ != nullptr && t >= next_governor) {
+      if (mcu_->state() != mcu::McuState::off) {
+        governor_->control(*mcu_, v_now, t);
+      }
+      next_governor = t + governor_->period();
+    }
+
+    if (mcu_->state() != last_state) {
+      result.transitions.push_back(StateChange{t + dt, last_state, mcu_->state(), v_now});
+      last_state = mcu_->state();
+    }
+
+    if (probing && t >= next_probe) {
+      probe_vcc.push_back(v_now);
+      probe_freq.push_back(mcu_->frequency() / 1e6);
+      probe_state.push_back(static_cast<double>(mcu_->state()));
+      probe_power.push_back(mcu_->current_draw(v_now, t) * v_now * 1e3);
+      next_probe += config_.probe_interval;
+    }
+
+    t += dt;
+    v_prev = v_now;
+
+    if (config_.stop_on_completion && mcu_->metrics().completed) break;
+  }
+
+  result.end_time = t;
+  result.stored_final = node_->stored_energy();
+  result.mcu = mcu_->metrics();
+
+  if (probing && probe_vcc.size() >= 2) {
+    const Seconds dt_probe = config_.probe_interval;
+    result.probes.add("vcc", trace::Waveform(0.0, dt_probe, std::move(probe_vcc)));
+    result.probes.add("freq_mhz", trace::Waveform(0.0, dt_probe, std::move(probe_freq)));
+    result.probes.add("state", trace::Waveform(0.0, dt_probe, std::move(probe_state)));
+    result.probes.add("power_mw", trace::Waveform(0.0, dt_probe, std::move(probe_power)));
+  }
+  return result;
+}
+
+}  // namespace edc::sim

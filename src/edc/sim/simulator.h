@@ -1,0 +1,83 @@
+// The coupled transient-system simulation loop.
+//
+// Wires source -> front-end driver -> supply node -> MCU (+ checkpoint
+// policy, + optional DFS governor) and advances them on a fixed step:
+//
+//   1. integrate the node ODE over dt (MCU draw at start-of-step state);
+//   2. deliver the voltage transition to the MCU (power-on, comparator
+//      events at interpolated instants, brown-out);
+//   3. let the MCU execute for dt (program ticks, saves/restores);
+//   4. run the governor at its control period;
+//   5. record probes / state transitions.
+//
+// The node energy ledger (harvested/consumed/stored) is exactly conserved
+// by construction, which the property tests rely on.
+#pragma once
+
+#include <vector>
+
+#include "edc/circuit/supply_driver.h"
+#include "edc/circuit/supply_node.h"
+#include "edc/common/units.h"
+#include "edc/mcu/hooks.h"
+#include "edc/mcu/mcu.h"
+#include "edc/trace/waveform.h"
+
+namespace edc::sim {
+
+struct SimConfig {
+  Seconds dt = 10e-6;            ///< main step
+  Seconds t_end = 10.0;          ///< simulation horizon
+  int node_substeps = 4;         ///< ODE substeps per main step
+  bool stop_on_completion = true;
+  Seconds probe_interval = 0.0;  ///< 0 = no waveform probes
+};
+
+/// One MCU state transition (for event timelines like Fig 7).
+struct StateChange {
+  Seconds time = 0.0;
+  mcu::McuState from = mcu::McuState::off;
+  mcu::McuState to = mcu::McuState::off;
+  Volts vcc = 0.0;
+};
+
+struct SimResult {
+  Seconds end_time = 0.0;
+  Joules harvested = 0.0;       ///< delivered into the node
+  Joules consumed = 0.0;        ///< drawn by the MCU
+  Joules dissipated = 0.0;      ///< lost in the node bleed resistance
+  Joules stored_initial = 0.0;  ///< node energy at t = 0
+  Joules stored_final = 0.0;    ///< node energy at the end
+  mcu::McuMetrics mcu;          ///< copy of the MCU metrics at the end
+  std::vector<StateChange> transitions;
+  trace::TraceSet probes;  ///< "vcc", "freq_mhz", "state", "power_mw" when probed
+
+  /// Energy ledger residual (should be ~0):
+  /// harvested - consumed - dissipated - Δstored.
+  [[nodiscard]] Joules ledger_residual() const {
+    return harvested - consumed - dissipated - (stored_final - stored_initial);
+  }
+};
+
+class Simulator {
+ public:
+  /// All references must outlive the Simulator. The policy must already be
+  /// attached to the MCU (see checkpoint::PolicyBase::attach).
+  Simulator(const SimConfig& config, circuit::SupplyNode& node,
+            const circuit::SupplyDriver& driver, mcu::Mcu& mcu);
+
+  /// Optional power-neutral governor (DFS control loop).
+  void set_governor(mcu::FrequencyGovernor* governor) { governor_ = governor; }
+
+  /// Runs to t_end (or workload completion) and returns the result bundle.
+  SimResult run();
+
+ private:
+  SimConfig config_;
+  circuit::SupplyNode* node_;
+  const circuit::SupplyDriver* driver_;
+  mcu::Mcu* mcu_;
+  mcu::FrequencyGovernor* governor_ = nullptr;
+};
+
+}  // namespace edc::sim

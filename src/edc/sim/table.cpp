@@ -1,0 +1,76 @@
+#include "edc/sim/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "edc/common/check.h"
+
+namespace edc::sim {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  EDC_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  EDC_CHECK(cells.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::eng(double value, const std::string& unit, int precision) {
+  struct Scale {
+    double factor;
+    const char* prefix;
+  };
+  static constexpr Scale kScales[] = {{1e9, "G"},  {1e6, "M"},  {1e3, "k"},
+                                      {1.0, ""},   {1e-3, "m"}, {1e-6, "u"},
+                                      {1e-9, "n"}, {1e-12, "p"}};
+  if (value == 0.0) return "0 " + unit;
+  const double mag = std::abs(value);
+  for (const auto& scale : kScales) {
+    if (mag >= scale.factor) {
+      return num(value / scale.factor, precision) + " " + scale.prefix + unit;
+    }
+  }
+  return num(value / 1e-12, precision) + " p" + unit;
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      out << (c + 1 == cells.size() ? " |" : " | ");
+    }
+    out << '\n';
+  };
+  auto print_rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+}  // namespace edc::sim

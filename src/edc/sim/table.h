@@ -1,0 +1,30 @@
+// Aligned text tables for bench output (the "same rows the paper reports").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edc::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` significant decimals.
+  static std::string num(double value, int precision = 3);
+
+  /// Formats a value in engineering units, e.g. 1.2e-5 -> "12 u" + suffix.
+  static std::string eng(double value, const std::string& unit, int precision = 3);
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace edc::sim

@@ -1,0 +1,84 @@
+#include "edc/taskmodel/burst_policy.h"
+
+#include "edc/checkpoint/thresholds.h"
+#include "edc/common/check.h"
+
+namespace edc::taskmodel {
+
+BurstTaskPolicy::BurstTaskPolicy(const Config& config) : config_(config) {
+  EDC_CHECK(config.task_energy > 0.0, "task energy must be positive");
+  EDC_CHECK(config.capacitance > 0.0, "capacitance must be positive");
+  EDC_CHECK(config.margin >= 1.0, "margin must be at least 1");
+}
+
+Joules BurstTaskPolicy::task_energy(const mcu::Mcu& mcu, Cycles cycles,
+                                    Volts v_nominal) {
+  const auto& p = mcu.power();
+  const Seconds t_active = static_cast<double>(cycles) / mcu.frequency();
+  const Joules compute =
+      t_active * p.active_current(mcu.frequency(), mcu.memory_mode()) * v_nominal;
+  const Joules commit =
+      p.save_energy(mcu.snapshot_image_bytes(), mcu.frequency(), v_nominal);
+  return compute + commit;
+}
+
+void BurstTaskPolicy::attach(mcu::Mcu& mcu) {
+  // Wake when the capacitor holds one (margined) task of energy above v_min.
+  v_wake_ = checkpoint::hibernate_threshold(config_.margin * config_.task_energy,
+                                            config_.capacitance, mcu.power().v_min);
+  // Zero hysteresis: the burst-continuation poll compares against v_wake_
+  // itself, so the comparator must re-arm exactly there (see interrupt
+  // policy for the stranding hazard otherwise).
+  mcu.add_comparator("VTASK", v_wake_, 0.0);
+}
+
+void BurstTaskPolicy::begin_running(mcu::Mcu& mcu, Seconds t) {
+  if (mcu.ram_valid()) {
+    mcu.resume_execution(t);
+  } else if (mcu.nvm().has_valid_snapshot()) {
+    mcu.request_restore(t);
+  } else {
+    mcu.start_program_fresh(t);
+  }
+}
+
+void BurstTaskPolicy::on_boot(mcu::Mcu& mcu, Seconds t) {
+  if (mcu.vcc() >= v_wake_) {
+    begin_running(mcu, t);
+  } else {
+    mcu.enter_wait(t);
+  }
+}
+
+void BurstTaskPolicy::on_comparator(mcu::Mcu& mcu,
+                                    const circuit::ComparatorEvent& event) {
+  if (event.name == "VTASK" && event.edge == circuit::Edge::rising) {
+    const auto state = mcu.state();
+    if (state == mcu::McuState::wait || state == mcu::McuState::sleep) {
+      begin_running(mcu, event.time);
+    }
+  }
+}
+
+void BurstTaskPolicy::on_boundary(mcu::Mcu& mcu, workloads::Boundary boundary,
+                                  Seconds t) {
+  if (boundary != workloads::Boundary::function) return;
+  // Task finished: commit progress. Whether the burst continues is decided
+  // when the save completes (dynamic scaling re-checks the gauge).
+  mcu.request_save(t);
+}
+
+void BurstTaskPolicy::on_save_complete(mcu::Mcu& mcu, Seconds t) {
+  // Dynamic burst scaling: keep executing tasks while the gauge still holds
+  // one task of energy; sleep (and wait for the comparator) otherwise. The
+  // sleep decision must use the same level the comparator re-arms at, or the
+  // policy could strand itself asleep above the wake threshold.
+  const Volts v = mcu.poll_vcc();
+  if (v >= v_wake_) {
+    mcu.resume_execution(t);
+    return;
+  }
+  mcu.enter_sleep(t);
+}
+
+}  // namespace edc::taskmodel

@@ -1,0 +1,56 @@
+// Task-based transient operation with dynamic energy-burst scaling
+// (Gomez et al., DATE'16 [5]).
+//
+// The system sleeps until the storage capacitor holds enough energy for at
+// least one atomic task, then executes task(s) to completion. "Dynamic
+// burst scaling" executes as many tasks per wake-up as the stored energy
+// allows: after each task the policy re-checks V_CC and continues while
+// another full task still fits. Progress (e.g. the round counter) commits
+// to NVM at each task boundary, so expression (2) violations between bursts
+// lose nothing.
+//
+// This policy sits on the *right* of the taxonomy's adaptation arc: it
+// buffers "enough energy for one task", unlike hibernus' continuous
+// adaptation which needs only enough for one snapshot.
+#pragma once
+
+#include "edc/checkpoint/policy_base.h"
+
+namespace edc::taskmodel {
+
+class BurstTaskPolicy final : public checkpoint::PolicyBase {
+ public:
+  struct Config {
+    /// Energy one task consumes (compute from the workload; see
+    /// task_energy() helper).
+    Joules task_energy = 50e-6;
+    /// Node capacitance the wake threshold is derived from.
+    Farads capacitance = 100e-6;
+    /// Safety margin on the task energy.
+    double margin = 1.3;
+  };
+
+  explicit BurstTaskPolicy(const Config& config);
+
+  void attach(mcu::Mcu& mcu) override;
+  void on_boot(mcu::Mcu& mcu, Seconds t) override;
+  void on_comparator(mcu::Mcu& mcu, const circuit::ComparatorEvent& event) override;
+  void on_boundary(mcu::Mcu& mcu, workloads::Boundary boundary, Seconds t) override;
+  void on_save_complete(mcu::Mcu& mcu, Seconds t) override;
+
+  [[nodiscard]] std::string name() const override { return "burst"; }
+
+  [[nodiscard]] Volts wake_threshold() const noexcept { return v_wake_; }
+
+  /// Energy of one task = active energy of `cycles` at (f, v) plus one
+  /// snapshot commit of the current image.
+  static Joules task_energy(const mcu::Mcu& mcu, Cycles cycles, Volts v_nominal);
+
+ private:
+  void begin_running(mcu::Mcu& mcu, Seconds t);
+
+  Config config_;
+  Volts v_wake_ = 0.0;
+};
+
+}  // namespace edc::taskmodel

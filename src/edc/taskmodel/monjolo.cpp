@@ -1,0 +1,80 @@
+#include "edc/taskmodel/monjolo.h"
+
+#include <algorithm>
+
+#include "edc/common/check.h"
+
+namespace edc::taskmodel {
+
+MonjoloMeter::MonjoloMeter(const Config& config) : config_(config) {
+  EDC_CHECK(config.capacitance > 0.0, "capacitance must be positive");
+  EDC_CHECK(config.v_fire > config.v_empty, "fire threshold must exceed empty");
+  EDC_CHECK(config.i_transmit > 0.0, "transmit current must be positive");
+  EDC_CHECK(config.dt > 0.0, "dt must be positive");
+  EDC_CHECK(config.harvest_efficiency > 0.0 && config.harvest_efficiency <= 1.0,
+            "efficiency must be in (0,1]");
+}
+
+MonjoloMeter::Result MonjoloMeter::run(const trace::PowerSource& source,
+                                       Seconds horizon) const {
+  EDC_CHECK(horizon > 0.0, "horizon must be positive");
+  Result result;
+  // The energy one cycle drains from storage: C/2 * (v_fire^2 - v_empty^2),
+  // plus what charging loses to leakage is absorbed into calibration — this
+  // matches how Monjolo is calibrated empirically (fixed J per ping).
+  result.energy_per_cycle =
+      0.5 * config_.capacitance *
+      (config_.v_fire * config_.v_fire - config_.v_empty * config_.v_empty);
+
+  const Seconds dt = config_.dt;
+  const std::size_t steps = static_cast<std::size_t>(horizon / dt);
+  const std::size_t probe_stride = std::max<std::size_t>(steps / 20000, 1);
+
+  std::vector<double> probe;
+  probe.reserve(steps / probe_stride + 1);
+
+  double v = 0.0;
+  bool transmitting = false;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const Seconds t = static_cast<double>(i) * dt;
+    Amps i_in = 0.0;
+    const Watts p = config_.harvest_efficiency * source.available_power(t);
+    if (p > 0.0) i_in = p / std::max(v, 0.5);
+    Amps i_out = config_.i_leak + (transmitting ? config_.i_transmit : 0.0);
+    v = std::max(v + (i_in - i_out) / config_.capacitance * dt, 0.0);
+
+    if (!transmitting && v >= config_.v_fire) {
+      transmitting = true;
+    } else if (transmitting && v <= config_.v_empty) {
+      transmitting = false;
+      result.pings.push_back(t);
+    }
+    if (i % probe_stride == 0) probe.push_back(v);
+  }
+  result.voltage =
+      trace::Waveform(0.0, dt * static_cast<double>(probe_stride), std::move(probe));
+  return result;
+}
+
+std::vector<std::pair<Seconds, Watts>> MonjoloMeter::Result::estimated_power() const {
+  std::vector<std::pair<Seconds, Watts>> estimates;
+  for (std::size_t i = 1; i < pings.size(); ++i) {
+    const Seconds gap = pings[i] - pings[i - 1];
+    if (gap > 0.0) {
+      estimates.emplace_back(pings[i], energy_per_cycle / gap);
+    }
+  }
+  return estimates;
+}
+
+Watts MonjoloMeter::Result::mean_estimate(Seconds t0, Seconds t1) const {
+  // Count whole cycles completed inside the window.
+  std::size_t count = 0;
+  for (Seconds ping : pings) {
+    if (ping >= t0 && ping <= t1) ++count;
+  }
+  if (count == 0 || t1 <= t0) return 0.0;
+  return static_cast<double>(count) * energy_per_cycle / (t1 - t0);
+}
+
+}  // namespace edc::taskmodel

@@ -1,0 +1,55 @@
+// Monjolo [6]: a charge-and-fire energy-harvesting energy meter.
+//
+// A current-clamp harvester charges a small capacitor; every time the
+// capacitor reaches the fire threshold the node wakes, transmits one packet
+// (emptying the capacitor), and goes dark. The *receiver* estimates the
+// harvested power — and hence the primary load's power — purely from the
+// ping arrival rate:
+//
+//   P_est = E_cycle / dt_between_pings
+//
+// where E_cycle is the (calibrated) energy per charge-fire cycle.
+#pragma once
+
+#include <vector>
+
+#include "edc/common/units.h"
+#include "edc/trace/source.h"
+#include "edc/trace/waveform.h"
+
+namespace edc::taskmodel {
+
+class MonjoloMeter {
+ public:
+  struct Config {
+    Farads capacitance = 500e-6;
+    Volts v_fire = 2.8;        ///< wake + transmit at this voltage
+    Volts v_empty = 1.9;       ///< transmission ends when the cap sags here
+    Amps i_transmit = 18e-3;   ///< radio + MCU burst current
+    Amps i_leak = 1.0e-6;      ///< quiescent drain while charging
+    double harvest_efficiency = 0.70;
+    Seconds dt = 20e-6;        ///< integration step
+  };
+
+  explicit MonjoloMeter(const Config& config);
+
+  struct Result {
+    std::vector<Seconds> pings;     ///< transmission completion times
+    Joules energy_per_cycle = 0.0;  ///< calibrated E_cycle
+    trace::Waveform voltage;        ///< capacitor voltage (probe)
+
+    /// Receiver-side power estimate between consecutive pings.
+    [[nodiscard]] std::vector<std::pair<Seconds, Watts>> estimated_power() const;
+
+    /// Mean estimated power over [t0, t1].
+    [[nodiscard]] Watts mean_estimate(Seconds t0, Seconds t1) const;
+  };
+
+  /// Runs the meter against a harvested-power source for `horizon` seconds.
+  [[nodiscard]] Result run(const trace::PowerSource& source, Seconds horizon) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace edc::taskmodel

@@ -1,0 +1,135 @@
+#include "edc/taskmodel/wispcam.h"
+
+#include <algorithm>
+
+#include "edc/common/check.h"
+
+namespace edc::taskmodel {
+
+WispCam::WispCam(const Config& config) : config_(config) {
+  EDC_CHECK(config.capacitance > 0.0, "capacitance must be positive");
+  EDC_CHECK(config.v_capture > config.v_min_operate,
+            "capture threshold must exceed the operating minimum");
+  EDC_CHECK(config.chunks_per_photo >= 1, "need at least one chunk");
+  EDC_CHECK(config.dt > 0.0, "dt must be positive");
+}
+
+Seconds WispCam::Result::mean_latency() const {
+  if (transfer_complete_times.empty()) return 0.0;
+  Seconds total = 0.0;
+  for (std::size_t i = 0; i < transfer_complete_times.size(); ++i) {
+    total += transfer_complete_times[i] - capture_times[i];
+  }
+  return total / static_cast<double>(transfer_complete_times.size());
+}
+
+WispCam::Result WispCam::run(const trace::PowerSource& source, Seconds horizon) const {
+  EDC_CHECK(horizon > 0.0, "horizon must be positive");
+  enum class Phase { harvest, capture, store, readout };
+
+  Result result;
+  const Seconds dt = config_.dt;
+  const std::size_t steps = static_cast<std::size_t>(horizon / dt);
+  const std::size_t probe_stride = std::max<std::size_t>(steps / 20000, 1);
+  std::vector<double> probe;
+  probe.reserve(steps / probe_stride + 1);
+
+  double v = 0.0;
+  Phase phase = Phase::harvest;
+  Seconds phase_left = 0.0;
+  int chunks_left = 0;
+  bool photo_in_nvm = false;
+  Seconds current_capture_time = 0.0;
+
+  for (std::size_t i = 0; i < steps; ++i) {
+    const Seconds t = static_cast<double>(i) * dt;
+
+    Amps i_out = config_.i_idle;
+    switch (phase) {
+      case Phase::harvest: break;
+      case Phase::capture: i_out += config_.i_capture; break;
+      case Phase::store: i_out += config_.i_store; break;
+      case Phase::readout: i_out += config_.i_readout; break;
+    }
+
+    Amps i_in = 0.0;
+    const Watts p = config_.harvest_efficiency * source.available_power(t);
+    if (p > 0.0) i_in = p / std::max(v, 0.5);
+    v = std::max(v + (i_in - i_out) / config_.capacitance * dt, 0.0);
+
+    // Brown-out interrupts the active phase; NVM contents survive. An
+    // interrupted capture/store is retried from the phase start (the frame
+    // buffer is volatile); an interrupted readout resumes chunk-by-chunk.
+    if (phase != Phase::harvest && v < config_.v_min_operate) {
+      if (phase == Phase::capture || phase == Phase::store) {
+        photo_in_nvm = (phase == Phase::store) ? false : photo_in_nvm;
+      }
+      ++result.interrupted_phases;
+      phase = Phase::harvest;
+      continue;
+    }
+
+    switch (phase) {
+      case Phase::harvest: {
+        if (photo_in_nvm && p > 0.0 && v >= config_.v_min_operate + 0.2) {
+          phase = Phase::readout;  // field present: stream the stored photo
+          phase_left = config_.chunk_time;
+        } else if (!photo_in_nvm && v >= config_.v_capture) {
+          phase = Phase::capture;
+          phase_left = config_.capture_time;
+          current_capture_time = t;
+        }
+        break;
+      }
+      case Phase::capture: {
+        phase_left -= dt;
+        if (phase_left <= 0.0) {
+          phase = Phase::store;
+          phase_left = config_.store_time;
+        }
+        break;
+      }
+      case Phase::store: {
+        phase_left -= dt;
+        if (phase_left <= 0.0) {
+          photo_in_nvm = true;
+          ++result.photos_captured;
+          result.capture_times.push_back(current_capture_time);
+          chunks_left = config_.chunks_per_photo;
+          phase = Phase::harvest;
+        }
+        break;
+      }
+      case Phase::readout: {
+        if (p <= 0.0) {  // field vanished mid-chunk: wait for it to return
+          phase = Phase::harvest;
+          break;
+        }
+        phase_left -= dt;
+        if (phase_left <= 0.0) {
+          if (--chunks_left <= 0) {
+            photo_in_nvm = false;
+            ++result.photos_transferred;
+            result.transfer_complete_times.push_back(t);
+            phase = Phase::harvest;
+          } else {
+            phase_left = config_.chunk_time;
+          }
+        }
+        break;
+      }
+    }
+    if (i % probe_stride == 0) probe.push_back(v);
+  }
+
+  // Photos captured but not fully read out keep their capture timestamps;
+  // align the latency vectors to completed transfers only.
+  result.capture_times.resize(
+      std::min(result.capture_times.size(), result.transfer_complete_times.size() +
+                                                (photo_in_nvm ? 1 : 0)));
+  result.voltage =
+      trace::Waveform(0.0, dt * static_cast<double>(probe_stride), std::move(probe));
+  return result;
+}
+
+}  // namespace edc::taskmodel

@@ -1,0 +1,59 @@
+// WISPCam [4]: a battery-free RFID camera.
+//
+// A 6 mF supercapacitor charges from the reader's RF field. Once the
+// capacitor holds enough for one photo, the camera captures a frame into
+// NVM; the stored photo is then read out over RFID in small chunks whenever
+// the field is present. Expression (2) violations between phases lose
+// nothing — the photo persists in NVM (the paper's §II.B example of
+// task-based transient design).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "edc/common/units.h"
+#include "edc/trace/source.h"
+#include "edc/trace/waveform.h"
+
+namespace edc::taskmodel {
+
+class WispCam {
+ public:
+  struct Config {
+    Farads capacitance = 6e-3;
+    Volts v_capture = 2.6;      ///< capture allowed above this
+    Volts v_min_operate = 1.9;  ///< logic brown-out
+    Amps i_capture = 9e-3;      ///< imager + MCU during capture
+    Seconds capture_time = 40e-3;
+    Amps i_store = 4e-3;        ///< NVM write burst
+    Seconds store_time = 25e-3;
+    Amps i_readout = 1.2e-3;    ///< backscatter chunk transfer
+    Seconds chunk_time = 8e-3;
+    int chunks_per_photo = 40;
+    Amps i_idle = 2.5e-6;
+    double harvest_efficiency = 0.55;
+    Seconds dt = 50e-6;
+  };
+
+  explicit WispCam(const Config& config);
+
+  struct Result {
+    int photos_captured = 0;
+    int photos_transferred = 0;
+    std::vector<Seconds> capture_times;
+    std::vector<Seconds> transfer_complete_times;
+    trace::Waveform voltage;
+    int interrupted_phases = 0;  ///< phases cut short by brown-out (retried)
+
+    /// Mean capture-to-delivery latency (s); 0 if nothing delivered.
+    [[nodiscard]] Seconds mean_latency() const;
+  };
+
+  /// Runs against an RF power source for `horizon` seconds.
+  [[nodiscard]] Result run(const trace::PowerSource& source, Seconds horizon) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace edc::taskmodel

@@ -1,0 +1,63 @@
+#include "edc/trace/csv.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "edc/common/check.h"
+
+namespace edc::trace {
+
+void write_csv(std::ostream& out, const TraceSet& traces) {
+  EDC_CHECK(!traces.waves.empty(), "empty trace set");
+  out << "time";
+  for (const auto& name : traces.names) out << ',' << name;
+  out << '\n';
+  const Waveform& grid = traces.waves.front();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Seconds t = grid.t0() + grid.dt() * static_cast<double>(i);
+    out << t;
+    for (const auto& wave : traces.waves) out << ',' << wave.at(t);
+    out << '\n';
+  }
+}
+
+void write_csv(std::ostream& out, const std::string& name, const Waveform& wave) {
+  TraceSet set;
+  set.add(name, wave);
+  write_csv(out, set);
+}
+
+Waveform read_csv(std::istream& in) {
+  std::vector<double> times;
+  std::vector<double> values;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string t_str, v_str;
+    if (!std::getline(row, t_str, ',') || !std::getline(row, v_str, ',')) continue;
+    try {
+      const double t = std::stod(t_str);
+      const double v = std::stod(v_str);
+      times.push_back(t);
+      values.push_back(v);
+    } catch (const std::exception&) {
+      // Header or malformed row: skip. (Only tolerated before data rows.)
+      EDC_CHECK(times.empty(), "malformed CSV row after data began: " + line);
+    }
+  }
+  EDC_CHECK(times.size() >= 2, "CSV must contain at least two data rows");
+  const double dt = times[1] - times[0];
+  EDC_CHECK(dt > 0.0, "CSV time column must be increasing");
+  for (std::size_t i = 2; i < times.size(); ++i) {
+    const double step = times[i] - times[i - 1];
+    EDC_CHECK(std::abs(step - dt) <= 1e-9 * std::max(1.0, std::abs(dt)) + 1e-12,
+              "CSV time column must be uniformly spaced");
+  }
+  return Waveform(times.front(), dt, std::move(values));
+}
+
+}  // namespace edc::trace

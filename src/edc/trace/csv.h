@@ -1,0 +1,25 @@
+// CSV import/export for waveforms and trace sets, so experiments can be
+// re-plotted outside the harness (the paper's dataset DOI provides CSVs of
+// the same shape).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "edc/trace/waveform.h"
+
+namespace edc::trace {
+
+/// Writes "time,<name0>,<name1>,..." rows. All waveforms are resampled onto
+/// the time grid of the first waveform.
+void write_csv(std::ostream& out, const TraceSet& traces);
+
+/// Writes a single waveform as "time,value" rows.
+void write_csv(std::ostream& out, const std::string& name, const Waveform& wave);
+
+/// Reads a single-column CSV ("time,value", header optional) back into a
+/// waveform. The time column must be uniformly spaced (within 1e-9 relative
+/// tolerance); throws std::invalid_argument otherwise.
+Waveform read_csv(std::istream& in);
+
+}  // namespace edc::trace

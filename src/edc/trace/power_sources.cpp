@@ -1,0 +1,191 @@
+#include "edc/trace/power_sources.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edc/common/check.h"
+
+namespace edc::trace {
+
+namespace {
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kSecondsPerDay = 86400.0;
+}  // namespace
+
+// ------------------------------------------------------------- Constant ----
+
+ConstantPowerSource::ConstantPowerSource(Watts power) : power_(power) {
+  EDC_CHECK(power >= 0.0, "power must be non-negative");
+}
+
+std::string ConstantPowerSource::name() const {
+  return "constant-" + std::to_string(power_ * 1e6) + "uW";
+}
+
+// ----------------------------------------------------------------- PV ------
+
+IndoorPhotovoltaicSource::IndoorPhotovoltaicSource(const Params& params,
+                                                   std::uint64_t seed, int days)
+    : params_(params), days_(days) {
+  EDC_CHECK(days >= 1, "need at least one day");
+  EDC_CHECK(params.day_current_ua >= params.night_current_ua,
+            "day current must be >= night current");
+  EDC_CHECK(params.day_end_h > params.day_start_h, "day must end after it starts");
+  EDC_CHECK(params.operating_voltage > 0.0, "operating voltage must be positive");
+  Rng rng(seed);
+  day_strength_.resize(static_cast<std::size_t>(days));
+  for (double& s : day_strength_) {
+    s = std::clamp(1.0 + params.day_to_day_jitter * rng.normal(), 0.7, 1.3);
+  }
+  // Occupancy noise band-limited to ~1/minute: one sample per 30 s.
+  const std::size_t n = static_cast<std::size_t>(days) * 2880 + 2;
+  std::vector<double> noise(n);
+  double state = 0.0;
+  for (double& x : noise) {
+    // AR(1) with ~5-minute correlation time.
+    state = 0.9 * state + 0.436 * rng.normal();  // stationary sigma ~= 1
+    x = state;
+  }
+  noise_ = Waveform(0.0, 30.0, std::move(noise));
+}
+
+double IndoorPhotovoltaicSource::current_ua(Seconds t) const {
+  if (t < 0.0) t = 0.0;
+  const int day = std::min(static_cast<int>(t / kSecondsPerDay), days_ - 1);
+  const double hour = (t - day * kSecondsPerDay) / kSecondsPerHour;
+  // Smooth plateau: product of two logistic shoulders.
+  const double k = 4.0 / params_.shoulder_h;  // logistic steepness
+  const double rise = 1.0 / (1.0 + std::exp(-k * (hour - params_.day_start_h)));
+  const double fall = 1.0 / (1.0 + std::exp(k * (hour - params_.day_end_h)));
+  const double plateau = rise * fall * day_strength_[static_cast<std::size_t>(day)];
+  double ua = params_.night_current_ua +
+              (params_.day_current_ua - params_.night_current_ua) * plateau;
+  // Occupancy flicker only while lights are on.
+  ua += params_.noise_ua * plateau * noise_.at(t);
+  return std::max(ua, 0.0);
+}
+
+Watts IndoorPhotovoltaicSource::available_power(Seconds t) const {
+  return current_ua(t) * 1e-6 * params_.operating_voltage;
+}
+
+// -------------------------------------------------------------- Solar ------
+
+OutdoorSolarSource::OutdoorSolarSource(const Params& params, std::uint64_t seed,
+                                       int days)
+    : params_(params), days_(days) {
+  EDC_CHECK(days >= 1, "need at least one day");
+  EDC_CHECK(params.panel_peak > 0.0, "panel peak must be positive");
+  EDC_CHECK(params.sunset_h > params.sunrise_h, "sunset must follow sunrise");
+  EDC_CHECK(params.cloud_depth >= 0.0 && params.cloud_depth <= 1.0,
+            "cloud depth must be in [0,1]");
+  EDC_CHECK(params.cloud_correlation > 0.0, "cloud correlation must be positive");
+  Rng rng(seed);
+  day_strength_.resize(static_cast<std::size_t>(days));
+  for (double& s : day_strength_) {
+    s = std::clamp(1.0 + params.day_to_day_jitter * rng.normal(), 0.25, 1.4);
+  }
+  // Cloud attenuation: AR(1) field sampled every cloud_correlation/10,
+  // squashed into [0, 1] and scaled by cloud_depth.
+  const Seconds dt = params.cloud_correlation / 10.0;
+  const auto n = static_cast<std::size_t>(days * kSecondsPerDay / dt) + 2;
+  std::vector<double> atten(n);
+  double state = 0.0;
+  const double rho = std::exp(-dt / params.cloud_correlation);
+  const double drive = std::sqrt(1.0 - rho * rho);
+  for (double& a : atten) {
+    state = rho * state + drive * rng.normal();
+    // Logistic squash: mostly clear, occasional deep dips.
+    const double cloudiness = 1.0 / (1.0 + std::exp(-1.5 * (state - 1.0)));
+    a = 1.0 - params.cloud_depth * cloudiness;
+  }
+  cloud_ = Waveform(0.0, dt, std::move(atten));
+}
+
+Watts OutdoorSolarSource::clear_sky_power(Seconds t) const {
+  if (t < 0.0) t = 0.0;
+  const int day = std::min(static_cast<int>(t / kSecondsPerDay), days_ - 1);
+  const double hour = (t - day * kSecondsPerDay) / kSecondsPerHour;
+  if (hour <= params_.sunrise_h || hour >= params_.sunset_h) return 0.0;
+  const double phase =
+      (hour - params_.sunrise_h) / (params_.sunset_h - params_.sunrise_h);
+  const double elevation = std::sin(phase * 3.14159265358979323846);
+  return params_.panel_peak * elevation *
+         day_strength_[static_cast<std::size_t>(day)];
+}
+
+Watts OutdoorSolarSource::available_power(Seconds t) const {
+  return std::max(clear_sky_power(t) * cloud_.at(t), 0.0);
+}
+
+// ----------------------------------------------------------------- RF ------
+
+RfFieldSource::RfFieldSource(const Params& params, std::uint64_t seed,
+                             Seconds horizon)
+    : params_(params) {
+  EDC_CHECK(params.field_power >= 0.0, "field power must be non-negative");
+  EDC_CHECK(params.burst_length > 0.0, "burst length must be positive");
+  EDC_CHECK(params.burst_period > params.burst_length,
+            "burst period must exceed burst length");
+  EDC_CHECK(horizon > 0.0, "horizon must be positive");
+  Rng rng(seed);
+  Seconds t = 0.0;
+  while (t < horizon) {
+    burst_starts_.push_back(t);
+    double period = params.burst_period;
+    if (params.jitter > 0.0) {
+      period = std::max(params.burst_length * 1.05,
+                        period * (1.0 + params.jitter * rng.normal()));
+    }
+    t += period;
+  }
+}
+
+Watts RfFieldSource::available_power(Seconds t) const {
+  // Bursts are sorted; binary search for the burst starting at or before t.
+  auto it = std::upper_bound(burst_starts_.begin(), burst_starts_.end(), t);
+  if (it == burst_starts_.begin()) return 0.0;
+  const Seconds start = *std::prev(it);
+  return (t - start) <= params_.burst_length ? params_.field_power : 0.0;
+}
+
+// ------------------------------------------------------------- Markov ------
+
+MarkovOnOffPowerSource::MarkovOnOffPowerSource(Watts on_power, Seconds mean_on,
+                                               Seconds mean_off, std::uint64_t seed,
+                                               Seconds horizon)
+    : on_power_(on_power) {
+  EDC_CHECK(on_power >= 0.0, "power must be non-negative");
+  EDC_CHECK(mean_on > 0.0 && mean_off > 0.0, "durations must be positive");
+  EDC_CHECK(horizon > 0.0, "horizon must be positive");
+  Rng rng(seed);
+  Seconds t = 0.0;
+  bool on = true;
+  edges_.push_back(0.0);  // starts ON at t = 0
+  while (t < horizon) {
+    t += rng.exponential(on ? mean_on : mean_off);
+    edges_.push_back(t);
+    on = !on;
+  }
+}
+
+Watts MarkovOnOffPowerSource::available_power(Seconds t) const {
+  if (t < edges_.front()) return 0.0;
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), t);
+  const auto idx = static_cast<std::size_t>(std::distance(edges_.begin(), it)) - 1;
+  // Even index => ON interval (edges_[0] begins an ON interval).
+  return (idx % 2 == 0) ? on_power_ : 0.0;
+}
+
+// ------------------------------------------------------------ Waveform -----
+
+WaveformPowerSource::WaveformPowerSource(Waveform wave, std::string name)
+    : wave_(std::move(wave)), name_(std::move(name)) {
+  EDC_CHECK(!wave_.empty(), "waveform must not be empty");
+}
+
+Watts WaveformPowerSource::available_power(Seconds t) const {
+  return std::max(wave_.at(t), 0.0);
+}
+
+}  // namespace edc::trace

@@ -1,0 +1,151 @@
+// Available-power envelope generators (behind a matched harvester front-end).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "edc/trace/rng.h"
+#include "edc/trace/source.h"
+#include "edc/trace/waveform.h"
+
+namespace edc::trace {
+
+/// Constant available power (bench supply / idealised harvester).
+class ConstantPowerSource final : public PowerSource {
+ public:
+  explicit ConstantPowerSource(Watts power);
+
+  [[nodiscard]] Watts available_power(Seconds) const override { return power_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Watts power_;
+};
+
+/// Indoor photovoltaic cell over multiple days (Fig 1b).
+///
+/// Fig 1(b) plots harvested current from an indoor PV cell across two days:
+/// a night-time floor near 290 uA (standby/emergency lighting), a broad
+/// daytime plateau reaching ~420-430 uA (office lighting plus daylight
+/// through windows), with shoulder transitions at the start/end of the
+/// working day and small high-frequency occupancy noise. The model emits
+/// current at a fixed operating voltage; available_power() = I(t) * V_op.
+class IndoorPhotovoltaicSource final : public PowerSource {
+ public:
+  struct Params {
+    double night_current_ua = 292.0;   ///< floor current at night.
+    double day_current_ua = 425.0;     ///< plateau current mid-day.
+    double day_start_h = 7.5;          ///< lights-on (hours, local).
+    double day_end_h = 19.5;           ///< lights-off (hours, local).
+    double shoulder_h = 1.2;           ///< rise/fall softness (hours).
+    double noise_ua = 4.0;             ///< occupancy flicker (1 sigma).
+    Volts operating_voltage = 3.0;     ///< PV module operating point.
+    double day_to_day_jitter = 0.05;   ///< relative day-strength variation.
+  };
+
+  IndoorPhotovoltaicSource(const Params& params, std::uint64_t seed, int days);
+
+  [[nodiscard]] Watts available_power(Seconds t) const override;
+  [[nodiscard]] std::string name() const override { return "indoor-photovoltaic"; }
+
+  /// Harvested current in microamps at time t (the Fig 1b y-axis).
+  [[nodiscard]] double current_ua(Seconds t) const;
+
+  [[nodiscard]] int days() const noexcept { return days_; }
+
+ private:
+  Params params_;
+  int days_;
+  std::vector<double> day_strength_;  // per-day multiplier
+  Waveform noise_;                    // pre-expanded occupancy noise
+};
+
+/// Outdoor solar harvesting — the canonical T = 24 h environment of Eq 1.
+///
+/// Clear-sky irradiance follows the solar-elevation sine between sunrise
+/// and sunset; passing clouds attenuate it with AR(1)-correlated dips, and
+/// day-to-day weather scales whole days. Power is the panel's electrical
+/// output behind MPPT.
+class OutdoorSolarSource final : public PowerSource {
+ public:
+  struct Params {
+    Watts panel_peak = 50e-3;        ///< electrical output at peak irradiance
+    double sunrise_h = 6.0;
+    double sunset_h = 20.0;
+    double cloud_depth = 0.5;        ///< max fractional attenuation by clouds
+    Seconds cloud_correlation = 900; ///< cloud-field correlation time
+    double day_to_day_jitter = 0.25; ///< relative weather variation
+  };
+
+  OutdoorSolarSource(const Params& params, std::uint64_t seed, int days);
+
+  [[nodiscard]] Watts available_power(Seconds t) const override;
+  [[nodiscard]] std::string name() const override { return "outdoor-solar"; }
+
+  /// Clear-sky (cloudless) output at time t; exposed for tests.
+  [[nodiscard]] Watts clear_sky_power(Seconds t) const;
+
+  [[nodiscard]] int days() const noexcept { return days_; }
+
+ private:
+  Params params_;
+  int days_;
+  std::vector<double> day_strength_;
+  Waveform cloud_;  // pre-expanded attenuation in [0, 1]
+};
+
+/// RFID / RF-field power: the reader field is present in bursts (e.g. a
+/// WISPCam being interrogated). Burst timing is periodic with optional
+/// jitter; in-field power follows an inverse-square-law distance setting.
+class RfFieldSource final : public PowerSource {
+ public:
+  struct Params {
+    Watts field_power = 450e-6;    ///< harvested power while in the field.
+    Seconds burst_length = 2.0;    ///< reader-on duration.
+    Seconds burst_period = 6.0;    ///< reader activation period.
+    double jitter = 0.0;           ///< relative jitter on period.
+  };
+
+  RfFieldSource(const Params& params, std::uint64_t seed, Seconds horizon);
+
+  [[nodiscard]] Watts available_power(Seconds t) const override;
+  [[nodiscard]] std::string name() const override { return "rf-field"; }
+
+ private:
+  Params params_;
+  std::vector<Seconds> burst_starts_;
+};
+
+/// Two-state Markov on/off power source: exponentially distributed on and
+/// off durations. A convenient abstraction for "highly unpredictable"
+/// intermittency (§I) with controllable outage statistics.
+class MarkovOnOffPowerSource final : public PowerSource {
+ public:
+  MarkovOnOffPowerSource(Watts on_power, Seconds mean_on, Seconds mean_off,
+                         std::uint64_t seed, Seconds horizon);
+
+  [[nodiscard]] Watts available_power(Seconds t) const override;
+  [[nodiscard]] std::string name() const override { return "markov-on-off"; }
+
+  /// Number of off->on transitions over the generated horizon.
+  [[nodiscard]] std::size_t cycle_count() const noexcept { return edges_.size() / 2; }
+
+ private:
+  Watts on_power_;
+  std::vector<Seconds> edges_;  // alternating on/off edge times, starts ON at edges_[0]
+};
+
+/// Plays back an arbitrary waveform (watts) as available power.
+class WaveformPowerSource final : public PowerSource {
+ public:
+  explicit WaveformPowerSource(Waveform wave, std::string name = "waveform-power");
+
+  [[nodiscard]] Watts available_power(Seconds t) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  Waveform wave_;
+  std::string name_;
+};
+
+}  // namespace edc::trace

@@ -1,0 +1,26 @@
+#include "edc/trace/rng.h"
+
+#include <cmath>
+
+namespace edc::trace {
+
+double Rng::normal() noexcept {
+  // Marsaglia polar method; loop terminates with probability 1.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse CDF; guard the log argument away from 0.
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace edc::trace

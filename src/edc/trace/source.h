@@ -1,0 +1,50 @@
+// Energy-source interfaces.
+//
+// The paper's key observation (§I) is that a harvester is a *power* source
+// with large temporal/spatial dynamics, unlike a battery's steady *energy*
+// source. We model two physical presentation styles:
+//
+//  * VoltageSource — a Thevenin equivalent: open-circuit voltage v_oc(t)
+//    behind a series resistance. Used for AC transducers that feed a
+//    rectifier directly (micro wind turbine, kinetic/piezo, signal
+//    generator). This is the style of Fig 1(a), Fig 7 and Fig 8.
+//
+//  * PowerSource — an available-power envelope P_h(t) as delivered by a
+//    matched harvester front-end (indoor PV behind MPPT, RF field).
+//    This is the style of Fig 1(b) and of the energy-neutral analyses.
+//
+// Both are pure functions of time (stochastic sources are seeded and
+// pre-expand their randomness deterministically), so a simulation may query
+// them at arbitrary instants and remain bit-reproducible.
+#pragma once
+
+#include <string>
+
+#include "edc/common/units.h"
+
+namespace edc::trace {
+
+class VoltageSource {
+ public:
+  virtual ~VoltageSource() = default;
+
+  /// Open-circuit (unloaded) terminal voltage at time t.
+  [[nodiscard]] virtual Volts open_circuit_voltage(Seconds t) const = 0;
+
+  /// Thevenin series resistance (> 0).
+  [[nodiscard]] virtual Ohms series_resistance() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class PowerSource {
+ public:
+  virtual ~PowerSource() = default;
+
+  /// Power available for harvest at time t (>= 0), at the converter input.
+  [[nodiscard]] virtual Watts available_power(Seconds t) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace edc::trace

@@ -1,0 +1,85 @@
+#include "edc/trace/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edc/common/check.h"
+
+namespace edc::trace {
+
+SummaryStats summarize(const Waveform& wave) {
+  EDC_CHECK(!wave.empty(), "empty waveform");
+  SummaryStats stats;
+  stats.min = wave.min();
+  stats.max = wave.max();
+  stats.mean = wave.mean();
+  stats.rms = wave.rms();
+  double var = 0.0;
+  for (double s : wave.samples()) {
+    const double d = s - stats.mean;
+    var += d * d;
+  }
+  stats.stddev = std::sqrt(var / static_cast<double>(wave.size()));
+  return stats;
+}
+
+std::vector<Outage> find_outages(const Waveform& wave, double threshold) {
+  std::vector<Outage> outages;
+  if (wave.size() < 2) return outages;
+  const auto& s = wave.samples();
+  bool below = s.front() < threshold;
+  Seconds start = wave.t0();
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const Seconds t_prev = wave.t0() + wave.dt() * static_cast<double>(i - 1);
+    const bool now_below = s[i] < threshold;
+    if (now_below == below) continue;
+    // Interpolate the crossing instant between samples i-1 and i.
+    const double denom = s[i] - s[i - 1];
+    const double frac = denom == 0.0 ? 0.0 : (threshold - s[i - 1]) / denom;
+    const Seconds t_cross = t_prev + wave.dt() * std::clamp(frac, 0.0, 1.0);
+    if (below) {
+      outages.push_back(Outage{start, t_cross - start});
+    } else {
+      start = t_cross;
+    }
+    below = now_below;
+  }
+  if (below) {
+    outages.push_back(Outage{start, wave.t_end() - start});
+  }
+  return outages;
+}
+
+OutageStats outage_stats(const Waveform& wave, double threshold) {
+  OutageStats stats;
+  const auto outages = find_outages(wave, threshold);
+  stats.count = outages.size();
+  for (const Outage& o : outages) {
+    stats.total += o.duration;
+    stats.max_duration = std::max(stats.max_duration, o.duration);
+  }
+  stats.mean_duration =
+      outages.empty() ? 0.0 : stats.total / static_cast<double>(outages.size());
+  const Seconds span = wave.t_end() - wave.t0();
+  stats.availability = span > 0.0 ? 1.0 - stats.total / span : 1.0;
+  return stats;
+}
+
+Hertz dominant_frequency(const Waveform& wave) {
+  EDC_CHECK(wave.size() >= 3, "waveform too short");
+  const double mean = wave.mean();
+  const auto& s = wave.samples();
+  std::vector<Seconds> crossings;  // upward mean-crossings
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i - 1] < mean && s[i] >= mean) {
+      const double denom = s[i] - s[i - 1];
+      const double frac = denom == 0.0 ? 0.0 : (mean - s[i - 1]) / denom;
+      crossings.push_back(wave.t0() + wave.dt() * (static_cast<double>(i - 1) + frac));
+    }
+  }
+  if (crossings.size() < 2) return 0.0;
+  const Seconds span = crossings.back() - crossings.front();
+  return span > 0.0 ? static_cast<double>(crossings.size() - 1) / span : 0.0;
+}
+
+}  // namespace edc::trace

@@ -1,0 +1,47 @@
+// Summary statistics for waveforms and supply traces, including the outage
+// statistics that drive transient-computing policy behaviour.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "edc/common/units.h"
+#include "edc/trace/waveform.h"
+
+namespace edc::trace {
+
+struct SummaryStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double rms = 0.0;
+  double stddev = 0.0;
+};
+
+SummaryStats summarize(const Waveform& wave);
+
+/// A contiguous interval during which the waveform was below `threshold`.
+struct Outage {
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+};
+
+/// Finds all sub-threshold intervals (e.g. supply outages below V_min).
+std::vector<Outage> find_outages(const Waveform& wave, double threshold);
+
+struct OutageStats {
+  std::size_t count = 0;
+  Seconds total = 0.0;
+  Seconds mean_duration = 0.0;
+  Seconds max_duration = 0.0;
+  /// Fraction of the trace spent above threshold.
+  double availability = 1.0;
+};
+
+OutageStats outage_stats(const Waveform& wave, double threshold);
+
+/// Estimates the dominant frequency of an AC waveform from mean-crossing
+/// intervals (robust for the wind-turbine trace; no FFT needed).
+Hertz dominant_frequency(const Waveform& wave);
+
+}  // namespace edc::trace

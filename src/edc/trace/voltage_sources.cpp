@@ -1,0 +1,185 @@
+#include "edc/trace/voltage_sources.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edc/common/check.h"
+
+namespace edc::trace {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+// ---------------------------------------------------------------- Sine -----
+
+SineVoltageSource::SineVoltageSource(Volts amplitude, Hertz frequency, Volts offset,
+                                     Ohms series_resistance)
+    : amplitude_(amplitude),
+      frequency_(frequency),
+      offset_(offset),
+      r_series_(series_resistance) {
+  EDC_CHECK(amplitude >= 0.0, "amplitude must be non-negative");
+  EDC_CHECK(frequency >= 0.0, "frequency must be non-negative");
+  EDC_CHECK(series_resistance > 0.0, "series resistance must be positive");
+}
+
+Volts SineVoltageSource::open_circuit_voltage(Seconds t) const {
+  return offset_ + amplitude_ * std::sin(kTwoPi * frequency_ * t);
+}
+
+std::string SineVoltageSource::name() const {
+  return "sine-" + std::to_string(frequency_) + "Hz";
+}
+
+// -------------------------------------------------------------- Square -----
+
+SquareVoltageSource::SquareVoltageSource(Volts high, Hertz frequency, double duty,
+                                         Volts low, Ohms series_resistance)
+    : high_(high), frequency_(frequency), duty_(duty), low_(low),
+      r_series_(series_resistance) {
+  EDC_CHECK(frequency > 0.0, "frequency must be positive");
+  EDC_CHECK(duty > 0.0 && duty < 1.0, "duty must be in (0,1)");
+  EDC_CHECK(series_resistance > 0.0, "series resistance must be positive");
+}
+
+Volts SquareVoltageSource::open_circuit_voltage(Seconds t) const {
+  const double phase = t * frequency_ - std::floor(t * frequency_);
+  return phase < duty_ ? high_ : low_;
+}
+
+std::string SquareVoltageSource::name() const {
+  return "square-" + std::to_string(frequency_) + "Hz";
+}
+
+// ---------------------------------------------------------------- Wind -----
+
+WindTurbineSource::WindTurbineSource(const Params& params) : params_(params) {
+  EDC_CHECK(params.peak_voltage > 0.0, "peak voltage must be positive");
+  EDC_CHECK(params.peak_frequency > 0.0, "peak frequency must be positive");
+  EDC_CHECK(params.coil_resistance > 0.0, "coil resistance must be positive");
+}
+
+WindTurbineSource WindTurbineSource::single_gust() { return single_gust(Params{}); }
+
+WindTurbineSource WindTurbineSource::single_gust(const Params& params) {
+  WindTurbineSource src(params);
+  src.gusts_.push_back(Gust{0.0, 1.0});
+  // Pre-integrate phase over one gust plus margin.
+  const Seconds horizon = params.gust_rise + 6.0 * params.gust_fall + 2.0;
+  const std::size_t n = static_cast<std::size_t>(horizon * 2000.0) + 2;
+  std::vector<double> phase(n);
+  const Seconds dt = horizon / static_cast<double>(n - 1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    phase[i] = acc;
+    const Seconds t = dt * static_cast<double>(i);
+    const double rel = src.envelope(t) / params.peak_voltage;
+    acc += kTwoPi * params.peak_frequency * rel * dt;
+  }
+  src.phase_ = Waveform(0.0, dt, std::move(phase));
+  return src;
+}
+
+WindTurbineSource::WindTurbineSource(const Params& params, std::uint64_t seed,
+                                     Seconds horizon)
+    : WindTurbineSource(params) {
+  EDC_CHECK(horizon > 0.0, "horizon must be positive");
+  Rng rng(seed);
+  Seconds t = 0.0;
+  while (t < horizon) {
+    Gust gust;
+    gust.start = t;
+    gust.strength = std::clamp(1.0 + params.gust_jitter * rng.normal(), 0.2, 1.6);
+    gusts_.push_back(gust);
+    const double spacing =
+        std::max(0.3 * params.gust_period,
+                 params.gust_period * (1.0 + params.gust_jitter * rng.normal()));
+    t += spacing;
+  }
+  const std::size_t n = static_cast<std::size_t>(horizon * 2000.0) + 2;
+  std::vector<double> phase(n);
+  const Seconds dt = horizon / static_cast<double>(n - 1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    phase[i] = acc;
+    const Seconds tt = dt * static_cast<double>(i);
+    const double rel = envelope(tt) / params.peak_voltage;
+    acc += kTwoPi * params.peak_frequency * rel * dt;
+  }
+  phase_ = Waveform(0.0, dt, std::move(phase));
+}
+
+Volts WindTurbineSource::envelope(Seconds t) const {
+  double env = 0.0;
+  for (const Gust& gust : gusts_) {
+    const Seconds rel = t - gust.start;
+    if (rel <= 0.0) continue;
+    // Gamma-like bump: fast rise (time constant gust_rise), exponential decay
+    // (time constant gust_fall), normalised to peak at 1. The peak is at
+    // t* = tau_r * ln(1 + tau_f/tau_r) (where the derivative vanishes).
+    const double rise = 1.0 - std::exp(-rel / params_.gust_rise);
+    const double fall = std::exp(-rel / params_.gust_fall);
+    const double t_star =
+        params_.gust_rise * std::log(1.0 + params_.gust_fall / params_.gust_rise);
+    const double norm = (1.0 - std::exp(-t_star / params_.gust_rise)) *
+                        std::exp(-t_star / params_.gust_fall);
+    env += gust.strength * rise * fall / norm;
+  }
+  const Volts v = params_.peak_voltage * env;
+  return v < params_.cut_in_voltage ? 0.0 : v;
+}
+
+Volts WindTurbineSource::open_circuit_voltage(Seconds t) const {
+  const Volts env = envelope(t);
+  if (env <= 0.0) return 0.0;
+  return env * std::sin(phase_.at(t));
+}
+
+// ------------------------------------------------------------- Kinetic -----
+
+KineticHarvesterSource::KineticHarvesterSource(const Params& params,
+                                               std::uint64_t seed, Seconds horizon)
+    : params_(params) {
+  EDC_CHECK(params.resonance > 0.0, "resonance must be positive");
+  EDC_CHECK(params.ring_tau > 0.0, "ring tau must be positive");
+  EDC_CHECK(params.coil_resistance > 0.0, "coil resistance must be positive");
+  EDC_CHECK(horizon > 0.0, "horizon must be positive");
+  Rng rng(seed);
+  Seconds t = 0.05;
+  while (t < horizon) {
+    impulses_.push_back(t);
+    const double spacing =
+        std::max(0.25 * params.step_period,
+                 params.step_period * (1.0 + params.step_jitter * rng.normal()));
+    t += spacing;
+  }
+}
+
+Volts KineticHarvesterSource::open_circuit_voltage(Seconds t) const {
+  double v = 0.0;
+  // Only the most recent few impulses matter (ring-down); scan backwards.
+  for (auto it = impulses_.rbegin(); it != impulses_.rend(); ++it) {
+    const Seconds rel = t - *it;
+    if (rel < 0.0) continue;
+    if (rel > 8.0 * params_.ring_tau) break;
+    v += params_.impulse_peak * std::exp(-rel / params_.ring_tau) *
+         std::sin(kTwoPi * params_.resonance * rel);
+  }
+  return v;
+}
+
+// ------------------------------------------------------------ Waveform -----
+
+WaveformVoltageSource::WaveformVoltageSource(Waveform wave, Ohms series_resistance,
+                                             std::string name)
+    : wave_(std::move(wave)), r_series_(series_resistance), name_(std::move(name)) {
+  EDC_CHECK(!wave_.empty(), "waveform must not be empty");
+  EDC_CHECK(series_resistance > 0.0, "series resistance must be positive");
+}
+
+Volts WaveformVoltageSource::open_circuit_voltage(Seconds t) const {
+  return wave_.at(t);
+}
+
+}  // namespace edc::trace

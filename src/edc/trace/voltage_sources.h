@@ -1,0 +1,141 @@
+// Thevenin-style source generators (feed a rectifier / the supply node).
+#pragma once
+
+#include <vector>
+
+#include "edc/trace/rng.h"
+#include "edc/trace/source.h"
+#include "edc/trace/waveform.h"
+
+namespace edc::trace {
+
+/// Laboratory signal generator: sine with DC offset. The paper validated
+/// hibernus with a signal generator from DC to 20 Hz (§III).
+class SineVoltageSource final : public VoltageSource {
+ public:
+  SineVoltageSource(Volts amplitude, Hertz frequency, Volts offset = 0.0,
+                    Ohms series_resistance = 50.0);
+
+  [[nodiscard]] Volts open_circuit_voltage(Seconds t) const override;
+  [[nodiscard]] Ohms series_resistance() const override { return r_series_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Volts amplitude_;
+  Hertz frequency_;
+  Volts offset_;
+  Ohms r_series_;
+};
+
+/// Square wave (50 % duty unless specified): models hard on/off supplies.
+class SquareVoltageSource final : public VoltageSource {
+ public:
+  SquareVoltageSource(Volts high, Hertz frequency, double duty = 0.5,
+                      Volts low = 0.0, Ohms series_resistance = 50.0);
+
+  [[nodiscard]] Volts open_circuit_voltage(Seconds t) const override;
+  [[nodiscard]] Ohms series_resistance() const override { return r_series_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Volts high_;
+  Hertz frequency_;
+  double duty_;
+  Volts low_;
+  Ohms r_series_;
+};
+
+/// Micro wind turbine during gusts (Fig 1a).
+///
+/// The generator produces an AC voltage whose *amplitude* follows the gust
+/// envelope and whose *electrical frequency* tracks rotor speed, which is
+/// itself proportional to the envelope (a faster rotor generates both a
+/// larger EMF and a higher frequency). A single gust reproduces Fig 1(a):
+/// ~8 s long, peaking near +/-5 V with an electrical frequency of a few Hz.
+class WindTurbineSource final : public VoltageSource {
+ public:
+  struct Params {
+    Volts peak_voltage = 5.0;       ///< EMF at gust peak.
+    Hertz peak_frequency = 6.0;     ///< electrical frequency at gust peak.
+    Seconds gust_rise = 1.2;        ///< envelope rise time constant.
+    Seconds gust_fall = 2.2;        ///< envelope decay time constant.
+    Seconds gust_period = 10.0;     ///< mean spacing between gusts.
+    double gust_jitter = 0.35;      ///< relative jitter on spacing/strength.
+    Volts cut_in_voltage = 0.15;    ///< below this EMF the rotor is stalled.
+    Ohms coil_resistance = 220.0;   ///< generator winding resistance.
+  };
+
+  /// A deterministic single-gust turbine starting its gust at t = 0.
+  static WindTurbineSource single_gust(const Params& params);
+  static WindTurbineSource single_gust();
+
+  /// A stochastic multi-gust turbine (seeded; deterministic afterwards).
+  WindTurbineSource(const Params& params, std::uint64_t seed, Seconds horizon);
+
+  [[nodiscard]] Volts open_circuit_voltage(Seconds t) const override;
+  [[nodiscard]] Ohms series_resistance() const override { return params_.coil_resistance; }
+  [[nodiscard]] std::string name() const override { return "micro-wind-turbine"; }
+
+  /// Gust envelope (peak EMF of the AC waveform) at time t; exposed for
+  /// tests and for the Fig 1a bench.
+  [[nodiscard]] Volts envelope(Seconds t) const;
+
+ private:
+  struct Gust {
+    Seconds start = 0.0;
+    double strength = 1.0;  // relative to peak_voltage
+  };
+
+  explicit WindTurbineSource(const Params& params);
+
+  Params params_;
+  std::vector<Gust> gusts_;
+  // Electrical phase is the integral of instantaneous frequency; we sample it
+  // on a fine grid at construction so open_circuit_voltage() stays a pure
+  // function of t.
+  Waveform phase_;
+};
+
+/// Resonant kinetic (inertial/piezo) harvester excited by an impulse train,
+/// e.g. heel strikes: each impulse rings down at the transducer's resonant
+/// frequency.
+class KineticHarvesterSource final : public VoltageSource {
+ public:
+  struct Params {
+    Volts impulse_peak = 3.5;      ///< EMF just after an impulse.
+    Hertz resonance = 50.0;        ///< transducer resonant frequency.
+    Seconds ring_tau = 0.12;       ///< ring-down time constant.
+    Seconds step_period = 0.9;     ///< mean time between impulses.
+    double step_jitter = 0.25;     ///< relative jitter on spacing.
+    Ohms coil_resistance = 500.0;
+  };
+
+  KineticHarvesterSource(const Params& params, std::uint64_t seed, Seconds horizon);
+
+  [[nodiscard]] Volts open_circuit_voltage(Seconds t) const override;
+  [[nodiscard]] Ohms series_resistance() const override { return params_.coil_resistance; }
+  [[nodiscard]] std::string name() const override { return "kinetic-harvester"; }
+
+ private:
+  Params params_;
+  std::vector<Seconds> impulses_;
+};
+
+/// Plays back an arbitrary waveform as an open-circuit voltage (e.g. a
+/// recorded trace loaded from CSV).
+class WaveformVoltageSource final : public VoltageSource {
+ public:
+  WaveformVoltageSource(Waveform wave, Ohms series_resistance,
+                        std::string name = "waveform-voltage");
+
+  [[nodiscard]] Volts open_circuit_voltage(Seconds t) const override;
+  [[nodiscard]] Ohms series_resistance() const override { return r_series_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  Waveform wave_;
+  Ohms r_series_;
+  std::string name_;
+};
+
+}  // namespace edc::trace

@@ -1,0 +1,98 @@
+#include "edc/trace/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "edc/common/check.h"
+
+namespace edc::trace {
+
+Waveform::Waveform(Seconds t0, Seconds dt, std::vector<double> samples)
+    : t0_(t0), dt_(dt), samples_(std::move(samples)) {
+  EDC_CHECK(samples_.size() < 2 || dt_ > 0.0, "sample spacing must be positive");
+}
+
+Waveform Waveform::sample(const std::function<double(Seconds)>& fn, Seconds t0,
+                          Seconds t1, std::size_t n) {
+  EDC_CHECK(n >= 2, "need at least two samples");
+  EDC_CHECK(t1 > t0, "time span must be positive");
+  const Seconds dt = (t1 - t0) / static_cast<double>(n - 1);
+  std::vector<double> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples[i] = fn(t0 + dt * static_cast<double>(i));
+  }
+  return Waveform(t0, dt, std::move(samples));
+}
+
+Seconds Waveform::t_end() const noexcept {
+  if (samples_.size() < 2) return t0_;
+  return t0_ + dt_ * static_cast<double>(samples_.size() - 1);
+}
+
+double Waveform::at(Seconds t) const {
+  EDC_CHECK(!samples_.empty(), "empty waveform");
+  if (samples_.size() == 1 || t <= t0_) return samples_.front();
+  if (t >= t_end()) return samples_.back();
+  const double pos = (t - t0_) / dt_;
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  return samples_[idx] + frac * (samples_[idx + 1] - samples_[idx]);
+}
+
+Waveform Waveform::map(const std::function<double(double)>& fn) const {
+  std::vector<double> out(samples_.size());
+  std::transform(samples_.begin(), samples_.end(), out.begin(), fn);
+  return Waveform(t0_, dt_, std::move(out));
+}
+
+Waveform Waveform::resample(std::size_t n) const {
+  EDC_CHECK(!samples_.empty(), "empty waveform");
+  return sample([this](Seconds t) { return at(t); }, t0_, t_end(), n);
+}
+
+double Waveform::min() const {
+  EDC_CHECK(!samples_.empty(), "empty waveform");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Waveform::max() const {
+  EDC_CHECK(!samples_.empty(), "empty waveform");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Waveform::mean() const {
+  EDC_CHECK(!samples_.empty(), "empty waveform");
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Waveform::rms() const {
+  EDC_CHECK(!samples_.empty(), "empty waveform");
+  double sq = 0.0;
+  for (double s : samples_) sq += s * s;
+  return std::sqrt(sq / static_cast<double>(samples_.size()));
+}
+
+double Waveform::integral() const {
+  if (samples_.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    acc += 0.5 * (samples_[i - 1] + samples_[i]) * dt_;
+  }
+  return acc;
+}
+
+void TraceSet::add(std::string name, Waveform wave) {
+  names.push_back(std::move(name));
+  waves.push_back(std::move(wave));
+}
+
+const Waveform* TraceSet::find(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return &waves[i];
+  }
+  return nullptr;
+}
+
+}  // namespace edc::trace

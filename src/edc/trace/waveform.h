@@ -1,0 +1,75 @@
+// Uniformly-sampled time series with linear interpolation.
+//
+// Waveform is the exchange format between source generators, the analog
+// front-end, the simulator's probes, and the CSV/plot utilities. Samples are
+// uniformly spaced starting at t0; evaluation between samples interpolates
+// linearly, and evaluation outside the span clamps to the end samples.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "edc/common/units.h"
+
+namespace edc::trace {
+
+class Waveform {
+ public:
+  Waveform() = default;
+
+  /// Builds a waveform from explicit samples. `dt` must be > 0 unless the
+  /// waveform has fewer than two samples.
+  Waveform(Seconds t0, Seconds dt, std::vector<double> samples);
+
+  /// Samples `fn` uniformly on [t0, t1] with `n` samples (n >= 2).
+  static Waveform sample(const std::function<double(Seconds)>& fn, Seconds t0,
+                         Seconds t1, std::size_t n);
+
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] Seconds t0() const noexcept { return t0_; }
+  [[nodiscard]] Seconds dt() const noexcept { return dt_; }
+  [[nodiscard]] Seconds t_end() const noexcept;
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+  /// Linear interpolation; clamps outside [t0, t_end].
+  [[nodiscard]] double at(Seconds t) const;
+
+  [[nodiscard]] double front() const { return samples_.front(); }
+  [[nodiscard]] double back() const { return samples_.back(); }
+
+  /// Element-wise transform (e.g. unit conversion).
+  [[nodiscard]] Waveform map(const std::function<double(double)>& fn) const;
+
+  /// Resamples onto a new uniform grid spanning the same interval.
+  [[nodiscard]] Waveform resample(std::size_t n) const;
+
+  /// Appends one sample, extending the time span by dt.
+  void push_back(double value) { samples_.push_back(value); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double rms() const;
+
+  /// Trapezoidal integral over the full span (e.g. power -> energy).
+  double integral() const;
+
+ private:
+  Seconds t0_ = 0.0;
+  Seconds dt_ = 0.0;
+  std::vector<double> samples_;
+};
+
+/// A labelled waveform bundle, e.g. all probes from one simulation run.
+struct TraceSet {
+  std::vector<std::string> names;
+  std::vector<Waveform> waves;
+
+  void add(std::string name, Waveform wave);
+  [[nodiscard]] const Waveform* find(const std::string& name) const noexcept;
+};
+
+}  // namespace edc::trace

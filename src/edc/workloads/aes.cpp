@@ -1,0 +1,205 @@
+#include "edc/workloads/aes.h"
+
+#include "edc/common/check.h"
+#include "edc/trace/rng.h"
+#include "edc/workloads/bytebuf.h"
+
+namespace edc::workloads {
+
+namespace {
+
+// Software AES on a 16-bit MCU: ~6k cycles/block => ~550/round.
+constexpr Cycles kCyclesPerRound = 550;
+
+constexpr std::array<std::uint8_t, 256> kSbox = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe,
+    0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4,
+    0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7,
+    0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3,
+    0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75, 0x09,
+    0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3,
+    0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe,
+    0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85,
+    0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92,
+    0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c,
+    0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19,
+    0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2,
+    0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5,
+    0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86,
+    0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e,
+    0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf, 0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42,
+    0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16};
+
+constexpr std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+}  // namespace
+
+AesProgram::AesProgram(std::size_t blocks, std::uint64_t seed)
+    : total_blocks_(blocks), seed_(seed) {
+  EDC_CHECK(blocks >= 1, "need at least one block");
+  reset();
+}
+
+void AesProgram::reset() {
+  // Key from seed; schedule expanded into RAM (as embedded AES does).
+  std::uint64_t sm = seed_;
+  for (int i = 0; i < 16; i += 8) {
+    const std::uint64_t word = trace::splitmix64(sm);
+    for (int b = 0; b < 8; ++b) {
+      round_keys_[static_cast<std::size_t>(i + b)] =
+          static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  std::uint8_t rcon = 1;
+  for (int i = 16; i < 176; i += 4) {
+    std::array<std::uint8_t, 4> temp = {
+        round_keys_[static_cast<std::size_t>(i - 4)],
+        round_keys_[static_cast<std::size_t>(i - 3)],
+        round_keys_[static_cast<std::size_t>(i - 2)],
+        round_keys_[static_cast<std::size_t>(i - 1)]};
+    if (i % 16 == 0) {
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ rcon);
+      temp[1] = kSbox[temp[2]];
+      temp[2] = kSbox[temp[3]];
+      temp[3] = kSbox[t0];
+      rcon = xtime(rcon);
+    }
+    for (int b = 0; b < 4; ++b) {
+      round_keys_[static_cast<std::size_t>(i + b)] = static_cast<std::uint8_t>(
+          round_keys_[static_cast<std::size_t>(i + b - 16)] ^
+          temp[static_cast<std::size_t>(b)]);
+    }
+  }
+  block_index_ = 0;
+  round_ = 0;
+  digest_ = 0xcbf29ce484222325ULL;
+  last_boundary_ = Boundary::none;
+  load_block();
+}
+
+void AesProgram::load_block() {
+  std::uint64_t sm = seed_ ^ ((block_index_ + 1) * 0xd1b54a32d192ed03ULL);
+  for (int i = 0; i < 16; i += 8) {
+    const std::uint64_t word = trace::splitmix64(sm);
+    for (int b = 0; b < 8; ++b) {
+      state_[static_cast<std::size_t>(i + b)] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+}
+
+void AesProgram::add_round_key(unsigned round) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    state_[i] ^= round_keys_[round * 16 + i];
+  }
+}
+
+void AesProgram::sub_bytes_shift_rows() {
+  std::array<std::uint8_t, 16> out;
+  // Column-major state layout: byte (r, c) at index c*4 + r.
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      out[c * 4 + r] = kSbox[state_[((c + r) % 4) * 4 + r]];
+    }
+  }
+  state_ = out;
+}
+
+void AesProgram::mix_columns() {
+  for (std::size_t c = 0; c < 4; ++c) {
+    const std::uint8_t a0 = state_[c * 4 + 0];
+    const std::uint8_t a1 = state_[c * 4 + 1];
+    const std::uint8_t a2 = state_[c * 4 + 2];
+    const std::uint8_t a3 = state_[c * 4 + 3];
+    state_[c * 4 + 0] = static_cast<std::uint8_t>(xtime(a0) ^ xtime(a1) ^ a1 ^ a2 ^ a3);
+    state_[c * 4 + 1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ xtime(a2) ^ a2 ^ a3);
+    state_[c * 4 + 2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ xtime(a3) ^ a3);
+    state_[c * 4 + 3] = static_cast<std::uint8_t>(xtime(a0) ^ a0 ^ a1 ^ a2 ^ xtime(a3));
+  }
+}
+
+Cycles AesProgram::next_tick_cost() const {
+  EDC_CHECK(!done(), "program finished");
+  return kCyclesPerRound;
+}
+
+void AesProgram::run_tick() {
+  EDC_CHECK(!done(), "program finished");
+  if (round_ == 0) {
+    add_round_key(0);
+    round_ = 1;
+    last_boundary_ = Boundary::loop;
+    return;
+  }
+  sub_bytes_shift_rows();
+  if (round_ < 10) {
+    mix_columns();
+  }
+  add_round_key(round_);
+  if (round_ == 10) {
+    // Block complete: fold the ciphertext into the chained digest.
+    digest_ = fnv1a(std::as_bytes(std::span<const std::uint8_t>(state_)), digest_);
+    ++block_index_;
+    round_ = 0;
+    last_boundary_ = Boundary::function;
+    if (!done()) load_block();
+  } else {
+    ++round_;
+    last_boundary_ = Boundary::loop;
+  }
+}
+
+Boundary AesProgram::boundary() const { return last_boundary_; }
+
+bool AesProgram::done() const { return block_index_ >= total_blocks_; }
+
+double AesProgram::progress() const {
+  const double per_block = 11.0;
+  const double ticks = static_cast<double>(block_index_) * per_block +
+                       (round_ == 0 ? 0.0 : static_cast<double>(round_));
+  return done() ? 1.0 : ticks / (static_cast<double>(total_blocks_) * per_block);
+}
+
+Cycles AesProgram::total_cycles() const {
+  return static_cast<Cycles>(total_blocks_) * 11 * kCyclesPerRound;
+}
+
+std::vector<std::byte> AesProgram::save_state() const {
+  ByteWriter w;
+  w.write(round_keys_);
+  w.write(state_);
+  w.write(block_index_);
+  w.write(round_);
+  w.write(digest_);
+  w.write(static_cast<std::uint8_t>(last_boundary_));
+  return std::move(w).take();
+}
+
+void AesProgram::restore_state(std::span<const std::byte> state) {
+  ByteReader r(state);
+  round_keys_ = r.read<std::array<std::uint8_t, 176>>();
+  state_ = r.read<std::array<std::uint8_t, 16>>();
+  block_index_ = r.read<std::uint64_t>();
+  round_ = r.read<std::uint8_t>();
+  digest_ = r.read<std::uint64_t>();
+  last_boundary_ = static_cast<Boundary>(r.read<std::uint8_t>());
+  EDC_CHECK(r.exhausted(), "trailing bytes in AES state");
+  EDC_CHECK(round_ <= 10, "AES round out of range");
+}
+
+std::size_t AesProgram::ram_footprint() const {
+  return sizeof(round_keys_) + sizeof(state_) + 64;
+}
+
+std::uint64_t AesProgram::result_digest() const { return digest_; }
+
+std::string AesProgram::name() const {
+  return "aes128-" + std::to_string(total_blocks_) + "blk";
+}
+
+}  // namespace edc::workloads

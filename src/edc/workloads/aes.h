@@ -1,0 +1,54 @@
+// AES-128 ECB encryption of a block stream (software AES, embedded style).
+//
+// Tick = one AES round; 10 rounds plus whitening per 16-byte block. Blocks
+// are generated deterministically from the seed; the digest chains over all
+// ciphertexts. Loop boundary per round, function boundary per block.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "edc/workloads/program.h"
+
+namespace edc::workloads {
+
+class AesProgram final : public Program {
+ public:
+  AesProgram(std::size_t blocks, std::uint64_t seed);
+
+  void reset() override;
+  [[nodiscard]] Cycles next_tick_cost() const override;
+  void run_tick() override;
+  [[nodiscard]] Boundary boundary() const override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] double progress() const override;
+  [[nodiscard]] std::uint64_t ticks_done() const override {
+    return block_index_ * 11 + round_;
+  }
+  [[nodiscard]] Cycles total_cycles() const override;
+  [[nodiscard]] std::vector<std::byte> save_state() const override;
+  void restore_state(std::span<const std::byte> state) override;
+  [[nodiscard]] std::size_t ram_footprint() const override;
+  [[nodiscard]] std::uint64_t result_digest() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  void load_block();
+  void add_round_key(unsigned round);
+  void sub_bytes_shift_rows();
+  void mix_columns();
+
+  // ROM.
+  std::size_t total_blocks_;
+  std::uint64_t seed_;
+
+  // RAM image.
+  std::array<std::uint8_t, 176> round_keys_{};  // expanded key schedule
+  std::array<std::uint8_t, 16> state_{};        // current block state
+  std::uint64_t block_index_ = 0;
+  std::uint8_t round_ = 0;  // 0 = whitening pending; 1..10 = next round to run
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;
+  Boundary last_boundary_ = Boundary::none;
+};
+
+}  // namespace edc::workloads

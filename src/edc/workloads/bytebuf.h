@@ -1,0 +1,93 @@
+// Flat byte-buffer serialization for program volatile state ("RAM images").
+//
+// Snapshot/restore in a transient system copies raw RAM; we mirror that by
+// serializing each program's state as trivially-copyable fields. Writer and
+// Reader enforce exact-size round trips, so a truncated (torn) snapshot is
+// detected just as a real system detects an invalid snapshot marker.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "edc/common/check.h"
+
+namespace edc::workloads {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buffer_.insert(buffer_.end(), p, p + sizeof(T));
+  }
+
+  template <typename T>
+  void write_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write<std::uint64_t>(values.size());
+    const auto* p = reinterpret_cast<const std::byte*>(values.data());
+    buffer_.insert(buffer_.end(), p, p + values.size() * sizeof(T));
+  }
+
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    EDC_CHECK(pos_ + sizeof(T) <= data_.size(), "truncated state buffer");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    const auto n = read<std::uint64_t>();
+    EDC_CHECK(pos_ + n * sizeof(T) <= data_.size(), "truncated state buffer");
+    std::vector<T> values(static_cast<std::size_t>(n));
+    std::memcpy(values.data(), data_.data() + pos_, values.size() * sizeof(T));
+    pos_ += values.size() * sizeof(T);
+    return values;
+  }
+
+  /// True when every byte has been consumed (exact-size round trip).
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit digest, used to compare program outputs bit-exactly.
+constexpr std::uint64_t fnv1a(std::span<const std::byte> data,
+                              std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t hash = seed;
+  for (std::byte b : data) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+template <typename T>
+std::uint64_t fnv1a_of(const std::vector<T>& values,
+                       std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv1a(std::as_bytes(std::span<const T>(values)), seed);
+}
+
+}  // namespace edc::workloads

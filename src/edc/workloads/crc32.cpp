@@ -1,0 +1,105 @@
+#include "edc/workloads/crc32.h"
+
+#include "edc/common/check.h"
+#include "edc/trace/rng.h"
+#include "edc/workloads/bytebuf.h"
+
+namespace edc::workloads {
+
+namespace {
+// Table-driven CRC on a 16-bit MCU: ~10 cycles/byte incl. fetch.
+constexpr Cycles kCyclesPerBlock = 64 * 10;
+}  // namespace
+
+Crc32Program::Crc32Program(std::size_t total_bytes, std::uint64_t seed)
+    : total_blocks_(total_bytes / kBlockBytes), seed_(seed) {
+  EDC_CHECK(total_bytes >= kBlockBytes && total_bytes % kBlockBytes == 0,
+            "total_bytes must be a positive multiple of 64");
+  // CRC-32 (IEEE 802.3, reflected) table — ROM contents.
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table_[i] = c;
+  }
+  reset();
+}
+
+void Crc32Program::reset() {
+  block_index_ = 0;
+  crc_ = 0xffffffffu;
+  last_boundary_ = Boundary::none;
+}
+
+Cycles Crc32Program::next_tick_cost() const {
+  EDC_CHECK(!done(), "program finished");
+  return kCyclesPerBlock;
+}
+
+void Crc32Program::run_tick() {
+  EDC_CHECK(!done(), "program finished");
+  // Regenerate the block from (seed, block_index): the sensor FIFO replays
+  // deterministically, so restarted reads observe identical data.
+  std::uint64_t sm = seed_ ^ (block_index_ * 0x9e3779b97f4a7c15ULL + 1);
+  for (std::size_t i = 0; i < kBlockBytes; i += 8) {
+    std::uint64_t word = trace::splitmix64(sm);
+    for (std::size_t b = 0; b < 8; ++b) {
+      const auto byte = static_cast<std::uint8_t>(word >> (8 * b));
+      crc_ = table_[(crc_ ^ byte) & 0xffu] ^ (crc_ >> 8);
+    }
+  }
+  ++block_index_;
+  // Every block ends a loop iteration; every 16th (1 KiB) ends a "function".
+  last_boundary_ = (block_index_ % 16 == 0 || block_index_ == total_blocks_)
+                       ? Boundary::function
+                       : Boundary::loop;
+}
+
+Boundary Crc32Program::boundary() const { return last_boundary_; }
+
+bool Crc32Program::done() const { return block_index_ >= total_blocks_; }
+
+double Crc32Program::progress() const {
+  return static_cast<double>(block_index_) / static_cast<double>(total_blocks_);
+}
+
+Cycles Crc32Program::total_cycles() const {
+  return static_cast<Cycles>(total_blocks_) * kCyclesPerBlock;
+}
+
+std::vector<std::byte> Crc32Program::save_state() const {
+  ByteWriter w;
+  w.write(block_index_);
+  w.write(crc_);
+  w.write(static_cast<std::uint8_t>(last_boundary_));
+  return std::move(w).take();
+}
+
+void Crc32Program::restore_state(std::span<const std::byte> state) {
+  ByteReader r(state);
+  block_index_ = r.read<std::uint64_t>();
+  crc_ = r.read<std::uint32_t>();
+  last_boundary_ = static_cast<Boundary>(r.read<std::uint8_t>());
+  EDC_CHECK(r.exhausted(), "trailing bytes in CRC state");
+  EDC_CHECK(block_index_ <= total_blocks_, "CRC state out of range");
+}
+
+std::size_t Crc32Program::ram_footprint() const {
+  // Stream window + scalars + stack: the small-state regime.
+  return kBlockBytes + 48;
+}
+
+std::uint64_t Crc32Program::result_digest() const {
+  const std::uint32_t final_crc = crc();
+  ByteWriter w;
+  w.write(final_crc);
+  const auto bytes = std::move(w).take();
+  return fnv1a(bytes);
+}
+
+std::string Crc32Program::name() const {
+  return "crc32-" + std::to_string(total_blocks_ * kBlockBytes / 1024) + "KiB";
+}
+
+}  // namespace edc::workloads

@@ -1,0 +1,53 @@
+// Streaming CRC-32 over sensor-style data.
+//
+// Models an RFID-scale device integrity-checking a stream: each tick fetches
+// one 64-byte block (regenerated deterministically from the seed, as if read
+// from a sensor FIFO) and folds it into the running CRC. The volatile state
+// is tiny (~tens of bytes), which is the regime where QuickRecall-style
+// register-only snapshots shine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "edc/workloads/program.h"
+
+namespace edc::workloads {
+
+class Crc32Program final : public Program {
+ public:
+  /// Processes `total_bytes` (multiple of 64) of generated data.
+  Crc32Program(std::size_t total_bytes, std::uint64_t seed);
+
+  void reset() override;
+  [[nodiscard]] Cycles next_tick_cost() const override;
+  void run_tick() override;
+  [[nodiscard]] Boundary boundary() const override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] double progress() const override;
+  [[nodiscard]] std::uint64_t ticks_done() const override { return block_index_; }
+  [[nodiscard]] Cycles total_cycles() const override;
+  [[nodiscard]] std::vector<std::byte> save_state() const override;
+  void restore_state(std::span<const std::byte> state) override;
+  [[nodiscard]] std::size_t ram_footprint() const override;
+  [[nodiscard]] std::uint64_t result_digest() const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The final CRC value (valid once done()).
+  [[nodiscard]] std::uint32_t crc() const noexcept { return crc_ ^ 0xffffffffu; }
+
+ private:
+  static constexpr std::size_t kBlockBytes = 64;
+
+  // ROM.
+  std::size_t total_blocks_;
+  std::uint64_t seed_;
+  std::array<std::uint32_t, 256> table_{};
+
+  // RAM image.
+  std::uint64_t block_index_ = 0;
+  std::uint32_t crc_ = 0xffffffffu;
+  Boundary last_boundary_ = Boundary::none;
+};
+
+}  // namespace edc::workloads

@@ -1,0 +1,177 @@
+#include "edc/workloads/fft.h"
+
+#include <cmath>
+
+#include "edc/common/check.h"
+#include "edc/trace/rng.h"
+#include "edc/workloads/bytebuf.h"
+
+namespace edc::workloads {
+
+namespace {
+constexpr Cycles kSwapTickCycles = 10;       // index reverse + conditional swap
+constexpr Cycles kButterflyTickCycles = 64;  // 4 Q15 multiplies + adds/shifts
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+FftProgram::FftProgram(unsigned log2_size, std::uint64_t seed)
+    : log2_size_(log2_size), size_(1u << log2_size), seed_(seed) {
+  EDC_CHECK(log2_size >= 4 && log2_size <= 12, "log2_size must be in [4,12]");
+  // Twiddle table: e^{-j*2*pi*k/N} for k in [0, N/2). ROM contents.
+  twiddle_cos_.resize(size_ / 2);
+  twiddle_sin_.resize(size_ / 2);
+  for (std::uint32_t k = 0; k < size_ / 2; ++k) {
+    const double angle = -2.0 * kPi * static_cast<double>(k) / static_cast<double>(size_);
+    twiddle_cos_[k] = static_cast<std::int16_t>(std::lround(32767.0 * std::cos(angle)));
+    twiddle_sin_[k] = static_cast<std::int16_t>(std::lround(32767.0 * std::sin(angle)));
+  }
+  reset();
+}
+
+void FftProgram::reset() {
+  re_.assign(size_, 0);
+  im_.assign(size_, 0);
+  trace::Rng rng(seed_);
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    // 12-bit ADC-like samples centred on zero.
+    re_[i] = static_cast<std::int16_t>(static_cast<int>(rng.below(4096)) - 2048);
+    im_[i] = 0;
+  }
+  phase_ = Phase::bit_reverse;
+  br_index_ = 0;
+  stage_len_ = 2;
+  pair_index_ = 0;
+  ticks_done_ = 0;
+  last_boundary_ = Boundary::none;
+}
+
+Cycles FftProgram::next_tick_cost() const {
+  EDC_CHECK(!done(), "program finished");
+  return phase_ == Phase::bit_reverse ? kSwapTickCycles : kButterflyTickCycles;
+}
+
+Boundary FftProgram::boundary() const { return last_boundary_; }
+
+bool FftProgram::done() const { return phase_ == Phase::finished; }
+
+double FftProgram::progress() const {
+  const auto total =
+      static_cast<double>(size_) +
+      static_cast<double>(size_ / 2) * static_cast<double>(log2_size_);
+  return done() ? 1.0 : static_cast<double>(ticks_done_) / total;
+}
+
+Cycles FftProgram::total_cycles() const {
+  return static_cast<Cycles>(size_) * kSwapTickCycles +
+         static_cast<Cycles>(size_ / 2) * log2_size_ * kButterflyTickCycles;
+}
+
+void FftProgram::run_tick() {
+  EDC_CHECK(!done(), "program finished");
+  if (phase_ == Phase::bit_reverse) {
+    run_bit_reverse_tick();
+  } else {
+    run_butterfly_tick();
+  }
+  ++ticks_done_;
+}
+
+void FftProgram::run_bit_reverse_tick() {
+  // Reverse the log2_size_-bit index and swap once per pair.
+  std::uint32_t i = br_index_;
+  std::uint32_t rev = 0;
+  for (unsigned b = 0; b < log2_size_; ++b) {
+    rev = (rev << 1) | ((i >> b) & 1u);
+  }
+  if (rev > i) {
+    std::swap(re_[i], re_[rev]);
+    std::swap(im_[i], im_[rev]);
+  }
+  ++br_index_;
+  if (br_index_ == size_) {
+    phase_ = Phase::butterflies;
+    last_boundary_ = Boundary::function;  // end of the bit-reverse pass
+  } else {
+    last_boundary_ = Boundary::loop;
+  }
+}
+
+void FftProgram::run_butterfly_tick() {
+  const std::uint32_t half = stage_len_ / 2;
+  const std::uint32_t block = pair_index_ / half;
+  const std::uint32_t j = pair_index_ % half;
+  const std::uint32_t top = block * stage_len_ + j;
+  const std::uint32_t bot = top + half;
+  const std::uint32_t tw = j * (size_ / stage_len_);
+
+  const std::int32_t wc = twiddle_cos_[tw];
+  const std::int32_t ws = twiddle_sin_[tw];
+  const std::int32_t br = re_[bot];
+  const std::int32_t bi = im_[bot];
+  // (br + j*bi) * (wc + j*ws) in Q15, rounded.
+  const std::int32_t tr = static_cast<std::int32_t>((br * wc - bi * ws + 16384) >> 15);
+  const std::int32_t ti = static_cast<std::int32_t>((br * ws + bi * wc + 16384) >> 15);
+  // Per-stage scaling by 1/2 prevents overflow (|x| grows <= 2x per stage).
+  const std::int32_t ar = re_[top];
+  const std::int32_t ai = im_[top];
+  re_[top] = static_cast<std::int16_t>((ar + tr) >> 1);
+  im_[top] = static_cast<std::int16_t>((ai + ti) >> 1);
+  re_[bot] = static_cast<std::int16_t>((ar - tr) >> 1);
+  im_[bot] = static_cast<std::int16_t>((ai - ti) >> 1);
+
+  ++pair_index_;
+  if (pair_index_ == size_ / 2) {
+    pair_index_ = 0;
+    if (stage_len_ == size_) {
+      phase_ = Phase::finished;
+    } else {
+      stage_len_ *= 2;
+    }
+    last_boundary_ = Boundary::function;  // end of an FFT stage
+  } else {
+    last_boundary_ = Boundary::loop;
+  }
+}
+
+std::vector<std::byte> FftProgram::save_state() const {
+  ByteWriter w;
+  w.write_vector(re_);
+  w.write_vector(im_);
+  w.write(static_cast<std::uint8_t>(phase_));
+  w.write(br_index_);
+  w.write(stage_len_);
+  w.write(pair_index_);
+  w.write(ticks_done_);
+  w.write(static_cast<std::uint8_t>(last_boundary_));
+  return std::move(w).take();
+}
+
+void FftProgram::restore_state(std::span<const std::byte> state) {
+  ByteReader r(state);
+  re_ = r.read_vector<std::int16_t>();
+  im_ = r.read_vector<std::int16_t>();
+  phase_ = static_cast<Phase>(r.read<std::uint8_t>());
+  br_index_ = r.read<std::uint32_t>();
+  stage_len_ = r.read<std::uint32_t>();
+  pair_index_ = r.read<std::uint32_t>();
+  ticks_done_ = r.read<std::uint64_t>();
+  last_boundary_ = static_cast<Boundary>(r.read<std::uint8_t>());
+  EDC_CHECK(r.exhausted(), "trailing bytes in FFT state");
+  EDC_CHECK(re_.size() == size_ && im_.size() == size_, "FFT state size mismatch");
+}
+
+std::size_t FftProgram::ram_footprint() const {
+  // Sample arrays plus the handful of scalars above (indices, phase, stack).
+  return size_ * 2 * sizeof(std::int16_t) + 32;
+}
+
+std::uint64_t FftProgram::result_digest() const {
+  std::uint64_t h = fnv1a_of(re_);
+  return fnv1a_of(im_, h);
+}
+
+std::string FftProgram::name() const {
+  return "fft-" + std::to_string(size_);
+}
+
+}  // namespace edc::workloads

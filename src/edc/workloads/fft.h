@@ -1,0 +1,61 @@
+// Fixed-point radix-2 FFT — the workload of the paper's Fig 7.
+//
+// In-place iterative decimation-in-time FFT on Q15 complex samples with
+// per-stage scaling (the classic embedded formulation). Ticks:
+//   * bit-reverse phase: one swap-check per tick;
+//   * butterfly phase:   one butterfly per tick.
+// Loop boundary after every tick; function boundary at the end of the
+// bit-reverse pass and of each stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "edc/workloads/program.h"
+
+namespace edc::workloads {
+
+class FftProgram final : public Program {
+ public:
+  /// `log2_size` in [4, 12]; input samples are generated from `seed`.
+  FftProgram(unsigned log2_size, std::uint64_t seed);
+
+  void reset() override;
+  [[nodiscard]] Cycles next_tick_cost() const override;
+  void run_tick() override;
+  [[nodiscard]] Boundary boundary() const override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] double progress() const override;
+  [[nodiscard]] std::uint64_t ticks_done() const override { return ticks_done_; }
+  [[nodiscard]] Cycles total_cycles() const override;
+  [[nodiscard]] std::vector<std::byte> save_state() const override;
+  void restore_state(std::span<const std::byte> state) override;
+  [[nodiscard]] std::size_t ram_footprint() const override;
+  [[nodiscard]] std::uint64_t result_digest() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  enum class Phase : std::uint8_t { bit_reverse, butterflies, finished };
+
+  void run_bit_reverse_tick();
+  void run_butterfly_tick();
+
+  // Configuration (program memory, not part of the RAM image).
+  unsigned log2_size_;
+  std::uint32_t size_;
+  std::uint64_t seed_;
+  std::vector<std::int16_t> twiddle_cos_;  // ROM: Q15 quarter-resolution table
+  std::vector<std::int16_t> twiddle_sin_;
+
+  // Volatile state (RAM image).
+  std::vector<std::int16_t> re_;
+  std::vector<std::int16_t> im_;
+  Phase phase_ = Phase::bit_reverse;
+  std::uint32_t br_index_ = 0;     // bit-reverse cursor
+  std::uint32_t stage_len_ = 2;    // current butterfly span (2, 4, ..., N)
+  std::uint32_t pair_index_ = 0;   // flat butterfly counter within the stage
+  std::uint64_t ticks_done_ = 0;
+  Boundary last_boundary_ = Boundary::none;
+};
+
+}  // namespace edc::workloads

@@ -1,0 +1,92 @@
+#include "edc/workloads/matmul.h"
+
+#include "edc/common/check.h"
+#include "edc/trace/rng.h"
+#include "edc/workloads/bytebuf.h"
+
+namespace edc::workloads {
+
+namespace {
+// MAC on a 16-bit MCU with 32-bit accumulate: ~8 cycles incl. addressing.
+constexpr Cycles kCyclesPerMac = 8;
+}  // namespace
+
+MatMulProgram::MatMulProgram(std::size_t n, std::uint64_t seed) : n_(n), seed_(seed) {
+  EDC_CHECK(n >= 2 && n <= 64, "n must be in [2,64]");
+  reset();
+}
+
+void MatMulProgram::reset() {
+  trace::Rng rng(seed_);
+  a_.assign(n_ * n_, 0);
+  b_.assign(n_ * n_, 0);
+  c_.assign(n_ * n_, 0);
+  for (auto& x : a_) x = static_cast<std::int32_t>(rng.below(2048)) - 1024;
+  for (auto& x : b_) x = static_cast<std::int32_t>(rng.below(2048)) - 1024;
+  element_ = 0;
+  last_boundary_ = Boundary::none;
+}
+
+Cycles MatMulProgram::next_tick_cost() const {
+  EDC_CHECK(!done(), "program finished");
+  return static_cast<Cycles>(n_) * kCyclesPerMac;
+}
+
+void MatMulProgram::run_tick() {
+  EDC_CHECK(!done(), "program finished");
+  const std::size_t row = element_ / n_;
+  const std::size_t col = element_ % n_;
+  std::int32_t acc = 0;
+  for (std::size_t k = 0; k < n_; ++k) {
+    acc += a_[row * n_ + k] * b_[k * n_ + col];
+  }
+  c_[row * n_ + col] = acc;
+  ++element_;
+  last_boundary_ = (element_ % n_ == 0) ? Boundary::function : Boundary::loop;
+}
+
+Boundary MatMulProgram::boundary() const { return last_boundary_; }
+
+bool MatMulProgram::done() const { return element_ >= n_ * n_; }
+
+double MatMulProgram::progress() const {
+  return static_cast<double>(element_) / static_cast<double>(n_ * n_);
+}
+
+Cycles MatMulProgram::total_cycles() const {
+  return static_cast<Cycles>(n_ * n_ * n_) * kCyclesPerMac;
+}
+
+std::vector<std::byte> MatMulProgram::save_state() const {
+  ByteWriter w;
+  w.write_vector(a_);
+  w.write_vector(b_);
+  w.write_vector(c_);
+  w.write(element_);
+  w.write(static_cast<std::uint8_t>(last_boundary_));
+  return std::move(w).take();
+}
+
+void MatMulProgram::restore_state(std::span<const std::byte> state) {
+  ByteReader r(state);
+  a_ = r.read_vector<std::int32_t>();
+  b_ = r.read_vector<std::int32_t>();
+  c_ = r.read_vector<std::int32_t>();
+  element_ = r.read<std::uint32_t>();
+  last_boundary_ = static_cast<Boundary>(r.read<std::uint8_t>());
+  EDC_CHECK(r.exhausted(), "trailing bytes in matmul state");
+  EDC_CHECK(a_.size() == n_ * n_ && b_.size() == n_ * n_ && c_.size() == n_ * n_,
+            "matmul state size mismatch");
+}
+
+std::size_t MatMulProgram::ram_footprint() const {
+  return 3 * n_ * n_ * sizeof(std::int32_t) + 32;
+}
+
+std::uint64_t MatMulProgram::result_digest() const { return fnv1a_of(c_); }
+
+std::string MatMulProgram::name() const {
+  return "matmul-" + std::to_string(n_) + "x" + std::to_string(n_);
+}
+
+}  // namespace edc::workloads

@@ -1,0 +1,46 @@
+// Dense integer matrix multiply C = A * B.
+//
+// Tick = one output element (a full dot product). Loop boundary after each
+// element; function boundary after each output row. The O(N^2) RAM image
+// (A, B, C) exercises the large-snapshot regime for SRAM-based policies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "edc/workloads/program.h"
+
+namespace edc::workloads {
+
+class MatMulProgram final : public Program {
+ public:
+  MatMulProgram(std::size_t n, std::uint64_t seed);
+
+  void reset() override;
+  [[nodiscard]] Cycles next_tick_cost() const override;
+  void run_tick() override;
+  [[nodiscard]] Boundary boundary() const override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] double progress() const override;
+  [[nodiscard]] std::uint64_t ticks_done() const override { return element_; }
+  [[nodiscard]] Cycles total_cycles() const override;
+  [[nodiscard]] std::vector<std::byte> save_state() const override;
+  void restore_state(std::span<const std::byte> state) override;
+  [[nodiscard]] std::size_t ram_footprint() const override;
+  [[nodiscard]] std::uint64_t result_digest() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  // ROM.
+  std::size_t n_;
+  std::uint64_t seed_;
+
+  // RAM image.
+  std::vector<std::int32_t> a_;
+  std::vector<std::int32_t> b_;
+  std::vector<std::int32_t> c_;
+  std::uint32_t element_ = 0;  // flat index of the next output element
+  Boundary last_boundary_ = Boundary::none;
+};
+
+}  // namespace edc::workloads

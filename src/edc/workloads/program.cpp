@@ -1,0 +1,37 @@
+#include "edc/workloads/program.h"
+
+#include "edc/common/check.h"
+#include "edc/workloads/aes.h"
+#include "edc/workloads/crc32.h"
+#include "edc/workloads/fft.h"
+#include "edc/workloads/matmul.h"
+#include "edc/workloads/raytrace.h"
+#include "edc/workloads/sensing.h"
+#include "edc/workloads/sort.h"
+
+namespace edc::workloads {
+
+std::uint64_t golden_digest(Program& program) {
+  program.reset();
+  while (!program.done()) program.run_tick();
+  return program.result_digest();
+}
+
+std::unique_ptr<Program> make_program(const std::string& kind, std::uint64_t seed) {
+  if (kind == "fft") return std::make_unique<FftProgram>(10, seed);
+  if (kind == "fft-small") return std::make_unique<FftProgram>(8, seed);
+  if (kind == "crc") return std::make_unique<Crc32Program>(16 * 1024, seed);
+  if (kind == "aes") return std::make_unique<AesProgram>(64, seed);
+  if (kind == "matmul") return std::make_unique<MatMulProgram>(24, seed);
+  if (kind == "sort") return std::make_unique<SortProgram>(2048, seed);
+  if (kind == "sense") return std::make_unique<SensingProgram>(8, seed);
+  if (kind == "raytrace") return std::make_unique<RaytraceProgram>(32, 24, seed);
+  EDC_CHECK(false, "unknown program kind: " + kind);
+  return nullptr;
+}
+
+std::vector<std::string> standard_program_kinds() {
+  return {"fft", "fft-small", "crc", "aes", "matmul", "sort", "sense", "raytrace"};
+}
+
+}  // namespace edc::workloads

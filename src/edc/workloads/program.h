@@ -1,0 +1,92 @@
+// Resumable program model.
+//
+// A Program is a computation expressed as a sequence of indivisible "ticks"
+// (a butterfly, a CRC block, an AES round, ...), each with a deterministic
+// cycle cost. All state that survives between ticks is serializable — the
+// program's "RAM image" — so a checkpoint policy can snapshot it to NVM and
+// restore it after a power outage, and the final output is bit-exact
+// regardless of how execution was sliced (the central transient-computing
+// correctness property, tested in tests/intermittent_correctness_test.cpp).
+//
+// Checkpoint candidates (Mementos §II.B): each tick reports whether it ends
+// a loop iteration and/or a function-level unit, which is where Mementos'
+// compile-time instrumentation would insert checkpoint calls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "edc/common/units.h"
+
+namespace edc::workloads {
+
+/// Granularity of a checkpoint candidate (Mementos' instrumentation modes).
+enum class Boundary : std::uint8_t {
+  none = 0,       ///< mid-computation; only interrupt-driven saves possible
+  loop = 1,       ///< end of a loop iteration
+  function = 2,   ///< end of a function-level unit (implies loop)
+};
+
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  /// Re-initialises the program to its power-on state (inputs regenerated
+  /// from the construction seed; all progress lost).
+  virtual void reset() = 0;
+
+  /// Cycle cost of the next tick. Precondition: !done().
+  [[nodiscard]] virtual Cycles next_tick_cost() const = 0;
+
+  /// Executes exactly one tick. Precondition: !done().
+  virtual void run_tick() = 0;
+
+  /// Boundary kind reached after the most recent tick.
+  [[nodiscard]] virtual Boundary boundary() const = 0;
+
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// Fraction of total work completed, in [0, 1]; must be monotone in ticks.
+  [[nodiscard]] virtual double progress() const = 0;
+
+  /// Number of ticks completed since reset (restored by restore_state).
+  /// Strictly increases by one per run_tick(); used to distinguish forward
+  /// progress from re-executed work after a rollback.
+  [[nodiscard]] virtual std::uint64_t ticks_done() const = 0;
+
+  /// Total cycles of the whole computation when run without interruption.
+  [[nodiscard]] virtual Cycles total_cycles() const = 0;
+
+  /// Serialises the volatile state (RAM image).
+  [[nodiscard]] virtual std::vector<std::byte> save_state() const = 0;
+
+  /// Restores a previously saved state. Throws on malformed/truncated input.
+  virtual void restore_state(std::span<const std::byte> state) = 0;
+
+  /// Bytes of volatile RAM the computation occupies (determines snapshot
+  /// time/energy on SRAM-based platforms).
+  [[nodiscard]] virtual std::size_t ram_footprint() const = 0;
+
+  /// Digest of the output; only meaningful once done().
+  [[nodiscard]] virtual std::uint64_t result_digest() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Runs `program` to completion without interruption and returns its digest
+/// (the "golden" result used to verify intermittent executions). The program
+/// is reset before and left completed after.
+std::uint64_t golden_digest(Program& program);
+
+/// Factory for the standard workload suite (used by tests and benches):
+/// "fft" (1024-pt), "fft-small" (256-pt), "crc" (16 KiB), "aes" (64 blocks),
+/// "matmul" (24x24), "sort" (2048), "sense" (8 rounds), "raytrace" (32x24).
+std::unique_ptr<Program> make_program(const std::string& kind, std::uint64_t seed = 1);
+
+/// Names accepted by make_program.
+std::vector<std::string> standard_program_kinds();
+
+}  // namespace edc::workloads

@@ -1,0 +1,158 @@
+#include "edc/workloads/raytrace.h"
+
+#include <cmath>
+
+#include "edc/common/check.h"
+#include "edc/trace/rng.h"
+#include "edc/workloads/bytebuf.h"
+
+namespace edc::workloads {
+
+namespace {
+// Ray-sphere tests + shading in fixed point on a small core.
+constexpr Cycles kCyclesPerPixel = 1800;
+constexpr std::int64_t kOne = 1 << 16;  // Q16
+
+// Integer square root (binary search); deterministic across platforms.
+std::int64_t isqrt(std::int64_t v) {
+  if (v <= 0) return 0;
+  std::int64_t lo = 0, hi = 3037000499LL;  // floor(sqrt(2^63-1))
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo + 1) / 2;
+    if (mid <= v / mid) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+}  // namespace
+
+RaytraceProgram::RaytraceProgram(unsigned width, unsigned height, std::uint64_t seed)
+    : width_(width), height_(height), seed_(seed) {
+  EDC_CHECK(width >= 8 && width <= 256, "width must be in [8,256]");
+  EDC_CHECK(height >= 8 && height <= 256, "height must be in [8,256]");
+  // Deterministic scene: a ground sphere plus a few floating spheres.
+  trace::Rng rng(seed ^ 0x5ca1ab1eULL);
+  scene_.push_back(Sphere{0, -200 * kOne, 60 * kOne, 198 * kOne, 64});
+  for (int i = 0; i < 5; ++i) {
+    Sphere s;
+    s.cx = static_cast<std::int64_t>((rng.uniform() - 0.5) * 30.0 * kOne);
+    s.cy = static_cast<std::int64_t>((rng.uniform() - 0.2) * 10.0 * kOne);
+    s.cz = static_cast<std::int64_t>((20.0 + rng.uniform() * 30.0) * kOne);
+    s.r = static_cast<std::int64_t>((2.0 + rng.uniform() * 4.0) * kOne);
+    s.albedo = static_cast<std::int32_t>(100 + rng.below(156));
+    scene_.push_back(s);
+  }
+  reset();
+}
+
+void RaytraceProgram::reset() {
+  framebuffer_.assign(static_cast<std::size_t>(width_) * height_, 0);
+  pixel_ = 0;
+  last_boundary_ = Boundary::none;
+}
+
+Cycles RaytraceProgram::cycles_per_pixel() noexcept { return kCyclesPerPixel; }
+
+Cycles RaytraceProgram::next_tick_cost() const {
+  EDC_CHECK(!done(), "program finished");
+  return kCyclesPerPixel;
+}
+
+std::uint8_t RaytraceProgram::shade_pixel(unsigned px, unsigned py) const {
+  // Camera at origin looking +z; pixel -> direction in Q16 (unnormalised,
+  // the intersection test tolerates scale).
+  const std::int64_t dx =
+      (static_cast<std::int64_t>(px) * 2 - width_) * kOne / static_cast<std::int64_t>(width_);
+  const std::int64_t dy =
+      (static_cast<std::int64_t>(height_) - static_cast<std::int64_t>(py) * 2) * kOne /
+      static_cast<std::int64_t>(height_);
+  const std::int64_t dz = kOne;
+
+  std::int64_t best_t = INT64_MAX;
+  std::int32_t best_albedo = 0;
+  std::int64_t best_ny = 0;
+
+  for (const Sphere& s : scene_) {
+    // |o + t*d - c|^2 = r^2 with o = 0:  (d.d) t^2 - 2 (d.c) t + c.c - r^2 = 0
+    const std::int64_t dd = (dx * dx + dy * dy + dz * dz) >> 16;
+    const std::int64_t dc = (dx * s.cx + dy * s.cy + dz * s.cz) >> 16;
+    const std::int64_t cc =
+        ((s.cx * s.cx + s.cy * s.cy + s.cz * s.cz) >> 16) - ((s.r * s.r) >> 16);
+    const std::int64_t disc = ((dc >> 8) * (dc >> 8)) - ((dd >> 8) * (cc >> 8));
+    if (disc <= 0) continue;
+    const std::int64_t sq = isqrt(disc) << 8;
+    const std::int64_t t_hit = ((dc - sq) << 16) / (dd == 0 ? 1 : dd);
+    if (t_hit > (kOne >> 4) && t_hit < best_t) {
+      best_t = t_hit;
+      best_albedo = s.albedo;
+      // Surface normal y-component for Lambertian-ish top light.
+      const std::int64_t hy = (t_hit * dy) >> 16;
+      best_ny = ((hy - s.cy) << 8) / (s.r >> 8 == 0 ? 1 : (s.r >> 8));
+    }
+  }
+  if (best_t == INT64_MAX) {
+    // Sky gradient.
+    return static_cast<std::uint8_t>(40 + (py * 40) / height_);
+  }
+  std::int64_t light = (best_ny + kOne) >> 9;  // map [-1,1] Q16 -> [0,256]
+  if (light < 16) light = 16;
+  if (light > 255) light = 255;
+  return static_cast<std::uint8_t>((light * best_albedo) >> 8);
+}
+
+void RaytraceProgram::run_tick() {
+  EDC_CHECK(!done(), "program finished");
+  const unsigned px = pixel_ % width_;
+  const unsigned py = pixel_ / width_;
+  framebuffer_[pixel_] = shade_pixel(px, py);
+  ++pixel_;
+  last_boundary_ = (pixel_ % width_ == 0) ? Boundary::function : Boundary::loop;
+}
+
+Boundary RaytraceProgram::boundary() const { return last_boundary_; }
+
+bool RaytraceProgram::done() const {
+  return pixel_ >= static_cast<std::uint32_t>(width_) * height_;
+}
+
+double RaytraceProgram::progress() const {
+  return static_cast<double>(pixel_) /
+         (static_cast<double>(width_) * static_cast<double>(height_));
+}
+
+Cycles RaytraceProgram::total_cycles() const {
+  return static_cast<Cycles>(width_) * height_ * kCyclesPerPixel;
+}
+
+std::vector<std::byte> RaytraceProgram::save_state() const {
+  ByteWriter w;
+  w.write_vector(framebuffer_);
+  w.write(pixel_);
+  w.write(static_cast<std::uint8_t>(last_boundary_));
+  return std::move(w).take();
+}
+
+void RaytraceProgram::restore_state(std::span<const std::byte> state) {
+  ByteReader r(state);
+  framebuffer_ = r.read_vector<std::uint8_t>();
+  pixel_ = r.read<std::uint32_t>();
+  last_boundary_ = static_cast<Boundary>(r.read<std::uint8_t>());
+  EDC_CHECK(r.exhausted(), "trailing bytes in raytrace state");
+  EDC_CHECK(framebuffer_.size() == static_cast<std::size_t>(width_) * height_,
+            "raytrace state size mismatch");
+}
+
+std::size_t RaytraceProgram::ram_footprint() const {
+  return framebuffer_.size() + 32;
+}
+
+std::uint64_t RaytraceProgram::result_digest() const { return fnv1a_of(framebuffer_); }
+
+std::string RaytraceProgram::name() const {
+  return "raytrace-" + std::to_string(width_) + "x" + std::to_string(height_);
+}
+
+}  // namespace edc::workloads

@@ -1,0 +1,57 @@
+// A small sphere-scene ray tracer (the application of Fig 5 [11]).
+//
+// Integer/fixed-point ray-sphere intersection with Lambertian shading over
+// a deterministic scene; tick = one pixel. Used both as an intermittent
+// workload and as the reference kernel whose per-pixel cost calibrates the
+// MPSoC performance model in edc/neutral.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "edc/workloads/program.h"
+
+namespace edc::workloads {
+
+class RaytraceProgram final : public Program {
+ public:
+  RaytraceProgram(unsigned width, unsigned height, std::uint64_t seed);
+
+  void reset() override;
+  [[nodiscard]] Cycles next_tick_cost() const override;
+  void run_tick() override;
+  [[nodiscard]] Boundary boundary() const override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] double progress() const override;
+  [[nodiscard]] std::uint64_t ticks_done() const override { return pixel_; }
+  [[nodiscard]] Cycles total_cycles() const override;
+  [[nodiscard]] std::vector<std::byte> save_state() const override;
+  void restore_state(std::span<const std::byte> state) override;
+  [[nodiscard]] std::size_t ram_footprint() const override;
+  [[nodiscard]] std::uint64_t result_digest() const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Cycles required per rendered pixel (the MPSoC calibration constant).
+  static Cycles cycles_per_pixel() noexcept;
+
+ private:
+  struct Sphere {  // fixed-point Q16 coordinates
+    std::int64_t cx, cy, cz, r;
+    std::int32_t albedo;
+  };
+
+  [[nodiscard]] std::uint8_t shade_pixel(unsigned px, unsigned py) const;
+
+  // ROM.
+  unsigned width_;
+  unsigned height_;
+  std::uint64_t seed_;
+  std::vector<Sphere> scene_;
+
+  // RAM image.
+  std::vector<std::uint8_t> framebuffer_;
+  std::uint32_t pixel_ = 0;
+  Boundary last_boundary_ = Boundary::none;
+};
+
+}  // namespace edc::workloads

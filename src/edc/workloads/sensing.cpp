@@ -1,0 +1,174 @@
+#include "edc/workloads/sensing.h"
+
+#include "edc/common/check.h"
+#include "edc/trace/rng.h"
+#include "edc/workloads/bytebuf.h"
+
+namespace edc::workloads {
+
+namespace {
+constexpr Cycles kSampleCycles = 40;    // ADC conversion + store
+constexpr Cycles kFilterCycles = 90;    // kTaps MACs + shift
+constexpr Cycles kTransmitCycles = 60;  // SPI byte to the radio FIFO
+}  // namespace
+
+SensingProgram::SensingProgram(std::size_t rounds, std::uint64_t seed)
+    : total_rounds_(rounds), seed_(seed) {
+  EDC_CHECK(rounds >= 1, "need at least one round");
+  // Simple low-pass taps in Q7 (sum = 128), fixed program constants.
+  taps_ = {4, 12, 24, 24, 24, 24, 12, 4};
+  reset();
+}
+
+void SensingProgram::reset() {
+  window_.fill(0);
+  filtered_.fill(0);
+  packet_.fill(0);
+  round_ = 0;
+  phase_ = PhaseId::sample;
+  cursor_ = 0;
+  digest_ = 0xcbf29ce484222325ULL;
+  last_boundary_ = Boundary::none;
+}
+
+Cycles SensingProgram::next_tick_cost() const {
+  EDC_CHECK(!done(), "program finished");
+  switch (phase_) {
+    case PhaseId::sample: return kSampleCycles;
+    case PhaseId::filter: return kFilterCycles;
+    case PhaseId::transmit: return kTransmitCycles;
+  }
+  return 0;
+}
+
+Cycles SensingProgram::cycles_per_round() const {
+  return kWindow * kSampleCycles + kWindow * kFilterCycles +
+         kPacketBytes * kTransmitCycles;
+}
+
+void SensingProgram::run_tick() {
+  EDC_CHECK(!done(), "program finished");
+  switch (phase_) {
+    case PhaseId::sample: {
+      // "ADC reading": deterministic pseudo-sensor keyed by (round, index).
+      std::uint64_t sm = seed_ ^ (round_ * 1000003ULL + cursor_);
+      window_[cursor_] =
+          static_cast<std::int16_t>(static_cast<int>(trace::splitmix64(sm) & 0xfff) - 2048);
+      ++cursor_;
+      if (cursor_ == kWindow) {
+        phase_ = PhaseId::filter;
+        cursor_ = 0;
+        last_boundary_ = Boundary::function;
+      } else {
+        last_boundary_ = Boundary::loop;
+      }
+      break;
+    }
+    case PhaseId::filter: {
+      std::int32_t acc = 0;
+      for (std::size_t t = 0; t < kTaps; ++t) {
+        const std::size_t idx = (cursor_ + kWindow - t) % kWindow;
+        acc += static_cast<std::int32_t>(window_[idx]) * taps_[t];
+      }
+      filtered_[cursor_] = static_cast<std::int16_t>(acc >> 7);
+      ++cursor_;
+      if (cursor_ == kWindow) {
+        // Build the packet: the strongest 8 filtered values, little-endian.
+        for (std::size_t b = 0; b < kPacketBytes; b += 2) {
+          const std::int16_t v = filtered_[b * (kWindow / kPacketBytes)];
+          packet_[b] = static_cast<std::uint8_t>(v & 0xff);
+          packet_[b + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+        }
+        phase_ = PhaseId::transmit;
+        cursor_ = 0;
+        last_boundary_ = Boundary::function;
+      } else {
+        last_boundary_ = Boundary::loop;
+      }
+      break;
+    }
+    case PhaseId::transmit: {
+      digest_ = fnv1a(std::as_bytes(std::span<const std::uint8_t>(&packet_[cursor_], 1)),
+                      digest_);
+      ++cursor_;
+      if (cursor_ == kPacketBytes) {
+        ++round_;
+        phase_ = PhaseId::sample;
+        cursor_ = 0;
+        last_boundary_ = Boundary::function;  // round (task) boundary
+      } else {
+        last_boundary_ = Boundary::loop;
+      }
+      break;
+    }
+  }
+}
+
+Boundary SensingProgram::boundary() const { return last_boundary_; }
+
+std::uint64_t SensingProgram::ticks_done() const {
+  const std::uint64_t ticks_per_round = kWindow + kWindow + kPacketBytes;
+  std::uint64_t ticks = round_ * ticks_per_round;
+  switch (phase_) {
+    case PhaseId::sample: ticks += cursor_; break;
+    case PhaseId::filter: ticks += kWindow + cursor_; break;
+    case PhaseId::transmit: ticks += 2 * kWindow + cursor_; break;
+  }
+  return ticks;
+}
+
+bool SensingProgram::done() const { return round_ >= total_rounds_; }
+
+double SensingProgram::progress() const {
+  if (done()) return 1.0;
+  const double ticks_per_round = kWindow + kWindow + kPacketBytes;
+  double ticks = static_cast<double>(round_) * ticks_per_round;
+  switch (phase_) {
+    case PhaseId::sample: ticks += cursor_; break;
+    case PhaseId::filter: ticks += kWindow + cursor_; break;
+    case PhaseId::transmit: ticks += 2.0 * kWindow + cursor_; break;
+  }
+  return ticks / (static_cast<double>(total_rounds_) * ticks_per_round);
+}
+
+Cycles SensingProgram::total_cycles() const {
+  return static_cast<Cycles>(total_rounds_) * cycles_per_round();
+}
+
+std::vector<std::byte> SensingProgram::save_state() const {
+  ByteWriter w;
+  w.write(window_);
+  w.write(filtered_);
+  w.write(packet_);
+  w.write(round_);
+  w.write(static_cast<std::uint8_t>(phase_));
+  w.write(cursor_);
+  w.write(digest_);
+  w.write(static_cast<std::uint8_t>(last_boundary_));
+  return std::move(w).take();
+}
+
+void SensingProgram::restore_state(std::span<const std::byte> state) {
+  ByteReader r(state);
+  window_ = r.read<std::array<std::int16_t, kWindow>>();
+  filtered_ = r.read<std::array<std::int16_t, kWindow>>();
+  packet_ = r.read<std::array<std::uint8_t, kPacketBytes>>();
+  round_ = r.read<std::uint32_t>();
+  phase_ = static_cast<PhaseId>(r.read<std::uint8_t>());
+  cursor_ = r.read<std::uint32_t>();
+  digest_ = r.read<std::uint64_t>();
+  last_boundary_ = static_cast<Boundary>(r.read<std::uint8_t>());
+  EDC_CHECK(r.exhausted(), "trailing bytes in sensing state");
+}
+
+std::size_t SensingProgram::ram_footprint() const {
+  return sizeof(window_) + sizeof(filtered_) + sizeof(packet_) + 64;
+}
+
+std::uint64_t SensingProgram::result_digest() const { return digest_; }
+
+std::string SensingProgram::name() const {
+  return "sense-" + std::to_string(total_rounds_) + "rounds";
+}
+
+}  // namespace edc::workloads

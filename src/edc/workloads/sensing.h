@@ -1,0 +1,67 @@
+// Sense -> process -> transmit application loop (the canonical WSN duty,
+// and the "task" unit of task-based transient systems, §II.B).
+//
+// Each round: sample a window of ADC readings, FIR-filter it, and transmit a
+// packet of the filtered result. Ticks are one sample / one filter output /
+// one transmitted byte. Function boundaries separate the three phases (and
+// hence rounds), which is exactly the granularity at which task-based
+// systems (Gomez et al. [5]) schedule atomic work.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "edc/workloads/program.h"
+
+namespace edc::workloads {
+
+class SensingProgram final : public Program {
+ public:
+  static constexpr std::size_t kWindow = 32;   ///< samples per round
+  static constexpr std::size_t kTaps = 8;      ///< FIR taps
+  static constexpr std::size_t kPacketBytes = 16;
+
+  SensingProgram(std::size_t rounds, std::uint64_t seed);
+
+  void reset() override;
+  [[nodiscard]] Cycles next_tick_cost() const override;
+  void run_tick() override;
+  [[nodiscard]] Boundary boundary() const override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] double progress() const override;
+  [[nodiscard]] std::uint64_t ticks_done() const override;
+  [[nodiscard]] Cycles total_cycles() const override;
+  [[nodiscard]] std::vector<std::byte> save_state() const override;
+  void restore_state(std::span<const std::byte> state) override;
+  [[nodiscard]] std::size_t ram_footprint() const override;
+  [[nodiscard]] std::uint64_t result_digest() const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Cycles of one full round (the "task size" for task-based policies).
+  [[nodiscard]] Cycles cycles_per_round() const;
+
+  [[nodiscard]] std::size_t rounds_completed() const noexcept {
+    return static_cast<std::size_t>(round_);
+  }
+
+ private:
+  enum class PhaseId : std::uint8_t { sample, filter, transmit };
+
+  // ROM.
+  std::size_t total_rounds_;
+  std::uint64_t seed_;
+  std::array<std::int16_t, kTaps> taps_{};  // fixed filter coefficients
+
+  // RAM image.
+  std::array<std::int16_t, kWindow> window_{};
+  std::array<std::int16_t, kWindow> filtered_{};
+  std::array<std::uint8_t, kPacketBytes> packet_{};
+  std::uint32_t round_ = 0;
+  PhaseId phase_ = PhaseId::sample;
+  std::uint32_t cursor_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;
+  Boundary last_boundary_ = Boundary::none;
+};
+
+}  // namespace edc::workloads

@@ -1,0 +1,154 @@
+#include "edc/workloads/sort.h"
+
+#include <algorithm>
+
+#include "edc/common/check.h"
+#include "edc/trace/rng.h"
+#include "edc/workloads/bytebuf.h"
+
+namespace edc::workloads {
+
+namespace {
+// Compare + move on a 16-bit MCU with 32-bit elements: ~12 cycles/element.
+constexpr Cycles kCyclesPerElement = 12;
+}  // namespace
+
+SortProgram::SortProgram(std::size_t n, std::uint64_t seed) : n_(n), seed_(seed) {
+  EDC_CHECK(n >= 16 && n <= 65536, "n must be in [16, 65536]");
+  passes_ = 0;
+  for (std::size_t w = 1; w < n_; w *= 2) ++passes_;
+  reset();
+}
+
+void SortProgram::reset() {
+  trace::Rng rng(seed_);
+  buf0_.assign(n_, 0);
+  buf1_.assign(n_, 0);
+  for (auto& x : buf0_) x = static_cast<std::int32_t>(rng() & 0x7fffffffu);
+  src_is_0_ = 1;
+  width_ = 1;
+  pair_start_ = 0;
+  finished_ = (passes_ == 0) ? 1 : 0;
+  ticks_done_ = 0;
+  last_boundary_ = Boundary::none;
+  if (!finished_) open_pair();
+}
+
+void SortProgram::open_pair() {
+  i_ = pair_start_;
+  j_ = static_cast<std::uint32_t>(
+      std::min<std::size_t>(pair_start_ + width_, n_));
+  k_ = pair_start_;
+}
+
+Cycles SortProgram::next_tick_cost() const {
+  EDC_CHECK(!done(), "program finished");
+  const auto pair_end = static_cast<std::uint32_t>(
+      std::min<std::size_t>(pair_start_ + 2ull * width_, n_));
+  const std::uint32_t remaining = pair_end - k_;
+  return static_cast<Cycles>(std::min(kBatch, remaining)) * kCyclesPerElement;
+}
+
+void SortProgram::run_tick() {
+  EDC_CHECK(!done(), "program finished");
+  const auto& src = src_is_0_ ? buf0_ : buf1_;
+  auto& dst = src_is_0_ ? buf1_ : buf0_;
+  const auto left_end = static_cast<std::uint32_t>(
+      std::min<std::size_t>(pair_start_ + width_, n_));
+  const auto pair_end = static_cast<std::uint32_t>(
+      std::min<std::size_t>(pair_start_ + 2ull * width_, n_));
+
+  std::uint32_t produced = 0;
+  while (produced < kBatch && k_ < pair_end) {
+    if (i_ < left_end && (j_ >= pair_end || src[i_] <= src[j_])) {
+      dst[k_++] = src[i_++];
+    } else {
+      dst[k_++] = src[j_++];
+    }
+    ++produced;
+  }
+  ++ticks_done_;
+  last_boundary_ = Boundary::loop;
+
+  if (k_ == pair_end) {
+    pair_start_ = pair_end;
+    if (pair_start_ >= n_) {
+      // Pass complete: the destination becomes the new source.
+      src_is_0_ = static_cast<std::uint8_t>(!src_is_0_);
+      pair_start_ = 0;
+      last_boundary_ = Boundary::function;
+      if (static_cast<std::size_t>(width_) * 2 >= n_) {
+        finished_ = 1;
+        return;
+      }
+      width_ *= 2;
+    }
+    open_pair();
+  }
+}
+
+Boundary SortProgram::boundary() const { return last_boundary_; }
+
+bool SortProgram::done() const { return finished_ != 0; }
+
+double SortProgram::progress() const {
+  if (done()) return 1.0;
+  std::uint32_t pass_index = 0;
+  for (std::uint32_t w = 1; w < width_; w *= 2) ++pass_index;
+  const double total = static_cast<double>(passes_) * static_cast<double>(n_);
+  return (static_cast<double>(pass_index) * static_cast<double>(n_) +
+          static_cast<double>(k_)) /
+         total;
+}
+
+Cycles SortProgram::total_cycles() const {
+  return static_cast<Cycles>(passes_) * n_ * kCyclesPerElement;
+}
+
+std::vector<std::byte> SortProgram::save_state() const {
+  ByteWriter w;
+  w.write_vector(buf0_);
+  w.write_vector(buf1_);
+  w.write(src_is_0_);
+  w.write(width_);
+  w.write(pair_start_);
+  w.write(i_);
+  w.write(j_);
+  w.write(k_);
+  w.write(finished_);
+  w.write(ticks_done_);
+  w.write(static_cast<std::uint8_t>(last_boundary_));
+  return std::move(w).take();
+}
+
+void SortProgram::restore_state(std::span<const std::byte> state) {
+  ByteReader r(state);
+  buf0_ = r.read_vector<std::int32_t>();
+  buf1_ = r.read_vector<std::int32_t>();
+  src_is_0_ = r.read<std::uint8_t>();
+  width_ = r.read<std::uint32_t>();
+  pair_start_ = r.read<std::uint32_t>();
+  i_ = r.read<std::uint32_t>();
+  j_ = r.read<std::uint32_t>();
+  k_ = r.read<std::uint32_t>();
+  finished_ = r.read<std::uint8_t>();
+  ticks_done_ = r.read<std::uint64_t>();
+  last_boundary_ = static_cast<Boundary>(r.read<std::uint8_t>());
+  EDC_CHECK(r.exhausted(), "trailing bytes in sort state");
+  EDC_CHECK(buf0_.size() == n_ && buf1_.size() == n_, "sort state size mismatch");
+}
+
+std::size_t SortProgram::ram_footprint() const {
+  return 2 * n_ * sizeof(std::int32_t) + 48;
+}
+
+const std::vector<std::int32_t>& SortProgram::result() const {
+  EDC_CHECK(done(), "sort not finished");
+  return src_is_0_ ? buf0_ : buf1_;
+}
+
+std::uint64_t SortProgram::result_digest() const { return fnv1a_of(result()); }
+
+std::string SortProgram::name() const { return "sort-" + std::to_string(n_); }
+
+}  // namespace edc::workloads

@@ -1,0 +1,59 @@
+// Bottom-up merge sort, fully resumable.
+//
+// Tick = merging up to 32 output elements of the current run pair. Loop
+// boundary after each tick; function boundary after each width-doubling
+// pass. Double-buffered (src/dst swap per pass), so the RAM image is 2N
+// int32 plus cursors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "edc/workloads/program.h"
+
+namespace edc::workloads {
+
+class SortProgram final : public Program {
+ public:
+  SortProgram(std::size_t n, std::uint64_t seed);
+
+  void reset() override;
+  [[nodiscard]] Cycles next_tick_cost() const override;
+  void run_tick() override;
+  [[nodiscard]] Boundary boundary() const override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] double progress() const override;
+  [[nodiscard]] std::uint64_t ticks_done() const override { return ticks_done_; }
+  [[nodiscard]] Cycles total_cycles() const override;
+  [[nodiscard]] std::vector<std::byte> save_state() const override;
+  void restore_state(std::span<const std::byte> state) override;
+  [[nodiscard]] std::size_t ram_footprint() const override;
+  [[nodiscard]] std::uint64_t result_digest() const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The sorted data (valid once done()).
+  [[nodiscard]] const std::vector<std::int32_t>& result() const;
+
+ private:
+  static constexpr std::uint32_t kBatch = 32;
+
+  void open_pair();
+
+  // ROM.
+  std::size_t n_;
+  std::uint64_t seed_;
+  std::uint32_t passes_ = 0;
+
+  // RAM image.
+  std::vector<std::int32_t> buf0_;
+  std::vector<std::int32_t> buf1_;
+  std::uint8_t src_is_0_ = 1;    // which buffer currently holds the source
+  std::uint32_t width_ = 1;      // current run width
+  std::uint32_t pair_start_ = 0; // start of the pair being merged
+  std::uint32_t i_ = 0, j_ = 0, k_ = 0;  // merge cursors (absolute indices)
+  std::uint8_t finished_ = 0;
+  std::uint64_t ticks_done_ = 0;
+  Boundary last_boundary_ = Boundary::none;
+};
+
+}  // namespace edc::workloads

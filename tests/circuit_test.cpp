@@ -1,0 +1,230 @@
+// Unit tests for the analog supply substrate (edc/circuit).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edc/circuit/comparator.h"
+#include "edc/circuit/converter.h"
+#include "edc/circuit/rectifier.h"
+#include "edc/circuit/supply_node.h"
+#include "edc/trace/power_sources.h"
+#include "edc/trace/voltage_sources.h"
+
+namespace edc::circuit {
+namespace {
+
+// ---------------------------------------------------------- SupplyNode -----
+
+TEST(SupplyNode, RcDischargeMatchesAnalytic) {
+  // V(t) = V0 * exp(-t/RC) for a pure RC discharge.
+  const Farads c = 100e-6;
+  const Ohms r = 1000.0;
+  SupplyNode node(c, 5.0);
+  NullDriver none;
+  ResistiveLoad load(r);
+  const Seconds dt = 1e-5;
+  Seconds t = 0.0;
+  while (t < 0.1) {
+    node.step(t, dt, none, load, 2);
+    t += dt;
+  }
+  const Volts expected = 5.0 * std::exp(-0.1 / (r * c));
+  EXPECT_NEAR(node.voltage(), expected, 0.01);
+}
+
+TEST(SupplyNode, ChargeTowardsRectifiedSource) {
+  // DC source through a half-wave rectifier charges the node to
+  // (V_oc - V_diode) asymptotically.
+  trace::SineVoltageSource source(0.0, 0.0, 3.3, 100.0);  // constant 3.3 V
+  RectifiedSourceDriver driver(source, RectifierParams{RectifierKind::half_wave, 0.3});
+  SupplyNode node(10e-6, 0.0);
+  ConstantCurrentLoad load(0.0);
+  Seconds t = 0.0;
+  while (t < 0.05) {
+    node.step(t, 1e-5, driver, load, 2);
+    t += 1e-5;
+  }
+  EXPECT_NEAR(node.voltage(), 3.0, 0.01);
+}
+
+TEST(SupplyNode, EnergyLedgerBalances) {
+  trace::SineVoltageSource source(3.3, 5.0, 0.0, 50.0);
+  RectifiedSourceDriver driver(source, RectifierParams{});
+  SupplyNode node(47e-6, 0.0);
+  ResistiveLoad load(5000.0);
+  const Joules stored0 = node.stored_energy();
+  Joules harvested = 0.0, consumed = 0.0;
+  Seconds t = 0.0;
+  while (t < 1.0) {
+    const auto step = node.step(t, 1e-5, driver, load, 4);
+    harvested += step.harvested;
+    consumed += step.consumed;
+    t += 1e-5;
+  }
+  const Joules delta = node.stored_energy() - stored0;
+  EXPECT_NEAR(harvested - consumed, delta, 1e-9 + 1e-6 * harvested);
+}
+
+TEST(SupplyNode, VoltageNeverNegative) {
+  SupplyNode node(1e-6, 0.5);
+  NullDriver none;
+  ConstantCurrentLoad load(10e-3);  // heavy drain
+  Seconds t = 0.0;
+  while (t < 0.01) {
+    node.step(t, 1e-5, none, load, 2);
+    t += 1e-5;
+  }
+  EXPECT_GE(node.voltage(), 0.0);
+}
+
+TEST(SupplyNode, RejectsBadArguments) {
+  EXPECT_THROW(SupplyNode(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(SupplyNode(-1e-6, 1.0), std::invalid_argument);
+  EXPECT_THROW(SupplyNode(1e-6, -0.1), std::invalid_argument);
+  SupplyNode node(1e-6, 0.0);
+  NullDriver none;
+  ConstantCurrentLoad load(0.0);
+  EXPECT_THROW(node.step(0.0, -1.0, none, load), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- Rectifier -----
+
+TEST(Rectifier, HalfWaveBlocksNegativeHalf) {
+  trace::SineVoltageSource source(3.0, 1.0, 0.0, 100.0);
+  RectifiedSourceDriver driver(source, RectifierParams{RectifierKind::half_wave, 0.25});
+  EXPECT_GT(driver.current_into(0.0, 0.25), 0.0);   // positive peak
+  EXPECT_DOUBLE_EQ(driver.current_into(0.0, 0.75), 0.0);  // negative peak
+}
+
+TEST(Rectifier, FullWaveConductsBothHalves) {
+  trace::SineVoltageSource source(3.0, 1.0, 0.0, 100.0);
+  RectifiedSourceDriver driver(source, RectifierParams{RectifierKind::full_wave, 0.25});
+  EXPECT_GT(driver.current_into(0.0, 0.25), 0.0);
+  EXPECT_GT(driver.current_into(0.0, 0.75), 0.0);
+}
+
+TEST(Rectifier, DiodeDropReducesOutput) {
+  trace::SineVoltageSource source(3.0, 1.0, 0.0, 100.0);
+  RectifiedSourceDriver drop0(source, RectifierParams{RectifierKind::half_wave, 0.0});
+  RectifiedSourceDriver drop5(source, RectifierParams{RectifierKind::half_wave, 0.5});
+  EXPECT_GT(drop0.rectified_open_circuit(0.25), drop5.rectified_open_circuit(0.25));
+  EXPECT_NEAR(drop0.rectified_open_circuit(0.25) - drop5.rectified_open_circuit(0.25),
+              0.5, 1e-9);
+}
+
+TEST(Rectifier, NoReverseCurrentIntoHighNode) {
+  trace::SineVoltageSource source(3.0, 1.0, 0.0, 100.0);
+  RectifiedSourceDriver driver(source, RectifierParams{});
+  EXPECT_DOUBLE_EQ(driver.current_into(5.0, 0.25), 0.0);
+}
+
+// ----------------------------------------------------- HarvesterDriver -----
+
+TEST(HarvesterDriver, DeliversEfficiencyScaledPower) {
+  trace::ConstantPowerSource source(1e-3);
+  HarvesterPowerDriver::Params params;
+  params.efficiency = 0.8;
+  HarvesterPowerDriver driver(source, params);
+  const Volts v = 2.0;
+  EXPECT_NEAR(driver.current_into(v, 0.0) * v, 0.8e-3, 1e-9);
+}
+
+TEST(HarvesterDriver, StopsAtCeiling) {
+  trace::ConstantPowerSource source(1e-3);
+  HarvesterPowerDriver::Params params;
+  params.v_ceiling = 3.0;
+  HarvesterPowerDriver driver(source, params);
+  EXPECT_DOUBLE_EQ(driver.current_into(3.1, 0.0), 0.0);
+}
+
+TEST(HarvesterDriver, CurrentComplianceAtLowVoltage) {
+  trace::ConstantPowerSource source(1.0);  // 1 W into a dead-short node
+  HarvesterPowerDriver::Params params;
+  params.i_max = 0.1;
+  HarvesterPowerDriver driver(source, params);
+  EXPECT_DOUBLE_EQ(driver.current_into(0.0, 0.0), 0.1);
+}
+
+// ----------------------------------------------------------- Comparator ----
+
+TEST(Comparator, FallingEdgeDetectedWithInterpolatedTime) {
+  Comparator comparator("VH", 2.0, 0.0);
+  comparator.reset(3.0);
+  EXPECT_TRUE(comparator.output());
+  const auto event = comparator.update(2.5, 0.0, 1.5, 1.0);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->edge, Edge::falling);
+  EXPECT_NEAR(event->time, 0.5, 1e-9);
+}
+
+TEST(Comparator, RisingEdge) {
+  Comparator comparator("VR", 2.5, 0.0);
+  comparator.reset(1.0);
+  const auto event = comparator.update(2.0, 0.0, 3.0, 1.0);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->edge, Edge::rising);
+  EXPECT_NEAR(event->time, 0.5, 1e-9);
+}
+
+TEST(Comparator, HysteresisPreventsChatter) {
+  Comparator comparator("VH", 2.0, 0.2);
+  comparator.reset(3.0);
+  // Dips to 1.95 (above the falling trip of 1.9): no event.
+  EXPECT_FALSE(comparator.update(2.05, 0.0, 1.95, 1.0).has_value());
+  // Falls through 1.9: falling event.
+  ASSERT_TRUE(comparator.update(1.95, 1.0, 1.85, 2.0).has_value());
+  // Recovers to 2.05 (below rising trip 2.1): no event.
+  EXPECT_FALSE(comparator.update(1.85, 2.0, 2.05, 3.0).has_value());
+  // Rises through 2.1: rising event.
+  EXPECT_TRUE(comparator.update(2.05, 3.0, 2.15, 4.0).has_value());
+}
+
+TEST(Comparator, NoEventWithoutCrossing) {
+  Comparator comparator("VH", 2.0, 0.0);
+  comparator.reset(3.0);
+  EXPECT_FALSE(comparator.update(3.0, 0.0, 2.5, 1.0).has_value());
+  EXPECT_FALSE(comparator.update(2.5, 1.0, 2.1, 2.0).has_value());
+}
+
+TEST(ComparatorBank, EventsSortedByTime) {
+  ComparatorBank bank;
+  bank.add(Comparator("A", 2.8, 0.0));
+  bank.add(Comparator("B", 2.2, 0.0));
+  bank.reset(3.0);
+  // One step falls through both: B crosses later than A in time? No: falling
+  // from 3.0 to 2.0, A (2.8) crosses first in time.
+  const auto events = bank.update(3.0, 0.0, 2.0, 1.0);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "A");
+  EXPECT_EQ(events[1].name, "B");
+  EXPECT_LT(events[0].time, events[1].time);
+}
+
+// ------------------------------------------------------------ Converter ----
+
+TEST(Converter, EfficiencyRisesWithLoad) {
+  Converter converter(0.9, 1e-3);
+  EXPECT_LT(converter.efficiency(1e-4), converter.efficiency(1e-2));
+  EXPECT_NEAR(converter.efficiency(1.0), 0.9, 0.01);
+  EXPECT_DOUBLE_EQ(converter.efficiency(0.0), 0.0);
+}
+
+TEST(EnergyBuffer, ChargeDischargeRoundTrip) {
+  EnergyBuffer buffer(10.0, 5.0, 0.9);
+  const Joules taken = buffer.charge(2.0);
+  EXPECT_DOUBLE_EQ(taken, 2.0);
+  EXPECT_NEAR(buffer.level(), 5.0 + 1.8, 1e-12);
+  const Joules got = buffer.discharge(100.0);
+  EXPECT_NEAR(got, 6.8, 1e-12);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(EnergyBuffer, ClampsAtCapacity) {
+  EnergyBuffer buffer(10.0, 9.5, 1.0);
+  const Joules taken = buffer.charge(5.0);
+  EXPECT_NEAR(taken, 0.5, 1e-12);
+  EXPECT_NEAR(buffer.level(), 10.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace edc::circuit

@@ -1,0 +1,306 @@
+// Tests for energy-neutral and power-neutral operation (edc/neutral).
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "edc/core/system.h"
+#include "edc/neutral/dfs_governor.h"
+#include "edc/neutral/energy_neutral.h"
+#include "edc/neutral/mpsoc.h"
+#include "edc/trace/power_sources.h"
+
+namespace edc::neutral {
+namespace {
+
+// ---------------------------------------------------------------- MPSoC ----
+
+TEST(Mpsoc, PowerSpansAnOrderOfMagnitude) {
+  // Fig 5's central observation: DVFS x hot-plug modulates power by ~10x.
+  BigLittleMpsoc model;
+  const auto points = model.enumerate_points();
+  ASSERT_GT(points.size(), 100u);
+  double p_min = 1e9, p_max = 0.0;
+  for (const auto& point : points) {
+    p_min = std::min(p_min, point.power);
+    p_max = std::max(p_max, point.power);
+  }
+  EXPECT_GT(p_max / p_min, 10.0);
+  EXPECT_LT(p_max, 25.0);  // ODROID-XU4-ish ceiling
+  EXPECT_GT(p_min, 0.2);
+}
+
+TEST(Mpsoc, FpsMonotoneInFrequencyAndCores) {
+  BigLittleMpsoc model;
+  OperatingPoint slow{4, 600e6, 0, 0.0};
+  OperatingPoint fast{4, 1400e6, 0, 0.0};
+  EXPECT_GT(model.fps(fast), model.fps(slow));
+  OperatingPoint one_big{0, 0.0, 1, 1800e6};
+  OperatingPoint four_big{0, 0.0, 4, 1800e6};
+  EXPECT_GT(model.fps(four_big), model.fps(one_big));
+}
+
+TEST(Mpsoc, FpsInPaperRange) {
+  // Fig 5 y-axis tops out near 0.22 FPS on the full machine.
+  BigLittleMpsoc model;
+  const auto points = model.enumerate_points();
+  double best = 0.0;
+  for (const auto& point : points) best = std::max(best, point.fps);
+  EXPECT_GT(best, 0.10);
+  EXPECT_LT(best, 0.40);
+}
+
+TEST(Mpsoc, ParetoFrontierIsMonotone) {
+  BigLittleMpsoc model;
+  const auto frontier = model.pareto_frontier();
+  ASSERT_GT(frontier.size(), 3u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].power, frontier[i - 1].power);
+    EXPECT_GT(frontier[i].fps, frontier[i - 1].fps);
+  }
+}
+
+TEST(Mpsoc, BigCoresFasterButHungrier) {
+  BigLittleMpsoc model;
+  OperatingPoint little{4, 1400e6, 0, 0.0};
+  OperatingPoint big{0, 0.0, 4, 2000e6};
+  EXPECT_GT(model.fps(big), model.fps(little));
+  EXPECT_GT(model.power(big), model.power(little));
+}
+
+TEST(MpsocGovernor, SelectsWithinBudget) {
+  BigLittleMpsoc model;
+  MpsocPowerNeutralGovernor governor(model);
+  for (Watts budget : {1.0, 3.0, 6.0, 12.0}) {
+    const auto decision = governor.select(budget);
+    EXPECT_LE(decision.chosen.power, budget);
+    EXPECT_TRUE(decision.feasible);
+  }
+}
+
+TEST(MpsocGovernor, HigherBudgetNeverSlower) {
+  BigLittleMpsoc model;
+  MpsocPowerNeutralGovernor governor(model);
+  double last_fps = 0.0;
+  for (Watts budget = 1.0; budget < 16.0; budget += 0.5) {
+    const auto decision = governor.select(budget);
+    EXPECT_GE(decision.chosen.fps + 1e-12, last_fps);
+    last_fps = decision.chosen.fps;
+  }
+}
+
+TEST(MpsocGovernor, InfeasibleBelowFloor) {
+  BigLittleMpsoc model;
+  MpsocPowerNeutralGovernor governor(model);
+  const auto decision = governor.select(0.1);
+  EXPECT_FALSE(decision.feasible);
+}
+
+TEST(MpsocGovernor, TracksVaryingBudget) {
+  BigLittleMpsoc model;
+  MpsocPowerNeutralGovernor governor(model);
+  std::vector<Watts> budget;
+  for (int i = 0; i < 200; ++i) {
+    budget.push_back(2.0 + 6.0 * (0.5 + 0.5 * std::sin(i * 0.1)));
+  }
+  const auto result = governor.track(budget, 0.1);
+  ASSERT_EQ(result.times.size(), budget.size());
+  for (std::size_t i = 0; i < budget.size(); ++i) {
+    EXPECT_LE(result.power[i], budget[i] + 1e-12);
+  }
+  EXPECT_GT(result.frames_rendered, 0.0);
+  EXPECT_DOUBLE_EQ(result.infeasible_fraction, 0.0);
+}
+
+// --------------------------------------------------------- DfsGovernor -----
+
+TEST(DfsGovernor, ShiftsWithVoltage) {
+  core::SystemBuilder builder;
+  auto system = builder.power_source(std::make_unique<trace::ConstantPowerSource>(2e-3))
+                    .capacitance(47e-6)
+                    .workload("crc", 3)
+                    .policy_hibernus()
+                    .governor_power_neutral()
+                    .build();
+  const auto result = system.run(5.0);
+  ASSERT_TRUE(result.mcu.completed);
+}
+
+TEST(DfsGovernor, UpshiftsOnHighVoltage) {
+  McuDfsGovernor governor({});
+  auto program = workloads::make_program("crc", 1);
+  checkpoint::NullPolicy policy;
+  mcu::McuParams params;
+  params.initial_frequency = 8e6;
+  mcu::Mcu mcu(params, *program, policy);
+  policy.attach(mcu);
+  mcu.supply_update(0.0, 0.0, 3.4, 1e-5);
+  mcu.advance(0.0, 1e-3, 3.4);  // boot + run
+  ASSERT_EQ(mcu.state(), mcu::McuState::active);
+  governor.control(mcu, 3.4, 0.0);  // far above v_ref = 2.9
+  EXPECT_GT(mcu.frequency(), 8e6);
+  EXPECT_EQ(governor.upshifts(), 1);
+}
+
+TEST(DfsGovernor, DownshiftsOnLowVoltage) {
+  McuDfsGovernor governor({});
+  auto program = workloads::make_program("crc", 1);
+  checkpoint::NullPolicy policy;
+  mcu::McuParams params;
+  params.initial_frequency = 8e6;
+  mcu::Mcu mcu(params, *program, policy);
+  policy.attach(mcu);
+  mcu.supply_update(0.0, 0.0, 3.0, 1e-5);
+  mcu.advance(0.0, 1e-3, 3.0);
+  ASSERT_EQ(mcu.state(), mcu::McuState::active);
+  governor.control(mcu, 2.2, 0.0);  // below v_ref - band/2
+  EXPECT_LT(mcu.frequency(), 8e6);
+  EXPECT_EQ(governor.downshifts(), 1);
+}
+
+TEST(DfsGovernor, DeadBandHolds) {
+  McuDfsGovernor governor({});
+  auto program = workloads::make_program("crc", 1);
+  checkpoint::NullPolicy policy;
+  mcu::Mcu mcu(mcu::McuParams{}, *program, policy);
+  policy.attach(mcu);
+  mcu.supply_update(0.0, 0.0, 3.0, 1e-5);
+  mcu.advance(0.0, 1e-3, 3.0);
+  governor.control(mcu, 2.9, 0.0);  // exactly v_ref
+  EXPECT_DOUBLE_EQ(mcu.frequency(), 8e6);
+}
+
+TEST(DfsGovernor, ReducesHibernationsOnSaggingSupply) {
+  // hibernus-PN's raison d'etre (Fig 8): riding through a trough at reduced
+  // frequency avoids hibernate/restore round trips.
+  auto run = [](bool with_governor) {
+    core::SystemBuilder builder;
+    builder
+        .power_source(std::make_unique<trace::WaveformPowerSource>(
+            trace::Waveform::sample(
+                [](Seconds t) {
+                  // Sags periodically to a level that sustains only low f.
+                  return 1.2e-3 + 1.1e-3 * std::sin(2 * M_PI * 1.0 * t);
+                },
+                0.0, 30.0, 30001),
+            "sagging"))
+        .capacitance(47e-6)
+        .workload("sort", 3)
+        .policy_hibernus();
+    if (with_governor) builder.governor_power_neutral();
+    auto system = builder.build();
+    return system.run(30.0);
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  ASSERT_TRUE(with.mcu.completed);
+  EXPECT_LE(with.mcu.saves_completed, without.mcu.saves_completed);
+}
+
+// ------------------------------------------------------- EnergyNeutral -----
+
+TEST(EnergyNeutral, NoDepletionOnDiurnalSource) {
+  trace::IndoorPhotovoltaicSource pv({}, 1, 4);
+  EnergyNeutralController::Config config;
+  config.p_active = 2.4e-3;  // scaled to the ~1 mW harvest of indoor PV
+  config.p_sleep = 20e-6;
+  config.battery_capacity = 20.0;
+  EnergyNeutralController controller(config);
+  const auto result = controller.run(pv, 4 * 86400.0);
+  EXPECT_EQ(result.depletion_events, 0);
+  EXPECT_GT(result.harvested_total, 0.0);
+}
+
+TEST(EnergyNeutral, Eq1ResidualSmall) {
+  trace::IndoorPhotovoltaicSource pv({}, 1, 4);
+  EnergyNeutralController::Config config;
+  config.p_active = 2.4e-3;
+  config.p_sleep = 20e-6;
+  config.battery_capacity = 20.0;
+  EnergyNeutralController controller(config);
+  const auto result = controller.run(pv, 4 * 86400.0);
+  // Consumption tracks harvest over whole periods (battery closes the gap).
+  EXPECT_LT(result.eq1_relative_residual(), 0.02);
+  EXPECT_NEAR(result.consumed_total / result.harvested_total, 1.0, 0.15);
+}
+
+TEST(EnergyNeutral, DutyFollowsDiurnalHarvest) {
+  trace::IndoorPhotovoltaicSource pv({}, 1, 3);
+  EnergyNeutralController::Config config;
+  config.p_active = 2.4e-3;
+  config.p_sleep = 20e-6;
+  config.battery_capacity = 20.0;
+  EnergyNeutralController controller(config);
+  const auto result = controller.run(pv, 3 * 86400.0);
+  // Mean duty during day 3 daytime should exceed mean duty at night.
+  double day_duty = 0.0, night_duty = 0.0;
+  int day_n = 0, night_n = 0;
+  for (const auto& slot : result.slots) {
+    if (slot.t < 2 * 86400.0) continue;  // judge the adapted (3rd) day
+    const double hour = std::fmod(slot.t, 86400.0) / 3600.0;
+    if (hour > 9.0 && hour < 18.0) {
+      day_duty += slot.duty;
+      ++day_n;
+    } else if (hour < 6.0 || hour > 21.0) {
+      night_duty += slot.duty;
+      ++night_n;
+    }
+  }
+  ASSERT_GT(day_n, 0);
+  ASSERT_GT(night_n, 0);
+  EXPECT_GT(day_duty / day_n, night_duty / night_n);
+}
+
+TEST(EnergyNeutral, WorksOnOutdoorSolarOverAWeek) {
+  // The paper's canonical Eq 1 period: outdoor solar with T = 24 h.
+  trace::OutdoorSolarSource solar({}, 3, 7);
+  neutral::EnergyNeutralController::Config config;
+  config.p_active = 60e-3;  // a 50 mW-peak panel feeding a full WSN node
+  config.p_sleep = 30e-6;
+  config.battery_capacity = 2000.0;  // ~a full day of harvest buffered
+  neutral::EnergyNeutralController controller(config);
+  const auto result = controller.run(solar, 7 * 86400.0);
+  EXPECT_EQ(result.depletion_events, 0);
+  EXPECT_LT(result.eq1_relative_residual(), 0.05);
+  EXPECT_GT(result.consumed_total, 0.7 * result.harvested_total);
+}
+
+TEST(EnergyNeutral, UndersizedBatteryDepletes) {
+  // Eq 2 failure mode: too little buffering for the diurnal swing.
+  trace::IndoorPhotovoltaicSource pv({}, 1, 3);
+  EnergyNeutralController::Config config;
+  config.p_active = 40e-3;       // grossly over-consuming node
+  config.p_sleep = 20e-6;
+  config.duty_min = 0.5;         // refuses to throttle
+  config.battery_capacity = 1.0;
+  EnergyNeutralController controller(config);
+  const auto result = controller.run(pv, 3 * 86400.0);
+  EXPECT_GT(result.depletion_events, 0);
+}
+
+TEST(EnergyNeutral, PredictorConvergesAcrossDays) {
+  trace::IndoorPhotovoltaicSource pv({}, 1, 4);
+  EnergyNeutralController::Config config;
+  config.p_active = 2.4e-3;
+  config.p_sleep = 20e-6;
+  config.battery_capacity = 20.0;
+  EnergyNeutralController controller(config);
+  const auto result = controller.run(pv, 4 * 86400.0);
+  // Once the EWMA has seen a few days, the per-slot prediction error is a
+  // small fraction of the mean harvested power (bounded below by genuine
+  // day-to-day variation).
+  double err = 0.0, mean = 0.0;
+  int n = 0;
+  for (const auto& slot : result.slots) {
+    if (slot.t >= 3 * 86400.0) {
+      err += std::abs(slot.predicted - slot.harvested);
+      mean += slot.harvested;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(err / n, 0.05 * (mean / n));
+}
+
+}  // namespace
+}  // namespace edc::neutral

@@ -1,0 +1,104 @@
+// Tests for the peripheral-state extension (the paper's §IV open problem).
+#include <gtest/gtest.h>
+
+#include "edc/checkpoint/interrupt_policy.h"
+#include "edc/core/system.h"
+#include "edc/workloads/sensing.h"
+
+namespace edc {
+namespace {
+
+core::EnergyDrivenSystem make_system(bool snapshot_peripherals,
+                                     mcu::McuParams params = {}) {
+  core::SystemBuilder builder;
+  checkpoint::InterruptPolicy::Config config;
+  config.margin = 2.2;
+  config.restore_headroom = 0.3;
+  builder
+      .voltage_source(
+          std::make_unique<trace::SquareVoltageSource>(3.3, 10.0, 0.4, 0.0, 50.0))
+      .capacitance(22e-6)
+      .bleed(3000.0)
+      .mcu_params(params)
+      .snapshot_peripherals(snapshot_peripherals)
+      .program(std::make_unique<workloads::SensingProgram>(256, 5))
+      .policy_hibernus(config);
+  return builder.build();
+}
+
+TEST(Peripherals, ImageGrowsWhenSnapshotted) {
+  mcu::McuParams params;
+  params.peripheral_file_bytes = 256;
+  auto with = make_system(true, params);
+  auto without = make_system(false, params);
+  EXPECT_EQ(with.mcu().snapshot_image_bytes(),
+            without.mcu().snapshot_image_bytes() + 256);
+}
+
+TEST(Peripherals, ReinitPaidPerOutageWhenNotSnapshotted) {
+  auto system = make_system(false);
+  const auto result = system.run(20.0);
+  ASSERT_TRUE(result.mcu.completed);
+  ASSERT_GT(result.mcu.brownouts, 0u);
+  // One re-init at first boot plus one per restore after brown-out.
+  EXPECT_EQ(result.mcu.peripheral_reinits, 1 + result.mcu.restores);
+}
+
+TEST(Peripherals, NoReinitAfterRestoreWhenSnapshotted) {
+  auto system = make_system(true);
+  const auto result = system.run(20.0);
+  ASSERT_TRUE(result.mcu.completed);
+  ASSERT_GT(result.mcu.restores, 0u);
+  // Only the first-boot initialisation.
+  EXPECT_EQ(result.mcu.peripheral_reinits, 1u);
+}
+
+TEST(Peripherals, ExactnessUnaffectedByStrategy) {
+  workloads::SensingProgram golden(256, 5);
+  const std::uint64_t expected = workloads::golden_digest(golden);
+  for (bool snapshot : {false, true}) {
+    auto system = make_system(snapshot);
+    const auto result = system.run(20.0);
+    ASSERT_TRUE(result.mcu.completed) << snapshot;
+    EXPECT_EQ(system.program().result_digest(), expected) << snapshot;
+  }
+}
+
+TEST(Peripherals, DirectResumeSkipsReinit) {
+  // A supply that dips below V_H but never browns out: peripherals stay
+  // configured, so direct resumes must not pay the re-init cost.
+  core::SystemBuilder builder;
+  checkpoint::InterruptPolicy::Config config;
+  config.v_hibernate = 2.4;
+  config.v_restore = 2.8;
+  builder
+      .voltage_source(
+          std::make_unique<trace::SineVoltageSource>(0.70, 4.0, 2.80, 20.0))
+      .capacitance(10e-6)
+      .snapshot_peripherals(false)
+      .program(std::make_unique<workloads::SensingProgram>(512, 5))
+      .policy_hibernus(config);
+  auto system = builder.build();
+  const auto result = system.run(6.0);
+  ASSERT_TRUE(result.mcu.completed);
+  EXPECT_EQ(result.mcu.brownouts, 0u);
+  EXPECT_GT(result.mcu.direct_resumes, 0u);
+  EXPECT_EQ(result.mcu.peripheral_reinits, 1u);  // first boot only
+}
+
+TEST(Peripherals, ReinitRaisesEq4Threshold) {
+  // Snapshotting peripherals makes the image bigger, so Eq 4 yields a
+  // higher hibernate threshold.
+  mcu::McuParams params;
+  params.peripheral_file_bytes = 4096;  // an extreme peripheral file
+  auto with = make_system(true, params);
+  auto without = make_system(false, params);
+  const auto& with_policy =
+      dynamic_cast<const checkpoint::InterruptPolicy&>(with.policy());
+  const auto& without_policy =
+      dynamic_cast<const checkpoint::InterruptPolicy&>(without.policy());
+  EXPECT_GT(with_policy.hibernate_threshold(), without_policy.hibernate_threshold());
+}
+
+}  // namespace
+}  // namespace edc

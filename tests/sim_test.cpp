@@ -1,0 +1,220 @@
+// Tests for the simulation loop, probes, tables and plots (edc/sim).
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "edc/core/system.h"
+#include "edc/sim/ascii_plot.h"
+#include "edc/sim/table.h"
+#include "edc/trace/csv.h"
+#include "edc/workloads/crc32.h"
+
+namespace edc::sim {
+namespace {
+
+core::EnergyDrivenSystem make_system(Seconds probe_interval = 0.0) {
+  core::SystemBuilder builder;
+  builder
+      .voltage_source(
+          std::make_unique<trace::SquareVoltageSource>(3.3, 10.0, 0.3, 0.0, 50.0))
+      .capacitance(22e-6)
+      .bleed(10000.0)
+      .program(std::make_unique<workloads::Crc32Program>(64 * 1024, 3))
+      .policy_hibernus();
+  if (probe_interval > 0.0) builder.probe(probe_interval);
+  return builder.build();
+}
+
+TEST(Simulator, EnergyLedgerResidualIsTiny) {
+  auto system = make_system();
+  const auto result = system.run(5.0);
+  ASSERT_TRUE(result.mcu.completed);
+  EXPECT_GT(result.harvested, 0.0);
+  EXPECT_GT(result.consumed, 0.0);
+  EXPECT_LT(std::abs(result.ledger_residual()), 1e-6 + 1e-6 * result.harvested);
+}
+
+TEST(Simulator, ProbesRecordedWhenRequested) {
+  auto system = make_system(1e-3);
+  const auto result = system.run(5.0);
+  ASSERT_NE(result.probes.find("vcc"), nullptr);
+  ASSERT_NE(result.probes.find("freq_mhz"), nullptr);
+  ASSERT_NE(result.probes.find("state"), nullptr);
+  ASSERT_NE(result.probes.find("power_mw"), nullptr);
+  const auto* vcc = result.probes.find("vcc");
+  EXPECT_GT(vcc->size(), 100u);
+  EXPECT_GE(vcc->min(), 0.0);
+  EXPECT_LT(vcc->max(), 3.5);
+}
+
+TEST(Simulator, NoProbesByDefault) {
+  auto system = make_system();
+  const auto result = system.run(5.0);
+  EXPECT_EQ(result.probes.find("vcc"), nullptr);
+}
+
+TEST(Simulator, TransitionsIncludeSaveAndRestore) {
+  auto system = make_system();
+  const auto result = system.run(5.0);
+  bool saw_saving = false, saw_restoring = false, saw_off = false;
+  for (const auto& change : result.transitions) {
+    if (change.to == mcu::McuState::saving) saw_saving = true;
+    if (change.to == mcu::McuState::restoring) saw_restoring = true;
+    if (change.to == mcu::McuState::off) saw_off = true;
+    EXPECT_GE(change.time, 0.0);
+    EXPECT_LE(change.time, result.end_time + 1e-9);
+  }
+  EXPECT_TRUE(saw_saving);
+  EXPECT_TRUE(saw_restoring);
+  EXPECT_TRUE(saw_off);
+}
+
+TEST(Simulator, StopsOnCompletion) {
+  auto system = make_system();
+  const auto result = system.run(100.0);
+  ASSERT_TRUE(result.mcu.completed);
+  EXPECT_LT(result.end_time, 10.0);
+}
+
+TEST(Simulator, HonoursHorizonWhenIncomplete) {
+  core::SystemBuilder builder;
+  auto system = builder
+                    .voltage_source(std::make_unique<trace::SquareVoltageSource>(
+                        3.3, 20.0, 0.5, 0.0, 50.0))
+                    .capacitance(22e-6)
+                    .bleed(2000.0)
+                    .workload("fft", 3)
+                    .policy_none()  // never completes across outages
+                    .build();
+  const auto result = system.run(1.0);
+  EXPECT_FALSE(result.mcu.completed);
+  EXPECT_NEAR(result.end_time, 1.0, 1e-3);
+}
+
+TEST(Simulator, StepSizeConvergence) {
+  // Halving dt should not change the outcome qualitatively: completion and
+  // save counts stay stable.
+  auto run_with_dt = [](Seconds dt) {
+    core::SystemBuilder builder;
+    sim::SimConfig config;
+    config.dt = dt;
+    builder
+        .voltage_source(
+            std::make_unique<trace::SquareVoltageSource>(3.3, 10.0, 0.3, 0.0, 50.0))
+        .capacitance(22e-6)
+        .bleed(10000.0)
+        .program(std::make_unique<workloads::Crc32Program>(64 * 1024, 3))
+        .policy_hibernus()
+        .sim_config(config);
+    auto system = builder.build();
+    return system.run(5.0);
+  };
+  const auto coarse = run_with_dt(2e-5);
+  const auto fine = run_with_dt(5e-6);
+  ASSERT_TRUE(coarse.mcu.completed);
+  ASSERT_TRUE(fine.mcu.completed);
+  EXPECT_NEAR(coarse.mcu.completion_time, fine.mcu.completion_time,
+              0.15 * fine.mcu.completion_time);
+  EXPECT_LE(
+      std::abs(static_cast<long>(coarse.mcu.saves_completed) -
+               static_cast<long>(fine.mcu.saves_completed)),
+      2);
+}
+
+// -------------------------------------------------------- CSV playback -----
+
+TEST(TracePlayback, RecordedCsvTraceReproducesTheLiveRun) {
+  // The workflow behind the paper's dataset DOI: record a source trace,
+  // export it as CSV, load it back, and drive the same system from the
+  // recorded file. The played-back run must complete with the identical
+  // digest (and near-identical timing, up to trace sampling).
+  const auto turbine = trace::WindTurbineSource::single_gust();
+  const auto recorded = trace::Waveform::sample(
+      [&](Seconds t) { return turbine.open_circuit_voltage(t); }, 0.0, 8.0, 160001);
+
+  std::stringstream csv;
+  trace::write_csv(csv, "v_oc", recorded);
+  const auto loaded = trace::read_csv(csv);
+
+  auto run_from = [](std::unique_ptr<trace::VoltageSource> source) {
+    core::SystemBuilder builder;
+    builder.voltage_source(std::move(source))
+        .capacitance(47e-6)
+        .bleed(10000.0)
+        .program(std::make_unique<workloads::Crc32Program>(32 * 1024, 3))
+        .policy_hibernus();
+    auto system = builder.build();
+    auto result = system.run(8.0);
+    return std::make_pair(result.mcu.completed ? 1 : 0,
+                          result.mcu.completed ? system.program().result_digest() : 0);
+  };
+
+  const auto live = run_from(std::make_unique<trace::WaveformVoltageSource>(
+      recorded, 220.0, "live"));
+  const auto playback = run_from(std::make_unique<trace::WaveformVoltageSource>(
+      loaded, 220.0, "playback"));
+  ASSERT_EQ(live.first, 1);
+  ASSERT_EQ(playback.first, 1);
+  EXPECT_EQ(live.second, playback.second);
+}
+
+// ----------------------------------------------------------------- Table ---
+
+TEST(Table, FormatsAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"bb", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EngineeringFormat) {
+  EXPECT_EQ(Table::eng(4.7e-6, "F", 1), "4.7 uF");
+  EXPECT_EQ(Table::eng(2.2e3, "Hz", 1), "2.2 kHz");
+  EXPECT_EQ(Table::eng(0.0, "J", 1), "0 J");
+}
+
+// ------------------------------------------------------------ AsciiPlot ----
+
+TEST(AsciiPlot, RendersWaveform) {
+  const auto wave = trace::Waveform::sample(
+      [](Seconds t) { return std::sin(2 * M_PI * t); }, 0.0, 1.0, 101);
+  std::ostringstream out;
+  PlotOptions options;
+  options.title = "test";
+  options.width = 60;
+  options.height = 10;
+  plot(out, "sine", wave, options);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("test"), std::string::npos);
+  EXPECT_NE(text.find('*'), std::string::npos);
+  // 10 data rows plus axis/legend lines.
+  EXPECT_GT(std::count(text.begin(), text.end(), '\n'), 10);
+}
+
+TEST(AsciiPlot, MarkersDrawn) {
+  const auto wave = trace::Waveform::sample(
+      [](Seconds t) { return 2.0 + std::sin(2 * M_PI * t); }, 0.0, 1.0, 101);
+  std::ostringstream out;
+  PlotOptions options;
+  options.width = 60;
+  options.height = 12;
+  plot_with_markers(out, "vcc", wave, {{2.5, "VH"}, {2.9, "VR"}}, options);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("VH"), std::string::npos);
+  EXPECT_NE(text.find("VR"), std::string::npos);
+  EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edc::sim

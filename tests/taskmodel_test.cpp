@@ -1,0 +1,176 @@
+// Tests for the task-based transient systems (edc/taskmodel).
+#include <gtest/gtest.h>
+
+#include "edc/core/system.h"
+#include "edc/taskmodel/burst_policy.h"
+#include "edc/taskmodel/monjolo.h"
+#include "edc/taskmodel/wispcam.h"
+#include "edc/trace/power_sources.h"
+
+namespace edc::taskmodel {
+namespace {
+
+// --------------------------------------------------------- BurstPolicy -----
+
+TEST(BurstPolicy, WakesAboveTaskThresholdOnly) {
+  core::SystemBuilder builder;
+  BurstTaskPolicy::Config config;
+  config.task_energy = 40e-6;
+  auto system = builder
+                    .power_source(std::make_unique<trace::ConstantPowerSource>(1.5e-3))
+                    .capacitance(100e-6)
+                    .workload("sense", 3)
+                    .policy_burst(config)
+                    .build();
+  const auto& policy = dynamic_cast<const BurstTaskPolicy&>(system.policy());
+  EXPECT_GT(policy.wake_threshold(), system.mcu().power().v_min);
+  const auto result = system.run(10.0);
+  ASSERT_TRUE(result.mcu.completed);
+  // Progress commits at every task (function) boundary.
+  EXPECT_GT(result.mcu.saves_completed, 4u);
+}
+
+TEST(BurstPolicy, CompletesOnIntermittentField) {
+  core::SystemBuilder builder;
+  BurstTaskPolicy::Config config;
+  config.task_energy = 30e-6;
+  auto system = builder
+                    .power_source(std::make_unique<trace::MarkovOnOffPowerSource>(
+                        4e-3, 0.05, 0.05, 7, 30.0))
+                    .capacitance(220e-6)
+                    .workload("sense", 3)
+                    .policy_burst(config)
+                    .build();
+  const auto result = system.run(30.0);
+  ASSERT_TRUE(result.mcu.completed);
+  // One commit per completed phase/task boundary, several per round.
+  EXPECT_GE(result.mcu.saves_completed, 8u);
+}
+
+TEST(BurstPolicy, WakeThresholdMonotoneInTaskEnergy) {
+  auto threshold_for = [](Joules task_energy) {
+    core::SystemBuilder builder;
+    BurstTaskPolicy::Config config;
+    config.task_energy = task_energy;
+    auto system = builder
+                      .power_source(std::make_unique<trace::ConstantPowerSource>(1e-3))
+                      .capacitance(100e-6)
+                      .workload("sense", 1)
+                      .policy_burst(config)
+                      .build();
+    return dynamic_cast<const BurstTaskPolicy&>(system.policy()).wake_threshold();
+  };
+  EXPECT_LT(threshold_for(10e-6), threshold_for(50e-6));
+  EXPECT_LT(threshold_for(50e-6), threshold_for(200e-6));
+}
+
+TEST(BurstPolicy, TaskEnergyHelperIsPositiveAndScalesWithCycles) {
+  core::SystemBuilder builder;
+  auto system = builder.power_source(std::make_unique<trace::ConstantPowerSource>(1e-3))
+                    .capacitance(100e-6)
+                    .workload("sense", 1)
+                    .policy_burst()
+                    .build();
+  const Joules small = BurstTaskPolicy::task_energy(system.mcu(), 1000, 3.0);
+  const Joules large = BurstTaskPolicy::task_energy(system.mcu(), 100000, 3.0);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+}
+
+// ------------------------------------------------------------- Monjolo -----
+
+TEST(Monjolo, PingRateTracksHarvestedPower) {
+  MonjoloMeter meter({});
+  trace::ConstantPowerSource p1(2e-3);
+  trace::ConstantPowerSource p2(4e-3);
+  const auto r1 = meter.run(p1, 60.0);
+  const auto r2 = meter.run(p2, 60.0);
+  ASSERT_GT(r1.pings.size(), 5u);
+  ASSERT_GT(r2.pings.size(), 5u);
+  // Double the power -> about double the ping rate.
+  const double ratio = static_cast<double>(r2.pings.size()) /
+                       static_cast<double>(r1.pings.size());
+  EXPECT_NEAR(ratio, 2.0, 0.25);
+}
+
+TEST(Monjolo, ReceiverEstimateMatchesTrueHarvest) {
+  MonjoloMeter::Config config;
+  MonjoloMeter meter(config);
+  trace::ConstantPowerSource source(3e-3);
+  const auto result = meter.run(source, 120.0);
+  // The receiver sees eta * P_in minus leakage; estimate within 20 %.
+  const Watts est = result.mean_estimate(10.0, 110.0);
+  const Watts truth = 3e-3 * config.harvest_efficiency;
+  EXPECT_NEAR(est, truth, 0.2 * truth);
+}
+
+TEST(Monjolo, NoPingsWithoutPower) {
+  MonjoloMeter meter({});
+  trace::ConstantPowerSource source(0.0);
+  const auto result = meter.run(source, 10.0);
+  EXPECT_TRUE(result.pings.empty());
+}
+
+TEST(Monjolo, EstimatedPowerSeriesIsPositive) {
+  MonjoloMeter meter({});
+  trace::ConstantPowerSource source(2e-3);
+  const auto result = meter.run(source, 60.0);
+  const auto estimates = result.estimated_power();
+  ASSERT_FALSE(estimates.empty());
+  for (const auto& [t, p] : estimates) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_GE(t, 0.0);
+  }
+}
+
+// ------------------------------------------------------------- WISPCam -----
+
+TEST(WispCam, CapturesAndTransfersUnderStrongField) {
+  WispCam camera({});
+  trace::RfFieldSource::Params rf;
+  rf.field_power = 3e-3;
+  rf.burst_length = 8.0;
+  rf.burst_period = 10.0;
+  trace::RfFieldSource source(rf, 3, 300.0);
+  const auto result = camera.run(source, 300.0);
+  EXPECT_GT(result.photos_captured, 0);
+  EXPECT_GT(result.photos_transferred, 0);
+  EXPECT_LE(result.photos_transferred, result.photos_captured);
+  EXPECT_GT(result.mean_latency(), 0.0);
+}
+
+TEST(WispCam, WeakerFieldMeansFewerPhotos) {
+  WispCam camera({});
+  trace::RfFieldSource::Params strong;
+  strong.field_power = 3e-3;
+  strong.burst_length = 8.0;
+  strong.burst_period = 10.0;
+  trace::RfFieldSource strong_src(strong, 3, 200.0);
+  auto weak = strong;
+  weak.field_power = 1.2e-3;
+  trace::RfFieldSource weak_src(weak, 3, 200.0);
+  const auto strong_result = camera.run(strong_src, 200.0);
+  const auto weak_result = camera.run(weak_src, 200.0);
+  EXPECT_GE(strong_result.photos_captured, weak_result.photos_captured);
+}
+
+TEST(WispCam, NothingHappensWithoutField) {
+  WispCam camera({});
+  trace::ConstantPowerSource source(0.0);
+  const auto result = camera.run(source, 60.0);
+  EXPECT_EQ(result.photos_captured, 0);
+  EXPECT_EQ(result.photos_transferred, 0);
+}
+
+TEST(WispCam, VoltageProbeStaysBounded) {
+  WispCam camera({});
+  trace::RfFieldSource::Params rf;
+  rf.field_power = 3e-3;
+  trace::RfFieldSource source(rf, 3, 60.0);
+  const auto result = camera.run(source, 60.0);
+  EXPECT_GE(result.voltage.min(), 0.0);
+  EXPECT_LT(result.voltage.max(), 10.0);
+}
+
+}  // namespace
+}  // namespace edc::taskmodel

@@ -1,0 +1,326 @@
+// Unit tests for the energy-environment substrate (edc/trace).
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "edc/trace/csv.h"
+#include "edc/trace/power_sources.h"
+#include "edc/trace/rng.h"
+#include "edc/trace/statistics.h"
+#include "edc/trace/voltage_sources.h"
+#include "edc/trace/waveform.h"
+
+namespace edc::trace {
+namespace {
+
+// ---------------------------------------------------------------- Rng ------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+// ------------------------------------------------------------ Waveform -----
+
+TEST(Waveform, SampleAndInterpolate) {
+  const auto wave = Waveform::sample([](Seconds t) { return 2.0 * t; }, 0.0, 1.0, 11);
+  EXPECT_EQ(wave.size(), 11u);
+  EXPECT_DOUBLE_EQ(wave.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wave.at(0.5), 1.0);
+  EXPECT_NEAR(wave.at(0.55), 1.1, 1e-12);
+  // Clamping outside the span.
+  EXPECT_DOUBLE_EQ(wave.at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(wave.at(2.0), 2.0);
+}
+
+TEST(Waveform, IntegralOfConstant) {
+  const auto wave = Waveform::sample([](Seconds) { return 3.0; }, 0.0, 2.0, 21);
+  EXPECT_NEAR(wave.integral(), 6.0, 1e-12);
+}
+
+TEST(Waveform, IntegralOfRamp) {
+  const auto wave = Waveform::sample([](Seconds t) { return t; }, 0.0, 1.0, 101);
+  EXPECT_NEAR(wave.integral(), 0.5, 1e-9);
+}
+
+TEST(Waveform, Statistics) {
+  const auto wave =
+      Waveform::sample([](Seconds t) { return std::sin(2 * M_PI * t); }, 0.0, 1.0, 1001);
+  const auto stats = summarize(wave);
+  EXPECT_NEAR(stats.mean, 0.0, 1e-3);
+  EXPECT_NEAR(stats.rms, 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(stats.max, 1.0, 1e-4);
+  EXPECT_NEAR(stats.min, -1.0, 1e-4);
+}
+
+TEST(Waveform, ResamplePreservesShape) {
+  const auto wave = Waveform::sample([](Seconds t) { return t * t; }, 0.0, 1.0, 501);
+  const auto coarse = wave.resample(51);
+  EXPECT_EQ(coarse.size(), 51u);
+  EXPECT_NEAR(coarse.at(0.7), 0.49, 1e-3);
+}
+
+TEST(Waveform, MapTransforms) {
+  const auto wave = Waveform::sample([](Seconds t) { return t; }, 0.0, 1.0, 11);
+  const auto scaled = wave.map([](double v) { return 10.0 * v; });
+  EXPECT_DOUBLE_EQ(scaled.at(0.5), 5.0);
+}
+
+TEST(Waveform, EmptyThrows) {
+  Waveform wave;
+  EXPECT_TRUE(wave.empty());
+  EXPECT_THROW(wave.at(0.0), std::invalid_argument);
+  EXPECT_THROW(wave.min(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Outages -----
+
+TEST(Outages, FindsSubThresholdIntervals) {
+  // 1 Hz square-ish: below threshold in the middle third.
+  const auto wave = Waveform::sample(
+      [](Seconds t) { return (t > 1.0 && t < 2.0) ? 0.0 : 3.0; }, 0.0, 3.0, 3001);
+  const auto outages = find_outages(wave, 1.5);
+  ASSERT_EQ(outages.size(), 1u);
+  EXPECT_NEAR(outages[0].start, 1.0, 0.01);
+  EXPECT_NEAR(outages[0].duration, 1.0, 0.01);
+  const auto stats = outage_stats(wave, 1.5);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_NEAR(stats.availability, 2.0 / 3.0, 0.01);
+}
+
+TEST(Outages, NoneWhenAlwaysAbove) {
+  const auto wave = Waveform::sample([](Seconds) { return 5.0; }, 0.0, 1.0, 101);
+  EXPECT_TRUE(find_outages(wave, 1.0).empty());
+  EXPECT_DOUBLE_EQ(outage_stats(wave, 1.0).availability, 1.0);
+}
+
+TEST(Outages, DominantFrequencyOfSine) {
+  const auto wave = Waveform::sample(
+      [](Seconds t) { return std::sin(2 * M_PI * 7.0 * t); }, 0.0, 2.0, 20001);
+  EXPECT_NEAR(dominant_frequency(wave), 7.0, 0.1);
+}
+
+// ------------------------------------------------------------- Sources -----
+
+TEST(SineSource, AmplitudeAndOffset) {
+  SineVoltageSource source(2.0, 1.0, 0.5);
+  EXPECT_NEAR(source.open_circuit_voltage(0.25), 2.5, 1e-9);
+  EXPECT_NEAR(source.open_circuit_voltage(0.75), -1.5, 1e-9);
+}
+
+TEST(SquareSource, DutyCycle) {
+  SquareVoltageSource source(3.3, 10.0, 0.3);
+  EXPECT_DOUBLE_EQ(source.open_circuit_voltage(0.01), 3.3);
+  EXPECT_DOUBLE_EQ(source.open_circuit_voltage(0.05), 0.0);
+}
+
+TEST(WindTurbine, SingleGustShape) {
+  // Fig 1a: AC voltage peaking near +/-5 V with a few-Hz electrical
+  // frequency, rising then decaying over several seconds.
+  const auto turbine = WindTurbineSource::single_gust();
+  const auto wave = Waveform::sample(
+      [&](Seconds t) { return turbine.open_circuit_voltage(t); }, 0.0, 8.0, 16001);
+  EXPECT_GT(wave.max(), 4.0);
+  EXPECT_LT(wave.max(), 6.0);
+  EXPECT_LT(wave.min(), -4.0);
+  // The envelope peaks somewhere in the first half and decays after.
+  const auto turbine_env = [&](Seconds t) { return turbine.envelope(t); };
+  double peak_t = 0.0, peak_v = 0.0;
+  for (Seconds t = 0.0; t < 8.0; t += 0.01) {
+    if (turbine_env(t) > peak_v) {
+      peak_v = turbine_env(t);
+      peak_t = t;
+    }
+  }
+  EXPECT_GT(peak_t, 0.5);
+  EXPECT_LT(peak_t, 4.0);
+  EXPECT_LT(turbine_env(8.0), 0.3 * peak_v);
+}
+
+TEST(WindTurbine, FrequencyTracksEnvelope) {
+  // Electrical frequency at the gust peak should approach peak_frequency.
+  const auto turbine = WindTurbineSource::single_gust();
+  // Count zero crossings in a window around the envelope peak.
+  const auto wave = Waveform::sample(
+      [&](Seconds t) { return turbine.open_circuit_voltage(t); }, 1.5, 3.0, 6001);
+  const Hertz f = dominant_frequency(wave);
+  EXPECT_GT(f, 3.0);
+  EXPECT_LT(f, 7.5);
+}
+
+TEST(WindTurbine, StochasticGustsDeterministic) {
+  const WindTurbineSource::Params params;
+  WindTurbineSource a(params, 99, 30.0), b(params, 99, 30.0);
+  for (Seconds t = 0.0; t < 30.0; t += 0.37) {
+    EXPECT_DOUBLE_EQ(a.open_circuit_voltage(t), b.open_circuit_voltage(t));
+  }
+}
+
+TEST(IndoorPv, DiurnalRange) {
+  // Fig 1b: ~290 uA at night, ~420-430 uA during the day, over two days.
+  IndoorPhotovoltaicSource pv({}, 1, 2);
+  const double night = pv.current_ua(3.5 * 3600);       // 03:30 day 1
+  const double midday = pv.current_ua(13.0 * 3600);     // 13:00 day 1
+  const double night2 = pv.current_ua(86400 + 2.0 * 3600);
+  EXPECT_NEAR(night, 292.0, 15.0);
+  EXPECT_GT(midday, 380.0);
+  EXPECT_LT(midday, 460.0);
+  EXPECT_NEAR(night2, 292.0, 15.0);
+}
+
+TEST(IndoorPv, PowerMatchesCurrent) {
+  IndoorPhotovoltaicSource pv({}, 1, 1);
+  const Seconds t = 12 * 3600;
+  EXPECT_NEAR(pv.available_power(t), pv.current_ua(t) * 1e-6 * 3.0, 1e-9);
+}
+
+TEST(OutdoorSolar, ZeroAtNightPeakAtNoon) {
+  OutdoorSolarSource solar({}, 5, 3);
+  EXPECT_DOUBLE_EQ(solar.available_power(2.0 * 3600), 0.0);      // 02:00
+  EXPECT_DOUBLE_EQ(solar.available_power(22.0 * 3600), 0.0);     // 22:00
+  EXPECT_GT(solar.available_power(13.0 * 3600), 0.0);            // 13:00
+  // Noon clear-sky output beats morning.
+  EXPECT_GT(solar.clear_sky_power(13.0 * 3600), solar.clear_sky_power(7.0 * 3600));
+}
+
+TEST(OutdoorSolar, CloudsOnlyAttenuate) {
+  OutdoorSolarSource solar({}, 5, 2);
+  for (Seconds t = 0.0; t < 2 * 86400.0; t += 1800.0) {
+    EXPECT_LE(solar.available_power(t), solar.clear_sky_power(t) + 1e-12);
+    EXPECT_GE(solar.available_power(t), 0.0);
+  }
+}
+
+TEST(OutdoorSolar, DeterministicPerSeed) {
+  OutdoorSolarSource a({}, 9, 2), b({}, 9, 2);
+  for (Seconds t = 0.0; t < 2 * 86400.0; t += 3600.0) {
+    EXPECT_DOUBLE_EQ(a.available_power(t), b.available_power(t));
+  }
+}
+
+TEST(OutdoorSolar, DailyEnergyIsReasonable) {
+  // A 50 mW-peak panel over a 14 h day yields roughly peak * daylight * 2/pi
+  // (the sine's mean), modulated by weather.
+  OutdoorSolarSource::Params params;
+  params.cloud_depth = 0.0;
+  params.day_to_day_jitter = 0.0;
+  OutdoorSolarSource solar(params, 1, 1);
+  const auto wave = Waveform::sample(
+      [&](Seconds t) { return solar.available_power(t); }, 0.0, 86400.0, 8641);
+  const Joules daily = wave.integral();
+  const Joules expected = 50e-3 * (14.0 * 3600.0) * 2.0 / 3.14159265358979;
+  EXPECT_NEAR(daily, expected, 0.05 * expected);
+}
+
+TEST(RfField, BurstTiming) {
+  RfFieldSource::Params params;
+  params.burst_length = 1.0;
+  params.burst_period = 4.0;
+  RfFieldSource rf(params, 5, 20.0);
+  EXPECT_GT(rf.available_power(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(rf.available_power(2.0), 0.0);
+  EXPECT_GT(rf.available_power(4.5), 0.0);
+}
+
+TEST(MarkovOnOff, AvailabilityMatchesDutyRatio) {
+  // mean_on 0.2 s / mean_off 0.2 s => ~50% availability.
+  MarkovOnOffPowerSource source(1e-3, 0.2, 0.2, 17, 2000.0);
+  double on_time = 0.0;
+  const Seconds dt = 0.01;
+  for (Seconds t = 0.0; t < 2000.0; t += dt) {
+    if (source.available_power(t) > 0.0) on_time += dt;
+  }
+  EXPECT_NEAR(on_time / 2000.0, 0.5, 0.05);
+}
+
+TEST(KineticSource, RingsAfterImpulse) {
+  KineticHarvesterSource::Params params;
+  KineticHarvesterSource source(params, 3, 10.0);
+  // Shortly after the first impulse (t=0.05) there is substantial output.
+  double peak = 0.0;
+  for (Seconds t = 0.05; t < 0.2; t += 0.0005) {
+    peak = std::max(peak, std::abs(source.open_circuit_voltage(t)));
+  }
+  EXPECT_GT(peak, 1.0);
+}
+
+// ----------------------------------------------------------------- CSV -----
+
+TEST(Csv, RoundTrip) {
+  const auto wave = Waveform::sample([](Seconds t) { return 3.0 * t + 1.0; }, 0.0,
+                                     1.0, 101);
+  std::stringstream buffer;
+  write_csv(buffer, "v", wave);
+  const auto back = read_csv(buffer);
+  ASSERT_EQ(back.size(), wave.size());
+  EXPECT_NEAR(back.at(0.42), wave.at(0.42), 1e-9);
+}
+
+TEST(Csv, MultiColumn) {
+  TraceSet set;
+  set.add("a", Waveform::sample([](Seconds t) { return t; }, 0.0, 1.0, 11));
+  set.add("b", Waveform::sample([](Seconds t) { return 2 * t; }, 0.0, 1.0, 11));
+  std::stringstream buffer;
+  write_csv(buffer, set);
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "time,a,b");
+}
+
+TEST(Csv, RejectsNonUniform) {
+  std::stringstream buffer("time,v\n0,1\n1,2\n3,4\n");
+  EXPECT_THROW(read_csv(buffer), std::invalid_argument);
+}
+
+TEST(TraceSet, FindByName) {
+  TraceSet set;
+  set.add("vcc", Waveform::sample([](Seconds) { return 1.0; }, 0.0, 1.0, 2));
+  EXPECT_NE(set.find("vcc"), nullptr);
+  EXPECT_EQ(set.find("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace edc::trace
