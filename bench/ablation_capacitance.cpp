@@ -8,7 +8,13 @@
 //     than necessary, so it hibernates earlier and wastes active time;
 //   * hibernus++ measures the platform online and works in every column, at
 //     the cost of a calibration overhead.
+//
+// The (deployed C x policy) grid runs on the parallel sweep engine; rows
+// come back in row-major grid order, exactly as the old nested loops
+// produced them.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
@@ -17,6 +23,8 @@
 #include "edc/checkpoint/thresholds.h"
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
+#include "edc/sweep/grid.h"
+#include "edc/sweep/runner.h"
 #include "edc/workloads/fft.h"
 
 using namespace edc;
@@ -38,34 +46,6 @@ struct Outcome {
   Volts v_h = 0.0;
 };
 
-Outcome run(bool plus_plus, Farads real_c, Farads characterised_c) {
-  core::SystemBuilder builder;
-  builder
-      .voltage_source(
-          std::make_unique<trace::SquareVoltageSource>(3.3, 10.0, 0.3, 0.0, 50.0))
-      .capacitance(real_c)
-      .bleed(10000.0)
-      .program(std::make_unique<workloads::FftProgram>(10, 7));
-  if (plus_plus) {
-    builder.policy_hibernus_pp();
-  } else {
-    checkpoint::InterruptPolicy::Config config;
-    config.capacitance = characterised_c;
-    config.restore_headroom = 0.3;
-    builder.policy_hibernus(config);
-  }
-  auto system = builder.build();
-  const auto result = system.run(20.0);
-  Outcome outcome;
-  outcome.completed = result.mcu.completed;
-  outcome.t_done = result.mcu.completion_time;
-  outcome.saves = result.mcu.saves_completed;
-  outcome.torn = system.mcu().nvm().torn_writes();
-  outcome.v_h = dynamic_cast<const checkpoint::InterruptPolicy&>(system.policy())
-                    .hibernate_threshold();
-  return outcome;
-}
-
 }  // namespace
 
 int main() {
@@ -77,13 +57,51 @@ int main() {
   std::printf("hibernus characterised for C = %s; hibernus++ self-calibrates.\n\n",
               sim::Table::eng(characterised, "F", 1).c_str());
 
+  spec::SystemSpec base;
+  base.source = spec::SquareSource{3.3, 10.0, 0.3, 0.0, 50.0};
+  base.storage.bleed = 10000.0;
+  base.workload.factory = [] { return std::make_unique<workloads::FftProgram>(10, 7); };
+  base.sim.t_end = 20.0;
+
+  checkpoint::InterruptPolicy::Config characterised_config;
+  characterised_config.capacitance = characterised;  // frozen at design time
+  characterised_config.restore_headroom = 0.3;
+
+  sweep::Grid grid(std::move(base));
+  grid.capacitance_axis(deployed)
+      .axis("policy",
+            {{"hibernus",
+              [characterised_config](spec::SystemSpec& s) {
+                s.policy = spec::Hibernus{characterised_config};
+              }},
+             {"hibernus++",
+              [](spec::SystemSpec& s) { s.policy = spec::HibernusPlusPlus{}; }}});
+
+  const sweep::Runner runner;
+  const auto outcomes = runner.map<Outcome>(
+      grid, [](const sweep::Point&, core::EnergyDrivenSystem& system,
+               const sim::SimResult& result) {
+        Outcome outcome;
+        outcome.completed = result.mcu.completed;
+        outcome.t_done = result.mcu.completion_time;
+        outcome.saves = result.mcu.saves_completed;
+        outcome.torn = system.mcu().nvm().torn_writes();
+        outcome.v_h = dynamic_cast<const checkpoint::InterruptPolicy&>(system.policy())
+                          .hibernate_threshold();
+        return outcome;
+      });
+
+  // Row-major order: capacitance outer, policy inner.
+  const auto at = [&](std::size_t c_index, std::size_t p_index) -> const Outcome& {
+    return outcomes[c_index * 2 + p_index];
+  };
+
   sim::Table table({"deployed C", "policy", "V_H used", "done", "t_done (s)",
                     "saves", "torn saves"});
-  Outcome hib_small, hib_nominal, hib_large, hpp_small, hpp_large;
-  for (Farads c : deployed) {
-    const auto hib = run(false, c, characterised);
-    const auto hpp = run(true, c, 0.0);
-    table.add_row({sim::Table::eng(c, "F", 1), "hibernus",
+  for (std::size_t i = 0; i < deployed.size(); ++i) {
+    const Outcome& hib = at(i, 0);
+    const Outcome& hpp = at(i, 1);
+    table.add_row({sim::Table::eng(deployed[i], "F", 1), "hibernus",
                    sim::Table::num(hib.v_h, 2) + " V", hib.completed ? "yes" : "NO",
                    hib.completed ? sim::Table::num(hib.t_done, 2) : "-",
                    std::to_string(hib.saves), std::to_string(hib.torn)});
@@ -91,17 +109,24 @@ int main() {
                    hpp.completed ? "yes" : "NO",
                    hpp.completed ? sim::Table::num(hpp.t_done, 2) : "-",
                    std::to_string(hpp.saves), std::to_string(hpp.torn)});
-    if (c == 4.7e-6) {
-      hib_small = hib;
-      hpp_small = hpp;
-    }
-    if (c == characterised) hib_nominal = hib;
-    if (c == 100e-6) {
-      hib_large = hib;
-      hpp_large = hpp;
-    }
   }
   table.print(std::cout);
+
+  // Select the shape-check cells by capacitance value, so editing the
+  // `deployed` list cannot silently re-aim a check at the wrong cell.
+  const auto c_index = [&](Farads c) {
+    const auto it = std::find(deployed.begin(), deployed.end(), c);
+    if (it == deployed.end()) {
+      std::fprintf(stderr, "capacitance %g not in the deployed sweep\n", c);
+      std::abort();
+    }
+    return static_cast<std::size_t>(it - deployed.begin());
+  };
+  const Outcome& hib_small = at(c_index(4.7e-6), 0);
+  const Outcome& hpp_small = at(c_index(4.7e-6), 1);
+  const Outcome& hib_nominal = at(c_index(characterised), 0);
+  const Outcome& hib_large = at(c_index(100e-6), 0);
+  const Outcome& hpp_large = at(c_index(100e-6), 1);
 
   std::printf("\nShape checks vs the paper (Section III):\n");
   check(!hib_small.completed && hib_small.torn > 0,

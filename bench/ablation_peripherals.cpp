@@ -10,13 +10,16 @@
 //       cost per restore (SPI register writes, PLL lock, calibration).
 // The better choice depends on the outage rate: frequent outages amortise
 // the per-save cost of (a); rare outages favour the cheap snapshots of (b).
-// This bench sweeps the outage rate and reports the crossover.
+// This bench sweeps (outage rate x strategy) on the sweep engine and
+// reports the crossover.
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
+#include "edc/sweep/grid.h"
+#include "edc/sweep/runner.h"
 #include "edc/workloads/sensing.h"
 
 using namespace edc;
@@ -35,36 +38,7 @@ struct Outcome {
   Seconds t_done = 0.0;
   Joules energy = 0.0;
   std::uint64_t reinits = 0;
-  double overhead_mcycles = 0.0;
 };
-
-Outcome run(bool snapshot_peripherals, Hertz outage_hz) {
-  core::SystemBuilder builder;
-  mcu::McuParams params;
-  params.peripheral_file_bytes = 512;     // radio register map + calibration
-  params.peripheral_reinit_cycles = 60000;  // ~7.5 ms of SPI reconfiguration
-  builder
-      .voltage_source(std::make_unique<trace::SquareVoltageSource>(
-          3.3, outage_hz, 0.4, 0.0, 50.0))
-      .capacitance(22e-6)
-      .bleed(3000.0)
-      .mcu_params(params)
-      .snapshot_peripherals(snapshot_peripherals)
-      .program(std::make_unique<workloads::SensingProgram>(512, 5));
-  checkpoint::InterruptPolicy::Config config;
-  config.margin = 2.2;  // covers the bleed share during the save (Eq 4)
-  config.restore_headroom = 0.3;
-  builder.policy_hibernus(config);
-  auto system = builder.build();
-  const auto result = system.run(60.0);
-  Outcome outcome;
-  outcome.completed = result.mcu.completed;
-  outcome.t_done = result.mcu.completion_time;
-  outcome.energy = result.mcu.energy_total();
-  outcome.reinits = result.mcu.peripheral_reinits;
-  outcome.overhead_mcycles = result.mcu.poll_cycles / 1e6;
-  return outcome;
-}
 
 }  // namespace
 
@@ -73,46 +47,86 @@ int main() {
   std::printf("workload: 512 sense rounds (ADC + radio); peripheral file 512 B;\n");
   std::printf("re-initialisation 60 kcycles (~7.5 ms at 8 MHz).\n\n");
 
+  spec::SystemSpec base;
+  base.mcu.peripheral_file_bytes = 512;       // radio register map + calibration
+  base.mcu.peripheral_reinit_cycles = 60000;  // ~7.5 ms of SPI reconfiguration
+  base.storage.capacitance = 22e-6;
+  base.storage.bleed = 3000.0;
+  base.workload.factory = [] {
+    return std::make_unique<workloads::SensingProgram>(512, 5);
+  };
+  checkpoint::InterruptPolicy::Config config;
+  config.margin = 2.2;  // covers the bleed share during the save (Eq 4)
+  config.restore_headroom = 0.3;
+  base.policy = spec::Hibernus{config};
+  base.sim.t_end = 60.0;
+
+  const std::vector<Hertz> outage_rates = {2.0, 5.0, 10.0, 20.0};
+  sweep::Grid grid(std::move(base));
+  grid.numeric_axis(
+          "outage rate (Hz)", outage_rates,
+          [](spec::SystemSpec& s, double f) {
+            s.source = spec::SquareSource{3.3, f, 0.4, 0.0, 50.0};
+          },
+          [](double f) { return sim::Table::num(f, 0); })
+      .axis("strategy",
+            {{"snapshot peripherals",
+              [](spec::SystemSpec& s) { s.snapshot_peripherals = true; }},
+             {"re-init after outage",
+              [](spec::SystemSpec& s) { s.snapshot_peripherals = false; }}});
+
+  const sweep::Runner runner;
+  const auto outcomes = runner.map<Outcome>(
+      grid, [](const sweep::Point&, core::EnergyDrivenSystem&,
+               const sim::SimResult& result) {
+        Outcome outcome;
+        outcome.completed = result.mcu.completed;
+        outcome.t_done = result.mcu.completion_time;
+        outcome.energy = result.mcu.energy_total();
+        outcome.reinits = result.mcu.peripheral_reinits;
+        return outcome;
+      });
+
+  // Row-major order: outage rate outer, strategy inner (snapshot, re-init).
+  const auto at = [&](std::size_t f_index, std::size_t s_index) -> const Outcome& {
+    return outcomes[f_index * 2 + s_index];
+  };
+
   sim::Table table({"outage rate (Hz)", "strategy", "done", "t_done (s)",
                     "energy (uJ)", "peripheral re-inits"});
-  struct Pair {
-    Outcome with, without;
-  };
-  std::vector<std::pair<Hertz, Pair>> results;
-  for (Hertz f : {2.0, 5.0, 10.0, 20.0}) {
-    Pair pair;
-    pair.with = run(true, f);
-    pair.without = run(false, f);
-    results.emplace_back(f, pair);
-    table.add_row({sim::Table::num(f, 0), "snapshot peripherals",
-                   pair.with.completed ? "yes" : "NO",
-                   pair.with.completed ? sim::Table::num(pair.with.t_done, 2) : "-",
-                   sim::Table::num(pair.with.energy * 1e6, 0),
-                   std::to_string(pair.with.reinits)});
-    table.add_row({"", "re-init after outage",
-                   pair.without.completed ? "yes" : "NO",
-                   pair.without.completed ? sim::Table::num(pair.without.t_done, 2) : "-",
-                   sim::Table::num(pair.without.energy * 1e6, 0),
-                   std::to_string(pair.without.reinits)});
+  for (std::size_t i = 0; i < outage_rates.size(); ++i) {
+    const Outcome& with = at(i, 0);
+    const Outcome& without = at(i, 1);
+    table.add_row({sim::Table::num(outage_rates[i], 0), "snapshot peripherals",
+                   with.completed ? "yes" : "NO",
+                   with.completed ? sim::Table::num(with.t_done, 2) : "-",
+                   sim::Table::num(with.energy * 1e6, 0),
+                   std::to_string(with.reinits)});
+    table.add_row({"", "re-init after outage", without.completed ? "yes" : "NO",
+                   without.completed ? sim::Table::num(without.t_done, 2) : "-",
+                   sim::Table::num(without.energy * 1e6, 0),
+                   std::to_string(without.reinits)});
   }
   table.print(std::cout);
 
-  const auto& slow = results.front().second;    // 2 Hz outages
-  const auto& fast = results.back().second;     // 20 Hz outages
+  const Outcome& slow_with = at(0, 0);     // 2 Hz outages
+  const Outcome& slow_without = at(0, 1);
+  const Outcome& fast_with = at(outage_rates.size() - 1, 0);  // 20 Hz outages
+  const Outcome& fast_without = at(outage_rates.size() - 1, 1);
 
   std::printf("\nShape checks:\n");
-  check(slow.with.completed && slow.without.completed && fast.with.completed &&
-            fast.without.completed,
+  check(slow_with.completed && slow_without.completed && fast_with.completed &&
+            fast_without.completed,
         "both strategies sustain computation at every outage rate");
-  check(slow.without.reinits > 0 && slow.with.reinits <= 1,
+  check(slow_without.reinits > 0 && slow_with.reinits <= 1,
         "only the re-init strategy pays peripheral reconfiguration per outage");
-  check(fast.without.reinits > slow.without.reinits,
+  check(fast_without.reinits > slow_without.reinits,
         "re-initialisations scale with the outage rate");
   // The economics: re-init cost per outage is fixed; snapshot cost per
   // outage grows with the peripheral file. At high outage rates the re-init
   // strategy's completion time degrades more.
-  const double slow_penalty = slow.without.t_done / slow.with.t_done;
-  const double fast_penalty = fast.without.t_done / fast.with.t_done;
+  const double slow_penalty = slow_without.t_done / slow_with.t_done;
+  const double fast_penalty = fast_without.t_done / fast_with.t_done;
   std::printf("  [INFO] re-init completion-time penalty: %.2fx at 2 Hz, %.2fx at 20 Hz\n",
               slow_penalty, fast_penalty);
   check(fast_penalty > slow_penalty,

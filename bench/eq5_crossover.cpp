@@ -8,9 +8,10 @@
 //     f_crossover = (P_FRAM - P_SRAM) / (E_hibernus - E_quickrecall)
 //
 // The bench sweeps the interruption frequency of a square-wave supply on a
-// leaky 10 uF node (so outages stay real across the sweep), measures total
-// MCU energy per unit of forward progress for both policies, and compares
-// the empirical crossover against the analytic prediction.
+// leaky 10 uF node (so outages stay real across the sweep) with the sweep
+// engine (f x policy grid), measures total MCU energy per unit of forward
+// progress for both policies, and compares the empirical crossover against
+// the analytic prediction.
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -20,6 +21,8 @@
 #include "edc/checkpoint/thresholds.h"
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
+#include "edc/sweep/grid.h"
+#include "edc/sweep/runner.h"
 #include "edc/workloads/fft.h"
 
 using namespace edc;
@@ -38,36 +41,6 @@ struct RunOutcome {
   bool completed = false;
   std::uint64_t saves = 0;
 };
-
-RunOutcome run(bool quickrecall, Hertz interrupt_hz) {
-  core::SystemBuilder builder;
-  checkpoint::InterruptPolicy::Config config;
-  // Margin sized for the strong board bleed that drains the node in
-  // parallel with the save (see Eq 4 discussion in DESIGN.md).
-  config.margin = 3.0;
-  config.restore_headroom = 0.15;
-  builder
-      .voltage_source(std::make_unique<trace::SquareVoltageSource>(
-          3.3, interrupt_hz, 0.5, 0.0, 50.0))
-      .capacitance(10e-6)
-      .bleed(1000.0)
-      .program(std::make_unique<workloads::FftProgram>(10, 5));
-  if (quickrecall) {
-    builder.policy_quickrecall(config);
-  } else {
-    builder.policy_hibernus(config);
-  }
-  auto system = builder.build();
-  const auto result = system.run(20.0);
-  RunOutcome outcome;
-  outcome.completed = result.mcu.completed;
-  outcome.saves = result.mcu.saves_completed;
-  if (result.mcu.forward_cycles > 1000.0) {
-    outcome.joules_per_mcycle =
-        result.mcu.energy_total() / (result.mcu.forward_cycles / 1e6);
-  }
-  return outcome;
-}
 
 }  // namespace
 
@@ -90,30 +63,77 @@ int main() {
               "(50%% supply duty halves the usable on-time => expect ~%.0f Hz)\n\n",
               predicted, predicted / 2);
 
+  // Margin sized for the strong board bleed that drains the node in
+  // parallel with the save (see Eq 4 discussion in DESIGN.md).
+  checkpoint::InterruptPolicy::Config config;
+  config.margin = 3.0;
+  config.restore_headroom = 0.15;
+
+  spec::SystemSpec base;
+  base.storage.capacitance = 10e-6;
+  base.storage.bleed = 1000.0;
+  base.workload.factory = [] { return std::make_unique<workloads::FftProgram>(10, 5); };
+  base.sim.t_end = 20.0;
+
+  const std::vector<Hertz> sweep = {5, 10, 20, 40, 80, 160, 320};
+  sweep::Grid grid(std::move(base));
+  grid.numeric_axis(
+          "f_interrupt (Hz)", sweep,
+          [](spec::SystemSpec& s, double f) {
+            s.source = spec::SquareSource{3.3, f, 0.5, 0.0, 50.0};
+          },
+          [](double f) { return sim::Table::num(f, 0); })
+      .axis("policy", {{"hibernus",
+                        [config](spec::SystemSpec& s) {
+                          s.policy = spec::Hibernus{config};
+                        }},
+                       {"quickrecall", [config](spec::SystemSpec& s) {
+                          s.policy = spec::QuickRecall{config};
+                        }}});
+
+  const sweep::Runner runner;
+  const auto outcomes = runner.map<RunOutcome>(
+      grid, [](const sweep::Point&, core::EnergyDrivenSystem&,
+               const sim::SimResult& result) {
+        RunOutcome outcome;
+        outcome.completed = result.mcu.completed;
+        outcome.saves = result.mcu.saves_completed;
+        if (result.mcu.forward_cycles > 1000.0) {
+          outcome.joules_per_mcycle =
+              result.mcu.energy_total() / (result.mcu.forward_cycles / 1e6);
+        }
+        return outcome;
+      });
+
+  // Row-major order: frequency outer, policy inner.
+  const auto at = [&](std::size_t f_index, std::size_t p_index) -> const RunOutcome& {
+    return outcomes[f_index * 2 + p_index];
+  };
+
   sim::Table table({"f_interrupt (Hz)", "hibernus (uJ/Mcycle)",
                     "quickrecall (uJ/Mcycle)", "winner", "hib saves", "qr saves"});
-  const std::vector<Hertz> sweep = {5, 10, 20, 40, 80, 160, 320};
   Hertz empirical_crossover = 0.0;
   bool previous_hibernus_wins = true;
   bool first = true;
-  for (Hertz f : sweep) {
-    const auto hibernus = run(false, f);
-    const auto quickrecall = run(true, f);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const RunOutcome& hibernus = at(i, 0);
+    const RunOutcome& quickrecall = at(i, 1);
     const bool hibernus_wins =
         hibernus.joules_per_mcycle <= quickrecall.joules_per_mcycle;
     if (!first && previous_hibernus_wins && !hibernus_wins &&
         empirical_crossover == 0.0) {
-      empirical_crossover = f;
+      empirical_crossover = sweep[i];
     }
     previous_hibernus_wins = hibernus_wins;
     first = false;
     auto fmt = [](double v) {
       return std::isinf(v) ? std::string("no progress") : sim::Table::num(v * 1e6, 2);
     };
-    table.add_row({sim::Table::num(f, 0), fmt(hibernus.joules_per_mcycle),
+    table.add_row({sim::Table::num(sweep[i], 0), fmt(hibernus.joules_per_mcycle),
                    fmt(quickrecall.joules_per_mcycle),
                    hibernus_wins ? "hibernus" : "quickrecall",
-                   std::to_string(hibernus.saves), std::to_string(quickrecall.saves)});
+                   std::to_string(hibernus.saves),
+                   std::to_string(quickrecall.saves)});
   }
   table.print(std::cout);
 
@@ -125,8 +145,8 @@ int main() {
   check(empirical_crossover > 0.0, "a crossover exists within the sweep");
   check(empirical_crossover >= predicted / 8 && empirical_crossover <= predicted * 8,
         "empirical crossover within an order of magnitude of Eq 5");
-  const auto low_f_hib = run(false, 5);
-  const auto low_f_qr = run(true, 5);
+  const RunOutcome& low_f_hib = at(0, 0);
+  const RunOutcome& low_f_qr = at(0, 1);
   check(low_f_hib.joules_per_mcycle < low_f_qr.joules_per_mcycle,
         "at low interruption rates hibernus is more efficient (SRAM execution)");
 

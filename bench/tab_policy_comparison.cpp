@@ -1,19 +1,23 @@
 // §II.B quantitative evaluation (ENSsys'15 [13] style): every checkpointing
 // approach on the same intermittent supplies.
 //
-// For each (policy x source) cell the harness reports: completion, time to
+// For each (source x policy) cell the harness reports: completion, time to
 // completion, committed/torn snapshots, restores, forward vs re-executed
 // cycles, policy overhead (ADC polls/calibration) and total MCU energy.
-// The shape claims of the paper are then checked: hibernus saves once per
-// outage where Mementos saves redundantly and re-executes; the baseline
-// without checkpointing makes no forward progress at all.
+// The full grid runs on the parallel sweep engine; the shape claims of the
+// paper are then checked: hibernus saves once per outage where Mementos
+// saves redundantly and re-executes; the baseline without checkpointing
+// makes no forward progress at all.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <vector>
 
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
+#include "edc/sweep/grid.h"
+#include "edc/sweep/runner.h"
 #include "edc/workloads/fft.h"
 
 using namespace edc;
@@ -27,104 +31,95 @@ void check(bool ok, const char* what) {
   if (!ok) ++g_failures;
 }
 
-enum class Policy { none, mementos_loop, mementos_timer, quickrecall, nvp, hibernus,
-                    hibernus_pp };
-
-const char* name_of(Policy policy) {
-  switch (policy) {
-    case Policy::none: return "none (restart)";
-    case Policy::mementos_loop: return "mementos-loop";
-    case Policy::mementos_timer: return "mementos-timer";
-    case Policy::quickrecall: return "quickrecall";
-    case Policy::nvp: return "nvp";
-    case Policy::hibernus: return "hibernus";
-    case Policy::hibernus_pp: return "hibernus++";
-  }
-  return "?";
-}
-
 struct Cell {
   sim::SimResult result;
   std::uint64_t torn = 0;
 };
-
-Cell run(Policy policy, const std::string& source, std::uint64_t seed) {
-  core::SystemBuilder builder;
-  if (source == "square-10Hz") {
-    builder.voltage_source(
-        std::make_unique<trace::SquareVoltageSource>(3.3, 10.0, 0.4, 0.0, 50.0));
-  } else if (source == "sine-4Hz") {
-    builder.sine_source(3.3, 4.0);
-  } else {  // markov RF-like supply
-    builder.power_source(
-        std::make_unique<trace::MarkovOnOffPowerSource>(6e-3, 0.05, 0.05, 77, 40.0));
-  }
-  builder.capacitance(22e-6)
-      .bleed(10000.0)
-      .program(std::make_unique<workloads::FftProgram>(11, seed));
-
-  checkpoint::InterruptPolicy::Config interrupt_config;
-  interrupt_config.restore_headroom = 0.3;
-  switch (policy) {
-    case Policy::none:
-      builder.policy_none();
-      break;
-    case Policy::mementos_loop: {
-      checkpoint::MementosPolicy::Config config;
-      config.mode = checkpoint::MementosPolicy::Mode::loop;
-      config.poll_stride = 4;
-      builder.policy_mementos(config);
-      break;
-    }
-    case Policy::mementos_timer: {
-      checkpoint::MementosPolicy::Config config;
-      config.mode = checkpoint::MementosPolicy::Mode::timer;
-      config.timer_interval = 10e-3;
-      builder.policy_mementos(config);
-      break;
-    }
-    case Policy::quickrecall:
-      builder.policy_quickrecall(interrupt_config);
-      break;
-    case Policy::nvp:
-      builder.policy_nvp(interrupt_config);
-      break;
-    case Policy::hibernus:
-      builder.policy_hibernus(interrupt_config);
-      break;
-    case Policy::hibernus_pp:
-      builder.policy_hibernus_pp();
-      break;
-  }
-  auto system = builder.build();
-  Cell cell;
-  cell.result = system.run(40.0);
-  cell.torn = system.mcu().nvm().torn_writes();
-  return cell;
-}
 
 }  // namespace
 
 int main() {
   std::printf("=== Policy comparison across sources (ENSsys'15-style, FFT-2048) ===\n");
 
-  const std::vector<Policy> policies = {Policy::none, Policy::mementos_loop,
-                                        Policy::mementos_timer, Policy::quickrecall,
-                                        Policy::nvp, Policy::hibernus,
-                                        Policy::hibernus_pp};
-  const std::vector<std::string> sources = {"square-10Hz", "sine-4Hz", "markov-rf"};
+  spec::SystemSpec base;
+  base.storage.capacitance = 22e-6;
+  base.storage.bleed = 10000.0;
+  base.workload.factory = [] { return std::make_unique<workloads::FftProgram>(11, 17); };
+  base.sim.t_end = 40.0;
 
-  // Stash the square-wave cells for the shape checks.
-  Cell square_none, square_mementos, square_hibernus, square_qr;
+  checkpoint::InterruptPolicy::Config interrupt_config;
+  interrupt_config.restore_headroom = 0.3;
 
-  for (const auto& source : sources) {
-    std::printf("\n--- source: %s ---\n", source.c_str());
+  checkpoint::MementosPolicy::Config mementos_loop;
+  mementos_loop.mode = checkpoint::MementosPolicy::Mode::loop;
+  mementos_loop.poll_stride = 4;
+  checkpoint::MementosPolicy::Config mementos_timer;
+  mementos_timer.mode = checkpoint::MementosPolicy::Mode::timer;
+  mementos_timer.timer_interval = 10e-3;
+
+  sweep::Grid grid(std::move(base));
+  grid.axis("source",
+            {{"square-10Hz",
+              [](spec::SystemSpec& s) {
+                s.source = spec::SquareSource{3.3, 10.0, 0.4, 0.0, 50.0};
+              }},
+             {"sine-4Hz",
+              [](spec::SystemSpec& s) { s.source = spec::SineSource{3.3, 4.0}; }},
+             {"markov-rf",
+              [](spec::SystemSpec& s) {
+                s.source = spec::MarkovPower{6e-3, 0.05, 0.05, 77, 40.0};
+              }}})
+      .axis("policy",
+            {{"none (restart)",
+              [](spec::SystemSpec& s) { s.policy = spec::NoCheckpoint{}; }},
+             {"mementos-loop",
+              [mementos_loop](spec::SystemSpec& s) {
+                s.policy = spec::Mementos{mementos_loop};
+              }},
+             {"mementos-timer",
+              [mementos_timer](spec::SystemSpec& s) {
+                s.policy = spec::Mementos{mementos_timer};
+              }},
+             {"quickrecall",
+              [interrupt_config](spec::SystemSpec& s) {
+                s.policy = spec::QuickRecall{interrupt_config};
+              }},
+             {"nvp",
+              [interrupt_config](spec::SystemSpec& s) {
+                s.policy = spec::Nvp{interrupt_config};
+              }},
+             {"hibernus",
+              [interrupt_config](spec::SystemSpec& s) {
+                s.policy = spec::Hibernus{interrupt_config};
+              }},
+             {"hibernus++",
+              [](spec::SystemSpec& s) { s.policy = spec::HibernusPlusPlus{}; }}});
+
+  const sweep::Runner runner;
+  const auto cells = runner.map<Cell>(
+      grid, [](const sweep::Point&, core::EnergyDrivenSystem& system,
+               const sim::SimResult& result) {
+        Cell cell;
+        cell.result = result;
+        cell.torn = system.mcu().nvm().torn_writes();
+        return cell;
+      });
+
+  // Row-major order: source outer, policy inner.
+  const auto& sources = grid.axes()[0].values;
+  const auto& policies = grid.axes()[1].values;
+  const auto at = [&](std::size_t s_index, std::size_t p_index) -> const Cell& {
+    return cells[s_index * policies.size() + p_index];
+  };
+
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    std::printf("\n--- source: %s ---\n", sources[s].label.c_str());
     sim::Table table({"policy", "done", "t_done (s)", "saves", "torn", "restores",
                       "fwd Mcyc", "re-exec Mcyc", "overhead Mcyc", "energy (mJ)"});
-    for (Policy policy : policies) {
-      const Cell cell = run(policy, source, 17);
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const Cell& cell = at(s, p);
       const auto& m = cell.result.mcu;
-      table.add_row({name_of(policy), m.completed ? "yes" : "NO",
+      table.add_row({policies[p].label, m.completed ? "yes" : "NO",
                      m.completed ? sim::Table::num(m.completion_time, 2) : "-",
                      std::to_string(m.saves_completed), std::to_string(cell.torn),
                      std::to_string(m.restores),
@@ -132,15 +127,25 @@ int main() {
                      sim::Table::num(m.reexecuted_cycles / 1e6, 2),
                      sim::Table::num(m.poll_cycles / 1e6, 2),
                      sim::Table::num(m.energy_total() * 1e3, 2)});
-      if (source == "square-10Hz") {
-        if (policy == Policy::none) square_none = cell;
-        if (policy == Policy::mementos_loop) square_mementos = cell;
-        if (policy == Policy::hibernus) square_hibernus = cell;
-        if (policy == Policy::quickrecall) square_qr = cell;
-      }
     }
     table.print(std::cout);
   }
+
+  // Select the shape-check cells by axis label, so reordering an axis
+  // cannot silently re-aim a check at the wrong cell.
+  const auto labelled = [](const std::vector<sweep::AxisValue>& values,
+                           const std::string& label) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (values[i].label == label) return i;
+    }
+    std::fprintf(stderr, "axis value '%s' not found\n", label.c_str());
+    std::abort();
+  };
+  const std::size_t square = labelled(sources, "square-10Hz");
+  const Cell& square_none = at(square, labelled(policies, "none (restart)"));
+  const Cell& square_mementos = at(square, labelled(policies, "mementos-loop"));
+  const Cell& square_qr = at(square, labelled(policies, "quickrecall"));
+  const Cell& square_hibernus = at(square, labelled(policies, "hibernus"));
 
   std::printf("\nShape checks vs the paper (square-10Hz column):\n");
   check(!square_none.result.mcu.completed,

@@ -1,4 +1,4 @@
-// Writing your own checkpoint policy.
+// Writing your own checkpoint policy — and sweeping it.
 //
 // The policy hook API (edc/checkpoint/policy_base.h) exposes everything the
 // built-in policies use: comparator configuration, boundary callbacks, the
@@ -8,12 +8,23 @@
 // healthy, trading extra NVM writes for less re-execution if the reactive
 // save is ever torn.
 //
+// A custom policy enters the sweep engine through spec::CustomPolicy: the
+// factory is called once per grid point, so every point gets a fresh,
+// independent policy and the whole grid can run across worker threads. The
+// sweep below compares plain hibernus against eager hibernus at several
+// background periods on the same supply, workload and storage.
+//
 // Build & run:  ./custom_policy
 #include <cstdio>
+#include <iostream>
+#include <string>
 
 #include "edc/checkpoint/policy_base.h"
 #include "edc/checkpoint/thresholds.h"
 #include "edc/core/system.h"
+#include "edc/sim/table.h"
+#include "edc/sweep/grid.h"
+#include "edc/sweep/runner.h"
 #include "edc/workloads/crc32.h"
 
 namespace {
@@ -93,6 +104,30 @@ class EagerHibernusPolicy final : public checkpoint::PolicyBase {
   int background_saves_ = 0;
 };
 
+struct Row {
+  bool completed = false;
+  bool exact = false;
+  std::uint64_t saves = 0;
+  int background_saves = 0;
+  std::uint64_t restores = 0;
+  double reexec_mcycles = 0.0;
+};
+
+/// Axis value that swaps in an eager-hibernus factory with the given
+/// background period (the node capacitance arrives from the spec).
+sweep::AxisValue eager_policy(Seconds background_period) {
+  char label[32];
+  std::snprintf(label, sizeof(label), "eager %.0f ms", background_period * 1e3);
+  return {label, [background_period](spec::SystemSpec& s) {
+            s.policy = spec::CustomPolicy{
+                [background_period](const std::function<Farads()>&,
+                                    Farads node_capacitance) {
+                  return std::make_unique<EagerHibernusPolicy>(node_capacitance,
+                                                               background_period);
+                }};
+          }};
+}
+
 }  // namespace
 
 int main() {
@@ -101,31 +136,60 @@ int main() {
   workloads::Crc32Program golden_program(128 * 1024, 7);
   const std::uint64_t golden = workloads::golden_digest(golden_program);
 
-  auto policy = std::make_unique<EagerHibernusPolicy>(22e-6, 50e-3);
-  const auto* policy_view = policy.get();
+  spec::SystemSpec base;
+  base.source = spec::SquareSource{3.3, 10.0, 0.4, 0.0, 50.0};
+  base.storage.capacitance = 22e-6;
+  base.storage.bleed = 10000.0;
+  base.workload.factory = [] {
+    return std::make_unique<workloads::Crc32Program>(128 * 1024, 7);
+  };
+  base.sim.t_end = 20.0;
 
-  auto system = core::SystemBuilder()
-                    .voltage_source(std::make_unique<trace::SquareVoltageSource>(
-                        3.3, 10.0, 0.4, 0.0, 50.0))
-                    .capacitance(22e-6)
-                    .bleed(10000.0)
-                    .program(std::make_unique<workloads::Crc32Program>(128 * 1024, 7))
-                    .policy(std::move(policy))
-                    .build();
+  sweep::Grid grid(std::move(base));
+  grid.axis("policy", {{"hibernus",
+                        [](spec::SystemSpec& s) {
+                          checkpoint::InterruptPolicy::Config config;
+                          config.margin = 2.0;
+                          config.restore_headroom = 0.4;
+                          s.policy = spec::Hibernus{config};
+                        }},
+                       eager_policy(25e-3), eager_policy(50e-3),
+                       eager_policy(100e-3)});
 
-  const auto result = system.run(20.0);
+  const sweep::Runner runner;
+  const auto rows = runner.map<Row>(
+      grid, [golden](const sweep::Point&, core::EnergyDrivenSystem& system,
+                     const sim::SimResult& result) {
+        Row row;
+        row.completed = result.mcu.completed;
+        row.exact = result.mcu.completed &&
+                    system.program().result_digest() == golden;
+        row.saves = result.mcu.saves_completed;
+        row.restores = result.mcu.restores;
+        row.reexec_mcycles = result.mcu.reexecuted_cycles / 1e6;
+        if (const auto* eager =
+                dynamic_cast<const EagerHibernusPolicy*>(&system.policy())) {
+          row.background_saves = eager->background_saves();
+        }
+        return row;
+      });
 
-  std::printf("custom policy: %s\n\n", system.policy_name().c_str());
-  std::printf("completed:         %s\n", result.mcu.completed ? "yes" : "no");
-  std::printf("total snapshots:   %llu (background: %d)\n",
-              static_cast<unsigned long long>(result.mcu.saves_completed),
-              policy_view->background_saves());
-  std::printf("restores:          %llu\n",
-              static_cast<unsigned long long>(result.mcu.restores));
-  std::printf("re-executed work:  %.2f Mcycles\n",
-              result.mcu.reexecuted_cycles / 1e6);
-  const bool exact =
-      result.mcu.completed && system.program().result_digest() == golden;
-  std::printf("result exact:      %s\n", exact ? "yes" : "NO");
-  return exact ? 0 : 1;
+  std::printf("custom policy sweep: hibernus vs eager-hibernus (CRC-128KiB)\n\n");
+  sim::Table table({"policy", "done", "exact", "saves", "background", "restores",
+                    "re-exec Mcyc"});
+  bool all_exact = true;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    all_exact = all_exact && row.exact;
+    table.add_row({grid.point(i).labels[0], row.completed ? "yes" : "NO",
+                   row.exact ? "yes" : "NO", std::to_string(row.saves),
+                   std::to_string(row.background_saves),
+                   std::to_string(row.restores),
+                   sim::Table::num(row.reexec_mcycles, 2)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nevery policy variant must reproduce the golden digest: %s\n",
+              all_exact ? "yes (bit-identical)" : "NO (BUG!)");
+  return all_exact ? 0 : 1;
 }

@@ -1,8 +1,29 @@
 #include "edc/core/system.h"
 
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
 #include "edc/common/check.h"
 
 namespace edc::core {
+
+EnergyDrivenSystem::EnergyDrivenSystem(Parts parts)
+    : voltage_source_(std::move(parts.voltage_source)),
+      power_source_(std::move(parts.power_source)),
+      driver_(std::move(parts.driver)),
+      node_(std::move(parts.node)),
+      program_(std::move(parts.program)),
+      policy_(std::move(parts.policy)),
+      mcu_(std::move(parts.mcu)),
+      governor_(std::move(parts.governor)),
+      sim_config_(parts.sim_config) {
+  EDC_CHECK(driver_ != nullptr, "a supply driver is required");
+  EDC_CHECK(node_ != nullptr, "a supply node is required");
+  EDC_CHECK(program_ != nullptr, "a program is required");
+  EDC_CHECK(policy_ != nullptr, "a policy is required");
+  EDC_CHECK(mcu_ != nullptr, "an MCU is required");
+}
 
 sim::SimResult EnergyDrivenSystem::run() { return run(sim_config_.t_end); }
 
@@ -14,26 +35,39 @@ sim::SimResult EnergyDrivenSystem::run(Seconds t_end) {
   return simulator.run();
 }
 
-SystemBuilder::SystemBuilder() {
-  policy_factory_ = [](const std::function<Farads()>&, Farads node_c) {
-    checkpoint::InterruptPolicy::Config config;
-    config.capacitance = node_c;
-    return std::make_unique<checkpoint::HibernusPolicy>(config);
+namespace {
+
+/// Wraps a moved-in component as a one-shot spec factory: the first
+/// instantiation consumes it, a second throws (mirrors the historical
+/// builder contract "keeps its configuration but not ownership"). The
+/// claim is atomic so concurrent instantiations (e.g. the spec landed in a
+/// parallel sweep) get a deterministic throw instead of a race.
+template <typename T>
+std::function<std::unique_ptr<T>()> one_shot_factory(std::unique_ptr<T> component) {
+  struct Holder {
+    std::unique_ptr<T> component;
+    std::atomic<bool> taken{false};
+  };
+  auto holder = std::make_shared<Holder>();
+  holder->component = std::move(component);
+  return [holder]() -> std::unique_ptr<T> {
+    EDC_CHECK(!holder->taken.exchange(true),
+              "moved-in component already consumed by build(); use a spec "
+              "factory for repeatable instantiation");
+    return std::move(holder->component);
   };
 }
 
+}  // namespace
+
 SystemBuilder& SystemBuilder::sine_source(Volts amplitude, Hertz frequency,
                                           Ohms series_resistance) {
-  voltage_source_ = std::make_unique<trace::SineVoltageSource>(amplitude, frequency,
-                                                               0.0, series_resistance);
-  power_source_.reset();
+  spec_.source = spec::SineSource{amplitude, frequency, 0.0, series_resistance};
   return *this;
 }
 
 SystemBuilder& SystemBuilder::dc_source(Volts voltage, Ohms series_resistance) {
-  voltage_source_ = std::make_unique<trace::SineVoltageSource>(0.0, 0.0, voltage,
-                                                               series_resistance);
-  power_source_.reset();
+  spec_.source = spec::DcSource{voltage, series_resistance};
   return *this;
 }
 
@@ -43,17 +77,15 @@ SystemBuilder& SystemBuilder::wind_source(std::uint64_t seed, Seconds horizon) {
 
 SystemBuilder& SystemBuilder::wind_source(const trace::WindTurbineSource::Params& params,
                                           std::uint64_t seed, Seconds horizon) {
-  voltage_source_ = std::make_unique<trace::WindTurbineSource>(params, seed, horizon);
-  power_source_.reset();
+  spec_.source = spec::WindSource{params, seed, horizon};
   return *this;
 }
 
 SystemBuilder& SystemBuilder::voltage_source(
     std::unique_ptr<trace::VoltageSource> source, circuit::RectifierParams rectifier) {
   EDC_CHECK(source != nullptr, "source must not be null");
-  voltage_source_ = std::move(source);
-  rectifier_params_ = rectifier;
-  power_source_.reset();
+  spec_.source = spec::CustomVoltageSource{one_shot_factory(std::move(source))};
+  spec_.rectifier = rectifier;
   return *this;
 }
 
@@ -65,193 +97,149 @@ SystemBuilder& SystemBuilder::power_source(
     std::unique_ptr<trace::PowerSource> source,
     circuit::HarvesterPowerDriver::Params params) {
   EDC_CHECK(source != nullptr, "source must not be null");
-  power_source_ = std::move(source);
-  harvester_params_ = params;
-  voltage_source_.reset();
+  spec_.source = spec::CustomPowerSource{one_shot_factory(std::move(source))};
+  spec_.harvester = params;
   return *this;
 }
 
 SystemBuilder& SystemBuilder::capacitance(Farads c) {
   EDC_CHECK(c > 0.0, "capacitance must be positive");
-  capacitance_ = c;
+  spec_.storage.capacitance = c;
   return *this;
 }
 
 SystemBuilder& SystemBuilder::initial_voltage(Volts v) {
   EDC_CHECK(v >= 0.0, "initial voltage must be non-negative");
-  initial_voltage_ = v;
+  spec_.storage.initial_voltage = v;
   return *this;
 }
 
 SystemBuilder& SystemBuilder::bleed(Ohms resistance) {
   EDC_CHECK(resistance >= 0.0, "bleed resistance must be non-negative");
-  bleed_ = resistance;
+  spec_.storage.bleed = resistance;
   return *this;
 }
 
 SystemBuilder& SystemBuilder::workload(const std::string& kind, std::uint64_t seed) {
-  program_ = workloads::make_program(kind, seed);
+  const auto kinds = workloads::standard_program_kinds();
+  EDC_CHECK(std::find(kinds.begin(), kinds.end(), kind) != kinds.end(),
+            "unknown workload kind: " + kind);
+  spec_.workload.kind = kind;
+  spec_.workload.seed = seed;
+  spec_.workload.factory = nullptr;
   return *this;
 }
 
 SystemBuilder& SystemBuilder::program(std::unique_ptr<workloads::Program> program) {
   EDC_CHECK(program != nullptr, "program must not be null");
-  program_ = std::move(program);
+  spec_.workload.kind.clear();
+  spec_.workload.factory = one_shot_factory(std::move(program));
   return *this;
 }
 
 SystemBuilder& SystemBuilder::policy_none() {
-  policy_factory_ = [](const std::function<Farads()>&, Farads) {
-    return std::make_unique<checkpoint::NullPolicy>();
-  };
+  spec_.policy = spec::NoCheckpoint{};
   return *this;
 }
 
 SystemBuilder& SystemBuilder::policy_hibernus(checkpoint::InterruptPolicy::Config config) {
-  policy_factory_ = [config](const std::function<Farads()>&, Farads node_c) mutable {
-    if (config.capacitance <= 0.0) config.capacitance = node_c;
-    return std::make_unique<checkpoint::HibernusPolicy>(config);
-  };
+  spec_.policy = spec::Hibernus{config};
   return *this;
 }
 
 SystemBuilder& SystemBuilder::policy_hibernus_pp(
     std::optional<checkpoint::HibernusPlusPlusPolicy::PlusConfig> config) {
-  policy_factory_ = [config](const std::function<Farads()>& probe, Farads) {
-    auto cfg = config.value_or(checkpoint::HibernusPlusPlusPolicy::PlusConfig{});
-    if (!cfg.capacitance_probe) cfg.capacitance_probe = probe;
-    return std::make_unique<checkpoint::HibernusPlusPlusPolicy>(cfg);
-  };
+  spec_.policy = spec::HibernusPlusPlus{std::move(config)};
   return *this;
 }
 
 SystemBuilder& SystemBuilder::policy_quickrecall(
     checkpoint::InterruptPolicy::Config config) {
-  policy_factory_ = [config](const std::function<Farads()>&, Farads node_c) mutable {
-    if (config.capacitance <= 0.0) config.capacitance = node_c;
-    return std::make_unique<checkpoint::QuickRecallPolicy>(config);
-  };
+  spec_.policy = spec::QuickRecall{config};
   return *this;
 }
 
 SystemBuilder& SystemBuilder::policy_nvp(checkpoint::InterruptPolicy::Config config) {
-  policy_factory_ = [config](const std::function<Farads()>&, Farads node_c) mutable {
-    if (config.capacitance <= 0.0) config.capacitance = node_c;
-    return std::make_unique<checkpoint::NvpPolicy>(config);
-  };
+  spec_.policy = spec::Nvp{config};
   return *this;
 }
 
 SystemBuilder& SystemBuilder::policy_mementos(checkpoint::MementosPolicy::Config config) {
-  policy_factory_ = [config](const std::function<Farads()>&, Farads) {
-    return std::make_unique<checkpoint::MementosPolicy>(config);
-  };
+  spec_.policy = spec::Mementos{config};
   return *this;
 }
 
 SystemBuilder& SystemBuilder::policy_burst(taskmodel::BurstTaskPolicy::Config config) {
-  policy_factory_ = [config](const std::function<Farads()>&, Farads node_c) mutable {
-    if (config.capacitance <= 0.0) config.capacitance = node_c;
-    return std::make_unique<taskmodel::BurstTaskPolicy>(config);
-  };
+  spec_.policy = spec::BurstTask{config};
   return *this;
 }
 
 SystemBuilder& SystemBuilder::policy(std::unique_ptr<checkpoint::PolicyBase> policy) {
   EDC_CHECK(policy != nullptr, "policy must not be null");
+  // The instance is shared across builds through a forwarding shim, so a
+  // caller-held pointer keeps observing the policy driven by the system.
   auto shared = std::shared_ptr<checkpoint::PolicyBase>(std::move(policy));
-  policy_factory_ = [shared](const std::function<Farads()>&,
-                             Farads) mutable -> std::unique_ptr<checkpoint::PolicyBase> {
-    EDC_CHECK(shared != nullptr, "custom policy already consumed by build()");
-    struct Shim final : checkpoint::PolicyBase {
-      std::shared_ptr<checkpoint::PolicyBase> inner;
-      void attach(mcu::Mcu& m) override { inner->attach(m); }
-      void on_boot(mcu::Mcu& m, Seconds t) override { inner->on_boot(m, t); }
-      void on_comparator(mcu::Mcu& m, const circuit::ComparatorEvent& e) override {
-        inner->on_comparator(m, e);
-      }
-      void on_boundary(mcu::Mcu& m, workloads::Boundary b, Seconds t) override {
-        inner->on_boundary(m, b, t);
-      }
-      void on_save_complete(mcu::Mcu& m, Seconds t) override {
-        inner->on_save_complete(m, t);
-      }
-      void on_restore_complete(mcu::Mcu& m, Seconds t) override {
-        inner->on_restore_complete(m, t);
-      }
-      void on_power_loss(mcu::Mcu& m, Seconds t) override { inner->on_power_loss(m, t); }
-      void on_workload_complete(mcu::Mcu& m, Seconds t) override {
-        inner->on_workload_complete(m, t);
-      }
-      [[nodiscard]] std::string name() const override { return inner->name(); }
-    };
-    auto shim = std::make_unique<Shim>();
-    shim->inner = shared;
-    return shim;
-  };
+  spec_.policy = spec::CustomPolicy{
+      [shared](const std::function<Farads()>&,
+               Farads) -> std::unique_ptr<checkpoint::PolicyBase> {
+        struct Shim final : checkpoint::PolicyBase {
+          std::shared_ptr<checkpoint::PolicyBase> inner;
+          void attach(mcu::Mcu& m) override { inner->attach(m); }
+          void on_boot(mcu::Mcu& m, Seconds t) override { inner->on_boot(m, t); }
+          void on_comparator(mcu::Mcu& m, const circuit::ComparatorEvent& e) override {
+            inner->on_comparator(m, e);
+          }
+          void on_boundary(mcu::Mcu& m, workloads::Boundary b, Seconds t) override {
+            inner->on_boundary(m, b, t);
+          }
+          void on_save_complete(mcu::Mcu& m, Seconds t) override {
+            inner->on_save_complete(m, t);
+          }
+          void on_restore_complete(mcu::Mcu& m, Seconds t) override {
+            inner->on_restore_complete(m, t);
+          }
+          void on_power_loss(mcu::Mcu& m, Seconds t) override {
+            inner->on_power_loss(m, t);
+          }
+          void on_workload_complete(mcu::Mcu& m, Seconds t) override {
+            inner->on_workload_complete(m, t);
+          }
+          [[nodiscard]] std::string name() const override { return inner->name(); }
+        };
+        auto shim = std::make_unique<Shim>();
+        shim->inner = shared;
+        return shim;
+      }};
   return *this;
 }
 
 SystemBuilder& SystemBuilder::governor_power_neutral(
     neutral::McuDfsGovernor::Config config) {
-  governor_config_ = config;
+  spec_.governor = std::move(config);
   return *this;
 }
 
 SystemBuilder& SystemBuilder::mcu_params(const mcu::McuParams& params) {
-  mcu_params_ = params;
+  spec_.mcu = params;
   return *this;
 }
 
 SystemBuilder& SystemBuilder::snapshot_peripherals(bool include) {
-  snapshot_peripherals_ = include;
+  spec_.snapshot_peripherals = include;
   return *this;
 }
 
 SystemBuilder& SystemBuilder::sim_config(const sim::SimConfig& config) {
-  sim_config_ = config;
+  spec_.sim = config;
   return *this;
 }
 
 SystemBuilder& SystemBuilder::probe(Seconds interval) {
   EDC_CHECK(interval > 0.0, "probe interval must be positive");
-  sim_config_.probe_interval = interval;
+  spec_.sim.probe_interval = interval;
   return *this;
 }
 
-EnergyDrivenSystem SystemBuilder::build() {
-  EDC_CHECK(voltage_source_ != nullptr || power_source_ != nullptr,
-            "a source is required (sine_source / wind_source / ...)");
-  EDC_CHECK(program_ != nullptr, "a workload is required (workload / program)");
-
-  EnergyDrivenSystem system;
-  system.voltage_source_ = std::move(voltage_source_);
-  system.power_source_ = std::move(power_source_);
-  if (system.voltage_source_) {
-    system.driver_ = std::make_unique<circuit::RectifiedSourceDriver>(
-        *system.voltage_source_, rectifier_params_);
-  } else {
-    system.driver_ = std::make_unique<circuit::HarvesterPowerDriver>(
-        *system.power_source_, harvester_params_);
-  }
-  system.node_ = std::make_unique<circuit::SupplyNode>(capacitance_, initial_voltage_);
-  if (bleed_ > 0.0) system.node_->set_bleed(bleed_);
-  system.program_ = std::move(program_);
-
-  circuit::SupplyNode* node_ptr = system.node_.get();
-  const std::function<Farads()> probe = [node_ptr] { return node_ptr->capacitance(); };
-  system.policy_ = policy_factory_(probe, capacitance_);
-
-  system.mcu_ =
-      std::make_unique<mcu::Mcu>(mcu_params_, *system.program_, *system.policy_);
-  system.mcu_->set_peripheral_snapshotting(snapshot_peripherals_);
-  system.policy_->attach(*system.mcu_);
-
-  if (governor_config_.has_value()) {
-    system.governor_ = std::make_unique<neutral::McuDfsGovernor>(*governor_config_);
-  }
-  system.sim_config_ = sim_config_;
-  return system;
-}
+EnergyDrivenSystem SystemBuilder::build() { return spec::instantiate(spec_); }
 
 }  // namespace edc::core

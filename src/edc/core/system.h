@@ -11,9 +11,12 @@
 //                     .policy_hibernus()
 //                     .build();
 //   auto result = system.run(10.0);
+//
+// SystemBuilder is a fluent editor over a value-semantic spec::SystemSpec;
+// build() delegates to spec::instantiate(). Grab the spec with to_spec() to
+// feed the sweep engine (edc/sweep) with the same configuration.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -28,18 +31,37 @@
 #include "edc/mcu/mcu.h"
 #include "edc/neutral/dfs_governor.h"
 #include "edc/sim/simulator.h"
+#include "edc/spec/system_spec.h"
 #include "edc/taskmodel/burst_policy.h"
 #include "edc/trace/power_sources.h"
 #include "edc/trace/voltage_sources.h"
 
 namespace edc::core {
 
-class SystemBuilder;
-
 /// A fully wired source + front-end + supply node + MCU + policy
-/// (+ optional governor) bundle. Move-only; build with SystemBuilder.
+/// (+ optional governor) bundle. Move-only; produced by spec::instantiate()
+/// (or SystemBuilder::build(), which wraps it).
 class EnergyDrivenSystem {
  public:
+  /// Owning bundle of wired components. Exactly one of
+  /// voltage_source/power_source is set; driver, node, program, policy and
+  /// mcu are required; governor is optional.
+  struct Parts {
+    std::unique_ptr<trace::VoltageSource> voltage_source;
+    std::unique_ptr<trace::PowerSource> power_source;
+    std::unique_ptr<circuit::SupplyDriver> driver;
+    std::unique_ptr<circuit::SupplyNode> node;
+    std::unique_ptr<workloads::Program> program;
+    std::unique_ptr<checkpoint::PolicyBase> policy;
+    std::unique_ptr<mcu::Mcu> mcu;
+    std::unique_ptr<mcu::FrequencyGovernor> governor;
+    sim::SimConfig sim_config;
+  };
+
+  /// Takes ownership of a wired bundle; throws std::invalid_argument if a
+  /// required component is missing.
+  explicit EnergyDrivenSystem(Parts parts);
+
   /// Runs the simulation (optionally overriding the configured horizon).
   sim::SimResult run();
   sim::SimResult run(Seconds t_end);
@@ -52,9 +74,6 @@ class EnergyDrivenSystem {
   [[nodiscard]] std::string policy_name() const { return policy_->name(); }
 
  private:
-  friend class SystemBuilder;
-  EnergyDrivenSystem() = default;
-
   std::unique_ptr<trace::VoltageSource> voltage_source_;
   std::unique_ptr<trace::PowerSource> power_source_;
   std::unique_ptr<circuit::SupplyDriver> driver_;
@@ -66,9 +85,13 @@ class EnergyDrivenSystem {
   sim::SimConfig sim_config_;
 };
 
+/// Fluent editor over spec::SystemSpec. Fully reusable: kind-based
+/// configuration survives build() (moved-in components are one-shot).
 class SystemBuilder {
  public:
-  SystemBuilder();
+  SystemBuilder() = default;
+  /// Starts from an existing spec (e.g. to tweak a sweep base).
+  explicit SystemBuilder(spec::SystemSpec spec) : spec_(std::move(spec)) {}
 
   // ---- source (exactly one) ------------------------------------------
   /// Half-wave-rectified lab sine (amplitude V, frequency Hz) — the Fig 7
@@ -81,10 +104,11 @@ class SystemBuilder {
   SystemBuilder& wind_source(std::uint64_t seed, Seconds horizon);
   SystemBuilder& wind_source(const trace::WindTurbineSource::Params& params,
                              std::uint64_t seed, Seconds horizon);
-  /// Any Thevenin source through a rectifier.
+  /// Any Thevenin source through a rectifier. The moved-in source is
+  /// one-shot: only the next build() may consume it.
   SystemBuilder& voltage_source(std::unique_ptr<trace::VoltageSource> source,
                                 circuit::RectifierParams rectifier = {});
-  /// Any power-envelope source through a harvester converter.
+  /// Any power-envelope source through a harvester converter (one-shot).
   SystemBuilder& power_source(std::unique_ptr<trace::PowerSource> source);
   SystemBuilder& power_source(std::unique_ptr<trace::PowerSource> source,
                               circuit::HarvesterPowerDriver::Params params);
@@ -100,6 +124,8 @@ class SystemBuilder {
   // ---- workload ----------------------------------------------------------
   /// A standard workload by kind (see workloads::standard_program_kinds()).
   SystemBuilder& workload(const std::string& kind, std::uint64_t seed = 1);
+  /// A custom program instance (one-shot; for reusable specs set a
+  /// spec::WorkloadSpec::factory instead).
   SystemBuilder& program(std::unique_ptr<workloads::Program> program);
 
   // ---- policy (exactly one; default hibernus) ---------------------------
@@ -111,7 +137,12 @@ class SystemBuilder {
   SystemBuilder& policy_nvp(checkpoint::InterruptPolicy::Config config = {});
   SystemBuilder& policy_mementos(checkpoint::MementosPolicy::Config config = {});
   SystemBuilder& policy_burst(taskmodel::BurstTaskPolicy::Config config = {});
-  /// Custom policy (its attach() configures the MCU).
+  /// Custom policy instance (its attach() configures the MCU). The instance
+  /// is shared across builds of this builder, matching the historical
+  /// behaviour — so a spec taken from to_spec() after this call must NOT be
+  /// instantiated concurrently (every system would drive the one shared,
+  /// unsynchronised policy). For sweeps use spec::CustomPolicy with a
+  /// factory that returns a fresh policy per call.
   SystemBuilder& policy(std::unique_ptr<checkpoint::PolicyBase> policy);
 
   // ---- optional power-neutral governor (hibernus-PN) ---------------------
@@ -127,27 +158,15 @@ class SystemBuilder {
   /// Enable waveform probes at the given sampling interval.
   SystemBuilder& probe(Seconds interval);
 
-  /// Validates and wires everything. The builder is left reusable (it keeps
-  /// its configuration but not ownership of moved-in components).
+  /// The value-semantic description accumulated so far (copy it into a
+  /// sweep::Grid to explore around this configuration).
+  [[nodiscard]] const spec::SystemSpec& to_spec() const noexcept { return spec_; }
+
+  /// Validates and wires everything: spec::instantiate(to_spec()).
   EnergyDrivenSystem build();
 
  private:
-  using PolicyFactory = std::function<std::unique_ptr<checkpoint::PolicyBase>(
-      const std::function<Farads()>& capacitance_probe, Farads node_capacitance)>;
-
-  std::unique_ptr<trace::VoltageSource> voltage_source_;
-  std::unique_ptr<trace::PowerSource> power_source_;
-  circuit::RectifierParams rectifier_params_;
-  circuit::HarvesterPowerDriver::Params harvester_params_;
-  Farads capacitance_ = 10e-6;
-  Volts initial_voltage_ = 0.0;
-  Ohms bleed_ = 0.0;
-  std::unique_ptr<workloads::Program> program_;
-  PolicyFactory policy_factory_;
-  std::optional<neutral::McuDfsGovernor::Config> governor_config_;
-  mcu::McuParams mcu_params_;
-  bool snapshot_peripherals_ = false;
-  sim::SimConfig sim_config_;
+  spec::SystemSpec spec_;
 };
 
 }  // namespace edc::core

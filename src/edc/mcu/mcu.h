@@ -23,6 +23,7 @@
 
 #include "edc/circuit/comparator.h"
 #include "edc/circuit/supply_driver.h"
+#include "edc/common/check.h"
 #include "edc/common/units.h"
 #include "edc/mcu/hooks.h"
 #include "edc/mcu/nvm.h"
@@ -112,6 +113,15 @@ class Mcu final : public circuit::Load {
 
   /// Advances the state machine by dt at node voltage v_now.
   void advance(Seconds t, Seconds dt, Volts v_now);
+
+  /// Books a span the simulation loop skipped because the node was dead
+  /// (quiescent fast path): the MCU must be off and the time still counts
+  /// toward the off-time metric. No energy is booked — at 0 V the off
+  /// leakage draws none.
+  void note_off_time(Seconds dt) noexcept {
+    EDC_ASSERT(state_ == McuState::off);
+    metrics_.time_off += dt;
+  }
 
   // ---- policy/governor command API -------------------------------------
   /// Starts a snapshot of the current program state. No-op if not active.

@@ -1,5 +1,9 @@
 #include "edc/sim/simulator.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "edc/common/check.h"
 
 namespace edc::sim {
@@ -12,68 +16,168 @@ Simulator::Simulator(const SimConfig& config, circuit::SupplyNode& node,
   EDC_CHECK(config.node_substeps >= 1, "need at least one substep");
 }
 
-SimResult Simulator::run() {
-  SimResult result;
-  result.stored_initial = node_->stored_energy();
+bool Simulator::step_is_quiescent(Seconds t) const {
+  // With the node clamped at exactly 0 V and no injected current, every
+  // energy flow of the step is identically zero (all flows integrate
+  // i * v_mid with v_mid = 0) and neither the node voltage nor the MCU
+  // state machine can change, so skipping the step is bit-exact. The
+  // driver must be quiet at *every* substep instant the ODE would have
+  // sampled, or the slow path could have started charging mid-step.
+  // A power-on threshold at (or below) ground would boot the MCU from a
+  // dead node in the slow path; the skip must never engage then.
+  if (mcu_->state() != mcu::McuState::off || node_->voltage() != 0.0 ||
+      mcu_->power().v_on <= 0.0) {
+    return false;
+  }
+  const Seconds h = config_.dt / static_cast<double>(config_.node_substeps);
+  for (int i = 0; i < config_.node_substeps; ++i) {
+    if (driver_->current_into(0.0, t + h * static_cast<double>(i)) > 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
 
+template <bool kProbing, bool kGoverned>
+void Simulator::run_loop(SimResult& result) {
+  const Seconds dt = config_.dt;
+  const Seconds t_end = config_.t_end;
+  const bool fast_path = config_.quiescent_fast_path;
+  const int substeps = config_.node_substeps;
+  circuit::SupplyNode& node = *node_;
+  const circuit::SupplyDriver& driver = *driver_;
+  mcu::Mcu& mcu = *mcu_;
+
+  // Probe and governor bookkeeping is hoisted out of the hot loop:
+  // preallocated channel buffers and next-event times held in locals, with
+  // the inner loop compiled separately for each (probing, governed)
+  // combination so the disabled features cost nothing per step.
   std::vector<double> probe_vcc, probe_freq, probe_state, probe_power;
-  const bool probing = config_.probe_interval > 0.0;
   Seconds next_probe = 0.0;
-
+  const Seconds probe_interval = config_.probe_interval;
+  if constexpr (kProbing) {
+    // At most one sample is taken per step, so the sample count is bounded
+    // by the step count even when probe_interval < dt.
+    const auto capacity =
+        static_cast<std::size_t>(std::min(t_end / probe_interval, t_end / dt)) + 2;
+    probe_vcc.reserve(capacity);
+    probe_freq.reserve(capacity);
+    probe_state.reserve(capacity);
+    probe_power.reserve(capacity);
+  }
   Seconds next_governor = 0.0;
+
+  Joules harvested = 0.0, consumed = 0.0, dissipated = 0.0;
   Seconds t = 0.0;
-  Volts v_prev = node_->voltage();
-  mcu::McuState last_state = mcu_->state();
+  Volts v_prev = node.voltage();
+  mcu::McuState last_state = mcu.state();
 
-  while (t < config_.t_end) {
-    const Seconds dt = config_.dt;
-
-    const auto energy = node_->step(t, dt, *driver_, *mcu_, config_.node_substeps);
-    result.harvested += energy.harvested;
-    result.consumed += energy.consumed;
-    result.dissipated += energy.dissipated;
-
-    const Volts v_now = node_->voltage();
-    mcu_->supply_update(v_prev, t, v_now, t + dt);
-    mcu_->advance(t, dt, v_now);
-
-    if (governor_ != nullptr && t >= next_governor) {
-      if (mcu_->state() != mcu::McuState::off) {
-        governor_->control(*mcu_, v_now, t);
+  while (t < t_end) {
+    if (fast_path && step_is_quiescent(t)) {
+      // Dead node, dead source: only the clocks move. The MCU still owes
+      // the skipped span to its off-time metric, and the probe/governor
+      // schedules must stay in lock-step with the slow path.
+      mcu.note_off_time(dt);
+      if constexpr (kProbing) {
+        if (t >= next_probe) {
+          probe_vcc.push_back(0.0);
+          probe_freq.push_back(mcu.frequency() / 1e6);
+          probe_state.push_back(static_cast<double>(mcu.state()));
+          probe_power.push_back(0.0);
+          next_probe += probe_interval;
+        }
       }
-      next_governor = t + governor_->period();
+      if constexpr (kGoverned) {
+        if (t >= next_governor) next_governor = t + governor_->period();
+      }
+      t += dt;
+      v_prev = 0.0;
+      continue;
     }
 
-    if (mcu_->state() != last_state) {
-      result.transitions.push_back(StateChange{t + dt, last_state, mcu_->state(), v_now});
-      last_state = mcu_->state();
+    const auto energy = node.step(t, dt, driver, mcu, substeps);
+    harvested += energy.harvested;
+    consumed += energy.consumed;
+    dissipated += energy.dissipated;
+
+    const Volts v_now = node.voltage();
+    mcu.supply_update(v_prev, t, v_now, t + dt);
+    mcu.advance(t, dt, v_now);
+
+    if constexpr (kGoverned) {
+      if (t >= next_governor) {
+        if (mcu.state() != mcu::McuState::off) {
+          governor_->control(mcu, v_now, t);
+        }
+        next_governor = t + governor_->period();
+      }
     }
 
-    if (probing && t >= next_probe) {
-      probe_vcc.push_back(v_now);
-      probe_freq.push_back(mcu_->frequency() / 1e6);
-      probe_state.push_back(static_cast<double>(mcu_->state()));
-      probe_power.push_back(mcu_->current_draw(v_now, t) * v_now * 1e3);
-      next_probe += config_.probe_interval;
+    if (mcu.state() != last_state) {
+      result.transitions.push_back(StateChange{t + dt, last_state, mcu.state(), v_now});
+      last_state = mcu.state();
+    }
+
+    if constexpr (kProbing) {
+      if (t >= next_probe) {
+        probe_vcc.push_back(v_now);
+        probe_freq.push_back(mcu.frequency() / 1e6);
+        probe_state.push_back(static_cast<double>(mcu.state()));
+        probe_power.push_back(mcu.current_draw(v_now, t) * v_now * 1e3);
+        next_probe += probe_interval;
+      }
     }
 
     t += dt;
     v_prev = v_now;
 
-    if (config_.stop_on_completion && mcu_->metrics().completed) break;
+    if (config_.stop_on_completion && mcu.metrics().completed) break;
   }
 
   result.end_time = t;
+  result.harvested = harvested;
+  result.consumed = consumed;
+  result.dissipated = dissipated;
+
+  if constexpr (kProbing) {
+    if (probe_vcc.size() >= 2) {
+      // Samples are end-of-step values: the k-th sample was captured at the
+      // end of the step that began at k * probe_interval, so the waveforms
+      // start at t = dt, not t = 0.
+      const Seconds t0 = dt;
+      result.probes.add("vcc", trace::Waveform(t0, probe_interval, std::move(probe_vcc)));
+      result.probes.add("freq_mhz",
+                        trace::Waveform(t0, probe_interval, std::move(probe_freq)));
+      result.probes.add("state",
+                        trace::Waveform(t0, probe_interval, std::move(probe_state)));
+      result.probes.add("power_mw",
+                        trace::Waveform(t0, probe_interval, std::move(probe_power)));
+    }
+  }
+}
+
+SimResult Simulator::run() {
+  SimResult result;
+  result.stored_initial = node_->stored_energy();
+
+  const bool probing = config_.probe_interval > 0.0;
+  const bool governed = governor_ != nullptr;
+  if (probing) {
+    if (governed) {
+      run_loop<true, true>(result);
+    } else {
+      run_loop<true, false>(result);
+    }
+  } else {
+    if (governed) {
+      run_loop<false, true>(result);
+    } else {
+      run_loop<false, false>(result);
+    }
+  }
+
   result.stored_final = node_->stored_energy();
   result.mcu = mcu_->metrics();
-
-  if (probing && probe_vcc.size() >= 2) {
-    const Seconds dt_probe = config_.probe_interval;
-    result.probes.add("vcc", trace::Waveform(0.0, dt_probe, std::move(probe_vcc)));
-    result.probes.add("freq_mhz", trace::Waveform(0.0, dt_probe, std::move(probe_freq)));
-    result.probes.add("state", trace::Waveform(0.0, dt_probe, std::move(probe_state)));
-    result.probes.add("power_mw", trace::Waveform(0.0, dt_probe, std::move(probe_power)));
-  }
   return result;
 }
 

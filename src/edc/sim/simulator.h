@@ -31,6 +31,11 @@ struct SimConfig {
   int node_substeps = 4;         ///< ODE substeps per main step
   bool stop_on_completion = true;
   Seconds probe_interval = 0.0;  ///< 0 = no waveform probes
+  /// Skip the full node/MCU machinery while the node is fully discharged
+  /// (MCU off, V = 0, source dead). Bit-exact with the slow path — at 0 V
+  /// every energy flow is identically zero and the node clamps at ground —
+  /// so this is purely a fast path; disable only to benchmark it.
+  bool quiescent_fast_path = true;
 };
 
 /// One MCU state transition (for event timelines like Fig 7).
@@ -50,7 +55,10 @@ struct SimResult {
   Joules stored_final = 0.0;    ///< node energy at the end
   mcu::McuMetrics mcu;          ///< copy of the MCU metrics at the end
   std::vector<StateChange> transitions;
-  trace::TraceSet probes;  ///< "vcc", "freq_mhz", "state", "power_mw" when probed
+  /// "vcc", "freq_mhz", "state", "power_mw" when probed. Samples are
+  /// end-of-step values, so the waveforms start at t = dt (the end of the
+  /// first step), not at t = 0.
+  trace::TraceSet probes;
 
   /// Energy ledger residual (should be ~0):
   /// harvested - consumed - dissipated - Δstored.
@@ -73,6 +81,14 @@ class Simulator {
   SimResult run();
 
  private:
+  template <bool kProbing, bool kGoverned>
+  void run_loop(SimResult& result);
+
+  /// True when the step starting at t cannot change anything: the MCU is
+  /// off, the node sits at exactly 0 V, and the driver injects no current
+  /// at any ODE substep instant.
+  [[nodiscard]] bool step_is_quiescent(Seconds t) const;
+
   SimConfig config_;
   circuit::SupplyNode* node_;
   const circuit::SupplyDriver* driver_;

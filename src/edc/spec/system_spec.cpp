@@ -1,0 +1,212 @@
+#include "edc/spec/system_spec.h"
+
+#include <utility>
+
+#include "edc/common/check.h"
+#include "edc/core/system.h"
+
+namespace edc::spec {
+
+namespace {
+
+template <typename... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <typename... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+checkpoint::InterruptPolicy::Config with_default_capacitance(
+    checkpoint::InterruptPolicy::Config config, Farads node_capacitance) {
+  if (config.capacitance <= 0.0) config.capacitance = node_capacitance;
+  return config;
+}
+
+}  // namespace
+
+bool is_voltage_source(const SourceSpec& source) noexcept {
+  return std::holds_alternative<SineSource>(source) ||
+         std::holds_alternative<DcSource>(source) ||
+         std::holds_alternative<SquareSource>(source) ||
+         std::holds_alternative<WindSource>(source) ||
+         std::holds_alternative<KineticSource>(source) ||
+         std::holds_alternative<VoltageTraceSource>(source) ||
+         std::holds_alternative<CustomVoltageSource>(source);
+}
+
+bool has_source(const SourceSpec& source) noexcept {
+  return !std::holds_alternative<std::monostate>(source);
+}
+
+std::unique_ptr<trace::VoltageSource> make_voltage_source(const SourceSpec& source) {
+  EDC_CHECK(is_voltage_source(source), "spec does not hold a voltage source");
+  return std::visit(
+      Overloaded{
+          [](const SineSource& s) -> std::unique_ptr<trace::VoltageSource> {
+            return std::make_unique<trace::SineVoltageSource>(
+                s.amplitude, s.frequency, s.offset, s.series_resistance);
+          },
+          [](const DcSource& s) -> std::unique_ptr<trace::VoltageSource> {
+            return std::make_unique<trace::SineVoltageSource>(0.0, 0.0, s.voltage,
+                                                              s.series_resistance);
+          },
+          [](const SquareSource& s) -> std::unique_ptr<trace::VoltageSource> {
+            return std::make_unique<trace::SquareVoltageSource>(
+                s.high, s.frequency, s.duty, s.low, s.series_resistance);
+          },
+          [](const WindSource& s) -> std::unique_ptr<trace::VoltageSource> {
+            return std::make_unique<trace::WindTurbineSource>(s.params, s.seed,
+                                                              s.horizon);
+          },
+          [](const KineticSource& s) -> std::unique_ptr<trace::VoltageSource> {
+            return std::make_unique<trace::KineticHarvesterSource>(s.params, s.seed,
+                                                                   s.horizon);
+          },
+          [](const VoltageTraceSource& s) -> std::unique_ptr<trace::VoltageSource> {
+            return std::make_unique<trace::WaveformVoltageSource>(
+                s.wave, s.series_resistance, s.label);
+          },
+          [](const CustomVoltageSource& s) -> std::unique_ptr<trace::VoltageSource> {
+            EDC_CHECK(s.make != nullptr, "custom voltage source factory is empty");
+            auto made = s.make();
+            EDC_CHECK(made != nullptr, "custom voltage source factory returned null");
+            return made;
+          },
+          [](const auto&) -> std::unique_ptr<trace::VoltageSource> { return nullptr; },
+      },
+      source);
+}
+
+std::unique_ptr<trace::PowerSource> make_power_source(const SourceSpec& source) {
+  EDC_CHECK(has_source(source) && !is_voltage_source(source),
+            "spec does not hold a power source");
+  return std::visit(
+      Overloaded{
+          [](const ConstantPower& s) -> std::unique_ptr<trace::PowerSource> {
+            return std::make_unique<trace::ConstantPowerSource>(s.power);
+          },
+          [](const MarkovPower& s) -> std::unique_ptr<trace::PowerSource> {
+            return std::make_unique<trace::MarkovOnOffPowerSource>(
+                s.on_power, s.mean_on, s.mean_off, s.seed, s.horizon);
+          },
+          [](const RfFieldPower& s) -> std::unique_ptr<trace::PowerSource> {
+            return std::make_unique<trace::RfFieldSource>(s.params, s.seed, s.horizon);
+          },
+          [](const IndoorPvPower& s) -> std::unique_ptr<trace::PowerSource> {
+            return std::make_unique<trace::IndoorPhotovoltaicSource>(s.params, s.seed,
+                                                                     s.days);
+          },
+          [](const SolarPower& s) -> std::unique_ptr<trace::PowerSource> {
+            return std::make_unique<trace::OutdoorSolarSource>(s.params, s.seed,
+                                                               s.days);
+          },
+          [](const PowerTraceSource& s) -> std::unique_ptr<trace::PowerSource> {
+            return std::make_unique<trace::WaveformPowerSource>(s.wave, s.label);
+          },
+          [](const CustomPowerSource& s) -> std::unique_ptr<trace::PowerSource> {
+            EDC_CHECK(s.make != nullptr, "custom power source factory is empty");
+            auto made = s.make();
+            EDC_CHECK(made != nullptr, "custom power source factory returned null");
+            return made;
+          },
+          [](const auto&) -> std::unique_ptr<trace::PowerSource> { return nullptr; },
+      },
+      source);
+}
+
+std::unique_ptr<workloads::Program> make_workload(const WorkloadSpec& workload) {
+  if (workload.factory) {
+    auto made = workload.factory();
+    EDC_CHECK(made != nullptr, "workload factory returned null");
+    return made;
+  }
+  EDC_CHECK(!workload.kind.empty(),
+            "a workload is required (set workload.kind or workload.factory)");
+  return workloads::make_program(workload.kind, workload.seed);
+}
+
+std::unique_ptr<checkpoint::PolicyBase> make_policy(
+    const PolicySpec& policy, const std::function<Farads()>& capacitance_probe,
+    Farads node_capacitance) {
+  return std::visit(
+      Overloaded{
+          [&](const Hibernus& p) -> std::unique_ptr<checkpoint::PolicyBase> {
+            return std::make_unique<checkpoint::HibernusPolicy>(
+                with_default_capacitance(p.config, node_capacitance));
+          },
+          [](const NoCheckpoint&) -> std::unique_ptr<checkpoint::PolicyBase> {
+            return std::make_unique<checkpoint::NullPolicy>();
+          },
+          [&](const HibernusPlusPlus& p) -> std::unique_ptr<checkpoint::PolicyBase> {
+            auto config =
+                p.config.value_or(checkpoint::HibernusPlusPlusPolicy::PlusConfig{});
+            if (!config.capacitance_probe) config.capacitance_probe = capacitance_probe;
+            return std::make_unique<checkpoint::HibernusPlusPlusPolicy>(config);
+          },
+          [&](const QuickRecall& p) -> std::unique_ptr<checkpoint::PolicyBase> {
+            return std::make_unique<checkpoint::QuickRecallPolicy>(
+                with_default_capacitance(p.config, node_capacitance));
+          },
+          [&](const Nvp& p) -> std::unique_ptr<checkpoint::PolicyBase> {
+            return std::make_unique<checkpoint::NvpPolicy>(
+                with_default_capacitance(p.config, node_capacitance));
+          },
+          [](const Mementos& p) -> std::unique_ptr<checkpoint::PolicyBase> {
+            return std::make_unique<checkpoint::MementosPolicy>(p.config);
+          },
+          [&](const BurstTask& p) -> std::unique_ptr<checkpoint::PolicyBase> {
+            auto config = p.config;
+            if (config.capacitance <= 0.0) config.capacitance = node_capacitance;
+            return std::make_unique<taskmodel::BurstTaskPolicy>(config);
+          },
+          [&](const CustomPolicy& p) -> std::unique_ptr<checkpoint::PolicyBase> {
+            EDC_CHECK(p.make != nullptr, "custom policy factory is empty");
+            auto made = p.make(capacitance_probe, node_capacitance);
+            EDC_CHECK(made != nullptr, "custom policy factory returned null");
+            return made;
+          },
+      },
+      policy);
+}
+
+core::EnergyDrivenSystem instantiate(const SystemSpec& spec) {
+  EDC_CHECK(has_source(spec.source),
+            "a source is required (sine_source / wind_source / ...)");
+  EDC_CHECK(spec.storage.capacitance > 0.0, "capacitance must be positive");
+  EDC_CHECK(spec.storage.initial_voltage >= 0.0,
+            "initial voltage must be non-negative");
+  EDC_CHECK(spec.storage.bleed >= 0.0, "bleed resistance must be non-negative");
+
+  core::EnergyDrivenSystem::Parts parts;
+  if (is_voltage_source(spec.source)) {
+    parts.voltage_source = make_voltage_source(spec.source);
+    parts.driver = std::make_unique<circuit::RectifiedSourceDriver>(
+        *parts.voltage_source, spec.rectifier);
+  } else {
+    parts.power_source = make_power_source(spec.source);
+    parts.driver = std::make_unique<circuit::HarvesterPowerDriver>(
+        *parts.power_source, spec.harvester);
+  }
+
+  parts.node = std::make_unique<circuit::SupplyNode>(spec.storage.capacitance,
+                                                     spec.storage.initial_voltage);
+  if (spec.storage.bleed > 0.0) parts.node->set_bleed(spec.storage.bleed);
+
+  parts.program = make_workload(spec.workload);
+
+  circuit::SupplyNode* node_ptr = parts.node.get();
+  const std::function<Farads()> probe = [node_ptr] { return node_ptr->capacitance(); };
+  parts.policy = make_policy(spec.policy, probe, spec.storage.capacitance);
+
+  parts.mcu = std::make_unique<mcu::Mcu>(spec.mcu, *parts.program, *parts.policy);
+  parts.mcu->set_peripheral_snapshotting(spec.snapshot_peripherals);
+  parts.policy->attach(*parts.mcu);
+
+  if (spec.governor.has_value()) {
+    parts.governor = std::make_unique<neutral::McuDfsGovernor>(*spec.governor);
+  }
+  parts.sim_config = spec.sim;
+  return core::EnergyDrivenSystem(std::move(parts));
+}
+
+}  // namespace edc::spec

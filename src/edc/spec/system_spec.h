@@ -1,0 +1,285 @@
+// Value-semantic system description.
+//
+// A SystemSpec is a copyable, declarative recipe for a complete
+// energy-driven system: source, front-end, storage, workload, checkpoint
+// policy and optional governor are all plain data (variants of parameter
+// structs), not live components. Because a spec is a value it can be
+// stamped out into any number of independent EnergyDrivenSystem instances
+// — the foundation of the sweep engine (edc/sweep), which instantiates the
+// same spec with axis mutations across a thread pool.
+//
+//   spec::SystemSpec spec;
+//   spec.source = spec::SineSource{3.3, 2.0};
+//   spec.storage.capacitance = 22e-6;
+//   spec.workload.kind = "fft";
+//   auto system = spec::instantiate(spec);   // repeatable, thread-safe
+//
+// core::SystemBuilder remains the fluent front door; it now just edits a
+// SystemSpec and delegates build() to instantiate().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "edc/checkpoint/hibernus_pp.h"
+#include "edc/checkpoint/interrupt_policy.h"
+#include "edc/checkpoint/mementos.h"
+#include "edc/checkpoint/policy_base.h"
+#include "edc/circuit/rectifier.h"
+#include "edc/common/units.h"
+#include "edc/mcu/mcu.h"
+#include "edc/neutral/dfs_governor.h"
+#include "edc/sim/simulator.h"
+#include "edc/taskmodel/burst_policy.h"
+#include "edc/trace/power_sources.h"
+#include "edc/trace/voltage_sources.h"
+#include "edc/trace/waveform.h"
+#include "edc/workloads/program.h"
+
+namespace edc::core {
+class EnergyDrivenSystem;
+}
+
+namespace edc::spec {
+
+// ---- sources (Thevenin voltage sources feed the rectifier path) ---------
+
+/// Half-wave-rectified lab sine (the Fig 7 validation source).
+struct SineSource {
+  Volts amplitude = 3.3;
+  Hertz frequency = 2.0;
+  Volts offset = 0.0;
+  Ohms series_resistance = 50.0;
+};
+
+/// Steady DC supply (bench PSU through the same rectifier path).
+struct DcSource {
+  Volts voltage = 3.3;
+  Ohms series_resistance = 50.0;
+};
+
+/// Hard on/off square-wave supply.
+struct SquareSource {
+  Volts high = 3.3;
+  Hertz frequency = 10.0;
+  double duty = 0.5;
+  Volts low = 0.0;
+  Ohms series_resistance = 50.0;
+};
+
+/// Micro wind turbine (Fig 1a / Fig 8).
+struct WindSource {
+  trace::WindTurbineSource::Params params;
+  std::uint64_t seed = 1;
+  Seconds horizon = 30.0;
+};
+
+/// Resonant kinetic harvester excited by an impulse train.
+struct KineticSource {
+  trace::KineticHarvesterSource::Params params;
+  std::uint64_t seed = 1;
+  Seconds horizon = 30.0;
+};
+
+/// Recorded open-circuit voltage trace (e.g. loaded from CSV).
+struct VoltageTraceSource {
+  trace::Waveform wave;
+  Ohms series_resistance = 50.0;
+  std::string label = "waveform-voltage";
+};
+
+/// Escape hatch: a factory for any VoltageSource. The factory must be a
+/// pure generator — thread-safe and returning a fresh source per call — so
+/// the spec stays instantiable from sweep worker threads.
+struct CustomVoltageSource {
+  std::function<std::unique_ptr<trace::VoltageSource>()> make;
+};
+
+// ---- sources (power envelopes feed the harvester-converter path) --------
+
+/// Constant available power (idealised harvester).
+struct ConstantPower {
+  Watts power = 1e-3;
+};
+
+/// Two-state Markov on/off supply with exponential dwell times.
+struct MarkovPower {
+  Watts on_power = 1e-3;
+  Seconds mean_on = 0.1;
+  Seconds mean_off = 0.1;
+  std::uint64_t seed = 1;
+  Seconds horizon = 60.0;
+};
+
+/// Duty-cycled RFID reader field.
+struct RfFieldPower {
+  trace::RfFieldSource::Params params;
+  std::uint64_t seed = 1;
+  Seconds horizon = 60.0;
+};
+
+/// Indoor photovoltaic cell over `days` days (Fig 1b).
+struct IndoorPvPower {
+  trace::IndoorPhotovoltaicSource::Params params;
+  std::uint64_t seed = 1;
+  int days = 1;
+};
+
+/// Outdoor solar panel over `days` days (Eq 1's T = 24 h environment).
+struct SolarPower {
+  trace::OutdoorSolarSource::Params params;
+  std::uint64_t seed = 1;
+  int days = 1;
+};
+
+/// Recorded available-power trace (watts).
+struct PowerTraceSource {
+  trace::Waveform wave;
+  std::string label = "waveform-power";
+};
+
+/// Escape hatch: a factory for any PowerSource (same contract as
+/// CustomVoltageSource::make).
+struct CustomPowerSource {
+  std::function<std::unique_ptr<trace::PowerSource>()> make;
+};
+
+/// One-of source descriptor. std::monostate means "not yet specified";
+/// instantiate() rejects it.
+using SourceSpec =
+    std::variant<std::monostate, SineSource, DcSource, SquareSource, WindSource,
+                 KineticSource, VoltageTraceSource, CustomVoltageSource,
+                 ConstantPower, MarkovPower, RfFieldPower, IndoorPvPower,
+                 SolarPower, PowerTraceSource, CustomPowerSource>;
+
+/// True if `source` holds a Thevenin voltage alternative (rectifier path);
+/// false for power-envelope alternatives (harvester path) and monostate.
+[[nodiscard]] bool is_voltage_source(const SourceSpec& source) noexcept;
+
+/// True unless `source` is std::monostate.
+[[nodiscard]] bool has_source(const SourceSpec& source) noexcept;
+
+// ---- storage -------------------------------------------------------------
+
+struct StorageSpec {
+  /// Total node capacitance (decoupling + any added storage).
+  Farads capacitance = 10e-6;
+  Volts initial_voltage = 0.0;
+  /// Board leakage in parallel with the node (0 = none).
+  Ohms bleed = 0.0;
+};
+
+// ---- workload ------------------------------------------------------------
+
+struct WorkloadSpec {
+  /// A standard workload kind (see workloads::standard_program_kinds());
+  /// ignored when `factory` is set.
+  std::string kind;
+  std::uint64_t seed = 1;
+  /// Custom program factory; must be a pure generator (thread-safe, fresh
+  /// program per call) so sweeps can instantiate the spec concurrently.
+  std::function<std::unique_ptr<workloads::Program>()> factory;
+};
+
+// ---- checkpoint policy ---------------------------------------------------
+
+/// Hibernus [9]. A zero `config.capacitance` is filled in with the node
+/// capacitance at instantiation (the "characterised for the deployed
+/// storage" default); set it explicitly to model a mischaracterisation.
+struct Hibernus {
+  checkpoint::InterruptPolicy::Config config;
+};
+
+/// No checkpointing: restart from scratch after every outage.
+struct NoCheckpoint {};
+
+/// Hibernus++ [2]; a missing capacitance_probe is bound to the node.
+struct HibernusPlusPlus {
+  std::optional<checkpoint::HibernusPlusPlusPolicy::PlusConfig> config;
+};
+
+/// QuickRecall [8] (unified FRAM). Zero capacitance = node capacitance.
+struct QuickRecall {
+  checkpoint::InterruptPolicy::Config config;
+};
+
+/// Non-volatile processor [10]. Zero capacitance = node capacitance.
+struct Nvp {
+  checkpoint::InterruptPolicy::Config config;
+};
+
+/// Mementos [7] (compile-time instrumented polling).
+struct Mementos {
+  checkpoint::MementosPolicy::Config config;
+};
+
+/// Task-based burst execution. Zero capacitance = node capacitance.
+struct BurstTask {
+  taskmodel::BurstTaskPolicy::Config config;
+};
+
+/// Escape hatch: a factory for any PolicyBase. Receives a live capacitance
+/// probe bound to the node plus the node capacitance, mirroring what the
+/// built-in policies get. Must return a fresh policy per call.
+struct CustomPolicy {
+  std::function<std::unique_ptr<checkpoint::PolicyBase>(
+      const std::function<Farads()>& capacitance_probe, Farads node_capacitance)>
+      make;
+};
+
+/// One-of policy descriptor; default-constructed = Hibernus with derived
+/// thresholds (the historical SystemBuilder default).
+using PolicySpec = std::variant<Hibernus, NoCheckpoint, HibernusPlusPlus,
+                                QuickRecall, Nvp, Mementos, BurstTask, CustomPolicy>;
+
+// ---- the spec ------------------------------------------------------------
+
+struct SystemSpec {
+  SourceSpec source;
+  /// Front-end for voltage-source alternatives.
+  circuit::RectifierParams rectifier;
+  /// Front-end for power-source alternatives.
+  circuit::HarvesterPowerDriver::Params harvester;
+  StorageSpec storage;
+  WorkloadSpec workload;
+  PolicySpec policy;
+  std::optional<neutral::McuDfsGovernor::Config> governor;
+  mcu::McuParams mcu;
+  /// Include the peripheral configuration file in snapshots (default: pay a
+  /// re-initialisation cost after each outage instead).
+  bool snapshot_peripherals = false;
+  sim::SimConfig sim;
+};
+
+// ---- component factories (also used by tests/tools) ----------------------
+
+/// Builds the source held by a voltage alternative. Precondition:
+/// is_voltage_source(source).
+[[nodiscard]] std::unique_ptr<trace::VoltageSource> make_voltage_source(
+    const SourceSpec& source);
+
+/// Builds the source held by a power alternative. Precondition:
+/// has_source(source) && !is_voltage_source(source).
+[[nodiscard]] std::unique_ptr<trace::PowerSource> make_power_source(
+    const SourceSpec& source);
+
+/// Builds a fresh program from the workload descriptor.
+[[nodiscard]] std::unique_ptr<workloads::Program> make_workload(
+    const WorkloadSpec& workload);
+
+/// Builds a fresh policy; `capacitance_probe`/`node_capacitance` supply the
+/// defaults the descriptors may leave unset.
+[[nodiscard]] std::unique_ptr<checkpoint::PolicyBase> make_policy(
+    const PolicySpec& policy, const std::function<Farads()>& capacitance_probe,
+    Farads node_capacitance);
+
+/// Validates the spec and wires a fresh, fully independent system from it.
+/// May be called any number of times, concurrently, on the same spec (the
+/// spec is read-only; custom factories must honour their purity contract).
+[[nodiscard]] core::EnergyDrivenSystem instantiate(const SystemSpec& spec);
+
+}  // namespace edc::spec

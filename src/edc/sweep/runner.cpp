@@ -1,0 +1,73 @@
+#include "edc/sweep/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace edc::sweep {
+
+std::vector<sim::SimResult> Runner::run(const Grid& grid) const {
+  std::vector<sim::SimResult> rows(grid.size());
+  for_each_point(grid, [&rows](const Point& point) {
+    auto system = spec::instantiate(point.spec);
+    rows[point.index] = system.run();
+  });
+  return rows;
+}
+
+int Runner::thread_count(std::size_t point_count) const noexcept {
+  int threads = options_.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  if (point_count < static_cast<std::size_t>(threads)) {
+    threads = static_cast<int>(point_count);
+  }
+  return std::max(threads, 1);
+}
+
+void Runner::for_each_point(const Grid& grid,
+                            const std::function<void(const Point&)>& body) const {
+  const std::size_t count = grid.size();
+  if (count == 0) return;
+
+  const int threads = thread_count(count);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(grid.point(i));
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(grid.point(i));
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace edc::sweep

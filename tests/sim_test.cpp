@@ -55,6 +55,66 @@ TEST(Simulator, NoProbesByDefault) {
   EXPECT_EQ(result.probes.find("vcc"), nullptr);
 }
 
+TEST(Simulator, ProbeTimeBaseMatchesSampleInstants) {
+  // Probe samples are end-of-step values — the first one is captured at the
+  // end of the step that began at t = 0 — so the waveform must start at
+  // t = dt, not t = 0 (the historical off-by-one skewed every trace by one
+  // step).
+  auto system = make_system(1e-3);
+  const auto result = system.run(5.0);
+  const auto* vcc = result.probes.find("vcc");
+  ASSERT_NE(vcc, nullptr);
+  const Seconds dt = sim::SimConfig{}.dt;  // make_system keeps the default dt
+  EXPECT_DOUBLE_EQ(vcc->t0(), dt);
+  EXPECT_DOUBLE_EQ(result.probes.find("state")->t0(), dt);
+}
+
+TEST(Simulator, QuiescentFastPathIsBitExact) {
+  // A duty-cycled RF field leaves long spans with the node clamped at 0 V
+  // and the MCU off — exactly what the fast path skips. The skipped steps
+  // must not change a single bit of the outcome.
+  auto run_with_fast_path = [](bool enabled) {
+    core::SystemBuilder builder;
+    sim::SimConfig config;
+    config.t_end = 4.0;
+    config.quiescent_fast_path = enabled;
+    trace::RfFieldSource::Params rf;
+    rf.field_power = 2e-3;
+    rf.burst_length = 0.5;
+    rf.burst_period = 2.0;
+    builder.power_source(std::make_unique<trace::RfFieldSource>(rf, 11, 4.0))
+        .capacitance(22e-6)
+        .bleed(5000.0)
+        .workload("crc", 3)
+        .policy_hibernus()
+        .sim_config(config)
+        .probe(1e-3);
+    auto system = builder.build();
+    return system.run(4.0);
+  };
+  const auto fast = run_with_fast_path(true);
+  const auto slow = run_with_fast_path(false);
+  EXPECT_EQ(fast.end_time, slow.end_time);
+  EXPECT_EQ(fast.harvested, slow.harvested);
+  EXPECT_EQ(fast.consumed, slow.consumed);
+  EXPECT_EQ(fast.dissipated, slow.dissipated);
+  EXPECT_EQ(fast.stored_final, slow.stored_final);
+  EXPECT_EQ(fast.mcu.completed, slow.mcu.completed);
+  EXPECT_EQ(fast.mcu.completion_time, slow.mcu.completion_time);
+  EXPECT_EQ(fast.mcu.boots, slow.mcu.boots);
+  EXPECT_EQ(fast.mcu.brownouts, slow.mcu.brownouts);
+  EXPECT_EQ(fast.mcu.saves_completed, slow.mcu.saves_completed);
+  EXPECT_EQ(fast.mcu.energy_total(), slow.mcu.energy_total());
+  EXPECT_EQ(fast.mcu.time_off, slow.mcu.time_off);
+  EXPECT_EQ(fast.transitions.size(), slow.transitions.size());
+  const auto* fast_vcc = fast.probes.find("vcc");
+  const auto* slow_vcc = slow.probes.find("vcc");
+  ASSERT_NE(fast_vcc, nullptr);
+  ASSERT_NE(slow_vcc, nullptr);
+  ASSERT_EQ(fast_vcc->size(), slow_vcc->size());
+  EXPECT_EQ(fast_vcc->samples(), slow_vcc->samples());
+}
+
 TEST(Simulator, TransitionsIncludeSaveAndRestore) {
   auto system = make_system();
   const auto result = system.run(5.0);
