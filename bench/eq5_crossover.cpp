@@ -12,16 +12,35 @@
 // engine (f x policy grid), measures total MCU energy per unit of forward
 // progress for both policies, and compares the empirical crossover against
 // the analytic prediction.
+//
+// The grid is pure spec data, so it also serves as the process-sharding
+// demo (scripts/shard_merge_smoke.cmake):
+//
+//   eq5_crossover --shard 0/2 --csv a.csv      # half the grid
+//   eq5_crossover --shard 1/2 --csv b.csv      # the other half
+//   sweep_merge merged.csv a.csv b.csv         # == unsharded --csv output
+//
+// --shard runs only the owned points and writes the shard CSV (no table,
+// no shape checks); --csv without --shard writes the unsharded CSV next to
+// the normal report; --cache memoises either mode; --t-end shortens the
+// horizon for smoke tests (shape checks are skipped — they are tuned for
+// the full 20 s horizon).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "edc/checkpoint/thresholds.h"
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
+#include "edc/sweep/cache.h"
 #include "edc/sweep/grid.h"
+#include "edc/sweep/report.h"
 #include "edc/sweep/runner.h"
 #include "edc/workloads/fft.h"
 
@@ -36,32 +55,54 @@ void check(bool ok, const char* what) {
   if (!ok) ++g_failures;
 }
 
-struct RunOutcome {
-  double joules_per_mcycle = std::numeric_limits<double>::infinity();
-  bool completed = false;
-  std::uint64_t saves = 0;
-};
+double joules_per_mcycle(const sim::SimResult& result) {
+  if (result.mcu.forward_cycles <= 1000.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return result.mcu.energy_total() / (result.mcu.forward_cycles / 1e6);
+}
 
 }  // namespace
 
-int main() {
-  std::printf("=== Eq 5: hibernus vs QuickRecall crossover frequency ===\n\n");
+int main(int argc, char** argv) {
+  std::optional<sweep::Shard> shard;
+  std::optional<sweep::Cache> cache;
+  const char* csv_path = nullptr;
+  double t_end = 20.0;
+  bool t_end_overridden = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      shard = sweep::Shard::parse(argv[++i]);
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache.emplace(argv[++i]);
+    } else if (std::strcmp(argv[i], "--t-end") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      t_end = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || !(t_end > 0.0)) {
+        std::fprintf(stderr, "--t-end needs a positive number, got '%s'\n", argv[i]);
+        return 2;
+      }
+      t_end_overridden = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--shard k/N] [--csv FILE] [--cache DIR] "
+                   "[--t-end SECONDS]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (shard.has_value() && csv_path == nullptr) {
+    std::fprintf(stderr, "--shard requires --csv FILE (the shard's output)\n");
+    return 2;
+  }
 
   mcu::McuPowerModel power;
   workloads::FftProgram probe_program(10, 5);
   const std::size_t image = probe_program.ram_footprint();
   const Hertz predicted =
       checkpoint::crossover_frequency_for_image(power, image, 8e6, 3.0);
-
-  const Watts p_fram = power.active_current(8e6, mcu::MemoryMode::unified_fram) * 3.0;
-  const Watts p_sram = power.active_current(8e6, mcu::MemoryMode::sram_execution) * 3.0;
-  std::printf("P_FRAM = %.2f mW, P_SRAM = %.2f mW (at 8 MHz, 3 V)\n", p_fram * 1e3,
-              p_sram * 1e3);
-  std::printf("RAM image: %zu B (+%zu B registers)\n", image,
-              power.register_file_bytes);
-  std::printf("Eq 5 predicted crossover: %.0f Hz "
-              "(50%% supply duty halves the usable on-time => expect ~%.0f Hz)\n\n",
-              predicted, predicted / 2);
 
   // Margin sized for the strong board bleed that drains the node in
   // parallel with the save (see Eq 4 discussion in DESIGN.md).
@@ -72,8 +113,9 @@ int main() {
   spec::SystemSpec base;
   base.storage.capacitance = 10e-6;
   base.storage.bleed = 1000.0;
-  base.workload.factory = [] { return std::make_unique<workloads::FftProgram>(10, 5); };
-  base.sim.t_end = 20.0;
+  base.workload.kind = "fft";  // FftProgram(10, seed) — pure data, cacheable
+  base.workload.seed = 5;
+  base.sim.t_end = t_end;
 
   const std::vector<Hertz> sweep = {5, 10, 20, 40, 80, 160, 320};
   sweep::Grid grid(std::move(base));
@@ -91,23 +133,72 @@ int main() {
                           s.policy = spec::QuickRecall{config};
                         }}});
 
-  const sweep::Runner runner;
-  const auto outcomes = runner.map<RunOutcome>(
-      grid, [](const sweep::Point&, core::EnergyDrivenSystem&,
-               const sim::SimResult& result) {
-        RunOutcome outcome;
-        outcome.completed = result.mcu.completed;
-        outcome.saves = result.mcu.saves_completed;
-        if (result.mcu.forward_cycles > 1000.0) {
-          outcome.joules_per_mcycle =
-              result.mcu.energy_total() / (result.mcu.forward_cycles / 1e6);
-        }
-        return outcome;
-      });
+  sweep::RunnerOptions options;
+  if (cache.has_value()) options.cache = &*cache;
+  const sweep::Runner runner(options);
+
+  const auto report_cache = [&] {
+    if (!cache.has_value()) return;
+    const sweep::CacheStats stats = cache->stats();
+    std::fprintf(stderr,
+                 "cache: %llu hits, %llu misses, %llu stored, %llu non-cacheable\n",
+                 static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses),
+                 static_cast<unsigned long long>(stats.stores),
+                 static_cast<unsigned long long>(stats.non_cacheable));
+  };
+
+  if (shard.has_value()) {
+    // Shard mode: simulate the owned slice, emit the mergeable CSV, done.
+    const auto rows = runner.run_shard(grid, *shard);
+    std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", csv_path);
+      return 1;
+    }
+    sweep::write_shard_csv(out, grid, *shard, rows);
+    if (!out.good()) {
+      std::fprintf(stderr, "write to '%s' failed\n", csv_path);
+      return 1;
+    }
+    report_cache();
+    std::printf("shard %s: simulated %zu of %zu points -> %s\n",
+                shard->to_string().c_str(), shard->owned_count(grid.size()),
+                grid.size(), csv_path);
+    return 0;
+  }
+
+  std::printf("=== Eq 5: hibernus vs QuickRecall crossover frequency ===\n\n");
+
+  const Watts p_fram = power.active_current(8e6, mcu::MemoryMode::unified_fram) * 3.0;
+  const Watts p_sram = power.active_current(8e6, mcu::MemoryMode::sram_execution) * 3.0;
+  std::printf("P_FRAM = %.2f mW, P_SRAM = %.2f mW (at 8 MHz, 3 V)\n", p_fram * 1e3,
+              p_sram * 1e3);
+  std::printf("RAM image: %zu B (+%zu B registers)\n", image,
+              power.register_file_bytes);
+  std::printf("Eq 5 predicted crossover: %.0f Hz "
+              "(50%% supply duty halves the usable on-time => expect ~%.0f Hz)\n\n",
+              predicted, predicted / 2);
+
+  const auto results = runner.run(grid);
+  report_cache();
+
+  if (csv_path != nullptr) {
+    std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", csv_path);
+      return 1;
+    }
+    sweep::write_csv(out, grid, results);
+    if (!out.good()) {
+      std::fprintf(stderr, "write to '%s' failed\n", csv_path);
+      return 1;
+    }
+  }
 
   // Row-major order: frequency outer, policy inner.
-  const auto at = [&](std::size_t f_index, std::size_t p_index) -> const RunOutcome& {
-    return outcomes[f_index * 2 + p_index];
+  const auto at = [&](std::size_t f_index, std::size_t p_index) -> const sim::SimResult& {
+    return results[f_index * 2 + p_index];
   };
 
   sim::Table table({"f_interrupt (Hz)", "hibernus (uJ/Mcycle)",
@@ -116,10 +207,9 @@ int main() {
   bool previous_hibernus_wins = true;
   bool first = true;
   for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const RunOutcome& hibernus = at(i, 0);
-    const RunOutcome& quickrecall = at(i, 1);
-    const bool hibernus_wins =
-        hibernus.joules_per_mcycle <= quickrecall.joules_per_mcycle;
+    const double hibernus = joules_per_mcycle(at(i, 0));
+    const double quickrecall = joules_per_mcycle(at(i, 1));
+    const bool hibernus_wins = hibernus <= quickrecall;
     if (!first && previous_hibernus_wins && !hibernus_wins &&
         empirical_crossover == 0.0) {
       empirical_crossover = sweep[i];
@@ -129,25 +219,28 @@ int main() {
     auto fmt = [](double v) {
       return std::isinf(v) ? std::string("no progress") : sim::Table::num(v * 1e6, 2);
     };
-    table.add_row({sim::Table::num(sweep[i], 0), fmt(hibernus.joules_per_mcycle),
-                   fmt(quickrecall.joules_per_mcycle),
+    table.add_row({sim::Table::num(sweep[i], 0), fmt(hibernus), fmt(quickrecall),
                    hibernus_wins ? "hibernus" : "quickrecall",
-                   std::to_string(hibernus.saves),
-                   std::to_string(quickrecall.saves)});
+                   std::to_string(at(i, 0).mcu.saves_completed),
+                   std::to_string(at(i, 1).mcu.saves_completed)});
   }
   table.print(std::cout);
 
   std::printf("\nEmpirical crossover: first quickrecall win at %.0f Hz\n",
               empirical_crossover);
 
+  if (t_end_overridden) {
+    std::printf("\n(--t-end overridden: shape checks skipped — they are tuned "
+                "for the 20 s horizon)\n");
+    return 0;
+  }
+
   std::printf("\nShape checks vs the paper:\n");
   check(predicted > 0.0, "Eq 5 yields a positive crossover for FRAM > SRAM power");
   check(empirical_crossover > 0.0, "a crossover exists within the sweep");
   check(empirical_crossover >= predicted / 8 && empirical_crossover <= predicted * 8,
         "empirical crossover within an order of magnitude of Eq 5");
-  const RunOutcome& low_f_hib = at(0, 0);
-  const RunOutcome& low_f_qr = at(0, 1);
-  check(low_f_hib.joules_per_mcycle < low_f_qr.joules_per_mcycle,
+  check(joules_per_mcycle(at(0, 0)) < joules_per_mcycle(at(0, 1)),
         "at low interruption rates hibernus is more efficient (SRAM execution)");
 
   std::printf("\n%s\n", g_failures == 0 ? "ALL SHAPE CHECKS PASSED"

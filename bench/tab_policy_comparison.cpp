@@ -8,17 +8,29 @@
 // paper are then checked: hibernus saves once per outage where Mementos
 // saves redundantly and re-executes; the baseline without checkpointing
 // makes no forward progress at all.
+//
+// The whole grid is cacheable (every cell is plain spec data — the FFT-2048
+// workload is the standard "fft-large" kind, not a factory callback), so
+//
+//   tab_policy_comparison --cache /tmp/edc-cache    # cold: simulates 21 points
+//   tab_policy_comparison --cache /tmp/edc-cache    # warm: simulates 0 points
+//
+// produces a bit-identical table on the second run while simulating
+// nothing. Cache statistics go to stderr, so stdout stays byte-comparable
+// between cold and warm runs (scripts/cache_smoke.cmake relies on this).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
+#include "edc/sweep/cache.h"
 #include "edc/sweep/grid.h"
 #include "edc/sweep/runner.h"
-#include "edc/workloads/fft.h"
 
 using namespace edc;
 
@@ -31,20 +43,26 @@ void check(bool ok, const char* what) {
   if (!ok) ++g_failures;
 }
 
-struct Cell {
-  sim::SimResult result;
-  std::uint64_t torn = 0;
-};
-
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::optional<sweep::Cache> cache;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache.emplace(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--cache DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("=== Policy comparison across sources (ENSsys'15-style, FFT-2048) ===\n");
 
   spec::SystemSpec base;
   base.storage.capacitance = 22e-6;
   base.storage.bleed = 10000.0;
-  base.workload.factory = [] { return std::make_unique<workloads::FftProgram>(11, 17); };
+  base.workload.kind = "fft-large";
+  base.workload.seed = 17;
   base.sim.t_end = 40.0;
 
   checkpoint::InterruptPolicy::Config interrupt_config;
@@ -95,20 +113,28 @@ int main() {
              {"hibernus++",
               [](spec::SystemSpec& s) { s.policy = spec::HibernusPlusPlus{}; }}});
 
-  const sweep::Runner runner;
-  const auto cells = runner.map<Cell>(
-      grid, [](const sweep::Point&, core::EnergyDrivenSystem& system,
-               const sim::SimResult& result) {
-        Cell cell;
-        cell.result = result;
-        cell.torn = system.mcu().nvm().torn_writes();
-        return cell;
-      });
+  sweep::RunnerOptions options;
+  if (cache.has_value()) options.cache = &*cache;
+  const sweep::Runner runner(options);
+  const auto cells = runner.run(grid);
+
+  if (cache.has_value()) {
+    const sweep::CacheStats stats = cache->stats();
+    std::fprintf(stderr,
+                 "cache: %llu hits, %llu misses, %llu stored, %llu non-cacheable; "
+                 "simulated %llu of %zu points\n",
+                 static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses),
+                 static_cast<unsigned long long>(stats.stores),
+                 static_cast<unsigned long long>(stats.non_cacheable),
+                 static_cast<unsigned long long>(stats.misses + stats.non_cacheable),
+                 grid.size());
+  }
 
   // Row-major order: source outer, policy inner.
   const auto& sources = grid.axes()[0].values;
   const auto& policies = grid.axes()[1].values;
-  const auto at = [&](std::size_t s_index, std::size_t p_index) -> const Cell& {
+  const auto at = [&](std::size_t s_index, std::size_t p_index) -> const sim::SimResult& {
     return cells[s_index * policies.size() + p_index];
   };
 
@@ -117,11 +143,12 @@ int main() {
     sim::Table table({"policy", "done", "t_done (s)", "saves", "torn", "restores",
                       "fwd Mcyc", "re-exec Mcyc", "overhead Mcyc", "energy (mJ)"});
     for (std::size_t p = 0; p < policies.size(); ++p) {
-      const Cell& cell = at(s, p);
-      const auto& m = cell.result.mcu;
+      const sim::SimResult& cell = at(s, p);
+      const auto& m = cell.mcu;
       table.add_row({policies[p].label, m.completed ? "yes" : "NO",
                      m.completed ? sim::Table::num(m.completion_time, 2) : "-",
-                     std::to_string(m.saves_completed), std::to_string(cell.torn),
+                     std::to_string(m.saves_completed),
+                     std::to_string(cell.nvm_torn_writes),
                      std::to_string(m.restores),
                      sim::Table::num(m.forward_cycles / 1e6, 2),
                      sim::Table::num(m.reexecuted_cycles / 1e6, 2),
@@ -142,32 +169,27 @@ int main() {
     std::abort();
   };
   const std::size_t square = labelled(sources, "square-10Hz");
-  const Cell& square_none = at(square, labelled(policies, "none (restart)"));
-  const Cell& square_mementos = at(square, labelled(policies, "mementos-loop"));
-  const Cell& square_qr = at(square, labelled(policies, "quickrecall"));
-  const Cell& square_hibernus = at(square, labelled(policies, "hibernus"));
+  const sim::SimResult& square_none = at(square, labelled(policies, "none (restart)"));
+  const sim::SimResult& square_mementos = at(square, labelled(policies, "mementos-loop"));
+  const sim::SimResult& square_qr = at(square, labelled(policies, "quickrecall"));
+  const sim::SimResult& square_hibernus = at(square, labelled(policies, "hibernus"));
 
   std::printf("\nShape checks vs the paper (square-10Hz column):\n");
-  check(!square_none.result.mcu.completed,
+  check(!square_none.mcu.completed,
         "without checkpointing the workload never completes (restart loop)");
-  check(square_hibernus.result.mcu.completed && square_mementos.result.mcu.completed,
+  check(square_hibernus.mcu.completed && square_mementos.mcu.completed,
         "both Mementos and hibernus complete the workload");
-  check(square_hibernus.result.mcu.saves_completed <
-            square_mementos.result.mcu.saves_completed,
+  check(square_hibernus.mcu.saves_completed < square_mementos.mcu.saves_completed,
         "hibernus commits fewer snapshots than Mementos (one per outage)");
-  check(square_hibernus.result.mcu.saves_completed <=
-            square_hibernus.result.mcu.brownouts + 1,
+  check(square_hibernus.mcu.saves_completed <= square_hibernus.mcu.brownouts + 1,
         "hibernus: at most one committed snapshot per supply failure");
-  check(square_mementos.result.mcu.poll_cycles >
-            square_hibernus.result.mcu.poll_cycles,
+  check(square_mementos.mcu.poll_cycles > square_hibernus.mcu.poll_cycles,
         "Mementos pays ADC polling overhead; hibernus is interrupt-driven");
-  check(square_hibernus.result.mcu.completed &&
-            square_qr.result.mcu.completed &&
-            square_hibernus.result.mcu.completion_time > 0 &&
-            square_qr.result.mcu.completion_time > 0,
+  check(square_hibernus.mcu.completed && square_qr.mcu.completed &&
+            square_hibernus.mcu.completion_time > 0 &&
+            square_qr.mcu.completion_time > 0,
         "QuickRecall and hibernus both sustain computation (Eq 5 decides winner)");
-  check(square_hibernus.result.mcu.reexecuted_cycles <=
-            square_mementos.result.mcu.reexecuted_cycles,
+  check(square_hibernus.mcu.reexecuted_cycles <= square_mementos.mcu.reexecuted_cycles,
         "late (interrupt-driven) snapshots minimise re-executed work");
 
   std::printf("\n%s\n", g_failures == 0 ? "ALL SHAPE CHECKS PASSED"

@@ -1,0 +1,49 @@
+# End-to-end sweep-cache smoke test (registered in ctest as cache_smoke):
+# runs the tab_policy_comparison bench twice against a fresh cache
+# directory and requires that the warm rerun (a) simulates 0 points and
+# (b) prints a bit-identical table (the bench writes cache statistics to
+# stderr precisely so stdout stays byte-comparable).
+#
+#   cmake -DBENCH=<tab_policy_comparison> -DWORK=<dir> -P this
+foreach(var BENCH WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+execute_process(
+  COMMAND "${BENCH}" --cache "${WORK}/cache"
+  OUTPUT_FILE "${WORK}/cold.out" ERROR_FILE "${WORK}/cold.err"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold bench run failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${BENCH}" --cache "${WORK}/cache"
+  OUTPUT_FILE "${WORK}/warm.out" ERROR_FILE "${WORK}/warm.err"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm bench run failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${WORK}/cold.out" "${WORK}/warm.out"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm-cache rerun did not reproduce the table bit-identically")
+endif()
+
+file(READ "${WORK}/warm.err" warm_err)
+if(NOT warm_err MATCHES "simulated 0 of")
+  message(FATAL_ERROR "warm rerun still simulated points: ${warm_err}")
+endif()
+file(READ "${WORK}/cold.err" cold_err)
+if(NOT cold_err MATCHES "0 hits")
+  message(FATAL_ERROR "cold run unexpectedly hit a fresh cache: ${cold_err}")
+endif()
+
+message(STATUS "warm-cache rerun simulated 0 points with a bit-identical table")

@@ -178,6 +178,8 @@ SimResult Simulator::run() {
 
   result.stored_final = node_->stored_energy();
   result.mcu = mcu_->metrics();
+  result.nvm_torn_writes = mcu_->nvm().torn_writes();
+  result.nvm_commits = mcu_->nvm().commits();
   return result;
 }
 

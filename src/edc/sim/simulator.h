@@ -54,6 +54,11 @@ struct SimResult {
   Joules stored_initial = 0.0;  ///< node energy at t = 0
   Joules stored_final = 0.0;    ///< node energy at the end
   mcu::McuMetrics mcu;          ///< copy of the MCU metrics at the end
+  /// NVM lifetime counters (copied from the MCU's NvmStore at the end), so
+  /// result consumers — reports, the sweep cache — don't need the live
+  /// system: torn (abandoned mid-write) and committed snapshot writes.
+  std::uint64_t nvm_torn_writes = 0;
+  std::uint64_t nvm_commits = 0;
   std::vector<StateChange> transitions;
   /// "vcc", "freq_mhz", "state", "power_mw" when probed. Samples are
   /// end-of-step values, so the waveforms start at t = dt (the end of the

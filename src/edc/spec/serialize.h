@@ -1,0 +1,65 @@
+// Canonical, versioned text serialization for spec::SystemSpec.
+//
+// serialize() maps a spec to a unique byte string: every field of every
+// source/storage/workload/policy variant is emitted on its own line, in a
+// fixed order, with doubles printed in shortest round-trip form
+// (std::to_chars), so serialize(parse(serialize(s))) == serialize(s)
+// byte-for-byte. parse() is strict — it expects exactly the canonical
+// lines in canonical order, and throws SpecFormatError on anything else
+// (unknown fields, missing fields, trailing garbage, version mismatch).
+// That strictness is what makes the format safe to hash: two specs collide
+// only if they are semantically identical (or FNV-64 collides, which the
+// cache guards against by storing the full key text).
+//
+// Custom factory callbacks (CustomVoltageSource, CustomPowerSource,
+// CustomPolicy, WorkloadSpec::factory, a hibernus++ capacitance_probe)
+// cannot be serialized — they are opaque code, not data. Such specs are
+// *non-cacheable*: is_cacheable() returns false, non_cacheable_reason()
+// names the offending field, and serialize() throws. The sweep cache
+// simulates them unconditionally.
+//
+// Versioning policy: kSpecFormatVersion is part of the header line and of
+// the cache directory layout. Bump it whenever the canonical byte stream
+// for an existing spec would change (new field, reordered field, changed
+// number formatting) — old cache entries then simply stop matching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "edc/common/canon.h"
+#include "edc/spec/system_spec.h"
+
+namespace edc::spec {
+
+inline constexpr int kSpecFormatVersion = 1;
+
+/// Thrown by serialize()/parse_spec() on any deviation from the canonical
+/// format (shared with the SimResult serializer in edc/sim/result_io).
+using SpecFormatError = canon::FormatError;
+
+/// Empty string when `spec` is canonically serializable; otherwise the
+/// human-readable reason it is not (names the opaque-callback field).
+[[nodiscard]] std::string non_cacheable_reason(const SystemSpec& spec);
+
+/// True when serialize() would succeed (no opaque factory callbacks).
+[[nodiscard]] bool is_cacheable(const SystemSpec& spec);
+
+/// Canonical byte string of the spec. Throws SpecFormatError when
+/// !is_cacheable(spec).
+[[nodiscard]] std::string serialize(const SystemSpec& spec);
+
+/// Inverse of serialize(). Strict: throws SpecFormatError on unknown or
+/// out-of-order fields, wrong version, truncation, or trailing bytes.
+[[nodiscard]] SystemSpec parse_spec(const std::string& text);
+
+/// FNV-1a 64-bit over arbitrary bytes (the cache's content address).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// fnv1a64(serialize(spec)); throws when !is_cacheable(spec). Stable
+/// across runs, platforms and processes for a given format version
+/// (golden-hash tested in tests/spec_serial_test.cpp).
+[[nodiscard]] std::uint64_t spec_hash(const SystemSpec& spec);
+
+}  // namespace edc::spec

@@ -1,0 +1,43 @@
+#include "edc/spec/trace_loaders.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "edc/trace/csv.h"
+
+namespace edc::spec {
+
+namespace {
+
+trace::Waveform read_waveform_csv(const std::string& csv_path) {
+  std::ifstream in(csv_path, std::ios::binary);
+  if (!in) {
+    throw std::invalid_argument("cannot open trace CSV: '" + csv_path + "'");
+  }
+  return trace::read_csv(in);
+}
+
+std::string basename_label(const std::string& csv_path) {
+  return std::filesystem::path(csv_path).filename().string();
+}
+
+}  // namespace
+
+VoltageTraceSource load_voltage_trace_csv(const std::string& csv_path,
+                                          Ohms series_resistance) {
+  VoltageTraceSource source;
+  source.wave = read_waveform_csv(csv_path);
+  source.series_resistance = series_resistance;
+  source.label = basename_label(csv_path);
+  return source;
+}
+
+PowerTraceSource load_power_trace_csv(const std::string& csv_path) {
+  PowerTraceSource source;
+  source.wave = read_waveform_csv(csv_path);
+  source.label = basename_label(csv_path);
+  return source;
+}
+
+}  // namespace edc::spec

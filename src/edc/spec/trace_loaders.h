@@ -1,0 +1,35 @@
+// CSV-backed trace sources for the spec layer (ROADMAP: "trace-driven
+// sources in sweeps").
+//
+// The paper's evaluation argument rests on sweeping designs against
+// *measured* harvester datasets, not just synthetic generators. These
+// loaders wire trace::read_csv into the spec layer: a "time,value" CSV
+// (uniformly sampled; volts for voltage traces, watts for power traces)
+// becomes a VoltageTraceSource / PowerTraceSource carrying the waveform as
+// plain data. Because the waveform samples are part of the spec, loaded
+// traces serialize canonically like every other source — measured-dataset
+// sweeps are cacheable and shardable exactly like synthetic ones.
+//
+//   spec::SystemSpec s;
+//   s.source = spec::load_power_trace_csv("datasets/office_pv.csv");
+//
+// The source label is the file's basename, so grid axes over different
+// trace files stay distinguishable in reports (and in cache keys).
+#pragma once
+
+#include <string>
+
+#include "edc/spec/system_spec.h"
+
+namespace edc::spec {
+
+/// Loads a "time,volts" CSV into a rectifier-path trace source. Throws
+/// std::invalid_argument when the file is missing, malformed, or not
+/// uniformly sampled (see trace::read_csv).
+[[nodiscard]] VoltageTraceSource load_voltage_trace_csv(
+    const std::string& csv_path, Ohms series_resistance = 50.0);
+
+/// Loads a "time,watts" CSV into a harvester-path trace source.
+[[nodiscard]] PowerTraceSource load_power_trace_csv(const std::string& csv_path);
+
+}  // namespace edc::spec

@@ -1,0 +1,182 @@
+#include "edc/sweep/cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "edc/sim/result_io.h"
+#include "edc/spec/serialize.h"
+
+namespace edc::sweep {
+
+namespace {
+
+constexpr char kEntryMagic[] = "edc.CacheEntry v1";
+
+std::string hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// Entry format: two length-prefixed raw blocks, so neither the key nor the
+/// result text needs escaping:
+///
+///   edc.CacheEntry v1\n
+///   spec_bytes <N>\n
+///   <N raw bytes of canonical spec text>
+///   result_bytes <M>\n
+///   <M raw bytes of canonical result text>
+std::string encode_entry(const std::string& key_text, const std::string& result_text) {
+  std::string out;
+  out.reserve(key_text.size() + result_text.size() + 64);
+  out += kEntryMagic;
+  out += '\n';
+  out += "spec_bytes " + std::to_string(key_text.size()) + '\n';
+  out += key_text;
+  out += "result_bytes " + std::to_string(result_text.size()) + '\n';
+  out += result_text;
+  return out;
+}
+
+/// Splits an entry back into (spec text, result text); nullopt on any
+/// corruption (bad magic, truncated blocks, trailing bytes).
+std::optional<std::pair<std::string, std::string>> decode_entry(
+    const std::string& bytes) {
+  std::size_t pos = 0;
+  const auto read_line = [&]() -> std::optional<std::string> {
+    const std::size_t end = bytes.find('\n', pos);
+    if (end == std::string::npos) return std::nullopt;
+    std::string line = bytes.substr(pos, end - pos);
+    pos = end + 1;
+    return line;
+  };
+  const auto read_block = [&](const char* prefix) -> std::optional<std::string> {
+    const auto header = read_line();
+    if (!header || header->rfind(prefix, 0) != 0) return std::nullopt;
+    std::size_t length = 0;
+    try {
+      length = static_cast<std::size_t>(
+          canon::parse_u64(std::string_view(*header).substr(std::string(prefix).size())));
+    } catch (const canon::FormatError&) {
+      return std::nullopt;
+    }
+    if (pos + length > bytes.size()) return std::nullopt;
+    std::string block = bytes.substr(pos, length);
+    pos += length;
+    return block;
+  };
+
+  const auto magic = read_line();
+  if (!magic || *magic != kEntryMagic) return std::nullopt;
+  auto spec_text = read_block("spec_bytes ");
+  if (!spec_text) return std::nullopt;
+  auto result_text = read_block("result_bytes ");
+  if (!result_text) return std::nullopt;
+  if (pos != bytes.size()) return std::nullopt;
+  return std::make_pair(std::move(*spec_text), std::move(*result_text));
+}
+
+}  // namespace
+
+Cache::Cache(std::filesystem::path directory) : dir_(std::move(directory)) {}
+
+std::filesystem::path Cache::versioned_directory() const {
+  return dir_ / ("v" + std::to_string(spec::kSpecFormatVersion) + "-" +
+                 std::to_string(sim::kResultFormatVersion));
+}
+
+std::filesystem::path Cache::entry_path(const std::string& key_text) const {
+  const std::string hex = hex16(spec::fnv1a64(key_text));
+  return versioned_directory() / hex.substr(0, 2) / (hex + ".edcres");
+}
+
+std::optional<sim::SimResult> Cache::load(const std::string& key_text) const {
+  const std::filesystem::path path = entry_path(key_text);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ++misses_;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    ++misses_;
+    return std::nullopt;
+  }
+
+  const auto entry = decode_entry(buffer.str());
+  if (!entry || entry->first != key_text) {
+    // Corrupt entry, or a 64-bit hash collision with a different spec:
+    // either way the stored row is not ours. Fall back to simulating.
+    ++misses_;
+    return std::nullopt;
+  }
+  try {
+    sim::SimResult result = sim::parse_result(entry->second);
+    ++hits_;
+    return result;
+  } catch (const canon::FormatError&) {
+    ++misses_;
+    return std::nullopt;
+  }
+}
+
+void Cache::store(const std::string& key_text, const sim::SimResult& result) const {
+  const std::filesystem::path path = entry_path(key_text);
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  if (ec) return;  // unwritable cache never fails the sweep
+
+  // Unique temp name per writer (pid + thread, so shard *processes*
+  // sharing one cache directory cannot interleave into the same file);
+  // rename() is atomic within the directory, so readers only ever see
+  // complete entries.
+  const std::size_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const std::filesystem::path tmp =
+      path.parent_path() /
+      (path.filename().string() + ".tmp" +
+       std::to_string(static_cast<long long>(::getpid())) + "-" + hex16(tid));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    const std::string entry = encode_entry(key_text, sim::serialize_result(result));
+    out.write(entry.data(), static_cast<std::streamsize>(entry.size()));
+    if (!out.good()) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  ++stores_;
+}
+
+CacheStats Cache::stats() const noexcept {
+  CacheStats stats;
+  stats.hits = hits_.load();
+  stats.misses = misses_.load();
+  stats.stores = stores_.load();
+  stats.non_cacheable = non_cacheable_.load();
+  return stats;
+}
+
+void Cache::reset_stats() const noexcept {
+  hits_.store(0);
+  misses_.store(0);
+  stores_.store(0);
+  non_cacheable_.store(0);
+}
+
+}  // namespace edc::sweep

@@ -1,0 +1,89 @@
+// Content-addressed on-disk memoisation of sweep points.
+//
+// A grid point is a pure function of its spec (spec::instantiate is
+// repeatable and the simulator is deterministic), so its SimResult can be
+// keyed by the canonical serialization of the spec (which includes the
+// SimConfig) and reused across runs: iterating on one grid axis stops
+// re-simulating the rest of the grid, and repeated bench invocations with
+// an unchanged spec simulate nothing at all.
+//
+//   sweep::Cache cache("/tmp/edc-cache");
+//   sweep::RunnerOptions options;
+//   options.cache = &cache;
+//   const auto rows = sweep::Runner(options).run(grid);   // warm points load
+//   cache.stats();  // {hits, misses, stores, non_cacheable}
+//
+// On-disk layout (documented in README "Scaling sweeps"):
+//
+//   <dir>/v<S>-<R>/<hh>/<16-hex-fnv64>.edcres
+//
+// where S = spec::kSpecFormatVersion, R = sim::kResultFormatVersion, `hh`
+// is the first byte of the FNV-1a-64 hash of the canonical spec text, and
+// the entry file stores the *full* key text next to the serialized result,
+// so a 64-bit hash collision degrades to a miss, never a wrong result.
+// Bumping either format version changes the directory component, aging out
+// stale entries instead of misparsing them.
+//
+// Entries are written to a temp file and renamed into place, so concurrent
+// writers (the Runner's worker threads, or independent shard processes
+// pointed at a shared directory) never expose a torn entry. Unreadable or
+// corrupt entries are treated as misses. Specs carrying opaque factory
+// callbacks are non-cacheable (see spec::non_cacheable_reason) and are
+// always re-simulated; the Runner counts them in stats().non_cacheable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "edc/sim/simulator.h"
+
+namespace edc::sweep {
+
+struct CacheStats {
+  std::uint64_t hits = 0;           ///< load() found a valid entry
+  std::uint64_t misses = 0;         ///< load() found nothing usable
+  std::uint64_t stores = 0;         ///< store() wrote an entry
+  std::uint64_t non_cacheable = 0;  ///< points skipped (opaque callbacks)
+};
+
+class Cache {
+ public:
+  /// Anchors the cache at `directory` (created lazily on first store).
+  explicit Cache(std::filesystem::path directory);
+
+  /// Looks up the result stored under the canonical spec text `key_text`
+  /// (as produced by spec::serialize). Thread-safe.
+  [[nodiscard]] std::optional<sim::SimResult> load(const std::string& key_text) const;
+
+  /// Stores `result` under `key_text`, atomically (temp file + rename).
+  /// Thread-safe; concurrent stores of the same key are harmless.
+  void store(const std::string& key_text, const sim::SimResult& result) const;
+
+  /// Books a point that could not participate (opaque factory callbacks).
+  void note_non_cacheable() const noexcept { ++non_cacheable_; }
+
+  [[nodiscard]] CacheStats stats() const noexcept;
+  void reset_stats() const noexcept;
+
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return dir_;
+  }
+
+  /// The versioned directory entries currently live in (<dir>/v<S>-<R>).
+  [[nodiscard]] std::filesystem::path versioned_directory() const;
+
+  /// Full path of the entry a given canonical key text maps to.
+  [[nodiscard]] std::filesystem::path entry_path(const std::string& key_text) const;
+
+ private:
+  std::filesystem::path dir_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> stores_{0};
+  mutable std::atomic<std::uint64_t> non_cacheable_{0};
+};
+
+}  // namespace edc::sweep

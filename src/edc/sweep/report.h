@@ -6,11 +6,13 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "edc/sim/simulator.h"
 #include "edc/sim/table.h"
 #include "edc/sweep/grid.h"
+#include "edc/sweep/shard.h"
 
 namespace edc::sweep {
 
@@ -30,5 +32,23 @@ namespace edc::sweep {
 /// when they contain separators).
 void write_csv(std::ostream& out, const Grid& grid,
                const std::vector<sim::SimResult>& results);
+
+/// Per-shard CSV export: `results` holds the rows of the shard's owned
+/// points in ascending global-index order (as returned by
+/// Runner::run_shard). The file carries the shard metadata, the unsharded
+/// header, and each row prefixed with its global index, so shards can be
+/// merged back into exact grid order:
+///
+///   # edc-sweep-shard v1 shard <k>/<N> grid <size>
+///   # header <unsharded CSV header line>
+///   <global index>,<unsharded CSV row>
+void write_shard_csv(std::ostream& out, const Grid& grid, const Shard& shard,
+                     const std::vector<sim::SimResult>& results);
+
+/// Reassembles the shard CSV texts of a complete k/N partition into the
+/// byte stream write_csv would have produced for the unsharded grid.
+/// Throws std::invalid_argument when the shards disagree on grid size,
+/// shard count or header, duplicate a point, or leave a point uncovered.
+void merge_shard_csvs(const std::vector<std::string>& shard_csvs, std::ostream& out);
 
 }  // namespace edc::sweep

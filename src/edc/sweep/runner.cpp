@@ -6,13 +6,45 @@
 #include <mutex>
 #include <thread>
 
+#include "edc/spec/serialize.h"
+#include "edc/sweep/cache.h"
+
 namespace edc::sweep {
+
+sim::SimResult Runner::simulate_point(const Point& point) const {
+  Cache* cache = options_.cache;
+  if (cache == nullptr) {
+    auto system = spec::instantiate(point.spec);
+    return system.run();
+  }
+  if (!spec::is_cacheable(point.spec)) {
+    cache->note_non_cacheable();
+    auto system = spec::instantiate(point.spec);
+    return system.run();
+  }
+  const std::string key = spec::serialize(point.spec);
+  if (auto cached = cache->load(key)) return std::move(*cached);
+  auto system = spec::instantiate(point.spec);
+  sim::SimResult result = system.run();
+  cache->store(key, result);
+  return result;
+}
 
 std::vector<sim::SimResult> Runner::run(const Grid& grid) const {
   std::vector<sim::SimResult> rows(grid.size());
-  for_each_point(grid, [&rows](const Point& point) {
-    auto system = spec::instantiate(point.spec);
-    rows[point.index] = system.run();
+  for_each_point(grid, [this, &rows](const Point& point) {
+    rows[point.index] = simulate_point(point);
+  });
+  return rows;
+}
+
+std::vector<sim::SimResult> Runner::run_shard(const Grid& grid,
+                                              const Shard& shard) const {
+  std::vector<sim::SimResult> rows(shard.owned_count(grid.size()));
+  for_each_point(grid, shard, [this, &shard, &rows](const Point& point) {
+    // Owned points are strided index % count == index0, so the row slot of
+    // global point i is simply i / count.
+    rows[point.index / shard.count] = simulate_point(point);
   });
   return rows;
 }
@@ -31,12 +63,20 @@ int Runner::thread_count(std::size_t point_count) const noexcept {
 
 void Runner::for_each_point(const Grid& grid,
                             const std::function<void(const Point&)>& body) const {
-  const std::size_t count = grid.size();
+  for_each_point(grid, Shard{}, body);
+}
+
+void Runner::for_each_point(const Grid& grid, const Shard& shard,
+                            const std::function<void(const Point&)>& body) const {
+  const std::size_t count = shard.owned_count(grid.size());
   if (count == 0) return;
+  const auto global_index = [&shard](std::size_t position) {
+    return shard.index + position * shard.count;
+  };
 
   const int threads = thread_count(count);
   if (threads == 1) {
-    for (std::size_t i = 0; i < count; ++i) body(grid.point(i));
+    for (std::size_t i = 0; i < count; ++i) body(grid.point(global_index(i)));
     return;
   }
 
@@ -50,7 +90,7 @@ void Runner::for_each_point(const Grid& grid,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
-        body(grid.point(i));
+        body(grid.point(global_index(i)));
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(error_mutex);

@@ -11,8 +11,21 @@
 //   sweep::Runner runner;                       // hardware_concurrency threads
 //   const auto rows = runner.run(grid);         // rows[i] == grid.point(i)
 //
+// Two scaling hooks compose with the pool (tests/sweep_cache_test.cpp,
+// tests/sweep_shard_test.cpp):
+//
+//  * options.cache points at a sweep::Cache: run()/run_shard() then load
+//    previously simulated points from disk instead of re-simulating them
+//    (bit-identical rows), and store fresh points. Specs that carry opaque
+//    factory callbacks are non-cacheable and always simulate.
+//  * run_shard(grid, shard) simulates only the points a Shard owns
+//    (global index i with i % N == k), for splitting one grid across
+//    processes or machines; per-shard CSVs merge back into exact grid
+//    order (see sweep/shard.h).
+//
 // For per-point data beyond SimResult (policy internals, NVM counters),
-// map() passes the still-live system to a caller-supplied extractor:
+// map() passes the still-live system to a caller-supplied extractor (the
+// cache is bypassed — the extractor needs the live system):
 //
 //   auto torn = runner.map<std::uint64_t>(
 //       grid, [](const sweep::Point&, core::EnergyDrivenSystem& system,
@@ -30,13 +43,19 @@
 #include "edc/sim/simulator.h"
 #include "edc/spec/system_spec.h"
 #include "edc/sweep/grid.h"
+#include "edc/sweep/shard.h"
 
 namespace edc::sweep {
+
+class Cache;
 
 struct RunnerOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (at least 1).
   /// The pool never exceeds the number of grid points.
   int threads = 0;
+  /// Optional on-disk memoiser for run()/run_shard() (see sweep/cache.h).
+  /// Not owned; must outlive the Runner. map() ignores it.
+  Cache* cache = nullptr;
 };
 
 class Runner {
@@ -44,8 +63,15 @@ class Runner {
   explicit Runner(RunnerOptions options = {}) : options_(options) {}
 
   /// Simulates every grid point (to the spec's sim.t_end horizon) and
-  /// returns the SimResult rows in point order.
+  /// returns the SimResult rows in point order. With options.cache set,
+  /// warm points are loaded instead of simulated.
   [[nodiscard]] std::vector<sim::SimResult> run(const Grid& grid) const;
+
+  /// As run(), but only for the points `shard` owns; rows are returned in
+  /// ascending global-point order (matching Shard::owned_points). The
+  /// k-of-N results of a full partition merge back into the run() rows.
+  [[nodiscard]] std::vector<sim::SimResult> run_shard(const Grid& grid,
+                                                      const Shard& shard) const;
 
   /// As run(), but maps each completed simulation through `fn` inside the
   /// worker thread, while the wired system is still alive. `fn` must be
@@ -75,10 +101,17 @@ class Runner {
   void for_each_point(const Grid& grid,
                       const std::function<void(const Point&)>& body) const;
 
+  /// As for_each_point, restricted to the points `shard` owns.
+  void for_each_point(const Grid& grid, const Shard& shard,
+                      const std::function<void(const Point&)>& body) const;
+
   /// The pool size a grid of `point_count` points would run with.
   [[nodiscard]] int thread_count(std::size_t point_count) const noexcept;
 
  private:
+  /// Simulates one point, consulting options_.cache when set.
+  [[nodiscard]] sim::SimResult simulate_point(const Point& point) const;
+
   RunnerOptions options_;
 };
 

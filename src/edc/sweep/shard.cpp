@@ -1,0 +1,43 @@
+#include "edc/sweep/shard.h"
+
+#include <stdexcept>
+
+#include "edc/common/canon.h"
+
+namespace edc::sweep {
+
+std::vector<std::size_t> Shard::owned_points(std::size_t grid_size) const {
+  std::vector<std::size_t> points;
+  points.reserve(owned_count(grid_size));
+  for (std::size_t i = index; i < grid_size; i += count) points.push_back(i);
+  return points;
+}
+
+Shard Shard::parse(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    throw std::invalid_argument("shard must be 'k/N', got '" + text + "'");
+  }
+  Shard shard;
+  try {
+    shard.index = static_cast<std::size_t>(
+        canon::parse_u64(std::string_view(text).substr(0, slash)));
+    shard.count = static_cast<std::size_t>(
+        canon::parse_u64(std::string_view(text).substr(slash + 1)));
+  } catch (const canon::FormatError&) {
+    throw std::invalid_argument("shard must be 'k/N', got '" + text + "'");
+  }
+  if (shard.count == 0) {
+    throw std::invalid_argument("shard count must be >= 1, got '" + text + "'");
+  }
+  if (shard.index >= shard.count) {
+    throw std::invalid_argument("shard index must be < count, got '" + text + "'");
+  }
+  return shard;
+}
+
+std::string Shard::to_string() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+}  // namespace edc::sweep

@@ -1,0 +1,59 @@
+// Process-level sharding of sweep grids.
+//
+// A Shard names one of N index-striding slices of a grid: shard k of N
+// owns every point whose global index i satisfies i % N == k. Striding
+// (rather than contiguous blocks) balances load when one axis
+// monotonically changes per-point cost (e.g. a capacitance axis that
+// lengthens brown-out tails), and makes ownership independent of the grid
+// size, so the same "--shard k/N" flag works for any grid shape.
+//
+// Independent processes (or machines) each run their own shard with
+// Runner::run_shard and write a shard CSV (report.h: write_shard_csv);
+// tools/sweep_merge — or merge_shard_csvs() — reassembles the per-shard
+// files into a CSV byte-identical to the unsharded serial run:
+//
+//   bench --shard 0/2 --csv a.csv     # machine A
+//   bench --shard 1/2 --csv b.csv     # machine B
+//   sweep_merge merged.csv a.csv b.csv
+//
+// The merge is strict: shards must agree on grid size, shard count and
+// header, cover every point exactly once, and carry no duplicates —
+// anything else throws, so a lost or doubled shard can never produce a
+// silently truncated table.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace edc::sweep {
+
+struct Shard {
+  std::size_t index = 0;  ///< this shard's id, in [0, count)
+  std::size_t count = 1;  ///< total number of shards
+
+  /// True when this shard simulates global point `point_index`.
+  [[nodiscard]] bool owns(std::size_t point_index) const noexcept {
+    return point_index % count == index;
+  }
+
+  /// Number of points this shard owns in a grid of `grid_size` points.
+  [[nodiscard]] std::size_t owned_count(std::size_t grid_size) const noexcept {
+    return grid_size / count + (grid_size % count > index ? 1 : 0);
+  }
+
+  /// Ascending global indices of the owned points.
+  [[nodiscard]] std::vector<std::size_t> owned_points(std::size_t grid_size) const;
+
+  /// True for the trivial 1-of-1 shard (an unsharded run).
+  [[nodiscard]] bool is_full() const noexcept { return count == 1; }
+
+  /// Parses "k/N" (e.g. "0/4"); requires N >= 1 and k < N. Throws
+  /// std::invalid_argument on malformed input.
+  static Shard parse(const std::string& text);
+
+  /// "k/N" — the inverse of parse().
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace edc::sweep

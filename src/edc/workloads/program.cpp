@@ -20,6 +20,7 @@ std::uint64_t golden_digest(Program& program) {
 std::unique_ptr<Program> make_program(const std::string& kind, std::uint64_t seed) {
   if (kind == "fft") return std::make_unique<FftProgram>(10, seed);
   if (kind == "fft-small") return std::make_unique<FftProgram>(8, seed);
+  if (kind == "fft-large") return std::make_unique<FftProgram>(11, seed);
   if (kind == "crc") return std::make_unique<Crc32Program>(16 * 1024, seed);
   if (kind == "aes") return std::make_unique<AesProgram>(64, seed);
   if (kind == "matmul") return std::make_unique<MatMulProgram>(24, seed);
@@ -31,7 +32,8 @@ std::unique_ptr<Program> make_program(const std::string& kind, std::uint64_t see
 }
 
 std::vector<std::string> standard_program_kinds() {
-  return {"fft", "fft-small", "crc", "aes", "matmul", "sort", "sense", "raytrace"};
+  return {"fft",  "fft-small", "fft-large", "crc",      "aes",
+          "matmul", "sort",    "sense",     "raytrace"};
 }
 
 }  // namespace edc::workloads

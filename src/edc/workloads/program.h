@@ -82,8 +82,9 @@ class Program {
 std::uint64_t golden_digest(Program& program);
 
 /// Factory for the standard workload suite (used by tests and benches):
-/// "fft" (1024-pt), "fft-small" (256-pt), "crc" (16 KiB), "aes" (64 blocks),
-/// "matmul" (24x24), "sort" (2048), "sense" (8 rounds), "raytrace" (32x24).
+/// "fft" (1024-pt), "fft-small" (256-pt), "fft-large" (2048-pt), "crc"
+/// (16 KiB), "aes" (64 blocks), "matmul" (24x24), "sort" (2048), "sense"
+/// (8 rounds), "raytrace" (32x24).
 std::unique_ptr<Program> make_program(const std::string& kind, std::uint64_t seed = 1);
 
 /// Names accepted by make_program.

@@ -1,0 +1,422 @@
+// Determinism lock-down for the canonical SystemSpec serialization
+// (edc/spec/serialize): byte-identical round-trips for every spec variant,
+// loud failures on unknown/future fields, run-to-run stable hashes pinned
+// by a golden file, and the non_cacheable opt-out for opaque callbacks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "edc/checkpoint/null_policy.h"
+#include "edc/spec/serialize.h"
+#include "edc/spec/system_spec.h"
+#include "edc/workloads/program.h"
+
+namespace {
+
+using namespace edc;
+
+// One deterministically-constructed spec per serializable variant, with
+// non-default values so every field actually round-trips. Do NOT change
+// existing entries lightly: their hashes are pinned in
+// tests/golden/spec_hashes.txt, and a change there means the cache format
+// version must be bumped (see serialize.h versioning policy).
+struct NamedSpec {
+  std::string name;
+  spec::SystemSpec spec;
+};
+
+spec::SystemSpec base_spec() {
+  spec::SystemSpec s;
+  s.source = spec::DcSource{3.1, 47.0};
+  s.storage.capacitance = 33e-6;
+  s.storage.initial_voltage = 0.5;
+  s.storage.bleed = 56000.0;
+  s.workload.kind = "fft-small";
+  s.workload.seed = 7;
+  s.sim.t_end = 1.25;
+  return s;
+}
+
+trace::Waveform fixture_wave() {
+  return trace::Waveform(0.25, 0.5, {0.0, 1.5, 3.25, 2.125, 0.375});
+}
+
+std::vector<NamedSpec> covering_specs() {
+  std::vector<NamedSpec> specs;
+
+  {
+    NamedSpec n{"sine-hibernus", base_spec()};
+    n.spec.source = spec::SineSource{3.3, 4.5, 0.25, 51.0};
+    checkpoint::InterruptPolicy::Config c;
+    c.capacitance = 20e-6;
+    c.margin = 1.75;
+    c.restore_headroom = 0.35;
+    n.spec.policy = spec::Hibernus{c};
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"dc-nocheckpoint", base_spec()};
+    n.spec.policy = spec::NoCheckpoint{};
+    n.spec.snapshot_peripherals = true;
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"square-mementos-timer", base_spec()};
+    n.spec.source = spec::SquareSource{3.2, 12.5, 0.375, 0.125, 49.0};
+    checkpoint::MementosPolicy::Config c;
+    c.mode = checkpoint::MementosPolicy::Mode::timer;
+    c.v_threshold = 2.375;
+    c.timer_interval = 7.5e-3;
+    c.poll_stride = 3;
+    n.spec.policy = spec::Mementos{c};
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"wind-hibernuspp-default", base_spec()};
+    spec::WindSource w;
+    w.params.peak_voltage = 5.5;
+    w.params.gust_period = 8.25;
+    w.seed = 99;
+    w.horizon = 25.0;
+    n.spec.source = w;
+    n.spec.policy = spec::HibernusPlusPlus{};
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"kinetic-hibernuspp-set", base_spec()};
+    spec::KineticSource k;
+    k.params.impulse_peak = 4.25;
+    k.params.resonance = 47.5;
+    k.seed = 3;
+    k.horizon = 12.0;
+    n.spec.source = k;
+    checkpoint::HibernusPlusPlusPolicy::PlusConfig c;
+    c.measurement_error = 0.045;
+    c.calibration_cycles = 35000;
+    c.initial_margin = 1.25;
+    c.restore_headroom = 0.4;
+    c.seed = 1234;
+    n.spec.policy = spec::HibernusPlusPlus{c};
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"voltage-trace-quickrecall", base_spec()};
+    spec::VoltageTraceSource t;
+    t.wave = fixture_wave();
+    t.series_resistance = 75.0;
+    t.label = "bench \"A\",\ttrace";  // exercises string escaping
+    n.spec.source = t;
+    checkpoint::InterruptPolicy::Config c;
+    c.margin = 2.5;
+    n.spec.policy = spec::QuickRecall{c};
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"constant-power-nvp", base_spec()};
+    n.spec.source = spec::ConstantPower{2.5e-3};
+    checkpoint::InterruptPolicy::Config c;
+    c.v_hibernate = 2.25;
+    c.v_restore = 2.75;
+    n.spec.policy = spec::Nvp{c};
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"markov-burst", base_spec()};
+    n.spec.source = spec::MarkovPower{4e-3, 0.125, 0.25, 21, 30.0};
+    taskmodel::BurstTaskPolicy::Config c;
+    c.task_energy = 65e-6;
+    c.capacitance = 150e-6;
+    c.margin = 1.4;
+    n.spec.policy = spec::BurstTask{c};
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"rf-governed", base_spec()};
+    spec::RfFieldPower r;
+    r.params.field_power = 300e-6;
+    r.params.burst_length = 1.5;
+    r.params.burst_period = 5.5;
+    r.params.jitter = 0.125;
+    r.seed = 11;
+    r.horizon = 45.0;
+    n.spec.source = r;
+    neutral::McuDfsGovernor::Config g;
+    g.v_ref = 2.85;
+    g.band = 0.125;
+    g.period = 1.25e-3;
+    g.frequencies = {1e6, 4e6, 16e6};
+    n.spec.governor = g;
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"indoor-pv", base_spec()};
+    spec::IndoorPvPower p;
+    p.params.night_current_ua = 280.0;
+    p.params.day_current_ua = 430.5;
+    p.params.noise_ua = 3.5;
+    p.seed = 5;
+    p.days = 2;
+    n.spec.source = p;
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"solar-full-wave", base_spec()};
+    spec::SolarPower p;
+    p.params.panel_peak = 65e-3;
+    p.params.cloud_depth = 0.625;
+    p.seed = 8;
+    p.days = 3;
+    n.spec.source = p;
+    n.spec.rectifier.kind = circuit::RectifierKind::full_wave;
+    n.spec.rectifier.diode_drop = 0.3;
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"power-trace-tuned-mcu", base_spec()};
+    spec::PowerTraceSource p;
+    p.wave = fixture_wave();
+    p.label = "office_pv.csv";
+    n.spec.source = p;
+    n.spec.harvester.efficiency = 0.85;
+    n.spec.harvester.v_ceiling = 4.75;
+    n.spec.harvester.i_max = 0.25;
+    n.spec.harvester.v_floor = 0.35;
+    n.spec.mcu.power.v_min = 1.9;
+    n.spec.mcu.power.i_base = 110e-6;
+    n.spec.mcu.power.boot_cycles = 2500;
+    n.spec.mcu.power.register_file_bytes = 128;
+    n.spec.mcu.initial_frequency = 16e6;
+    n.spec.mcu.memory_mode = mcu::MemoryMode::unified_fram;
+    n.spec.mcu.peripheral_file_bytes = 96;
+    n.spec.mcu.peripheral_reinit_cycles = 15000;
+    n.spec.sim.dt = 5e-6;
+    n.spec.sim.node_substeps = 8;
+    n.spec.sim.stop_on_completion = false;
+    n.spec.sim.probe_interval = 1e-3;
+    n.spec.sim.quiescent_fast_path = false;
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"unspecified-source", base_spec()};
+    n.spec.source = std::monostate{};
+    specs.push_back(std::move(n));
+  }
+
+  return specs;
+}
+
+TEST(SpecSerial, RoundTripIsByteIdentical) {
+  for (const NamedSpec& named : covering_specs()) {
+    SCOPED_TRACE(named.name);
+    const std::string text = spec::serialize(named.spec);
+    const spec::SystemSpec reparsed = spec::parse_spec(text);
+    EXPECT_EQ(text, spec::serialize(reparsed));
+    EXPECT_EQ(spec::spec_hash(named.spec), spec::spec_hash(reparsed));
+  }
+}
+
+TEST(SpecSerial, SerializationIsDeterministicWithinRun) {
+  for (const NamedSpec& named : covering_specs()) {
+    SCOPED_TRACE(named.name);
+    EXPECT_EQ(spec::serialize(named.spec), spec::serialize(named.spec));
+  }
+}
+
+TEST(SpecSerial, EveryCoveringSpecHashesDistinctly) {
+  std::map<std::uint64_t, std::string> seen;
+  for (const NamedSpec& named : covering_specs()) {
+    const std::uint64_t hash = spec::spec_hash(named.spec);
+    const auto [it, inserted] = seen.emplace(hash, named.name);
+    EXPECT_TRUE(inserted) << named.name << " collides with " << it->second;
+  }
+}
+
+TEST(SpecSerial, MutatingAnyKnobChangesTheHash) {
+  const spec::SystemSpec base = base_spec();
+  const std::uint64_t base_hash = spec::spec_hash(base);
+
+  const std::vector<std::pair<std::string, std::function<void(spec::SystemSpec&)>>>
+      mutations = {
+          {"storage.capacitance", [](auto& s) { s.storage.capacitance *= 2; }},
+          {"storage.bleed", [](auto& s) { s.storage.bleed += 1000; }},
+          {"workload.seed", [](auto& s) { s.workload.seed += 1; }},
+          {"workload.kind", [](auto& s) { s.workload.kind = "crc"; }},
+          {"source voltage", [](auto& s) { s.source = spec::DcSource{3.2, 47.0}; }},
+          {"policy margin",
+           [](auto& s) {
+             checkpoint::InterruptPolicy::Config c;
+             c.margin = 9.0;
+             s.policy = spec::Hibernus{c};
+           }},
+          {"mcu.power.i_base", [](auto& s) { s.mcu.power.i_base *= 1.5; }},
+          {"sim.dt", [](auto& s) { s.sim.dt *= 0.5; }},
+          {"sim.t_end", [](auto& s) { s.sim.t_end += 1; }},
+          {"sim.quiescent_fast_path",
+           [](auto& s) { s.sim.quiescent_fast_path = false; }},
+          {"snapshot_peripherals", [](auto& s) { s.snapshot_peripherals = true; }},
+      };
+  for (const auto& [what, mutate] : mutations) {
+    SCOPED_TRACE(what);
+    spec::SystemSpec mutated = base;
+    mutate(mutated);
+    EXPECT_NE(spec::spec_hash(mutated), base_hash);
+  }
+}
+
+TEST(SpecSerial, UnknownFieldFailsLoudly) {
+  const std::string text = spec::serialize(base_spec());
+
+  // An extra (future) field anywhere must be rejected, not skipped.
+  const std::string marker = "  capacitance ";
+  const std::size_t at = text.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  std::string with_unknown = text;
+  with_unknown.insert(at, "  esr_ohms 0.125\n");
+  EXPECT_THROW((void)spec::parse_spec(with_unknown), spec::SpecFormatError);
+
+  // Trailing garbage after a complete spec.
+  EXPECT_THROW((void)spec::parse_spec(text + "extra 1\n"), spec::SpecFormatError);
+
+  // Truncation (drop the last line).
+  const std::size_t last_newline = text.rfind('\n', text.size() - 2);
+  ASSERT_NE(last_newline, std::string::npos);
+  EXPECT_THROW((void)spec::parse_spec(text.substr(0, last_newline + 1)),
+               spec::SpecFormatError);
+
+  // Missing trailing newline.
+  EXPECT_THROW((void)spec::parse_spec(text.substr(0, text.size() - 1)),
+               spec::SpecFormatError);
+
+  // Future format version.
+  std::string future = text;
+  const std::string version_line = "edc.SystemSpec v1";
+  ASSERT_EQ(future.rfind(version_line, 0), 0u);
+  future.replace(0, version_line.size(), "edc.SystemSpec v999");
+  EXPECT_THROW((void)spec::parse_spec(future), spec::SpecFormatError);
+
+  // Empty input.
+  EXPECT_THROW((void)spec::parse_spec(""), spec::SpecFormatError);
+}
+
+TEST(SpecSerial, MalformedValuesFailLoudly) {
+  const std::string text = spec::serialize(base_spec());
+  const std::string needle = "capacitance 3.3e-05";
+  const std::size_t at = text.find(needle);
+  ASSERT_NE(at, std::string::npos) << text;
+
+  std::string bad = text;
+  bad.replace(at, needle.size(), "capacitance 3.3e-05x");
+  EXPECT_THROW((void)spec::parse_spec(bad), spec::SpecFormatError);
+
+  bad = text;
+  bad.replace(at, needle.size(), "capacitance");
+  EXPECT_THROW((void)spec::parse_spec(bad), spec::SpecFormatError);
+}
+
+TEST(SpecSerial, OpaqueCallbacksAreNonCacheable) {
+  {
+    spec::SystemSpec s = base_spec();
+    s.source = spec::CustomVoltageSource{[] {
+      return std::make_unique<trace::SineVoltageSource>(3.3, 2.0);
+    }};
+    EXPECT_FALSE(spec::is_cacheable(s));
+    EXPECT_NE(spec::non_cacheable_reason(s).find("source"), std::string::npos);
+    EXPECT_THROW((void)spec::serialize(s), spec::SpecFormatError);
+    EXPECT_THROW((void)spec::spec_hash(s), spec::SpecFormatError);
+  }
+  {
+    spec::SystemSpec s = base_spec();
+    s.source = spec::CustomPowerSource{[] {
+      return std::make_unique<trace::ConstantPowerSource>(1e-3);
+    }};
+    EXPECT_FALSE(spec::is_cacheable(s));
+    EXPECT_THROW((void)spec::serialize(s), spec::SpecFormatError);
+  }
+  {
+    spec::SystemSpec s = base_spec();
+    s.workload.factory = [] { return workloads::make_program("fft-small", 1); };
+    EXPECT_FALSE(spec::is_cacheable(s));
+    EXPECT_NE(spec::non_cacheable_reason(s).find("workload"), std::string::npos);
+    EXPECT_THROW((void)spec::serialize(s), spec::SpecFormatError);
+  }
+  {
+    spec::SystemSpec s = base_spec();
+    s.policy = spec::CustomPolicy{
+        [](const std::function<Farads()>&, Farads) {
+          return std::unique_ptr<checkpoint::PolicyBase>(
+              std::make_unique<checkpoint::NullPolicy>());
+        }};
+    EXPECT_FALSE(spec::is_cacheable(s));
+    EXPECT_NE(spec::non_cacheable_reason(s).find("policy"), std::string::npos);
+    EXPECT_THROW((void)spec::serialize(s), spec::SpecFormatError);
+  }
+  {
+    spec::SystemSpec s = base_spec();
+    checkpoint::HibernusPlusPlusPolicy::PlusConfig c;
+    c.capacitance_probe = [] { return 10e-6; };
+    s.policy = spec::HibernusPlusPlus{c};
+    EXPECT_FALSE(spec::is_cacheable(s));
+    EXPECT_NE(spec::non_cacheable_reason(s).find("probe"), std::string::npos);
+    EXPECT_THROW((void)spec::serialize(s), spec::SpecFormatError);
+  }
+  // All covering specs are cacheable by construction.
+  for (const NamedSpec& named : covering_specs()) {
+    EXPECT_TRUE(spec::is_cacheable(named.spec)) << named.name;
+    EXPECT_EQ(spec::non_cacheable_reason(named.spec), "") << named.name;
+  }
+}
+
+// The golden file pins the canonical hashes across runs, machines and
+// compilers. Regenerate with EDC_UPDATE_GOLDEN=1 after an *intentional*
+// format change — and bump spec::kSpecFormatVersion when you do.
+TEST(SpecSerial, GoldenHashesAreStableAcrossRuns) {
+  const std::string golden_path = std::string(EDC_TESTS_DIR) + "/golden/spec_hashes.txt";
+
+  std::map<std::string, std::string> actual;
+  for (const NamedSpec& named : covering_specs()) {
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(spec::spec_hash(named.spec)));
+    actual[named.name] = hex;
+  }
+
+  if (std::getenv("EDC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << "# FNV-1a-64 of the canonical serialization (spec format v"
+        << spec::kSpecFormatVersion << ") of tests/spec_serial_test.cpp's\n"
+        << "# covering specs. Regenerate with EDC_UPDATE_GOLDEN=1; a diff\n"
+        << "# here means every existing cache entry is invalidated, so bump\n"
+        << "# spec::kSpecFormatVersion alongside it.\n";
+    for (const auto& [name, hex] : actual) out << name << ' ' << hex << '\n';
+    GTEST_SKIP() << "golden file regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (run with EDC_UPDATE_GOLDEN=1 to create)";
+  std::map<std::string, std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string name, hex;
+    ASSERT_TRUE(fields >> name >> hex) << "malformed golden line: " << line;
+    golden[name] = hex;
+  }
+
+  EXPECT_EQ(actual, golden)
+      << "canonical hashes drifted from tests/golden/spec_hashes.txt — if "
+         "intentional, bump spec::kSpecFormatVersion and regenerate with "
+         "EDC_UPDATE_GOLDEN=1";
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Shard equivalence: for several grid shapes and every N in {1, 2, 3, 7},
+// the merged union of the k/N shard CSVs is byte-identical to the
+// unsharded serial run, and the merge rejects incomplete or inconsistent
+// partitions loudly.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "edc/sim/result_io.h"
+#include "edc/sweep/grid.h"
+#include "edc/sweep/report.h"
+#include "edc/sweep/runner.h"
+#include "edc/sweep/shard.h"
+
+namespace {
+
+using namespace edc;
+
+spec::SystemSpec cheap_spec() {
+  spec::SystemSpec s;
+  s.source = spec::SquareSource{3.3, 25.0, 0.5, 0.0, 50.0};
+  s.storage.capacitance = 22e-6;
+  s.storage.bleed = 20000.0;
+  s.workload.kind = "fft-small";
+  s.workload.seed = 3;
+  s.sim.t_end = 0.25;
+  return s;
+}
+
+sweep::Grid one_axis_grid() {
+  sweep::Grid grid(cheap_spec());
+  grid.capacitance_axis({4.7e-6, 10e-6, 22e-6, 33e-6, 47e-6});
+  return grid;
+}
+
+sweep::Grid two_axis_grid() {
+  sweep::Grid grid(cheap_spec());
+  grid.capacitance_axis({10e-6, 22e-6, 47e-6})
+      .axis("policy",
+            {{"hibernus",
+              [](spec::SystemSpec& s) { s.policy = spec::Hibernus{}; }},
+             {"none", [](spec::SystemSpec& s) { s.policy = spec::NoCheckpoint{}; }},
+             {"quickrecall",
+              [](spec::SystemSpec& s) { s.policy = spec::QuickRecall{}; }},
+             {"nvp", [](spec::SystemSpec& s) { s.policy = spec::Nvp{}; }}});
+  return grid;
+}
+
+sweep::Grid three_axis_grid() {
+  sweep::Grid grid(cheap_spec());
+  grid.capacitance_axis({10e-6, 22e-6})
+      .workload_seed_axis({1, 2, 3})
+      .axis("fast-path",
+            {{"on", [](spec::SystemSpec& s) { s.sim.quiescent_fast_path = true; }},
+             {"off",
+              [](spec::SystemSpec& s) { s.sim.quiescent_fast_path = false; }}});
+  return grid;
+}
+
+std::string full_csv(const sweep::Grid& grid,
+                     const std::vector<sim::SimResult>& rows) {
+  std::ostringstream out;
+  sweep::write_csv(out, grid, rows);
+  return out.str();
+}
+
+std::string shard_csv(const sweep::Grid& grid, const sweep::Shard& shard,
+                      const std::vector<sim::SimResult>& rows) {
+  std::ostringstream out;
+  sweep::write_shard_csv(out, grid, shard, rows);
+  return out.str();
+}
+
+TEST(Shard, ParseAndOwnership) {
+  const sweep::Shard shard = sweep::Shard::parse("2/7");
+  EXPECT_EQ(shard.index, 2u);
+  EXPECT_EQ(shard.count, 7u);
+  EXPECT_EQ(shard.to_string(), "2/7");
+  EXPECT_FALSE(shard.is_full());
+  EXPECT_TRUE(sweep::Shard{}.is_full());
+
+  EXPECT_THROW((void)sweep::Shard::parse("3"), std::invalid_argument);
+  EXPECT_THROW((void)sweep::Shard::parse("/2"), std::invalid_argument);
+  EXPECT_THROW((void)sweep::Shard::parse("1/"), std::invalid_argument);
+  EXPECT_THROW((void)sweep::Shard::parse("a/b"), std::invalid_argument);
+  EXPECT_THROW((void)sweep::Shard::parse("2/2"), std::invalid_argument);
+  EXPECT_THROW((void)sweep::Shard::parse("0/0"), std::invalid_argument);
+
+  // Every point is owned by exactly one shard, and owned_points matches
+  // owns()/owned_count() for awkward sizes.
+  for (std::size_t grid_size : {1u, 5u, 12u, 13u}) {
+    for (std::size_t count : {1u, 2u, 3u, 7u}) {
+      std::vector<int> owners(grid_size, 0);
+      for (std::size_t k = 0; k < count; ++k) {
+        const sweep::Shard s{k, count};
+        const auto points = s.owned_points(grid_size);
+        EXPECT_EQ(points.size(), s.owned_count(grid_size));
+        for (std::size_t p : points) {
+          EXPECT_TRUE(s.owns(p));
+          owners[p] += 1;
+        }
+      }
+      for (std::size_t p = 0; p < grid_size; ++p) {
+        EXPECT_EQ(owners[p], 1) << "point " << p << " with N=" << count;
+      }
+    }
+  }
+}
+
+TEST(Shard, MergedShardsAreByteIdenticalToSerialRun) {
+  const sweep::Runner runner;
+  const std::vector<sweep::Grid> grids = {one_axis_grid(), two_axis_grid(),
+                                          three_axis_grid()};
+  for (std::size_t g = 0; g < grids.size(); ++g) {
+    const sweep::Grid& grid = grids[g];
+    const auto serial_rows = runner.run(grid);
+    const std::string serial_text = full_csv(grid, serial_rows);
+
+    for (std::size_t count : {1u, 2u, 3u, 7u}) {
+      SCOPED_TRACE("grid " + std::to_string(g) + " N=" + std::to_string(count));
+      std::vector<std::string> shard_texts;
+      for (std::size_t k = 0; k < count; ++k) {
+        const sweep::Shard shard{k, count};
+        const auto rows = runner.run_shard(grid, shard);
+
+        // Row payloads match the serial run bit-for-bit at the owned
+        // global indices.
+        const auto owned = shard.owned_points(grid.size());
+        ASSERT_EQ(rows.size(), owned.size());
+        for (std::size_t pos = 0; pos < owned.size(); ++pos) {
+          EXPECT_EQ(sim::serialize_result(rows[pos]),
+                    sim::serialize_result(serial_rows[owned[pos]]));
+        }
+
+        shard_texts.push_back(shard_csv(grid, shard, rows));
+      }
+
+      std::ostringstream merged;
+      sweep::merge_shard_csvs(shard_texts, merged);
+      EXPECT_EQ(merged.str(), serial_text);
+    }
+  }
+}
+
+TEST(Shard, MergeRejectsBrokenPartitions) {
+  const sweep::Runner runner;
+  const sweep::Grid grid = one_axis_grid();
+
+  const sweep::Shard s0{0, 2};
+  const sweep::Shard s1{1, 2};
+  const std::string text0 = shard_csv(grid, s0, runner.run_shard(grid, s0));
+  const std::string text1 = shard_csv(grid, s1, runner.run_shard(grid, s1));
+
+  std::ostringstream sink;
+  // Missing shard.
+  EXPECT_THROW(sweep::merge_shard_csvs({text0}, sink), std::invalid_argument);
+  // Duplicate shard.
+  EXPECT_THROW(sweep::merge_shard_csvs({text0, text0}, sink),
+               std::invalid_argument);
+  // Mixed partition sizes.
+  const sweep::Shard t0{0, 3};
+  const std::string text_t0 = shard_csv(grid, t0, runner.run_shard(grid, t0));
+  EXPECT_THROW(sweep::merge_shard_csvs({text_t0, text1}, sink),
+               std::invalid_argument);
+  // Disagreeing headers (different grid axes).
+  const sweep::Grid other = two_axis_grid();
+  const sweep::Shard o1{1, 2};
+  const std::string text_other = shard_csv(other, o1, runner.run_shard(other, o1));
+  EXPECT_THROW(sweep::merge_shard_csvs({text0, text_other}, sink),
+               std::invalid_argument);
+  // Not a shard CSV at all.
+  EXPECT_THROW(sweep::merge_shard_csvs({"hello\n"}, sink), std::invalid_argument);
+  EXPECT_THROW(sweep::merge_shard_csvs({}, sink), std::invalid_argument);
+}
+
+TEST(Shard, ShardedRunnerComposesWithEmptyShards) {
+  // N greater than the point count: the excess shards own nothing and
+  // write header-only files that still merge cleanly.
+  sweep::Grid grid(cheap_spec());
+  grid.capacitance_axis({10e-6, 22e-6});  // 2 points, N = 3
+  const sweep::Runner runner;
+  const std::string serial_text = full_csv(grid, runner.run(grid));
+
+  std::vector<std::string> shard_texts;
+  for (std::size_t k = 0; k < 3; ++k) {
+    const sweep::Shard shard{k, 3};
+    const auto rows = runner.run_shard(grid, shard);
+    if (k == 2) EXPECT_TRUE(rows.empty());
+    shard_texts.push_back(shard_csv(grid, shard, rows));
+  }
+  std::ostringstream merged;
+  sweep::merge_shard_csvs(shard_texts, merged);
+  EXPECT_EQ(merged.str(), serial_text);
+}
+
+}  // namespace
