@@ -68,15 +68,24 @@ int main(int argc, char** argv) {
   std::optional<sweep::Shard> shard;
   std::optional<sweep::Cache> cache;
   const char* csv_path = nullptr;
+  const char* timing_csv_path = nullptr;
   double t_end = 20.0;
   bool t_end_overridden = false;
+  bool macro = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
       shard = sweep::Shard::parse(argv[++i]);
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--timing-csv") == 0 && i + 1 < argc) {
+      timing_csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       cache.emplace(argv[++i]);
+    } else if (std::strcmp(argv[i], "--macro") == 0) {
+      // Event-horizon macro-stepping across the whole grid: the low-f
+      // points are outage-dominated (long brown-out tails), which is
+      // exactly the regime the macro stepper collapses to O(1) per span.
+      macro = true;
     } else if (std::strcmp(argv[i], "--t-end") == 0 && i + 1 < argc) {
       char* end = nullptr;
       t_end = std::strtod(argv[++i], &end);
@@ -87,8 +96,8 @@ int main(int argc, char** argv) {
       t_end_overridden = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--shard k/N] [--csv FILE] [--cache DIR] "
-                   "[--t-end SECONDS]\n",
+                   "usage: %s [--shard k/N] [--csv FILE] [--timing-csv FILE] "
+                   "[--cache DIR] [--macro] [--t-end SECONDS]\n",
                    argv[0]);
       return 2;
     }
@@ -116,6 +125,7 @@ int main(int argc, char** argv) {
   base.workload.kind = "fft";  // FftProgram(10, seed) — pure data, cacheable
   base.workload.seed = 5;
   base.sim.t_end = t_end;
+  base.sim.macro_stepping = macro;
 
   const std::vector<Hertz> sweep = {5, 10, 20, 40, 80, 160, 320};
   sweep::Grid grid(std::move(base));
@@ -150,7 +160,8 @@ int main(int argc, char** argv) {
 
   if (shard.has_value()) {
     // Shard mode: simulate the owned slice, emit the mergeable CSV, done.
-    const auto rows = runner.run_shard(grid, *shard);
+    std::vector<double> shard_micros;
+    const auto rows = runner.run_shard(grid, *shard, &shard_micros);
     std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "cannot open '%s' for writing\n", csv_path);
@@ -160,6 +171,26 @@ int main(int argc, char** argv) {
     if (!out.good()) {
       std::fprintf(stderr, "write to '%s' failed\n", csv_path);
       return 1;
+    }
+    if (timing_csv_path != nullptr) {
+      // Per-shard timing: global point index + wall time, the per-point
+      // costs a cost-weighted re-shard of this grid would consume. (The
+      // mergeable shard CSV format itself stays timing-free so merged
+      // output is byte-comparable with a serial run.)
+      std::ofstream timing(timing_csv_path, std::ios::binary | std::ios::trunc);
+      if (!timing) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n", timing_csv_path);
+        return 1;
+      }
+      timing << "index,micros\n";
+      const auto owned = shard->owned_points(grid.size());
+      for (std::size_t pos = 0; pos < owned.size(); ++pos) {
+        timing << owned[pos] << ',' << shard_micros[pos] << '\n';
+      }
+      if (!timing.good()) {
+        std::fprintf(stderr, "write to '%s' failed\n", timing_csv_path);
+        return 1;
+      }
     }
     report_cache();
     std::printf("shard %s: simulated %zu of %zu points -> %s\n",
@@ -180,7 +211,8 @@ int main(int argc, char** argv) {
               "(50%% supply duty halves the usable on-time => expect ~%.0f Hz)\n\n",
               predicted, predicted / 2);
 
-  const auto results = runner.run(grid);
+  std::vector<double> micros;
+  const auto results = runner.run(grid, &micros);
   report_cache();
 
   if (csv_path != nullptr) {
@@ -192,6 +224,21 @@ int main(int argc, char** argv) {
     sweep::write_csv(out, grid, results);
     if (!out.good()) {
       std::fprintf(stderr, "write to '%s' failed\n", csv_path);
+      return 1;
+    }
+  }
+
+  if (timing_csv_path != nullptr) {
+    // The same rows with the per-point wall-time column appended — the
+    // measured input a cost-weighted shard assignment would consume.
+    std::ofstream out(timing_csv_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", timing_csv_path);
+      return 1;
+    }
+    sweep::write_csv(out, grid, results, &micros);
+    if (!out.good()) {
+      std::fprintf(stderr, "write to '%s' failed\n", timing_csv_path);
       return 1;
     }
   }

@@ -6,7 +6,15 @@
 // at the beginning of execution completes a few supply cycles later. The
 // bench plots the V_CC waveform with the V_H / V_R markers, lists the
 // hibernate/restore event timeline, and checks the Fig 7 shape.
+//
+// --macro runs the same system with event-horizon macro-stepping
+// (SimConfig::macro_stepping) and reports the wall-clock speedup plus the
+// macro-vs-fine deltas next to the usual shape checks, which then validate
+// the *macro* result — the accuracy contract, exercised on the actual
+// paper figure.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "edc/checkpoint/interrupt_policy.h"
@@ -26,33 +34,71 @@ void check(bool ok, const char* what) {
   if (!ok) ++g_failures;
 }
 
-}  // namespace
-
-int main() {
-  std::printf("=== Fig 7: hibernus running an FFT from a half-wave rectified sine ===\n\n");
-
-  const Hertz supply_hz = 6.0;
-  workloads::FftProgram golden(11, 7);
-  const std::uint64_t golden_digest_value = workloads::golden_digest(golden);
-
+core::EnergyDrivenSystem build_system(bool macro_stepping) {
   core::SystemBuilder builder;
   checkpoint::InterruptPolicy::Config policy_config;
   // The board bleed drains the node in parallel with the save, so Eq 4's
   // margin must cover snapshot energy plus bleed-share (DESIGN.md §4).
   policy_config.margin = 2.2;
   policy_config.restore_headroom = 0.35;
-  auto system = builder.sine_source(3.3, supply_hz)
-                    .capacitance(47e-6)
-                    .bleed(3000.0)
-                    .program(std::make_unique<workloads::FftProgram>(11, 7))
-                    .policy_hibernus(policy_config)
-                    .probe(0.5e-3)
-                    .build();
+  sim::SimConfig sim_config;
+  sim_config.macro_stepping = macro_stepping;
+  return builder.sine_source(3.3, 6.0)
+      .capacitance(47e-6)
+      .bleed(3000.0)
+      .program(std::make_unique<workloads::FftProgram>(11, 7))
+      .policy_hibernus(policy_config)
+      .sim_config(sim_config)
+      .probe(0.5e-3)
+      .build();
+}
+
+double wall_millis(core::EnergyDrivenSystem& system, sim::SimResult& result) {
+  const auto start = std::chrono::steady_clock::now();
+  result = system.run(2.0);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool macro = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--macro") == 0) {
+      macro = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--macro]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("=== Fig 7: hibernus running an FFT from a half-wave rectified sine ===\n\n");
+
+  const Hertz supply_hz = 6.0;
+  workloads::FftProgram golden(11, 7);
+  const std::uint64_t golden_digest_value = workloads::golden_digest(golden);
+
+  auto system = build_system(macro);
   const auto& policy = dynamic_cast<const checkpoint::InterruptPolicy&>(system.policy());
   const Volts v_h = policy.hibernate_threshold();
   const Volts v_r = policy.restore_threshold();
 
-  const auto result = system.run(2.0);
+  sim::SimResult result;
+  const double millis = wall_millis(system, result);
+
+  if (macro) {
+    // Reference run for the speedup figure and the accuracy deltas.
+    auto fine_system = build_system(false);
+    sim::SimResult fine;
+    const double fine_millis = wall_millis(fine_system, fine);
+    std::printf("macro-stepping: %.1f ms vs %.1f ms fine (%.1fx); deltas: "
+                "harvested %+.3g J, consumed %+.3g J, completion %+.3g ms\n\n",
+                millis, fine_millis, fine_millis / millis,
+                result.harvested - fine.harvested, result.consumed - fine.consumed,
+                (result.mcu.completion_time - fine.mcu.completion_time) * 1e3);
+  }
 
   const auto* vcc = result.probes.find("vcc");
   if (vcc != nullptr) {

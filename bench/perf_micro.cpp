@@ -1,10 +1,15 @@
 // Micro-benchmarks (google-benchmark): simulator and kernel throughput.
 //
 // Not a paper figure — this tracks the harness' own performance so the
-// repository's experiments stay cheap to run.
+// repository's experiments stay cheap to run. CI's perf job runs this with
+// --benchmark_format=json and archives the output as BENCH_<pr>.json, so
+// the fine-vs-macro pairs below are the repo's recorded perf trajectory
+// for the event-horizon macro stepper (sim/macro_stepper.h).
 #include <benchmark/benchmark.h>
 
 #include "edc/core/system.h"
+#include "edc/spec/system_spec.h"
+#include "edc/trace/power_sources.h"
 #include "edc/trace/voltage_sources.h"
 #include "edc/workloads/program.h"
 
@@ -66,6 +71,84 @@ void BM_FullIntermittentSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullIntermittentSimulation)->Unit(benchmark::kMillisecond);
+
+// ---- fine vs macro stepping on off-dominated scenarios ---------------------
+// Each pair runs the identical spec with macro_stepping toggled; the ratio
+// is the macro stepper's end-to-end speedup on that scenario class.
+
+void BM_MacroPair(benchmark::State& state, spec::SystemSpec s, bool macro) {
+  s.sim.macro_stepping = macro;
+  for (auto _ : state) {
+    auto system = spec::instantiate(s);
+    benchmark::DoNotOptimize(system.run());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+/// A 1%-duty square supply: one 80 ms burst every 8 s, then a bled
+/// brown-out tail decaying to a dead node — the Fig 7 decay-to-zero
+/// interval stretched to survey-realistic duty cycles (under 1% active
+/// time).
+spec::SystemSpec brownout_tail_spec() {
+  spec::SystemSpec s;
+  s.source = spec::SquareSource{3.3, 0.125, 0.01, 0.0, 50.0};
+  s.storage.capacitance = 47e-6;
+  s.storage.bleed = 10000.0;
+  s.workload.kind = "fft-small";
+  s.workload.seed = 3;
+  s.sim.t_end = 16.0;
+  s.sim.stop_on_completion = false;
+  return s;
+}
+
+/// A WISPCam-style RFID reader field: 0.2 s interrogations every 5 s.
+spec::SystemSpec rf_idle_spec() {
+  spec::SystemSpec s;
+  trace::RfFieldSource::Params rf;
+  rf.field_power = 2e-3;
+  rf.burst_length = 0.2;
+  rf.burst_period = 5.0;
+  s.source = spec::RfFieldPower{rf, 11, 10.0};
+  s.storage.capacitance = 22e-6;
+  s.storage.bleed = 5000.0;
+  s.workload.kind = "crc";
+  s.workload.seed = 3;
+  s.sim.t_end = 10.0;
+  s.sim.stop_on_completion = false;
+  return s;
+}
+
+/// The Fig 7 configuration (6 Hz half-wave sine, hibernus, FFT): off spans
+/// are only part of each supply cycle, so this bounds the speedup on
+/// moderately intermittent scenarios.
+spec::SystemSpec fig7_like_spec() {
+  spec::SystemSpec s;
+  s.source = spec::SineSource{3.3, 6.0};
+  s.storage.capacitance = 47e-6;
+  s.storage.bleed = 3000.0;
+  s.workload.kind = "fft";
+  s.workload.seed = 7;
+  checkpoint::InterruptPolicy::Config config;
+  config.margin = 2.2;
+  config.restore_headroom = 0.35;
+  s.policy = spec::Hibernus{config};
+  s.sim.t_end = 2.0;
+  s.sim.stop_on_completion = false;  // ride the supply for the full window
+  return s;
+}
+
+BENCHMARK_CAPTURE(BM_MacroPair, BrownoutTail_fine, brownout_tail_spec(), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, BrownoutTail_macro, brownout_tail_spec(), true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, RfIdle_fine, rf_idle_spec(), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, RfIdle_macro, rf_idle_spec(), true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, Fig7Sine_fine, fig7_like_spec(), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, Fig7Sine_macro, fig7_like_spec(), true)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -116,7 +117,19 @@ int main(int argc, char** argv) {
   sweep::RunnerOptions options;
   if (cache.has_value()) options.cache = &*cache;
   const sweep::Runner runner(options);
-  const auto cells = runner.run(grid);
+  std::vector<double> micros;
+  const auto cells = runner.run(grid, &micros);
+
+  // Per-point wall-time summary on stderr (stdout stays byte-comparable
+  // across cold/warm runs): on a warm cache these are the points' original
+  // simulation costs replayed from the entries.
+  double micros_total = 0.0, micros_max = 0.0;
+  for (const double m : micros) {
+    micros_total += m;
+    micros_max = std::max(micros_max, m);
+  }
+  std::fprintf(stderr, "points: %zu, wall time %.0f us total, %.0f us max\n",
+               grid.size(), micros_total, micros_max);
 
   if (cache.has_value()) {
     const sweep::CacheStats stats = cache->stats();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "edc/common/check.h"
 
@@ -30,6 +31,27 @@ Amps RectifiedSourceDriver::current_into(Volts v_node, Seconds t) const {
   return (v_rect - v_node) / source_->series_resistance();
 }
 
+Seconds RectifiedSourceDriver::quiescent_until(Volts v_floor, Seconds t) const {
+  if (v_floor < 0.0) v_floor = 0.0;  // the node clamps at ground
+  // current_into is zero iff rectified_open_circuit(t) <= v_node, and the
+  // rectified voltage only shrinks under the |.| / max(., 0) mapping, so a
+  // band on the raw open-circuit voltage is what the source must promise:
+  //   half-wave:  v_oc - drop <= v_floor          (no lower bound needed)
+  //   full-wave:  |v_oc| - 2*drop <= v_floor
+  switch (params_.kind) {
+    case RectifierKind::half_wave: {
+      const Volts ceiling = v_floor + params_.diode_drop;
+      return source_->bounded_until(-std::numeric_limits<Volts>::infinity(),
+                                    ceiling, t);
+    }
+    case RectifierKind::full_wave: {
+      const Volts ceiling = v_floor + 2.0 * params_.diode_drop;
+      return source_->bounded_until(-ceiling, ceiling, t);
+    }
+  }
+  return t;
+}
+
 std::string RectifiedSourceDriver::name() const {
   return (params_.kind == RectifierKind::half_wave ? "halfwave(" : "fullwave(") +
          source_->name() + ")";
@@ -51,6 +73,10 @@ Amps HarvesterPowerDriver::current_into(Volts v_node, Seconds t) const {
   if (p <= 0.0) return 0.0;
   const Volts v_eff = std::max(v_node, params_.v_floor);
   return std::min(p / v_eff, params_.i_max);
+}
+
+Seconds HarvesterPowerDriver::quiescent_until(Volts, Seconds t) const {
+  return source_->dormant_until(t);
 }
 
 std::string HarvesterPowerDriver::name() const {

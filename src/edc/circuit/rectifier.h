@@ -32,6 +32,11 @@ class RectifiedSourceDriver final : public SupplyDriver {
   RectifiedSourceDriver(const trace::VoltageSource& source, RectifierParams params);
 
   [[nodiscard]] Amps current_into(Volts v_node, Seconds t) const override;
+  /// Conduction needs the rectified open-circuit voltage to exceed the node
+  /// voltage, so the driver is quiet while the source stays inside the band
+  /// the diode drop + v_floor define; delegates to the source's
+  /// bounded_until activity hint.
+  [[nodiscard]] Seconds quiescent_until(Volts v_floor, Seconds t) const override;
   [[nodiscard]] std::string name() const override;
 
   /// The rectified open-circuit voltage (before the node interaction); this
@@ -58,6 +63,9 @@ class HarvesterPowerDriver final : public SupplyDriver {
   HarvesterPowerDriver(const trace::PowerSource& source, Params params);
 
   [[nodiscard]] Amps current_into(Volts v_node, Seconds t) const override;
+  /// Zero available power means zero output current at any node voltage;
+  /// delegates to the source's dormant_until activity hint.
+  [[nodiscard]] Seconds quiescent_until(Volts v_floor, Seconds t) const override;
   [[nodiscard]] std::string name() const override;
 
  private:

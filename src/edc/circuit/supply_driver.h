@@ -6,6 +6,7 @@
 // draws current implements Load.
 #pragma once
 
+#include <limits>
 #include <string>
 
 #include "edc/common/units.h"
@@ -19,6 +20,20 @@ class SupplyDriver {
   /// Current injected into the node when the node voltage is `v_node` at
   /// time `t`. Must be >= 0 (rectifiers/converters block reverse flow).
   [[nodiscard]] virtual Amps current_into(Volts v_node, Seconds t) const = 0;
+
+  /// Event-horizon hint for the simulator's quiescent fast path and the
+  /// opt-in macro stepper (sim::MacroStepper): the latest time u >= t such
+  /// that current_into(v, t') is *guaranteed* to be 0 at every instant
+  /// t' of [t, u) for every node voltage v >= v_floor. (Injected current
+  /// never increases with node voltage, so the caller only needs a lower
+  /// bound on the node trajectory over the span.) The default claims
+  /// nothing — returning t forces the caller to sample current_into —
+  /// which is always correct; overrides must err quiet-side only, and may
+  /// return +infinity for a permanently dead source.
+  [[nodiscard]] virtual Seconds quiescent_until(Volts v_floor, Seconds t) const {
+    (void)v_floor;
+    return t;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -60,6 +75,9 @@ class ConstantCurrentLoad final : public Load {
 class NullDriver final : public SupplyDriver {
  public:
   [[nodiscard]] Amps current_into(Volts, Seconds) const override { return 0.0; }
+  [[nodiscard]] Seconds quiescent_until(Volts, Seconds) const override {
+    return std::numeric_limits<Seconds>::infinity();
+  }
   [[nodiscard]] std::string name() const override { return "null"; }
 };
 

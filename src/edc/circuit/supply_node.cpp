@@ -1,10 +1,57 @@
 #include "edc/circuit/supply_node.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "edc/common/check.h"
 
 namespace edc::circuit {
+
+namespace {
+constexpr Seconds kForever = std::numeric_limits<Seconds>::infinity();
+}  // namespace
+
+Volts DecaySolution::voltage_at(Seconds elapsed) const {
+  EDC_ASSERT(elapsed >= 0.0);
+  if (v0 <= 0.0) return 0.0;
+  Volts v = 0.0;
+  if (bleed > 0.0) {
+    // V(s) = (v0 - v_inf) e^{-s/tau} + v_inf with v_inf = -load*R.
+    const Seconds tau = bleed * capacitance;
+    const Volts v_inf = -load * bleed;
+    v = (v0 - v_inf) * std::exp(-elapsed / tau) + v_inf;
+  } else {
+    // Pure constant-current discharge: a straight ramp.
+    v = v0 - load * elapsed / capacitance;
+  }
+  return v > 0.0 ? v : 0.0;
+}
+
+Seconds DecaySolution::time_to_zero() const {
+  if (v0 <= 0.0) return 0.0;
+  if (load <= 0.0) return kForever;  // exponential tails never touch ground
+  if (bleed > 0.0) {
+    const Seconds tau = bleed * capacitance;
+    return tau * std::log1p(v0 / (load * bleed));
+  }
+  return capacitance * v0 / load;
+}
+
+Joules DecaySolution::load_energy(Seconds elapsed) const {
+  EDC_ASSERT(elapsed >= 0.0);
+  if (v0 <= 0.0 || load <= 0.0) return 0.0;
+  const Seconds s = std::min(elapsed, time_to_zero());
+  double v_integral = 0.0;  // integral of V over [0, s]
+  if (bleed > 0.0) {
+    const Seconds tau = bleed * capacitance;
+    const Volts v_inf = -load * bleed;
+    v_integral = (v0 - v_inf) * tau * -std::expm1(-s / tau) + v_inf * s;
+  } else {
+    v_integral = v0 * s - load * s * s / (2.0 * capacitance);
+  }
+  return std::max(load * v_integral, 0.0);
+}
 
 SupplyNode::SupplyNode(Farads capacitance, Volts v_initial)
     : capacitance_(capacitance), voltage_(v_initial) {
@@ -46,6 +93,12 @@ void SupplyNode::set_bleed(Ohms bleed_resistance) {
 void SupplyNode::set_voltage(Volts v) {
   EDC_CHECK(v >= 0.0, "voltage must be non-negative");
   voltage_ = v;
+}
+
+DecaySolution SupplyNode::decay_from(Volts v0, Amps load) const {
+  EDC_CHECK(v0 >= 0.0, "decay start voltage must be non-negative");
+  EDC_CHECK(load >= 0.0, "load current must be non-negative");
+  return DecaySolution{capacitance_, bleed_, load, v0};
 }
 
 }  // namespace edc::circuit

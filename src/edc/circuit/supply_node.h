@@ -13,6 +13,35 @@
 
 namespace edc::circuit {
 
+/// Closed-form solution of the unpowered node decay
+///
+///   C dV/dt = -V/R_bleed - I_load,     V(0) = v0,  V clamped at ground,
+///
+/// i.e. the brown-out tail of Fig 7: no injected current, a parallel bleed
+/// resistance, and a constant load current (the off-state MCU leakage).
+/// Produced by SupplyNode::decay_from and consumed by sim::MacroStepper,
+/// which books the exact continuum energy split instead of substepping.
+struct DecaySolution {
+  Farads capacitance = 0.0;
+  Ohms bleed = 0.0;  ///< 0 = no bleed path
+  Amps load = 0.0;   ///< constant load current while V > 0
+  Volts v0 = 0.0;
+
+  /// Node voltage after `elapsed` seconds (clamped at 0).
+  [[nodiscard]] Volts voltage_at(Seconds elapsed) const;
+
+  /// When the trajectory reaches exactly 0 V (+infinity when it never
+  /// does, e.g. a pure exponential bleed with no constant load).
+  [[nodiscard]] Seconds time_to_zero() const;
+
+  /// Energy the constant load drew over [0, elapsed]: load * integral of V
+  /// (the integral stops where V hits ground — a load draws nothing from a
+  /// dead node). The bleed's share of the decay is the remainder
+  /// 0.5*C*(v0^2 - V(elapsed)^2) - load_energy, so booking it that way
+  /// closes the energy ledger exactly.
+  [[nodiscard]] Joules load_energy(Seconds elapsed) const;
+};
+
 class SupplyNode {
  public:
   /// `capacitance` is the *total* node capacitance. `v_initial` is the node
@@ -48,6 +77,10 @@ class SupplyNode {
 
   /// Forces the node voltage (tests; initial conditions).
   void set_voltage(Volts v);
+
+  /// The analytic decay this node follows from `v0` with no injected
+  /// current and a constant `load` draw (see DecaySolution).
+  [[nodiscard]] DecaySolution decay_from(Volts v0, Amps load) const;
 
  private:
   Farads capacitance_;

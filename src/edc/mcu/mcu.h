@@ -114,13 +114,15 @@ class Mcu final : public circuit::Load {
   /// Advances the state machine by dt at node voltage v_now.
   void advance(Seconds t, Seconds dt, Volts v_now);
 
-  /// Books a span the simulation loop skipped because the node was dead
-  /// (quiescent fast path): the MCU must be off and the time still counts
-  /// toward the off-time metric. No energy is booked — at 0 V the off
-  /// leakage draws none.
-  void note_off_time(Seconds dt) noexcept {
+  /// Books a span the simulation loop skipped while the MCU was off (the
+  /// quiescent fast path and the macro stepper's brown-out spans): the
+  /// time counts toward the off-time metric, and `energy` is what the off
+  /// leakage drew from the node over the span (0 for a dead node at 0 V;
+  /// the analytic integral of I_off * V for a macro decay span).
+  void note_off_time(Seconds dt, Joules energy = 0.0) noexcept {
     EDC_ASSERT(state_ == McuState::off);
     metrics_.time_off += dt;
+    metrics_.energy_other += energy;
   }
 
   // ---- policy/governor command API -------------------------------------

@@ -1,0 +1,69 @@
+// Event-horizon macro-stepping for the off-state spans of a simulation.
+//
+// Energy-driven systems spend most wall-clock time *off*: charging from a
+// dead node, or decaying through a brown-out tail. The fine-stepped loop
+// burns a fixed dt there just like in the active bursts, although nothing
+// discrete can happen — the MCU is below its power-on threshold, no policy
+// or comparator fires, and the node follows the closed-form decay
+//
+//   C dV/dt = -V/R_bleed - I_off            (circuit::DecaySolution)
+//
+// until the driver injects current again. The MacroStepper plans the
+// longest span of whole dt steps the loop may skip at once: it solves the
+// decay analytically, bounds the node trajectory from below, and asks the
+// driver's quiescent_until() activity hint for the earliest instant it
+// could conduct at any voltage the span can reach. The caller caps the
+// span at its own deadlines (t_end, the governor period) and replays probe
+// samples from the analytic solution, so schedules stay in lock-step with
+// the fine path.
+//
+// The span's energy split is exact in the continuum: the stored-energy
+// drop 0.5*C*(V0^2 - V1^2) is booked as load (off-leakage) energy plus
+// bleed dissipation with zero ledger residual. Macro results therefore
+// differ from the fine path only by the fine path's own discretisation
+// error (see SimConfig::macro_stepping for the accuracy contract).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "edc/circuit/supply_driver.h"
+#include "edc/circuit/supply_node.h"
+#include "edc/common/units.h"
+
+namespace edc::sim {
+
+struct SimConfig;
+
+/// One planned macro span: `steps` whole dt steps the loop may skip in a
+/// single jump, with the end state and the exact energy booking.
+struct MacroSpan {
+  std::uint64_t steps = 0;       ///< always >= 1 when planned
+  Volts v_end = 0.0;             ///< node voltage at the end of the span
+  Joules consumed = 0.0;         ///< off-leakage share (MCU-drawn)
+  Joules dissipated = 0.0;       ///< bleed share (+ snapped sub-tolerance charge)
+  circuit::DecaySolution decay;  ///< analytic trajectory (probe replay)
+};
+
+class MacroStepper {
+ public:
+  /// All references must outlive the stepper (they are the simulator's own).
+  MacroStepper(const SimConfig& config, const circuit::SupplyNode& node,
+               const circuit::SupplyDriver& driver);
+
+  /// Plans the longest skippable span starting at step time `t`, up to
+  /// `max_steps` steps (the caller folds its t_end / governor deadlines in
+  /// there). `off_leakage` is the MCU's constant off-state draw.
+  /// Preconditions: the MCU is off and the node sits below its power-on
+  /// threshold. Returns nullopt when not even one whole step is provably
+  /// quiet — the caller then falls back to fine stepping.
+  [[nodiscard]] std::optional<MacroSpan> plan(Seconds t, Amps off_leakage,
+                                              std::uint64_t max_steps) const;
+
+ private:
+  const SimConfig* config_;
+  const circuit::SupplyNode* node_;
+  const circuit::SupplyDriver* driver_;
+};
+
+}  // namespace edc::sim

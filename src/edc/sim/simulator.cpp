@@ -1,12 +1,27 @@
 #include "edc/sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "edc/common/check.h"
+#include "edc/sim/macro_stepper.h"
 
 namespace edc::sim {
+
+namespace {
+
+/// Number of steps on the dt lattice anchored at t whose *start* lies
+/// strictly before `limit` — i.e. how many steps the loop may take (or
+/// skip) before an event scheduled at `limit` must be processed.
+std::uint64_t steps_starting_before(Seconds t, Seconds limit, Seconds dt) {
+  if (t >= limit) return 0;
+  return static_cast<std::uint64_t>(std::ceil((limit - t) / dt));
+}
+
+}  // namespace
 
 Simulator::Simulator(const SimConfig& config, circuit::SupplyNode& node,
                      const circuit::SupplyDriver& driver, mcu::Mcu& mcu)
@@ -29,6 +44,19 @@ bool Simulator::step_is_quiescent(Seconds t) const {
       mcu_->power().v_on <= 0.0) {
     return false;
   }
+  // One quiescent_until() hint covers a whole dead span: a step fully
+  // inside the cached quiet window skips on a single comparison instead of
+  // one virtual driver probe per ODE substep.
+  if (t >= quiet_from_ && t + config_.dt <= quiet_until_) return true;
+  const Seconds hint = driver_->quiescent_until(0.0, t);
+  if (hint > t) {
+    quiet_from_ = t;
+    quiet_until_ = hint;
+    if (t + config_.dt <= hint) return true;
+  }
+  // No usable hint (or the window ends mid-step): fall back to probing the
+  // substep instants. The hint is conservative, so the final decision is
+  // identical to the historical per-substep check.
   const Seconds h = config_.dt / static_cast<double>(config_.node_substeps);
   for (int i = 0; i < config_.node_substeps; ++i) {
     if (driver_->current_into(0.0, t + h * static_cast<double>(i)) > 0.0) {
@@ -72,7 +100,52 @@ void Simulator::run_loop(SimResult& result) {
   Volts v_prev = node.voltage();
   mcu::McuState last_state = mcu.state();
 
+  const bool macro_enabled = config_.macro_stepping;
+  const MacroStepper macro(config_, node, driver);
+
   while (t < t_end) {
+    // Opt-in macro path: while the MCU is off (and cannot power on by
+    // itself — the node only decays), jump whole spans of steps at once,
+    // following the analytic decay instead of substepping. Spans stop at
+    // the governor's next deadline so its schedule stays in lock-step;
+    // probe samples inside the span are replayed from the analytic
+    // trajectory below.
+    if (macro_enabled && mcu.state() == mcu::McuState::off &&
+        node.voltage() < mcu.power().v_on) {
+      std::uint64_t max_steps = steps_starting_before(t, t_end, dt);
+      if constexpr (kGoverned) {
+        max_steps = std::min(max_steps, steps_starting_before(t, next_governor, dt));
+      }
+      const Amps off_leakage = mcu.current_draw(node.voltage(), t);
+      if (const auto span = macro.plan(t, off_leakage, max_steps)) {
+        if constexpr (kProbing) {
+          // Replay the fine path's probe schedule: a sample lands on every
+          // skipped step whose start is at or past the deadline, carrying
+          // the end-of-step analytic voltage.
+          double k_min = 0.0;
+          while (true) {
+            double k = std::ceil((next_probe - t) / dt);
+            if (k < k_min) k = k_min;
+            if (k >= static_cast<double>(span->steps)) break;
+            const Volts v_probe = span->decay.voltage_at((k + 1.0) * dt);
+            probe_vcc.push_back(v_probe);
+            probe_freq.push_back(mcu.frequency() / 1e6);
+            probe_state.push_back(static_cast<double>(mcu.state()));
+            probe_power.push_back(off_leakage * v_probe * 1e3);
+            next_probe += probe_interval;
+            k_min = k + 1.0;
+          }
+        }
+        mcu.note_off_time(static_cast<double>(span->steps) * dt, span->consumed);
+        consumed += span->consumed;
+        dissipated += span->dissipated;
+        node.set_voltage(span->v_end);
+        t += static_cast<double>(span->steps) * dt;
+        v_prev = span->v_end;
+        continue;
+      }
+    }
+
     if (fast_path && step_is_quiescent(t)) {
       // Dead node, dead source: only the clocks move. The MCU still owes
       // the skipped span to its off-time metric, and the probe/governor

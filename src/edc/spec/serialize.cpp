@@ -569,6 +569,8 @@ std::string serialize(const SystemSpec& spec) {
   w.field("stop_on_completion", spec.sim.stop_on_completion);
   w.field("probe_interval", spec.sim.probe_interval);
   w.field("quiescent_fast_path", spec.sim.quiescent_fast_path);
+  w.field("macro_stepping", spec.sim.macro_stepping);
+  w.field("macro_v_tol", spec.sim.macro_v_tol);
   w.end();
 
   w.end();
@@ -665,6 +667,8 @@ SystemSpec parse_spec(const std::string& text) {
   spec.sim.stop_on_completion = r.boolean("stop_on_completion");
   spec.sim.probe_interval = r.number("probe_interval");
   spec.sim.quiescent_fast_path = r.boolean("quiescent_fast_path");
+  spec.sim.macro_stepping = r.boolean("macro_stepping");
+  spec.sim.macro_v_tol = r.number("macro_v_tol");
   r.end();
 
   r.end();

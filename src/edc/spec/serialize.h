@@ -33,7 +33,10 @@
 
 namespace edc::spec {
 
-inline constexpr int kSpecFormatVersion = 1;
+// v2: SimConfig gained macro_stepping + macro_v_tol (PR 3). The version is
+// part of the cache directory layout, so v1 entries age out instead of
+// colliding with differently-shaped keys.
+inline constexpr int kSpecFormatVersion = 2;
 
 /// Thrown by serialize()/parse_spec() on any deviation from the canonical
 /// format (shared with the SimResult serializer in edc/sim/result_io).

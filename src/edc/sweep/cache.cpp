@@ -16,7 +16,8 @@ namespace edc::sweep {
 
 namespace {
 
-constexpr char kEntryMagic[] = "edc.CacheEntry v1";
+// v2: a `micros` wall-time line between the magic and the blocks (PR 3).
+constexpr char kEntryMagic[] = "edc.CacheEntry v2";
 
 std::string hex16(std::uint64_t value) {
   char buffer[17];
@@ -25,19 +26,22 @@ std::string hex16(std::uint64_t value) {
   return buffer;
 }
 
-/// Entry format: two length-prefixed raw blocks, so neither the key nor the
-/// result text needs escaping:
+/// Entry format: a wall-time metadata line plus two length-prefixed raw
+/// blocks, so neither the key nor the result text needs escaping:
 ///
-///   edc.CacheEntry v1\n
+///   edc.CacheEntry v2\n
+///   micros <wall time of the original simulation, canonical double>\n
 ///   spec_bytes <N>\n
 ///   <N raw bytes of canonical spec text>
 ///   result_bytes <M>\n
 ///   <M raw bytes of canonical result text>
-std::string encode_entry(const std::string& key_text, const std::string& result_text) {
+std::string encode_entry(const std::string& key_text, const std::string& result_text,
+                         double micros) {
   std::string out;
-  out.reserve(key_text.size() + result_text.size() + 64);
+  out.reserve(key_text.size() + result_text.size() + 80);
   out += kEntryMagic;
   out += '\n';
+  out += "micros " + canon::double_text(micros) + '\n';
   out += "spec_bytes " + std::to_string(key_text.size()) + '\n';
   out += key_text;
   out += "result_bytes " + std::to_string(result_text.size()) + '\n';
@@ -45,10 +49,15 @@ std::string encode_entry(const std::string& key_text, const std::string& result_
   return out;
 }
 
-/// Splits an entry back into (spec text, result text); nullopt on any
-/// corruption (bad magic, truncated blocks, trailing bytes).
-std::optional<std::pair<std::string, std::string>> decode_entry(
-    const std::string& bytes) {
+struct DecodedEntry {
+  std::string spec_text;
+  std::string result_text;
+  double micros = 0.0;
+};
+
+/// Splits an entry back into its parts; nullopt on any corruption (bad
+/// magic, malformed wall time, truncated blocks, trailing bytes).
+std::optional<DecodedEntry> decode_entry(const std::string& bytes) {
   std::size_t pos = 0;
   const auto read_line = [&]() -> std::optional<std::string> {
     const std::size_t end = bytes.find('\n', pos);
@@ -75,12 +84,22 @@ std::optional<std::pair<std::string, std::string>> decode_entry(
 
   const auto magic = read_line();
   if (!magic || *magic != kEntryMagic) return std::nullopt;
+  const auto micros_line = read_line();
+  if (!micros_line || micros_line->rfind("micros ", 0) != 0) return std::nullopt;
+  DecodedEntry entry;
+  try {
+    entry.micros = canon::parse_double(std::string_view(*micros_line).substr(7));
+  } catch (const canon::FormatError&) {
+    return std::nullopt;
+  }
   auto spec_text = read_block("spec_bytes ");
   if (!spec_text) return std::nullopt;
   auto result_text = read_block("result_bytes ");
   if (!result_text) return std::nullopt;
   if (pos != bytes.size()) return std::nullopt;
-  return std::make_pair(std::move(*spec_text), std::move(*result_text));
+  entry.spec_text = std::move(*spec_text);
+  entry.result_text = std::move(*result_text);
+  return entry;
 }
 
 }  // namespace
@@ -97,7 +116,7 @@ std::filesystem::path Cache::entry_path(const std::string& key_text) const {
   return versioned_directory() / hex.substr(0, 2) / (hex + ".edcres");
 }
 
-std::optional<sim::SimResult> Cache::load(const std::string& key_text) const {
+std::optional<CachedPoint> Cache::load(const std::string& key_text) const {
   const std::filesystem::path path = entry_path(key_text);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -112,23 +131,53 @@ std::optional<sim::SimResult> Cache::load(const std::string& key_text) const {
   }
 
   const auto entry = decode_entry(buffer.str());
-  if (!entry || entry->first != key_text) {
+  if (!entry || entry->spec_text != key_text) {
     // Corrupt entry, or a 64-bit hash collision with a different spec:
     // either way the stored row is not ours. Fall back to simulating.
     ++misses_;
     return std::nullopt;
   }
   try {
-    sim::SimResult result = sim::parse_result(entry->second);
+    CachedPoint point;
+    point.result = sim::parse_result(entry->result_text);
+    point.micros = entry->micros;
     ++hits_;
-    return result;
+    // Refresh recency so LRU pruning ranks this entry as just-used.
+    std::error_code ec;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
+    return point;
   } catch (const canon::FormatError&) {
     ++misses_;
     return std::nullopt;
   }
 }
 
-void Cache::store(const std::string& key_text, const sim::SimResult& result) const {
+std::string Cache::fsck_entry(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "unreadable";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return "read error";
+
+  const auto entry = decode_entry(buffer.str());
+  if (!entry) return "undecodable (bad magic, truncated block, or trailing bytes)";
+  const std::string expected = hex16(spec::fnv1a64(entry->spec_text)) + ".edcres";
+  if (path.filename().string() != expected) {
+    return "filename does not match the embedded key text (expected " + expected +
+           ")";
+  }
+  try {
+    (void)sim::parse_result(entry->result_text);
+  } catch (const canon::FormatError& error) {
+    return std::string("stored result does not parse: ") + error.what();
+  }
+  if (!(entry->micros >= 0.0)) return "negative or NaN wall time";
+  return {};
+}
+
+void Cache::store(const std::string& key_text, const sim::SimResult& result,
+                  double micros) const {
   const std::filesystem::path path = entry_path(key_text);
   std::error_code ec;
   std::filesystem::create_directories(path.parent_path(), ec);
@@ -147,7 +196,8 @@ void Cache::store(const std::string& key_text, const sim::SimResult& result) con
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return;
-    const std::string entry = encode_entry(key_text, sim::serialize_result(result));
+    const std::string entry =
+        encode_entry(key_text, sim::serialize_result(result), micros);
     out.write(entry.data(), static_cast<std::streamsize>(entry.size()));
     if (!out.good()) {
       out.close();

@@ -19,8 +19,9 @@
 //
 // where S = spec::kSpecFormatVersion, R = sim::kResultFormatVersion, `hh`
 // is the first byte of the FNV-1a-64 hash of the canonical spec text, and
-// the entry file stores the *full* key text next to the serialized result,
-// so a 64-bit hash collision degrades to a miss, never a wrong result.
+// the entry file stores the *full* key text next to the serialized result
+// (plus the point's original wall time in microseconds), so a 64-bit hash
+// collision degrades to a miss, never a wrong result.
 // Bumping either format version changes the directory component, aging out
 // stale entries instead of misparsing them.
 //
@@ -49,18 +50,40 @@ struct CacheStats {
   std::uint64_t non_cacheable = 0;  ///< points skipped (opaque callbacks)
 };
 
+/// A cache hit: the memoised result plus the wall time the original
+/// simulation of the point took (microseconds; 0 when unrecorded). The
+/// cost survives cache round trips so warm re-runs can still feed
+/// cost-weighted shard scheduling.
+struct CachedPoint {
+  sim::SimResult result;
+  double micros = 0.0;
+};
+
 class Cache {
  public:
   /// Anchors the cache at `directory` (created lazily on first store).
   explicit Cache(std::filesystem::path directory);
 
   /// Looks up the result stored under the canonical spec text `key_text`
-  /// (as produced by spec::serialize). Thread-safe.
-  [[nodiscard]] std::optional<sim::SimResult> load(const std::string& key_text) const;
+  /// (as produced by spec::serialize). Thread-safe. A hit refreshes the
+  /// entry's mtime (best-effort) so `sweep_cache prune` evicts in true
+  /// least-recently-*used* order, not written order.
+  [[nodiscard]] std::optional<CachedPoint> load(const std::string& key_text) const;
 
-  /// Stores `result` under `key_text`, atomically (temp file + rename).
+  /// Stores `result` under `key_text`, atomically (temp file + rename),
+  /// together with the wall time the simulation took (microseconds).
   /// Thread-safe; concurrent stores of the same key are harmless.
-  void store(const std::string& key_text, const sim::SimResult& result) const;
+  void store(const std::string& key_text, const sim::SimResult& result,
+             double micros = 0.0) const;
+
+  /// Integrity check of one on-disk entry of the *current* format version
+  /// (the `sweep_cache fsck` core): decodes the blocks, verifies the
+  /// filename matches the FNV-1a-64 of the embedded key text, and parses
+  /// the stored result. Returns an empty string when healthy, else a
+  /// human-readable reason. Entries written by other format versions do
+  /// not decode here — callers must scope themselves to the current
+  /// versioned_directory() (as the CLI does) rather than judge them.
+  [[nodiscard]] static std::string fsck_entry(const std::filesystem::path& path);
 
   /// Books a point that could not participate (opaque factory callbacks).
   void note_non_cacheable() const noexcept { ++non_cacheable_; }

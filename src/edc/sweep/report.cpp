@@ -29,9 +29,10 @@ std::string csv_escape(const std::string& cell) {
   return quoted;
 }
 
-void write_csv_header(std::ostream& out, const Grid& grid) {
+void write_csv_header(std::ostream& out, const Grid& grid, bool with_micros = false) {
   for (const auto& axis : grid.axes()) out << csv_escape(axis.name) << ',';
   out << "done,t_done_s,brownouts,saves,restores,energy_j,harvested_j";
+  if (with_micros) out << ",micros";
 }
 
 void write_csv_row(std::ostream& out, const Point& point,
@@ -79,13 +80,17 @@ sim::Table summary_table(const Grid& grid,
 }
 
 void write_csv(std::ostream& out, const Grid& grid,
-               const std::vector<sim::SimResult>& results) {
+               const std::vector<sim::SimResult>& results,
+               const std::vector<double>* micros) {
   EDC_CHECK(results.size() == grid.size(),
             "result rows do not match the grid size");
-  write_csv_header(out, grid);
+  EDC_CHECK(micros == nullptr || micros->size() == results.size(),
+            "micros rows do not match the result rows");
+  write_csv_header(out, grid, micros != nullptr);
   out << '\n';
   for (std::size_t i = 0; i < results.size(); ++i) {
     write_csv_row(out, grid.point(i), results[i]);
+    if (micros != nullptr) out << ',' << (*micros)[i];
     out << '\n';
   }
 }

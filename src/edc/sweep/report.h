@@ -29,9 +29,14 @@ namespace edc::sweep {
                                        const std::vector<sim::SimResult>& results);
 
 /// CSV export of the same rows (numeric metrics unformatted; labels quoted
-/// when they contain separators).
+/// when they contain separators). When `micros` is non-null (one wall-time
+/// entry per row, as filled in by Runner::run) a trailing `micros` column
+/// records each point's simulation cost — the input to cost-weighted shard
+/// scheduling. The shard CSV format deliberately omits it so merged shard
+/// output stays byte-comparable with a serial run.
 void write_csv(std::ostream& out, const Grid& grid,
-               const std::vector<sim::SimResult>& results);
+               const std::vector<sim::SimResult>& results,
+               const std::vector<double>* micros = nullptr);
 
 /// Per-shard CSV export: `results` holds the rows of the shard's owned
 /// points in ascending global-index order (as returned by

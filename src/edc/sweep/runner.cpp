@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -11,40 +12,68 @@
 
 namespace edc::sweep {
 
-sim::SimResult Runner::simulate_point(const Point& point) const {
-  Cache* cache = options_.cache;
-  if (cache == nullptr) {
-    auto system = spec::instantiate(point.spec);
-    return system.run();
-  }
-  if (!spec::is_cacheable(point.spec)) {
-    cache->note_non_cacheable();
-    auto system = spec::instantiate(point.spec);
-    return system.run();
-  }
-  const std::string key = spec::serialize(point.spec);
-  if (auto cached = cache->load(key)) return std::move(*cached);
-  auto system = spec::instantiate(point.spec);
-  sim::SimResult result = system.run();
-  cache->store(key, result);
+namespace {
+
+/// Wall time of instantiate + run for one point, in microseconds.
+template <typename Body>
+sim::SimResult timed_simulation(Body&& body, double& micros) {
+  const auto start = std::chrono::steady_clock::now();
+  sim::SimResult result = body();
+  micros = std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+               .count();
   return result;
 }
 
-std::vector<sim::SimResult> Runner::run(const Grid& grid) const {
+}  // namespace
+
+sim::SimResult Runner::simulate_point(const Point& point, double& micros) const {
+  const auto simulate = [&point] {
+    auto system = spec::instantiate(point.spec);
+    return system.run();
+  };
+  Cache* cache = options_.cache;
+  if (cache == nullptr) {
+    return timed_simulation(simulate, micros);
+  }
+  if (!spec::is_cacheable(point.spec)) {
+    cache->note_non_cacheable();
+    return timed_simulation(simulate, micros);
+  }
+  const std::string key = spec::serialize(point.spec);
+  if (auto cached = cache->load(key)) {
+    // Report the point's *original* simulation cost, not the load time —
+    // that is what a cost-weighted re-shard of the warm grid needs.
+    micros = cached->micros;
+    return std::move(cached->result);
+  }
+  sim::SimResult result = timed_simulation(simulate, micros);
+  cache->store(key, result, micros);
+  return result;
+}
+
+std::vector<sim::SimResult> Runner::run(const Grid& grid,
+                                        std::vector<double>* micros) const {
   std::vector<sim::SimResult> rows(grid.size());
-  for_each_point(grid, [this, &rows](const Point& point) {
-    rows[point.index] = simulate_point(point);
+  if (micros != nullptr) micros->assign(grid.size(), 0.0);
+  for_each_point(grid, [this, &rows, micros](const Point& point) {
+    double cost = 0.0;
+    rows[point.index] = simulate_point(point, cost);
+    if (micros != nullptr) (*micros)[point.index] = cost;
   });
   return rows;
 }
 
-std::vector<sim::SimResult> Runner::run_shard(const Grid& grid,
-                                              const Shard& shard) const {
+std::vector<sim::SimResult> Runner::run_shard(const Grid& grid, const Shard& shard,
+                                              std::vector<double>* micros) const {
   std::vector<sim::SimResult> rows(shard.owned_count(grid.size()));
-  for_each_point(grid, shard, [this, &shard, &rows](const Point& point) {
+  if (micros != nullptr) micros->assign(rows.size(), 0.0);
+  for_each_point(grid, shard, [this, &shard, &rows, micros](const Point& point) {
     // Owned points are strided index % count == index0, so the row slot of
     // global point i is simply i / count.
-    rows[point.index / shard.count] = simulate_point(point);
+    double cost = 0.0;
+    rows[point.index / shard.count] = simulate_point(point, cost);
+    if (micros != nullptr) (*micros)[point.index / shard.count] = cost;
   });
   return rows;
 }

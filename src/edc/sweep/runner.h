@@ -65,13 +65,20 @@ class Runner {
   /// Simulates every grid point (to the spec's sim.t_end horizon) and
   /// returns the SimResult rows in point order. With options.cache set,
   /// warm points are loaded instead of simulated.
-  [[nodiscard]] std::vector<sim::SimResult> run(const Grid& grid) const;
+  ///
+  /// When `micros` is non-null it receives one wall-time entry per row:
+  /// the microseconds the point's simulation took on this run, or — for a
+  /// cache hit — the cost recorded when the point was first simulated
+  /// (ROADMAP: the input to cost-weighted shard scheduling).
+  [[nodiscard]] std::vector<sim::SimResult> run(
+      const Grid& grid, std::vector<double>* micros = nullptr) const;
 
   /// As run(), but only for the points `shard` owns; rows are returned in
   /// ascending global-point order (matching Shard::owned_points). The
   /// k-of-N results of a full partition merge back into the run() rows.
-  [[nodiscard]] std::vector<sim::SimResult> run_shard(const Grid& grid,
-                                                      const Shard& shard) const;
+  [[nodiscard]] std::vector<sim::SimResult> run_shard(
+      const Grid& grid, const Shard& shard,
+      std::vector<double>* micros = nullptr) const;
 
   /// As run(), but maps each completed simulation through `fn` inside the
   /// worker thread, while the wired system is still alive. `fn` must be
@@ -109,8 +116,10 @@ class Runner {
   [[nodiscard]] int thread_count(std::size_t point_count) const noexcept;
 
  private:
-  /// Simulates one point, consulting options_.cache when set.
-  [[nodiscard]] sim::SimResult simulate_point(const Point& point) const;
+  /// Simulates one point, consulting options_.cache when set. `micros`
+  /// receives the point's wall-time cost (see run()).
+  [[nodiscard]] sim::SimResult simulate_point(const Point& point,
+                                              double& micros) const;
 
   RunnerOptions options_;
 };

@@ -118,6 +118,25 @@ Watts OutdoorSolarSource::available_power(Seconds t) const {
   return std::max(clear_sky_power(t) * cloud_.at(t), 0.0);
 }
 
+Seconds OutdoorSolarSource::dormant_until(Seconds t) const {
+  // Mirrors clear_sky_power's clamping: negative t maps to the first day's
+  // start, and t past the modelled horizon keeps the last day's clock
+  // running (so the sun never rises again there).
+  const Seconds t_clamped = std::max(t, 0.0);
+  const int day = std::min(static_cast<int>(t_clamped / kSecondsPerDay), days_ - 1);
+  const double hour = (t_clamped - day * kSecondsPerDay) / kSecondsPerHour;
+  if (hour > params_.sunrise_h && hour < params_.sunset_h) return t;  // daylight
+  if (hour <= params_.sunrise_h) {
+    const Seconds sunrise =
+        day * kSecondsPerDay + params_.sunrise_h * kSecondsPerHour;
+    return conservative_horizon(sunrise, t);
+  }
+  if (day + 1 >= days_) return kNeverActive;  // clamped clock: permanent night
+  const Seconds sunrise =
+      (day + 1) * kSecondsPerDay + params_.sunrise_h * kSecondsPerHour;
+  return conservative_horizon(sunrise, t);
+}
+
 // ----------------------------------------------------------------- RF ------
 
 RfFieldSource::RfFieldSource(const Params& params, std::uint64_t seed,
@@ -149,6 +168,19 @@ Watts RfFieldSource::available_power(Seconds t) const {
   return (t - start) <= params_.burst_length ? params_.field_power : 0.0;
 }
 
+Seconds RfFieldSource::dormant_until(Seconds t) const {
+  if (params_.field_power <= 0.0) return kNeverActive;
+  const auto it = std::upper_bound(burst_starts_.begin(), burst_starts_.end(), t);
+  if (it != burst_starts_.begin() &&
+      (t - *std::prev(it)) <= params_.burst_length) {
+    return t;  // inside a burst
+  }
+  // Burst start times are the exact doubles available_power compares
+  // against, so the horizon needs no safety margin: every instant strictly
+  // before the next start is dead by the same comparison.
+  return it == burst_starts_.end() ? kNeverActive : *it;
+}
+
 // ------------------------------------------------------------- Markov ------
 
 MarkovOnOffPowerSource::MarkovOnOffPowerSource(Watts on_power, Seconds mean_on,
@@ -177,11 +209,22 @@ Watts MarkovOnOffPowerSource::available_power(Seconds t) const {
   return (idx % 2 == 0) ? on_power_ : 0.0;
 }
 
+Seconds MarkovOnOffPowerSource::dormant_until(Seconds t) const {
+  if (on_power_ <= 0.0) return kNeverActive;
+  if (t < edges_.front()) return edges_.front();
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), t);
+  const auto idx = static_cast<std::size_t>(std::distance(edges_.begin(), it)) - 1;
+  if (idx % 2 == 0) return t;  // inside an ON dwell
+  // Edge times are the exact doubles available_power compares against.
+  return idx + 1 < edges_.size() ? edges_[idx + 1] : kNeverActive;
+}
+
 // ------------------------------------------------------------ Waveform -----
 
 WaveformPowerSource::WaveformPowerSource(Waveform wave, std::string name)
     : wave_(std::move(wave)), name_(std::move(name)) {
   EDC_CHECK(!wave_.empty(), "waveform must not be empty");
+  activity_ = ActivityIndex(wave_);
 }
 
 Watts WaveformPowerSource::available_power(Seconds t) const {

@@ -16,6 +16,9 @@ class ConstantPowerSource final : public PowerSource {
   explicit ConstantPowerSource(Watts power);
 
   [[nodiscard]] Watts available_power(Seconds) const override { return power_; }
+  [[nodiscard]] Seconds dormant_until(Seconds t) const override {
+    return power_ > 0.0 ? t : kNeverActive;
+  }
   [[nodiscard]] std::string name() const override;
 
  private:
@@ -80,6 +83,9 @@ class OutdoorSolarSource final : public PowerSource {
   OutdoorSolarSource(const Params& params, std::uint64_t seed, int days);
 
   [[nodiscard]] Watts available_power(Seconds t) const override;
+  /// Night hint: between sunset and the next sunrise the clear-sky output
+  /// is identically zero whatever the cloud field does.
+  [[nodiscard]] Seconds dormant_until(Seconds t) const override;
   [[nodiscard]] std::string name() const override { return "outdoor-solar"; }
 
   /// Clear-sky (cloudless) output at time t; exposed for tests.
@@ -109,6 +115,8 @@ class RfFieldSource final : public PowerSource {
   RfFieldSource(const Params& params, std::uint64_t seed, Seconds horizon);
 
   [[nodiscard]] Watts available_power(Seconds t) const override;
+  /// Exact: quiet between bursts until the next burst start.
+  [[nodiscard]] Seconds dormant_until(Seconds t) const override;
   [[nodiscard]] std::string name() const override { return "rf-field"; }
 
  private:
@@ -125,6 +133,8 @@ class MarkovOnOffPowerSource final : public PowerSource {
                          std::uint64_t seed, Seconds horizon);
 
   [[nodiscard]] Watts available_power(Seconds t) const override;
+  /// Exact: quiet inside an OFF dwell until its closing edge.
+  [[nodiscard]] Seconds dormant_until(Seconds t) const override;
   [[nodiscard]] std::string name() const override { return "markov-on-off"; }
 
   /// Number of off->on transitions over the generated horizon.
@@ -141,10 +151,15 @@ class WaveformPowerSource final : public PowerSource {
   explicit WaveformPowerSource(Waveform wave, std::string name = "waveform-power");
 
   [[nodiscard]] Watts available_power(Seconds t) const override;
+  /// Backed by a nonzero-segment index over the recorded trace.
+  [[nodiscard]] Seconds dormant_until(Seconds t) const override {
+    return activity_.zero_until(t);
+  }
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:
   Waveform wave_;
+  ActivityIndex activity_;
   std::string name_;
 };
 

@@ -18,11 +18,28 @@
 // them at arbitrary instants and remain bit-reproducible.
 #pragma once
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "edc/common/units.h"
 
 namespace edc::trace {
+
+/// "Quiet forever" sentinel returned by the activity hints below.
+inline constexpr Seconds kNeverActive = std::numeric_limits<Seconds>::infinity();
+
+/// Shaves a safety margin (1 ns, scaled up for large timestamps) off a
+/// computed activity horizon so floating-point error in the trigonometric /
+/// phase arithmetic behind it can never turn a hint into an over-claim.
+/// Hints must err quiet-side only; a nanosecond of lost horizon is
+/// invisible next to any simulation step.
+[[nodiscard]] inline Seconds conservative_horizon(Seconds u, Seconds not_before) {
+  if (u == kNeverActive) return u;
+  const Seconds margin = 1e-9 * (std::abs(u) < 1.0 ? 1.0 : std::abs(u));
+  const Seconds shaved = u - margin;
+  return shaved > not_before ? shaved : not_before;
+}
 
 class VoltageSource {
  public:
@@ -34,6 +51,20 @@ class VoltageSource {
   /// Thevenin series resistance (> 0).
   [[nodiscard]] virtual Ohms series_resistance() const = 0;
 
+  /// Activity hint for event-horizon macro-stepping (sim::MacroStepper):
+  /// the latest time u >= t such that open_circuit_voltage is *guaranteed*
+  /// to stay within [floor, ceiling] at every instant of [t, u). Returning
+  /// t claims nothing (the caller must sample); kNeverActive promises the
+  /// bound holds forever. Overrides must be conservative — claiming quiet
+  /// where the source could swing outside the bounds corrupts macro runs —
+  /// but may under-claim freely (costs speed, never correctness).
+  [[nodiscard]] virtual Seconds bounded_until(Volts floor, Volts ceiling,
+                                              Seconds t) const {
+    (void)floor;
+    (void)ceiling;
+    return t;
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -43,6 +74,13 @@ class PowerSource {
 
   /// Power available for harvest at time t (>= 0), at the converter input.
   [[nodiscard]] virtual Watts available_power(Seconds t) const = 0;
+
+  /// Activity hint for event-horizon macro-stepping: the latest time u >= t
+  /// such that available_power is *guaranteed* to be 0 at every instant of
+  /// [t, u). Returning t claims nothing; kNeverActive means the source is
+  /// dead forever. Same conservativeness contract as
+  /// VoltageSource::bounded_until.
+  [[nodiscard]] virtual Seconds dormant_until(Seconds t) const { return t; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

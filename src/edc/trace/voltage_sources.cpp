@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "edc/common/check.h"
 
 namespace edc::trace {
 
 namespace {
+constexpr double kPi = 3.1415926535897932384626433832795;
 constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Forward angular distance from `from` to `to` on the unit circle, in
+/// [0, 2 pi).
+double forward_arc(double from, double to) {
+  double d = std::fmod(to - from, kTwoPi);
+  if (d < 0.0) d += kTwoPi;
+  return d;
+}
 }  // namespace
 
 // ---------------------------------------------------------------- Sine -----
@@ -26,6 +36,39 @@ SineVoltageSource::SineVoltageSource(Volts amplitude, Hertz frequency, Volts off
 
 Volts SineVoltageSource::open_circuit_voltage(Seconds t) const {
   return offset_ + amplitude_ * std::sin(kTwoPi * frequency_ * t);
+}
+
+Seconds SineVoltageSource::bounded_until(Volts floor, Volts ceiling,
+                                         Seconds t) const {
+  if (ceiling < floor) return t;
+  if (amplitude_ == 0.0 || frequency_ == 0.0) {
+    // Constant at the offset (a zero frequency freezes the phase at 0).
+    return (offset_ >= floor && offset_ <= ceiling) ? kNeverActive : t;
+  }
+  const double v_now = open_circuit_voltage(t);
+  if (v_now < floor || v_now > ceiling) return t;
+  // Normalise the band onto the sine: floor <= offset + A sin(theta) <=
+  // ceiling becomes s_lo <= sin(theta) <= s_hi.
+  const double s_hi = (ceiling - offset_) / amplitude_;
+  const double s_lo = (floor - offset_) / amplitude_;
+  const double theta = kTwoPi * frequency_ * t;
+  double arc = std::numeric_limits<double>::infinity();
+  if (s_hi < 1.0) {
+    if (s_hi <= -1.0) return t;  // the whole swing violates the ceiling
+    // sin(theta) > s_hi on the arc (alpha, pi - alpha).
+    const double alpha = std::asin(s_hi);
+    if (forward_arc(alpha, theta) < kPi - 2.0 * alpha) return t;
+    arc = std::min(arc, forward_arc(theta, alpha));
+  }
+  if (s_lo > -1.0) {
+    if (s_lo >= 1.0) return t;  // the whole swing violates the floor
+    // sin(theta) < s_lo on the arc (pi - beta, 2 pi + beta).
+    const double beta = std::asin(s_lo);
+    if (forward_arc(kPi - beta, theta) < kPi + 2.0 * beta) return t;
+    arc = std::min(arc, forward_arc(theta, kPi - beta));
+  }
+  if (std::isinf(arc)) return kNeverActive;  // band contains the full swing
+  return conservative_horizon(t + arc / (kTwoPi * frequency_), t);
 }
 
 std::string SineVoltageSource::name() const {
@@ -46,6 +89,21 @@ SquareVoltageSource::SquareVoltageSource(Volts high, Hertz frequency, double dut
 Volts SquareVoltageSource::open_circuit_voltage(Seconds t) const {
   const double phase = t * frequency_ - std::floor(t * frequency_);
   return phase < duty_ ? high_ : low_;
+}
+
+Seconds SquareVoltageSource::bounded_until(Volts floor, Volts ceiling,
+                                           Seconds t) const {
+  const bool high_ok = high_ >= floor && high_ <= ceiling;
+  const bool low_ok = low_ >= floor && low_ <= ceiling;
+  if (high_ok && low_ok) return kNeverActive;
+  const double cycles = t * frequency_;
+  const double phase = cycles - std::floor(cycles);
+  const bool in_high = phase < duty_;
+  if (in_high ? !high_ok : !low_ok) return t;
+  // Quiet until the next switch into the violating level.
+  const double switch_cycles =
+      in_high ? std::floor(cycles) + duty_ : std::floor(cycles) + 1.0;
+  return conservative_horizon(switch_cycles / frequency_, t);
 }
 
 std::string SquareVoltageSource::name() const {
@@ -176,10 +234,20 @@ WaveformVoltageSource::WaveformVoltageSource(Waveform wave, Ohms series_resistan
     : wave_(std::move(wave)), r_series_(series_resistance), name_(std::move(name)) {
   EDC_CHECK(!wave_.empty(), "waveform must not be empty");
   EDC_CHECK(series_resistance > 0.0, "series resistance must be positive");
+  activity_ = ActivityIndex(wave_);
 }
 
 Volts WaveformVoltageSource::open_circuit_voltage(Seconds t) const {
   return wave_.at(t);
+}
+
+Seconds WaveformVoltageSource::bounded_until(Volts floor, Volts ceiling,
+                                             Seconds t) const {
+  // The index knows where the recording is identically zero; that answers
+  // the query exactly when 0 lies inside the requested band (which the
+  // macro stepper's queries guarantee). Elsewhere claim nothing.
+  if (floor > 0.0 || ceiling < 0.0) return t;
+  return activity_.zero_until(t);
 }
 
 }  // namespace edc::trace

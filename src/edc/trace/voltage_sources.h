@@ -18,6 +18,10 @@ class SineVoltageSource final : public VoltageSource {
 
   [[nodiscard]] Volts open_circuit_voltage(Seconds t) const override;
   [[nodiscard]] Ohms series_resistance() const override { return r_series_; }
+  /// Exact (up to a shaved float-safety margin) phase solution: the next
+  /// crossing of either band edge by offset + A sin(2 pi f t).
+  [[nodiscard]] Seconds bounded_until(Volts floor, Volts ceiling,
+                                      Seconds t) const override;
   [[nodiscard]] std::string name() const override;
 
  private:
@@ -35,6 +39,10 @@ class SquareVoltageSource final : public VoltageSource {
 
   [[nodiscard]] Volts open_circuit_voltage(Seconds t) const override;
   [[nodiscard]] Ohms series_resistance() const override { return r_series_; }
+  /// Exact phase arithmetic: quiet until the next switch into a level that
+  /// violates the band.
+  [[nodiscard]] Seconds bounded_until(Volts floor, Volts ceiling,
+                                      Seconds t) const override;
   [[nodiscard]] std::string name() const override;
 
  private:
@@ -130,10 +138,16 @@ class WaveformVoltageSource final : public VoltageSource {
 
   [[nodiscard]] Volts open_circuit_voltage(Seconds t) const override;
   [[nodiscard]] Ohms series_resistance() const override { return r_series_; }
+  /// Backed by a nonzero-segment index built over the trace at
+  /// construction: answers exactly where the recording is identically zero
+  /// (which is what the macro stepper's band queries need).
+  [[nodiscard]] Seconds bounded_until(Volts floor, Volts ceiling,
+                                      Seconds t) const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:
   Waveform wave_;
+  ActivityIndex activity_;
   Ohms r_series_;
   std::string name_;
 };

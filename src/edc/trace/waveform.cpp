@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "edc/common/check.h"
@@ -81,6 +82,55 @@ double Waveform::integral() const {
     acc += 0.5 * (samples_[i - 1] + samples_[i]) * dt_;
   }
   return acc;
+}
+
+ActivityIndex::ActivityIndex(const Waveform& wave) {
+  const auto& samples = wave.samples();
+  if (samples.empty()) return;
+  constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+  if (samples.size() == 1) {
+    if (samples.front() != 0.0) segments_.push_back(Segment{-kInf, kInf});
+    return;
+  }
+  const Seconds t0 = wave.t0();
+  const Seconds dt = wave.dt();
+  const std::size_t cells = samples.size() - 1;
+  for (std::size_t i = 0; i < cells;) {
+    if (samples[i] == 0.0 && samples[i + 1] == 0.0) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < cells && !(samples[j] == 0.0 && samples[j + 1] == 0.0)) ++j;
+    segments_.push_back(Segment{t0 + dt * static_cast<double>(i),
+                                t0 + dt * static_cast<double>(j)});
+    i = j;
+  }
+  // Edge clamping: outside [t0, t_end] the waveform holds the edge sample.
+  if (samples.front() != 0.0) {
+    if (segments_.empty() || segments_.front().begin > t0) {
+      segments_.insert(segments_.begin(), Segment{-kInf, t0});
+    } else {
+      segments_.front().begin = -kInf;
+    }
+  }
+  if (samples.back() != 0.0) {
+    const Seconds t_end = wave.t_end();
+    if (segments_.empty() || segments_.back().end < t_end) {
+      segments_.push_back(Segment{t_end, kInf});
+    } else {
+      segments_.back().end = kInf;
+    }
+  }
+}
+
+Seconds ActivityIndex::zero_until(Seconds t) const {
+  // First segment that ends after t (segments are sorted and disjoint).
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](Seconds value, const Segment& s) { return value < s.end; });
+  if (it == segments_.end()) return std::numeric_limits<Seconds>::infinity();
+  return it->begin <= t ? t : it->begin;
 }
 
 void TraceSet::add(std::string name, Waveform wave) {

@@ -63,6 +63,44 @@ class Waveform {
   std::vector<double> samples_;
 };
 
+/// Precomputed nonzero-segment index over a Waveform, for O(log n) activity
+/// queries by trace-backed sources (the driver hints behind
+/// sim::MacroStepper's event horizons).
+///
+/// A sample cell [i, i+1] is *active* when either endpoint sample is
+/// nonzero — with linear interpolation the waveform is identically zero on
+/// a cell exactly when both endpoints are zero. Maximal runs of active
+/// cells become time segments; the clamped extrapolation beyond the sample
+/// span extends the first/last segment to ±infinity when the edge sample is
+/// nonzero. The index is built once at construction (sources build it next
+/// to their waveform copy) and is immutable afterwards, so it is safe to
+/// query from sweep worker threads.
+class ActivityIndex {
+ public:
+  ActivityIndex() = default;
+
+  /// Indexes `wave` (which may be empty: everything is then quiet forever).
+  explicit ActivityIndex(const Waveform& wave);
+
+  /// The latest time u >= t such that the interpolated (and edge-clamped)
+  /// waveform is guaranteed to be exactly 0 throughout [t, u). Returns t
+  /// when t lies inside an active segment, and +infinity when the waveform
+  /// is zero from t onwards.
+  [[nodiscard]] Seconds zero_until(Seconds t) const;
+
+  /// Number of maximal active segments (diagnostics / tests).
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segments_.size();
+  }
+
+ private:
+  struct Segment {
+    Seconds begin = 0.0;
+    Seconds end = 0.0;  // half-open [begin, end); may be +infinity
+  };
+  std::vector<Segment> segments_;  // sorted, disjoint
+};
+
 /// A labelled waveform bundle, e.g. all probes from one simulation run.
 struct TraceSet {
   std::vector<std::string> names;

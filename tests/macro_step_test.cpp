@@ -1,0 +1,477 @@
+// Differential suite for event-horizon macro-stepping (sim/macro_stepper).
+//
+// The macro path replaces the fine path's Euler substepping through
+// MCU-off spans with the closed-form decay and driver activity hints, so
+// it is *not* bit-identical — but it must agree with the fine-stepped
+// reference within the fine path's own discretisation error:
+//
+//   * end state (voltage / stored energy) within a few macro_v_tol,
+//   * discrete event counts (boots, brownouts, saves, restores) equal,
+//   * transition times matching to a handful of dt,
+//   * probe/governor schedules in lock-step (same sample counts),
+//   * the energy ledger closing exactly (macro spans book a zero-residual
+//     split by construction).
+//
+// Also covers the building blocks: the DecaySolution closed form against
+// numerical integration, the ActivityIndex over recorded traces, the
+// never-overclaim contract of every quiescent_until/bounded_until/
+// dormant_until override, and bit-identity of the (hint-accelerated)
+// quiescent fast path when macro-stepping stays off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "edc/circuit/rectifier.h"
+#include "edc/circuit/supply_driver.h"
+#include "edc/circuit/supply_node.h"
+#include "edc/spec/system_spec.h"
+#include "edc/core/system.h"
+#include "edc/trace/power_sources.h"
+#include "edc/trace/voltage_sources.h"
+#include "edc/trace/waveform.h"
+
+namespace {
+
+using namespace edc;
+
+// ------------------------------------------------------------ DecaySolution
+
+TEST(DecaySolution, MatchesNumericalIntegrationWithBleedAndLoad) {
+  circuit::SupplyNode node(47e-6);
+  node.set_bleed(3000.0);
+  const circuit::DecaySolution decay = node.decay_from(2.5, 5e-6);
+
+  // Reference: forward Euler at a step far finer than the simulator's.
+  double v = 2.5;
+  double load_energy = 0.0;
+  const double h = 1e-7;
+  const double horizon = 0.25;  // ~1.8 tau
+  for (double t = 0.0; t < horizon; t += h) {
+    const double i_bleed = v / 3000.0;
+    const double i_load = v > 0.0 ? 5e-6 : 0.0;
+    load_energy += i_load * v * h;
+    v = std::max(v - (i_bleed + i_load) / 47e-6 * h, 0.0);
+  }
+  EXPECT_NEAR(decay.voltage_at(horizon), v, 1e-4);
+  EXPECT_NEAR(decay.load_energy(horizon), load_energy, 1e-9);
+}
+
+TEST(DecaySolution, PureLeakageRampReachesGroundExactly) {
+  circuit::SupplyNode node(10e-6);  // no bleed
+  const circuit::DecaySolution decay = node.decay_from(1.0, 1e-6);
+  const Seconds t_zero = decay.time_to_zero();
+  EXPECT_NEAR(t_zero, 10e-6 * 1.0 / 1e-6, 1e-9);  // C*V/I = 10 s
+  EXPECT_DOUBLE_EQ(decay.voltage_at(t_zero * 2.0), 0.0);
+  // Past ground the load draws nothing more: energy saturates at the full
+  // stored energy 0.5*C*V0^2.
+  EXPECT_NEAR(decay.load_energy(t_zero * 2.0), 0.5 * 10e-6, 1e-12);
+}
+
+TEST(DecaySolution, BleedOnlyNeverTouchesGround) {
+  circuit::SupplyNode node(10e-6);
+  node.set_bleed(10000.0);
+  const circuit::DecaySolution decay = node.decay_from(2.0, 0.0);
+  EXPECT_TRUE(std::isinf(decay.time_to_zero()));
+  EXPECT_GT(decay.voltage_at(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(decay.load_energy(10.0), 0.0);
+}
+
+TEST(DecaySolution, LedgerSplitClosesExactly) {
+  circuit::SupplyNode node(22e-6);
+  node.set_bleed(5000.0);
+  const circuit::DecaySolution decay = node.decay_from(1.7, 0.05e-6);
+  const Seconds span = 0.4;
+  const Volts v1 = decay.voltage_at(span);
+  const Joules delta = 0.5 * 22e-6 * (1.7 * 1.7 - v1 * v1);
+  const Joules consumed = decay.load_energy(span);
+  // consumed + dissipated == delta by construction; consumed must fit.
+  EXPECT_LE(consumed, delta + 1e-15);
+  EXPECT_GE(consumed, 0.0);
+}
+
+// ------------------------------------------------------------ ActivityIndex
+
+TEST(ActivityIndex, FindsZeroSpansBetweenBursts) {
+  // 0 on [0,1), 2.0 on [1,2), 0 on [2,4] — sampled at 10 Hz.
+  const auto wave = trace::Waveform::sample(
+      [](Seconds t) { return (t >= 1.0 && t < 2.0) ? 2.0 : 0.0; }, 0.0, 4.0, 41);
+  const trace::ActivityIndex index(wave);
+  EXPECT_EQ(index.segment_count(), 1u);
+  // Inside the leading zero span: quiet until just before the burst (the
+  // cell whose right endpoint is the first nonzero sample is active).
+  const Seconds u = index.zero_until(0.2);
+  EXPECT_GE(u, 0.8);
+  EXPECT_LE(u, 1.0);
+  // Inside the burst: no claim.
+  EXPECT_EQ(index.zero_until(1.5), 1.5);
+  // In the trailing zero span: quiet forever (the trace ends at zero and
+  // clamps there).
+  EXPECT_TRUE(std::isinf(index.zero_until(3.0)));
+}
+
+TEST(ActivityIndex, EdgeClampingExtendsActivityBeyondTheSpan) {
+  // Ends on a nonzero sample: the clamp keeps it active forever after.
+  const trace::Waveform wave(0.0, 1.0, {0.0, 0.0, 1.5});
+  const trace::ActivityIndex index(wave);
+  EXPECT_EQ(index.zero_until(5.0), 5.0);
+  // And the leading zero region is still quiet.
+  const Seconds u = index.zero_until(0.0);
+  EXPECT_GE(u, 1.0);
+  EXPECT_LE(u, 2.0);
+}
+
+TEST(ActivityIndex, AllZeroTraceIsQuietForever) {
+  const trace::Waveform wave(0.0, 1.0, {0.0, 0.0, 0.0});
+  const trace::ActivityIndex index(wave);
+  EXPECT_EQ(index.segment_count(), 0u);
+  EXPECT_TRUE(std::isinf(index.zero_until(-3.0)));
+  EXPECT_TRUE(std::isinf(index.zero_until(100.0)));
+}
+
+TEST(ActivityIndex, NonzeroHeadClampsActiveBeforeTheSpan) {
+  const trace::Waveform wave(1.0, 1.0, {2.0, 0.0, 0.0});
+  const trace::ActivityIndex index(wave);
+  EXPECT_EQ(index.zero_until(0.0), 0.0);  // clamped to the nonzero head
+  EXPECT_TRUE(std::isinf(index.zero_until(2.5)));
+}
+
+// ------------------------------------------- never-overclaim contracts ----
+
+/// Samples the driver densely over every span its quiescent_until claims
+/// quiet (for node voltages at and above the floor) and fails on any
+/// injected current — the one property macro-stepping correctness rests on.
+void expect_never_overclaims(const circuit::SupplyDriver& driver, Volts v_floor,
+                             Seconds horizon) {
+  const int kQueries = 400;
+  const int kSamplesPerSpan = 250;
+  for (int q = 0; q < kQueries; ++q) {
+    const Seconds t = horizon * static_cast<double>(q) / kQueries;
+    const Seconds u = driver.quiescent_until(v_floor, t);
+    ASSERT_GE(u, t);
+    const Seconds end = std::min(u, horizon + 1.0);
+    if (end <= t) continue;
+    for (int s = 0; s < kSamplesPerSpan; ++s) {
+      // Half-open span: sample strictly before u.
+      const Seconds instant =
+          t + (end - t) * (static_cast<double>(s) / kSamplesPerSpan);
+      for (const Volts v : {v_floor, v_floor + 0.7, v_floor + 3.0}) {
+        ASSERT_EQ(driver.current_into(v, instant), 0.0)
+            << "driver '" << driver.name() << "' claimed quiet at t=" << t
+            << " until u=" << u << " but conducts at " << instant << " (v=" << v
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(QuiescentUntil, NullDriverIsQuietForever) {
+  const circuit::NullDriver driver;
+  EXPECT_TRUE(std::isinf(driver.quiescent_until(0.0, 12.5)));
+}
+
+TEST(QuiescentUntil, RectifiedSquareNeverOverclaims) {
+  const trace::SquareVoltageSource source(3.3, 7.0, 0.35, 0.0, 50.0);
+  const circuit::RectifiedSourceDriver driver(source, circuit::RectifierParams{});
+  expect_never_overclaims(driver, 0.0, 1.0);
+  expect_never_overclaims(driver, 1.4, 1.0);
+}
+
+TEST(QuiescentUntil, RectifiedSineNeverOverclaimsHalfAndFullWave) {
+  const trace::SineVoltageSource source(3.3, 6.0);
+  const circuit::RectifiedSourceDriver half(source, circuit::RectifierParams{});
+  expect_never_overclaims(half, 0.0, 1.0);
+  expect_never_overclaims(half, 2.1, 1.0);
+  circuit::RectifierParams full;
+  full.kind = circuit::RectifierKind::full_wave;
+  const circuit::RectifiedSourceDriver full_driver(source, full);
+  expect_never_overclaims(full_driver, 0.0, 1.0);
+  expect_never_overclaims(full_driver, 2.1, 1.0);
+}
+
+TEST(QuiescentUntil, OffsetSineNeverOverclaims) {
+  // A DC offset moves both band edges into play.
+  const trace::SineVoltageSource source(1.2, 3.0, 1.0);
+  const circuit::RectifiedSourceDriver driver(source, circuit::RectifierParams{});
+  expect_never_overclaims(driver, 0.0, 2.0);
+  expect_never_overclaims(driver, 0.9, 2.0);
+}
+
+TEST(QuiescentUntil, HarvesterRfFieldNeverOverclaims) {
+  trace::RfFieldSource::Params rf;
+  rf.burst_length = 0.25;
+  rf.burst_period = 1.5;
+  rf.jitter = 0.3;
+  const trace::RfFieldSource source(rf, 42, 8.0);
+  const circuit::HarvesterPowerDriver driver(source, {});
+  expect_never_overclaims(driver, 0.0, 8.0);
+}
+
+TEST(QuiescentUntil, HarvesterMarkovNeverOverclaims) {
+  const trace::MarkovOnOffPowerSource source(1e-3, 0.05, 0.4, 7, 6.0);
+  const circuit::HarvesterPowerDriver driver(source, {});
+  expect_never_overclaims(driver, 0.0, 6.0);
+}
+
+TEST(QuiescentUntil, HarvesterSolarNightNeverOverclaims) {
+  trace::OutdoorSolarSource::Params params;
+  const trace::OutdoorSolarSource source(params, 3, 2);
+  const circuit::HarvesterPowerDriver driver(source, {});
+  // Query across the two modelled days plus the permanent night beyond.
+  const int kQueries = 300;
+  for (int q = 0; q < kQueries; ++q) {
+    const Seconds t = 3.0 * 86400.0 * q / kQueries;
+    const Seconds u = driver.quiescent_until(0.0, t);
+    ASSERT_GE(u, t);
+    if (u <= t) continue;
+    const Seconds end = std::min(u, 3.0 * 86400.0);
+    for (int s = 0; s < 200; ++s) {
+      const Seconds instant = t + (end - t) * (s / 200.0);
+      ASSERT_EQ(driver.current_into(0.0, instant), 0.0) << "t=" << t << " u=" << u;
+    }
+  }
+}
+
+TEST(QuiescentUntil, TraceBackedSourcesNeverOverclaim) {
+  const auto envelope = trace::Waveform::sample(
+      [](Seconds t) {
+        const double cycle = t - std::floor(t / 2.0) * 2.0;
+        return cycle < 0.4 ? 3.0 : 0.0;
+      },
+      0.0, 8.0, 8001);
+  const trace::WaveformVoltageSource vsource(envelope, 50.0);
+  const circuit::RectifiedSourceDriver vdriver(vsource, circuit::RectifierParams{});
+  expect_never_overclaims(vdriver, 0.0, 8.0);
+
+  const trace::WaveformPowerSource psource(
+      envelope.map([](double v) { return v * 1e-3; }));
+  const circuit::HarvesterPowerDriver pdriver(psource, {});
+  expect_never_overclaims(pdriver, 0.0, 8.0);
+}
+
+// ------------------------------------------------- macro vs fine runs -----
+
+spec::SystemSpec square_brownout_spec() {
+  spec::SystemSpec s;
+  s.source = spec::SquareSource{3.3, 2.0, 0.3, 0.0, 50.0};
+  s.storage.capacitance = 22e-6;
+  s.storage.bleed = 5000.0;
+  s.workload.kind = "fft-small";
+  s.workload.seed = 3;
+  s.sim.t_end = 4.0;
+  s.sim.stop_on_completion = false;  // exercise every brown-out tail
+  return s;
+}
+
+spec::SystemSpec rf_duty_cycle_spec() {
+  spec::SystemSpec s;
+  trace::RfFieldSource::Params rf;
+  rf.field_power = 2e-3;
+  rf.burst_length = 0.4;
+  rf.burst_period = 2.5;
+  s.source = spec::RfFieldPower{rf, 11, 10.0};
+  s.storage.capacitance = 22e-6;
+  s.storage.bleed = 5000.0;
+  s.workload.kind = "crc";
+  s.workload.seed = 3;
+  s.sim.t_end = 10.0;
+  s.sim.stop_on_completion = false;
+  return s;
+}
+
+spec::SystemSpec trace_source_spec() {
+  // A recorded bursty open-circuit voltage with exact zero gaps.
+  const auto wave = trace::Waveform::sample(
+      [](Seconds t) {
+        const double cycle = t - std::floor(t / 2.0) * 2.0;
+        return cycle < 0.5 ? 3.3 : 0.0;
+      },
+      0.0, 6.0, 60001);
+  spec::SystemSpec s;
+  s.source = spec::VoltageTraceSource{wave, 50.0, "burst-trace"};
+  s.storage.capacitance = 22e-6;
+  s.storage.bleed = 8000.0;
+  s.workload.kind = "crc";
+  s.workload.seed = 5;
+  s.sim.t_end = 6.0;
+  s.sim.stop_on_completion = false;
+  return s;
+}
+
+struct Pair {
+  sim::SimResult fine;
+  sim::SimResult macro;
+};
+
+Pair run_pair(spec::SystemSpec s) {
+  s.sim.macro_stepping = false;
+  auto fine_system = spec::instantiate(s);
+  Pair pair;
+  pair.fine = fine_system.run();
+  s.sim.macro_stepping = true;
+  auto macro_system = spec::instantiate(s);
+  pair.macro = macro_system.run();
+  return pair;
+}
+
+/// The documented macro-vs-fine agreement contract (see README
+/// "Performance"): discrete event counts equal, times within a small
+/// number of steps, energies within 1%, ledger closed.
+void expect_agreement(const Pair& pair, Seconds dt) {
+  const auto& f = pair.fine;
+  const auto& m = pair.macro;
+
+  // Discrete events.
+  EXPECT_EQ(f.mcu.boots, m.mcu.boots);
+  EXPECT_EQ(f.mcu.brownouts, m.mcu.brownouts);
+  EXPECT_EQ(f.mcu.saves_completed, m.mcu.saves_completed);
+  EXPECT_EQ(f.mcu.restores, m.mcu.restores);
+  EXPECT_EQ(f.mcu.completed, m.mcu.completed);
+
+  // Wall-clock bookkeeping: the time split may shift by a few steps per
+  // power cycle, never more.
+  const Seconds slack = 50.0 * dt * static_cast<double>(std::max<std::uint64_t>(
+                                        f.mcu.brownouts + 1, 1));
+  EXPECT_NEAR(f.end_time, m.end_time, dt);
+  EXPECT_NEAR(f.mcu.time_off, m.mcu.time_off, slack);
+  EXPECT_NEAR(f.mcu.time_active, m.mcu.time_active, slack);
+
+  // Energies within 1% (the fine path's own discretisation scale).
+  const auto near_rel = [](double a, double b, double rel, double abs_floor) {
+    EXPECT_NEAR(a, b, std::max(std::abs(b) * rel, abs_floor)) << a << " vs " << b;
+  };
+  near_rel(m.harvested, f.harvested, 0.01, 1e-9);
+  near_rel(m.consumed, f.consumed, 0.01, 1e-9);
+  near_rel(m.dissipated, f.dissipated, 0.01, 1e-9);
+  near_rel(m.mcu.energy_total(), f.mcu.energy_total(), 0.01, 1e-9);
+
+  // End state: voltages agree to millivolts.
+  const auto to_volts = [](Joules stored, Farads c) {
+    return std::sqrt(std::max(2.0 * stored / c, 0.0));
+  };
+  const Farads c = 22e-6;
+  EXPECT_NEAR(to_volts(m.stored_final, c), to_volts(f.stored_final, c), 5e-3);
+
+  // The ledger closes on both paths (macro spans close exactly by
+  // construction, so the macro residual must not be worse).
+  EXPECT_LT(std::abs(f.ledger_residual()), 1e-6 + 1e-6 * f.harvested);
+  EXPECT_LT(std::abs(m.ledger_residual()), 1e-6 + 1e-6 * m.harvested);
+
+  // Transition timelines: same state sequence, times within a few steps.
+  ASSERT_EQ(f.transitions.size(), m.transitions.size());
+  for (std::size_t i = 0; i < f.transitions.size(); ++i) {
+    EXPECT_EQ(f.transitions[i].from, m.transitions[i].from) << "transition " << i;
+    EXPECT_EQ(f.transitions[i].to, m.transitions[i].to) << "transition " << i;
+    EXPECT_NEAR(f.transitions[i].time, m.transitions[i].time, 50.0 * dt)
+        << "transition " << i;
+  }
+}
+
+TEST(MacroStep, SquareSupplyBrownoutTailsAgree) {
+  const auto pair = run_pair(square_brownout_spec());
+  ASSERT_GT(pair.fine.mcu.brownouts, 2u);  // the scenario must brown out
+  expect_agreement(pair, 10e-6);
+}
+
+TEST(MacroStep, RfDutyCycleAgrees) {
+  const auto pair = run_pair(rf_duty_cycle_spec());
+  ASSERT_GT(pair.fine.mcu.brownouts, 1u);
+  expect_agreement(pair, 10e-6);
+}
+
+TEST(MacroStep, RecordedTraceAgrees) {
+  const auto pair = run_pair(trace_source_spec());
+  ASSERT_GT(pair.fine.mcu.brownouts, 1u);
+  expect_agreement(pair, 10e-6);
+}
+
+TEST(MacroStep, GovernedRunStaysLockStep) {
+  spec::SystemSpec s = square_brownout_spec();
+  s.governor = neutral::McuDfsGovernor::Config{};
+  const auto pair = run_pair(s);
+  expect_agreement(pair, 10e-6);
+}
+
+TEST(MacroStep, ProbeScheduleStaysLockStep) {
+  spec::SystemSpec s = square_brownout_spec();
+  s.sim.probe_interval = 1e-3;
+  const auto pair = run_pair(s);
+  const auto* fine_vcc = pair.fine.probes.find("vcc");
+  const auto* macro_vcc = pair.macro.probes.find("vcc");
+  ASSERT_NE(fine_vcc, nullptr);
+  ASSERT_NE(macro_vcc, nullptr);
+  // Lock-step schedule: exactly the same sample count and time base.
+  ASSERT_EQ(fine_vcc->size(), macro_vcc->size());
+  EXPECT_DOUBLE_EQ(fine_vcc->t0(), macro_vcc->t0());
+  // Values track within tens of millivolts everywhere (the decay tails are
+  // analytic vs Euler; the bursts are simulated identically up to span
+  // boundary shifts).
+  double worst = 0.0;
+  for (std::size_t i = 0; i < fine_vcc->size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(fine_vcc->samples()[i] - macro_vcc->samples()[i]));
+  }
+  EXPECT_LT(worst, 0.05);
+  // The other channels stay lock-step too.
+  EXPECT_EQ(pair.fine.probes.find("state")->size(),
+            pair.macro.probes.find("state")->size());
+}
+
+TEST(MacroStep, CompletionDigestMatchesFinePath) {
+  // The workload's result must be bit-identical: macro spans never touch
+  // program state.
+  spec::SystemSpec s = square_brownout_spec();
+  s.sim.stop_on_completion = true;
+  s.sim.t_end = 20.0;
+
+  s.sim.macro_stepping = false;
+  auto fine = spec::instantiate(s);
+  const auto fine_result = fine.run();
+  s.sim.macro_stepping = true;
+  auto macro = spec::instantiate(s);
+  const auto macro_result = macro.run();
+  ASSERT_TRUE(fine_result.mcu.completed);
+  ASSERT_TRUE(macro_result.mcu.completed);
+  EXPECT_EQ(fine.program().result_digest(), macro.program().result_digest());
+  EXPECT_NEAR(fine_result.mcu.completion_time, macro_result.mcu.completion_time,
+              1e-3);
+}
+
+TEST(MacroStep, FlagOffStaysBitIdenticalWithHintedFastPath) {
+  // The quiescent fast path now consults driver hints (one virtual call
+  // per dead span instead of one per substep), which must not change a
+  // single bit while macro_stepping is off. Complements the RF-source
+  // regression in sim_test.cpp with the square-voltage hint path.
+  auto run_with_fast_path = [](bool enabled) {
+    spec::SystemSpec s;
+    s.source = spec::SquareSource{3.3, 0.5, 0.2, 0.0, 50.0};
+    s.storage.capacitance = 22e-6;
+    s.storage.bleed = 1000.0;  // fast decay: the node reaches exactly 0 V
+    s.workload.kind = "crc";
+    s.workload.seed = 3;
+    s.sim.t_end = 6.0;
+    s.sim.stop_on_completion = false;
+    s.sim.probe_interval = 1e-3;
+    s.sim.quiescent_fast_path = enabled;
+    auto system = spec::instantiate(s);
+    return system.run();
+  };
+  const auto fast = run_with_fast_path(true);
+  const auto slow = run_with_fast_path(false);
+  EXPECT_EQ(fast.end_time, slow.end_time);
+  EXPECT_EQ(fast.harvested, slow.harvested);
+  EXPECT_EQ(fast.consumed, slow.consumed);
+  EXPECT_EQ(fast.dissipated, slow.dissipated);
+  EXPECT_EQ(fast.stored_final, slow.stored_final);
+  EXPECT_EQ(fast.mcu.time_off, slow.mcu.time_off);
+  EXPECT_EQ(fast.mcu.boots, slow.mcu.boots);
+  const auto* fast_vcc = fast.probes.find("vcc");
+  const auto* slow_vcc = slow.probes.find("vcc");
+  ASSERT_NE(fast_vcc, nullptr);
+  ASSERT_NE(slow_vcc, nullptr);
+  EXPECT_EQ(fast_vcc->samples(), slow_vcc->samples());
+}
+
+}  // namespace

@@ -297,7 +297,8 @@ TEST(SpecSerial, UnknownFieldFailsLoudly) {
 
   // Future format version.
   std::string future = text;
-  const std::string version_line = "edc.SystemSpec v1";
+  const std::string version_line =
+      "edc.SystemSpec v" + std::to_string(spec::kSpecFormatVersion);
   ASSERT_EQ(future.rfind(version_line, 0), 0u);
   future.replace(0, version_line.size(), "edc.SystemSpec v999");
   EXPECT_THROW((void)spec::parse_spec(future), spec::SpecFormatError);

@@ -222,6 +222,68 @@ TEST(SweepCache, CorruptOrForeignEntriesDegradeToMisses) {
   EXPECT_TRUE(cache.load(other_key).has_value());
 }
 
+TEST(SweepCache, WallTimeSurvivesTheEntryRoundTrip) {
+  const auto dir = fresh_cache_dir("micros");
+  sweep::Cache cache(dir);
+  const spec::SystemSpec s = cheap_spec();
+  const std::string key = spec::serialize(s);
+  auto system = spec::instantiate(s);
+  cache.store(key, system.run(), 1234.5);
+  const auto loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->micros, 1234.5);
+}
+
+TEST(SweepCache, RunnerReportsTheOriginalCostOnWarmRuns) {
+  // A warm re-run replays each point's *first* simulation cost from the
+  // entry (not the near-zero load time) — the input a cost-weighted shard
+  // assignment of the warm grid needs.
+  const auto dir = fresh_cache_dir("warm_micros");
+  const sweep::Grid grid = cheap_grid();
+
+  sweep::Cache cold_cache(dir);
+  sweep::RunnerOptions options;
+  options.cache = &cold_cache;
+  std::vector<double> cold_micros;
+  (void)sweep::Runner(options).run(grid, &cold_micros);
+  ASSERT_EQ(cold_micros.size(), grid.size());
+  for (const double m : cold_micros) EXPECT_GT(m, 0.0);
+
+  sweep::Cache warm_cache(dir);
+  options.cache = &warm_cache;
+  std::vector<double> warm_micros;
+  (void)sweep::Runner(options).run(grid, &warm_micros);
+  EXPECT_EQ(warm_cache.stats().hits, grid.size());
+  // The canonical double encoding round-trips exactly, so the replayed
+  // costs match the measured ones bit for bit.
+  EXPECT_EQ(warm_micros, cold_micros);
+}
+
+TEST(SweepCache, FsckAcceptsHealthyAndFlagsCorruptEntries) {
+  const auto dir = fresh_cache_dir("fsck");
+  sweep::Cache cache(dir);
+  const spec::SystemSpec s = cheap_spec();
+  const std::string key = spec::serialize(s);
+  auto system = spec::instantiate(s);
+  cache.store(key, system.run(), 10.0);
+
+  const std::filesystem::path entry = cache.entry_path(key);
+  EXPECT_EQ(sweep::Cache::fsck_entry(entry), "");
+
+  // A renamed entry no longer matches its embedded key's hash.
+  const std::filesystem::path renamed =
+      entry.parent_path() / "0000000000000000.edcres";
+  std::filesystem::copy_file(entry, renamed);
+  EXPECT_NE(sweep::Cache::fsck_entry(renamed), "");
+
+  // Truncation is undecodable.
+  {
+    std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+    out << "edc.CacheEntry v2\nmicros 1\nspec_bytes 3\nab";
+  }
+  EXPECT_NE(sweep::Cache::fsck_entry(entry), "");
+}
+
 TEST(SweepCache, MapBypassesTheCache) {
   const auto dir = fresh_cache_dir("map");
   sweep::Cache cache(dir);
