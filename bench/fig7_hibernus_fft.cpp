@@ -7,12 +7,19 @@
 // bench plots the V_CC waveform with the V_H / V_R markers, lists the
 // hibernate/restore event timeline, and checks the Fig 7 shape.
 //
-// --macro runs the same system with event-horizon macro-stepping
+// --macro runs the same system with quiescent-engine macro-stepping
 // (SimConfig::macro_stepping) and reports the wall-clock speedup plus the
 // macro-vs-fine deltas next to the usual shape checks, which then validate
 // the *macro* result — the accuracy contract, exercised on the actual
-// paper figure.
+// paper figure. It also runs the *harvesting-gap survey*: the same Fig 7
+// system riding 0.5 s bursts of the 6 Hz sine separated by the paper's
+// decay-to-zero intervals (save -> sleep -> brown-out -> dead node between
+// energy arrivals), the regime energy-driven devices actually live in.
+// There the engine's analytic sleep/off/dead spans collapse the gaps to
+// O(1) and the headline speedup lands in the 10x class (recorded per push
+// in BENCH_4.json as BM_MacroPair/Fig7Gapped_*).
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -21,7 +28,9 @@
 #include "edc/core/system.h"
 #include "edc/sim/ascii_plot.h"
 #include "edc/sim/table.h"
+#include "edc/spec/system_spec.h"
 #include "edc/workloads/fft.h"
+#include "fig7_scenarios.h"
 
 using namespace edc;
 
@@ -61,6 +70,20 @@ double wall_millis(core::EnergyDrivenSystem& system, sim::SimResult& result) {
       .count();
 }
 
+double gapped_wall_millis(sim::SimResult& result, bool macro_stepping) {
+  // bench/fig7_scenarios.h: the same scenario BM_MacroPair/Fig7Gapped_*
+  // records in BENCH_4.json, so the gate and the trajectory stay
+  // comparable by construction.
+  spec::SystemSpec s = fig7::gapped_spec();
+  s.sim.macro_stepping = macro_stepping;
+  auto system = spec::instantiate(s);
+  const auto start = std::chrono::steady_clock::now();
+  result = system.run();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,10 +117,34 @@ int main(int argc, char** argv) {
     sim::SimResult fine;
     const double fine_millis = wall_millis(fine_system, fine);
     std::printf("macro-stepping: %.1f ms vs %.1f ms fine (%.1fx); deltas: "
-                "harvested %+.3g J, consumed %+.3g J, completion %+.3g ms\n\n",
+                "harvested %+.3g J, consumed %+.3g J, completion %+.3g ms\n",
                 millis, fine_millis, fine_millis / millis,
                 result.harvested - fine.harvested, result.consumed - fine.consumed,
                 (result.mcu.completion_time - fine.mcu.completion_time) * 1e3);
+
+    // Harvesting-gap survey: the regime the quiescent engine is built for.
+    sim::SimResult gap_macro, gap_fine;
+    const double gap_macro_millis = gapped_wall_millis(gap_macro, true);
+    const double gap_fine_millis = gapped_wall_millis(gap_fine, false);
+    const double speedup = gap_fine_millis / gap_macro_millis;
+    std::printf("harvesting-gap survey (0.5 s sine bursts / 10 s, 20 s horizon): "
+                "%.1f ms vs %.1f ms fine (%.1fx); deltas: harvested %+.3g J, "
+                "consumed %+.3g J\n\n",
+                gap_macro_millis, gap_fine_millis, speedup,
+                gap_macro.harvested - gap_fine.harvested,
+                gap_macro.consumed - gap_fine.consumed);
+    // An uncontended Release build measures 8-9x here (BENCH_4.json, the
+    // >= 5x class the quiescent engine targets); the hard gate sits lower
+    // so scheduler noise on a shared CI runner cannot flake the job while
+    // a regression to PR 3's 1.4x sleep-fine-stepped class still fails.
+    check(speedup >= 3.0,
+          "harvesting-gap survey macro speedup is in the >=5x class "
+          "(hard gate at 3x for contended-runner headroom)");
+    check(gap_macro.mcu.saves_completed == gap_fine.mcu.saves_completed &&
+              gap_macro.mcu.restores == gap_fine.mcu.restores &&
+              gap_macro.mcu.brownouts == gap_fine.mcu.brownouts &&
+              gap_macro.transitions.size() == gap_fine.transitions.size(),
+          "gap-survey event sequence matches the fine path");
   }
 
   const auto* vcc = result.probes.find("vcc");

@@ -1,0 +1,51 @@
+// Shared Fig 7 scenario specs for the bench programs.
+//
+// fig7_hibernus_fft --macro gates the harvesting-gap speedup on the same
+// scenario BM_MacroPair/Fig7Gapped_* records in BENCH_4.json
+// (bench/perf_micro.cpp); one definition keeps the gate and the recorded
+// trajectory comparable by construction.
+#pragma once
+
+#include <cmath>
+
+#include "edc/checkpoint/interrupt_policy.h"
+#include "edc/spec/system_spec.h"
+#include "edc/trace/waveform.h"
+
+namespace fig7 {
+
+/// The Fig 7 hibernus design point: 47 uF node, 3 kOhm board bleed, FFT
+/// 2^11, Eq 4 margin sized for the bleed share (DESIGN.md §4).
+inline edc::spec::SystemSpec base_spec() {
+  edc::spec::SystemSpec s;
+  s.storage.capacitance = 47e-6;
+  s.storage.bleed = 3000.0;
+  s.workload.kind = "fft-large";
+  s.workload.seed = 7;
+  edc::checkpoint::InterruptPolicy::Config config;
+  config.margin = 2.2;
+  config.restore_headroom = 0.35;
+  s.policy = edc::spec::Hibernus{config};
+  return s;
+}
+
+/// The system across harvesting gaps: the 6 Hz sine arriving in 0.5 s
+/// bursts every 10 s with the paper's decay-to-zero intervals in between
+/// (save -> sleep -> brown-out -> dead node), surveyed over 20 s. The
+/// quiescent engine's sleep/off/dead spans collapse the gaps to O(1).
+inline edc::spec::SystemSpec gapped_spec() {
+  const auto wave = edc::trace::Waveform::sample(
+      [](edc::Seconds t) {
+        const double cycle = t - std::floor(t / 10.0) * 10.0;
+        return cycle < 0.5 ? 3.3 * std::sin(2.0 * M_PI * 6.0 * t) : 0.0;
+      },
+      0.0, 20.0, 400001);
+  edc::spec::SystemSpec s = base_spec();
+  s.source = edc::spec::VoltageTraceSource{wave, 50.0, "fig7-gapped"};
+  s.sim.t_end = 20.0;
+  s.sim.stop_on_completion = false;  // survey the whole gap structure
+  s.sim.probe_interval = 0.5e-3;
+  return s;
+}
+
+}  // namespace fig7

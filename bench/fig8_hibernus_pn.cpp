@@ -8,7 +8,15 @@
 // rises and falls with the harvested power, and around the gust peak the
 // system rides through the AC troughs without hibernating (the paper's
 // 0.4-1.1 s window).
+//
+// --macro reruns both configurations with quiescent-engine macro-stepping
+// (SimConfig::macro_stepping), reports the wall-clock speedup and the
+// macro-vs-fine deltas, and then validates the *macro* results against the
+// Fig 8 shape checks — the governed leg of the accuracy contract
+// (BENCH_4.json tracks the same pair as BM_MacroPair/Fig8Wind_*).
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "edc/core/system.h"
@@ -27,7 +35,8 @@ void check(bool ok, const char* what) {
   if (!ok) ++g_failures;
 }
 
-sim::SimResult run_once(bool with_governor, trace::TraceSet* probes_out) {
+sim::SimResult run_once(bool with_governor, trace::TraceSet* probes_out,
+                        bool macro = false, double* wall_ms = nullptr) {
   core::SystemBuilder builder;
   trace::WindTurbineSource::Params wind;
   wind.peak_voltage = 5.0;
@@ -36,6 +45,7 @@ sim::SimResult run_once(bool with_governor, trace::TraceSet* probes_out) {
   config.t_end = 6.0;
   config.stop_on_completion = false;  // observe the whole gust
   config.probe_interval = 1e-3;
+  config.macro_stepping = macro;
   builder.wind_source(wind, /*seed=*/3, /*horizon=*/6.0)
       .capacitance(47e-6)
       .bleed(10000.0)
@@ -50,7 +60,13 @@ sim::SimResult run_once(bool with_governor, trace::TraceSet* probes_out) {
     builder.governor_power_neutral(governor);
   }
   auto system = builder.build();
+  const auto start = std::chrono::steady_clock::now();
   auto result = system.run(6.0);
+  if (wall_ms != nullptr) {
+    *wall_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  }
   if (probes_out != nullptr) *probes_out = std::move(result.probes);
   return result;
 }
@@ -73,12 +89,42 @@ Seconds longest_uninterrupted_run(const trace::Waveform& state) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool macro = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--macro") == 0) {
+      macro = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--macro]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("=== Fig 8: hibernus-PN on a micro wind turbine ===\n\n");
 
   trace::TraceSet pn_probes;
-  const auto pn = run_once(true, &pn_probes);
-  const auto fixed = run_once(false, nullptr);
+  double pn_ms = 0.0, fixed_ms = 0.0;
+  const auto pn = run_once(true, &pn_probes, macro, &pn_ms);
+  const auto fixed = run_once(false, nullptr, macro, &fixed_ms);
+
+  if (macro) {
+    // Fine-path reference pair for the speedup and accuracy deltas (the
+    // shape checks below then validate the macro results).
+    double pn_fine_ms = 0.0, fixed_fine_ms = 0.0;
+    const auto pn_fine = run_once(true, nullptr, false, &pn_fine_ms);
+    const auto fixed_fine = run_once(false, nullptr, false, &fixed_fine_ms);
+    std::printf("macro-stepping: hibernus-PN %.1f ms vs %.1f ms fine (%.1fx), "
+                "fixed-f %.1f ms vs %.1f ms fine (%.1fx)\n",
+                pn_ms, pn_fine_ms, pn_fine_ms / pn_ms, fixed_ms, fixed_fine_ms,
+                fixed_fine_ms / fixed_ms);
+    std::printf("deltas (PN): harvested %+.3g J, consumed %+.3g J, "
+                "saves %+lld, outages %+lld\n\n",
+                pn.harvested - pn_fine.harvested, pn.consumed - pn_fine.consumed,
+                static_cast<long long>(pn.mcu.saves_completed) -
+                    static_cast<long long>(pn_fine.mcu.saves_completed),
+                static_cast<long long>(pn.mcu.brownouts) -
+                    static_cast<long long>(pn_fine.mcu.brownouts));
+  }
 
   const auto* vcc = pn_probes.find("vcc");
   const auto* freq = pn_probes.find("freq_mhz");

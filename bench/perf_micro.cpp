@@ -4,7 +4,7 @@
 // repository's experiments stay cheap to run. CI's perf job runs this with
 // --benchmark_format=json and archives the output as BENCH_<pr>.json, so
 // the fine-vs-macro pairs below are the repo's recorded perf trajectory
-// for the event-horizon macro stepper (sim/macro_stepper.h).
+// for the quiescent engine (sim/quiescent_engine.h).
 #include <benchmark/benchmark.h>
 
 #include "edc/core/system.h"
@@ -12,6 +12,7 @@
 #include "edc/trace/power_sources.h"
 #include "edc/trace/voltage_sources.h"
 #include "edc/workloads/program.h"
+#include "fig7_scenarios.h"
 
 using namespace edc;
 
@@ -145,9 +146,46 @@ BENCHMARK_CAPTURE(BM_MacroPair, RfIdle_fine, rf_idle_spec(), false)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_MacroPair, RfIdle_macro, rf_idle_spec(), true)
     ->Unit(benchmark::kMillisecond);
+/// The Fig 7 system across harvesting gaps (bench/fig7_scenarios.h — the
+/// exact scenario the fig7_hibernus_fft --macro survey gates): the
+/// quiescent engine's sleep/off/dead spans collapse the gaps to O(1), so
+/// this pair tracks the sleep-speedup headline per push.
+spec::SystemSpec fig7_gapped_spec() { return fig7::gapped_spec(); }
+
+/// The Fig 8 configuration (micro wind turbine, hibernus-PN with the DFS
+/// governor): sleep spans here are capped by the governor period, so this
+/// pair tracks the governed macro path.
+spec::SystemSpec fig8_wind_spec() {
+  spec::SystemSpec s;
+  trace::WindTurbineSource::Params wind;
+  wind.peak_voltage = 5.0;
+  wind.peak_frequency = 6.0;
+  s.source = spec::WindSource{wind, 3, 6.0};
+  s.storage.capacitance = 47e-6;
+  s.storage.bleed = 10000.0;
+  s.workload.kind = "crc";
+  s.workload.seed = 9;
+  neutral::McuDfsGovernor::Config governor;
+  governor.v_ref = 2.9;
+  governor.band = 0.2;
+  governor.period = 2e-3;
+  s.governor = governor;
+  s.sim.t_end = 6.0;
+  s.sim.stop_on_completion = false;
+  return s;
+}
+
 BENCHMARK_CAPTURE(BM_MacroPair, Fig7Sine_fine, fig7_like_spec(), false)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_MacroPair, Fig7Sine_macro, fig7_like_spec(), true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, Fig7Gapped_fine, fig7_gapped_spec(), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, Fig7Gapped_macro, fig7_gapped_spec(), true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, Fig8Wind_fine, fig8_wind_spec(), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, Fig8Wind_macro, fig8_wind_spec(), true)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

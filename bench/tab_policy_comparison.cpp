@@ -18,6 +18,16 @@
 // produces a bit-identical table on the second run while simulating
 // nothing. Cache statistics go to stderr, so stdout stays byte-comparable
 // between cold and warm runs (scripts/cache_smoke.cmake relies on this).
+//
+// --trace-dir DIR swaps the synthetic source axis for a measured-dataset
+// axis: one grid column per "time,volts" CSV in DIR (label = filename,
+// via Grid::voltage_trace_dir_axis), so comparing every policy across a
+// directory of recorded harvester traces is a one-liner:
+//
+//   tab_policy_comparison --trace-dir datasets/office/
+//
+// Shape checks are skipped in that mode — they are tuned to the synthetic
+// sources.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,11 +58,14 @@ void check(bool ok, const char* what) {
 
 int main(int argc, char** argv) {
   std::optional<sweep::Cache> cache;
+  const char* trace_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       cache.emplace(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--cache DIR]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--cache DIR] [--trace-dir DIR]\n", argv[0]);
       return 2;
     }
   }
@@ -77,18 +90,24 @@ int main(int argc, char** argv) {
   mementos_timer.timer_interval = 10e-3;
 
   sweep::Grid grid(std::move(base));
-  grid.axis("source",
-            {{"square-10Hz",
-              [](spec::SystemSpec& s) {
-                s.source = spec::SquareSource{3.3, 10.0, 0.4, 0.0, 50.0};
-              }},
-             {"sine-4Hz",
-              [](spec::SystemSpec& s) { s.source = spec::SineSource{3.3, 4.0}; }},
-             {"markov-rf",
-              [](spec::SystemSpec& s) {
-                s.source = spec::MarkovPower{6e-3, 0.05, 0.05, 77, 40.0};
-              }}})
-      .axis("policy",
+  if (trace_dir != nullptr) {
+    // Measured-dataset mode: one source column per recorded trace in the
+    // directory, everything else identical.
+    grid.voltage_trace_dir_axis("source", trace_dir);
+  } else {
+    grid.axis("source",
+              {{"square-10Hz",
+                [](spec::SystemSpec& s) {
+                  s.source = spec::SquareSource{3.3, 10.0, 0.4, 0.0, 50.0};
+                }},
+               {"sine-4Hz",
+                [](spec::SystemSpec& s) { s.source = spec::SineSource{3.3, 4.0}; }},
+               {"markov-rf",
+                [](spec::SystemSpec& s) {
+                  s.source = spec::MarkovPower{6e-3, 0.05, 0.05, 77, 40.0};
+                }}});
+  }
+  grid.axis("policy",
             {{"none (restart)",
               [](spec::SystemSpec& s) { s.policy = spec::NoCheckpoint{}; }},
              {"mementos-loop",
@@ -169,6 +188,12 @@ int main(int argc, char** argv) {
                      sim::Table::num(m.energy_total() * 1e3, 2)});
     }
     table.print(std::cout);
+  }
+
+  if (trace_dir != nullptr) {
+    std::printf("\n(--trace-dir mode: shape checks skipped — they are tuned "
+                "for the synthetic sources)\n");
+    return 0;
   }
 
   // Select the shape-check cells by axis label, so reordering an axis

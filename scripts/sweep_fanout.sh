@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# sweep_fanout.sh — launch a sharded sweep across processes or hosts, then
+# merge and verify (ROADMAP: remote/cluster launcher).
+#
+# The sharding CLI contract (bench --shard k/N --csv FILE, reassembled by
+# sweep_merge) is process-complete but launching the N processes was manual.
+# This driver closes the loop:
+#
+#   # 4 local processes:
+#   scripts/sweep_fanout.sh -n 4 -o merged.csv -- ./build/eq5_crossover
+#
+#   # one shard per host over ssh (repo built at the same path everywhere),
+#   # via GNU parallel when available, plain ssh otherwise:
+#   scripts/sweep_fanout.sh -H hostA,hostB -o merged.csv -- ./build/eq5_crossover
+#
+# Every shard k of N runs `BENCH ARGS --shard k/N --csv WORKDIR/shard_k.csv`;
+# after all shards exit, sweep_merge reassembles the per-shard CSVs into a
+# byte stream identical to the unsharded run (the merge itself re-verifies
+# the partition: missing/duplicated shards fail loudly). The final exit
+# status is the combined "shards done, merged, verified" answer: 0 only if
+# every shard succeeded AND the merge validated.
+set -u
+
+usage() {
+  cat >&2 <<EOF
+usage: $0 [-n SHARDS] [-H host1,host2,...] [-o OUT.csv] [-w WORKDIR] [-m SWEEP_MERGE] -- BENCH [ARGS...]
+  -n SHARDS   number of shards (default: one per host, else nproc)
+  -H HOSTS    comma-separated ssh hosts; each must see BENCH at the same
+              path (shared filesystem or identical build). Shards are
+              assigned round-robin. Default: run locally.
+  -o OUT.csv  merged output (default: WORKDIR/merged.csv)
+  -w WORKDIR  scratch directory for shard CSVs (default: mktemp -d)
+  -m PATH     sweep_merge binary (default: next to BENCH, else \$PATH)
+EOF
+  exit 2
+}
+
+shards=""
+hosts=""
+out=""
+workdir=""
+merge_bin=""
+while getopts "n:H:o:w:m:h" opt; do
+  case "$opt" in
+    n) shards="$OPTARG" ;;
+    H) hosts="$OPTARG" ;;
+    o) out="$OPTARG" ;;
+    w) workdir="$OPTARG" ;;
+    m) merge_bin="$OPTARG" ;;
+    *) usage ;;
+  esac
+done
+shift $((OPTIND - 1))
+[ $# -ge 1 ] || usage
+bench=$1
+shift
+
+IFS=',' read -r -a host_list <<< "${hosts}"
+[ -n "${hosts}" ] || host_list=()
+
+if [ -z "${shards}" ]; then
+  if [ ${#host_list[@]} -gt 0 ]; then
+    shards=${#host_list[@]}
+  else
+    shards=$(nproc 2>/dev/null || echo 2)
+  fi
+fi
+case "$shards" in
+  ''|*[!0-9]*|0) echo "sweep_fanout: -n must be a positive integer" >&2; exit 2 ;;
+esac
+
+if [ -z "${workdir}" ]; then
+  workdir=$(mktemp -d "${TMPDIR:-/tmp}/sweep_fanout.XXXXXX")
+fi
+mkdir -p "${workdir}"
+[ -n "${out}" ] || out="${workdir}/merged.csv"
+
+if [ -z "${merge_bin}" ]; then
+  if [ -x "$(dirname "${bench}")/sweep_merge" ]; then
+    merge_bin="$(dirname "${bench}")/sweep_merge"
+  else
+    merge_bin="sweep_merge"
+  fi
+fi
+
+# One launch command per shard; stdout/stderr captured per shard so a
+# failure names its log instead of interleaving 16 tables.
+launch_cmds=()
+for ((k = 0; k < shards; ++k)); do
+  csv="${workdir}/shard_${k}.csv"
+  cmd="$(printf '%q ' "${bench}" "$@") --shard ${k}/${shards} --csv $(printf '%q' "${csv}")"
+  if [ ${#host_list[@]} -gt 0 ]; then
+    host="${host_list[$((k % ${#host_list[@]}))]}"
+    # The hosts share the filesystem (or an identical checkout): run in the
+    # current directory so relative bench paths keep working. The remote
+    # command ships as one %q-escaped argv (surviving the local re-parse),
+    # with the working directory %q-quoted *inside* it for the remote
+    # shell's own parse.
+    remote_cmd="cd $(printf '%q' "$(pwd)") && ${cmd}"
+    cmd="ssh -o BatchMode=yes $(printf '%q' "${host}") $(printf '%q' "${remote_cmd}")"
+  fi
+  launch_cmds+=("${cmd} > $(printf '%q' "${workdir}/shard_${k}.log") 2>&1")
+done
+
+echo "sweep_fanout: ${shards} shards, $([ ${#host_list[@]} -gt 0 ] && echo "hosts: ${hosts}" || echo "local"), workdir ${workdir}" >&2
+
+failed=0
+if command -v parallel >/dev/null 2>&1; then
+  # GNU parallel drives the fan-out (and caps concurrency at shard count).
+  printf '%s\n' "${launch_cmds[@]}" | parallel -j "${shards}" || failed=1
+else
+  pids=()
+  for cmd in "${launch_cmds[@]}"; do
+    bash -c "${cmd}" &
+    pids+=($!)
+  done
+  for ((k = 0; k < ${#pids[@]}; ++k)); do
+    if ! wait "${pids[$k]}"; then
+      echo "sweep_fanout: shard ${k} FAILED (log: ${workdir}/shard_${k}.log)" >&2
+      failed=1
+    fi
+  done
+fi
+
+if [ "${failed}" -ne 0 ]; then
+  echo "sweep_fanout: shards done: FAILED (logs in ${workdir})" >&2
+  exit 1
+fi
+echo "sweep_fanout: shards done: ok" >&2
+
+shard_csvs=()
+for ((k = 0; k < shards; ++k)); do
+  shard_csvs+=("${workdir}/shard_${k}.csv")
+done
+if ! "${merge_bin}" "${out}" "${shard_csvs[@]}"; then
+  echo "sweep_fanout: merged, verified: FAILED" >&2
+  exit 1
+fi
+echo "sweep_fanout: merged, verified: ok -> ${out}" >&2
+exit 0

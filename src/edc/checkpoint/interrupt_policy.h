@@ -47,6 +47,14 @@ class InterruptPolicy : public PolicyBase {
   void on_comparator(mcu::Mcu& mcu, const circuit::ComparatorEvent& event) override;
   void on_save_complete(mcu::Mcu& mcu, Seconds t) override;
 
+  /// Hibernating/waiting/done devices are woken by the V_R comparator (or
+  /// browned out below v_min) and by nothing else, so the quiescent engine
+  /// may macro-step those spans to the analytic crossing.
+  [[nodiscard]] bool wakes_only_by_comparator(mcu::McuState state) const override {
+    return state == mcu::McuState::sleep || state == mcu::McuState::wait ||
+           state == mcu::McuState::done;
+  }
+
   [[nodiscard]] std::string name() const override { return name_; }
 
   [[nodiscard]] Volts hibernate_threshold() const noexcept { return v_hibernate_; }

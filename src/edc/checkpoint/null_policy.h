@@ -18,6 +18,13 @@ class NullPolicy final : public PolicyBase {
   void on_boot(mcu::Mcu& mcu, Seconds t) override;
   void on_comparator(mcu::Mcu& mcu, const circuit::ComparatorEvent& event) override;
 
+  /// The POR wait (and the post-completion idle) is left only via the START
+  /// comparator or a brown-out: sleep spans are analytically plannable.
+  [[nodiscard]] bool wakes_only_by_comparator(mcu::McuState state) const override {
+    return state == mcu::McuState::wait || state == mcu::McuState::sleep ||
+           state == mcu::McuState::done;
+  }
+
   [[nodiscard]] std::string name() const override { return "none"; }
 
  private:

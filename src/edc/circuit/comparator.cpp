@@ -1,7 +1,9 @@
 #include "edc/circuit/comparator.h"
 
 #include <algorithm>
+#include <limits>
 
+#include "edc/circuit/supply_node.h"
 #include "edc/common/check.h"
 
 namespace edc::circuit {
@@ -62,6 +64,27 @@ std::vector<ComparatorEvent> ComparatorBank::update(Volts v_prev, Seconds t_prev
 
 void ComparatorBank::reset(Volts v) {
   for (auto& comparator : comparators_) comparator.reset(v);
+}
+
+Seconds ComparatorBank::plan_falling_crossing(const DecaySolution& decay,
+                                              Volts* trip_out) const {
+  // The decay is monotone, so the earliest crossing belongs to the highest
+  // relevant trip; tracking the max trip and converting once keeps the
+  // time/trip pair consistent.
+  Volts highest = -1.0;
+  for (const auto& comparator : comparators_) {
+    if (!comparator.output()) continue;  // rising trips cannot fire on a decay
+    const Volts trip = comparator.falling_trip();
+    // update() needs v_prev strictly above the trip; a decay starting at or
+    // below it can never supply that, so such comparators stay latched. A
+    // negative trip (hysteresis wider than twice the threshold) can never
+    // fire either — the node clamps at ground.
+    if (trip >= decay.v0 || trip < 0.0) continue;
+    highest = std::max(highest, trip);
+  }
+  if (highest < 0.0) return std::numeric_limits<Seconds>::infinity();
+  if (trip_out != nullptr) *trip_out = highest;
+  return decay.time_to_reach(highest);
 }
 
 }  // namespace edc::circuit

@@ -13,6 +13,8 @@
 
 namespace edc::circuit {
 
+struct DecaySolution;
+
 enum class Edge { rising, falling };
 
 struct ComparatorEvent {
@@ -41,10 +43,13 @@ class Comparator {
   void set_threshold(Volts threshold);
   [[nodiscard]] bool output() const noexcept { return output_high_; }
 
- private:
+  /// The trip levels update() compares against (threshold +/- half the
+  /// hysteresis band) — the quiescent engine plans analytic crossings
+  /// against exactly these.
   [[nodiscard]] Volts rising_trip() const noexcept { return threshold_ + hysteresis_ / 2; }
   [[nodiscard]] Volts falling_trip() const noexcept { return threshold_ - hysteresis_ / 2; }
 
+ private:
   std::string name_;
   Volts threshold_;
   Volts hysteresis_;
@@ -59,11 +64,28 @@ class ComparatorBank {
   std::size_t add(Comparator comparator);
 
   [[nodiscard]] Comparator& at(std::size_t index) { return comparators_.at(index); }
+  [[nodiscard]] const Comparator& at(std::size_t index) const {
+    return comparators_.at(index);
+  }
   [[nodiscard]] std::size_t size() const noexcept { return comparators_.size(); }
 
   std::vector<ComparatorEvent> update(Volts v_prev, Seconds t_prev, Volts v_now,
                                       Seconds t_now);
   void reset(Volts v);
+
+  /// Span-planning API for the quiescent engine (sim/quiescent_engine.h):
+  /// the earliest instant any comparator in the bank would toggle while the
+  /// supply follows the monotonically-decaying `decay` from decay.v0. Only
+  /// falling trips of currently-high outputs can fire on a decay (a rising
+  /// trip needs the voltage to increase, and a trip at or above v0 needs a
+  /// previous sample strictly above it, which a decay from v0 never
+  /// produces again), so this is the exact analytic next-event time:
+  /// +infinity when no comparator can toggle on this trajectory. When the
+  /// crossing exists, `trip_out` (if non-null) receives its trip voltage —
+  /// the level a planned span must provably stay above so the crossing step
+  /// still sees the v_prev > trip transition when fine stepping resumes.
+  [[nodiscard]] Seconds plan_falling_crossing(const DecaySolution& decay,
+                                              Volts* trip_out = nullptr) const;
 
  private:
   std::vector<Comparator> comparators_;

@@ -22,7 +22,7 @@ class SupplyDriver {
   [[nodiscard]] virtual Amps current_into(Volts v_node, Seconds t) const = 0;
 
   /// Event-horizon hint for the simulator's quiescent fast path and the
-  /// opt-in macro stepper (sim::MacroStepper): the latest time u >= t such
+  /// opt-in quiescent engine (sim::QuiescentEngine): the latest time u >= t such
   /// that current_into(v, t') is *guaranteed* to be 0 at every instant
   /// t' of [t, u) for every node voltage v >= v_floor. (Injected current
   /// never increases with node voltage, so the caller only needs a lower

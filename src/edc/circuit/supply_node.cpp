@@ -38,6 +38,22 @@ Seconds DecaySolution::time_to_zero() const {
   return capacitance * v0 / load;
 }
 
+Seconds DecaySolution::time_to_reach(Volts v) const {
+  EDC_ASSERT(v >= 0.0);
+  if (v >= v0) return 0.0;
+  if (v <= 0.0) return time_to_zero();
+  if (bleed > 0.0) {
+    // Invert V(s) = (v0 - v_inf) e^{-s/tau} + v_inf. The asymptote v_inf is
+    // -load*bleed <= 0, so any v in (0, v0) lies strictly above it and the
+    // logarithm is well-defined.
+    const Seconds tau = bleed * capacitance;
+    const Volts v_inf = -load * bleed;
+    return tau * std::log((v0 - v_inf) / (v - v_inf));
+  }
+  if (load <= 0.0) return kForever;  // no bleed, no load: V holds at v0
+  return capacitance * (v0 - v) / load;
+}
+
 Joules DecaySolution::load_energy(Seconds elapsed) const {
   EDC_ASSERT(elapsed >= 0.0);
   if (v0 <= 0.0 || load <= 0.0) return 0.0;

@@ -17,10 +17,12 @@ namespace edc::circuit {
 ///
 ///   C dV/dt = -V/R_bleed - I_load,     V(0) = v0,  V clamped at ground,
 ///
-/// i.e. the brown-out tail of Fig 7: no injected current, a parallel bleed
-/// resistance, and a constant load current (the off-state MCU leakage).
-/// Produced by SupplyNode::decay_from and consumed by sim::MacroStepper,
-/// which books the exact continuum energy split instead of substepping.
+/// i.e. the quiescent spans of Fig 7: no injected current, a parallel bleed
+/// resistance, and a constant load current (the off-state MCU leakage, or
+/// i_sleep while hibernating with live comparators). Produced by
+/// SupplyNode::decay_from and consumed by sim::QuiescentEngine, which books
+/// the exact continuum energy split instead of substepping and plans event
+/// horizons from the inverse solve time_to_reach().
 struct DecaySolution {
   Farads capacitance = 0.0;
   Ohms bleed = 0.0;  ///< 0 = no bleed path
@@ -33,6 +35,13 @@ struct DecaySolution {
   /// When the trajectory reaches exactly 0 V (+infinity when it never
   /// does, e.g. a pure exponential bleed with no constant load).
   [[nodiscard]] Seconds time_to_zero() const;
+
+  /// Inverse solve: the first instant the (monotonically decaying)
+  /// trajectory reaches `v`, i.e. the exact comparator-crossing time of a
+  /// falling threshold. 0 when v >= v0; +infinity when the decay never
+  /// gets there (e.g. an exponential tail asked for a voltage at or below
+  /// its asymptote). Inverse of voltage_at up to floating-point rounding.
+  [[nodiscard]] Seconds time_to_reach(Volts v) const;
 
   /// Energy the constant load drew over [0, elapsed]: load * integral of V
   /// (the integral stops where V hits ground — a load draws nothing from a

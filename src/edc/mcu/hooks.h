@@ -6,6 +6,7 @@
 // owns timing and the supply node.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "edc/circuit/comparator.h"
@@ -15,10 +16,24 @@
 namespace edc::mcu {
 
 class Mcu;
+enum class McuState : std::uint8_t;
 
 class PolicyHooks {
  public:
   virtual ~PolicyHooks() = default;
+
+  /// Planning contract for the simulator's quiescent engine
+  /// (sim/quiescent_engine.h): true asserts that while the MCU sits in the
+  /// low-power `state` (sleep / wait / done), this policy takes no action
+  /// except from its registered supply comparators — so the engine may
+  /// macro-step the span analytically, re-entering fine stepping at the
+  /// earliest comparator trip or v_min brown-out crossing, and no hidden
+  /// wake condition can be overclaimed away. The conservative default
+  /// claims nothing, which disables sleep-span planning for the policy.
+  [[nodiscard]] virtual bool wakes_only_by_comparator(McuState state) const {
+    (void)state;
+    return false;
+  }
 
   /// Boot completed (fresh power-up or post-outage reset). The policy must
   /// decide how execution (re)starts: restore, run from scratch, or wait.

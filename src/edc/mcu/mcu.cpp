@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "edc/circuit/supply_node.h"
 #include "edc/common/check.h"
 
 namespace edc::mcu {
@@ -332,6 +333,23 @@ void Mcu::mark_done(Seconds) { state_ = McuState::done; }
 void Mcu::set_frequency(Hertz f) {
   EDC_CHECK(f > 0.0, "frequency must be positive");
   frequency_ = f;
+}
+
+Mcu::WakeCrossing Mcu::plan_wake_crossing(const circuit::DecaySolution& decay) const {
+  WakeCrossing crossing;
+  crossing.time = comparators_.plan_falling_crossing(decay, &crossing.trip);
+  // supply_update fires the brown-out when the end-of-step voltage drops
+  // strictly below v_min; the analytic instant V == v_min bounds that from
+  // below, so re-entering fine stepping there can only be early, never
+  // late.
+  if (state_ != McuState::off) {
+    const Seconds loss = decay.time_to_reach(params_.power.v_min);
+    if (loss < crossing.time) {
+      crossing.time = loss;
+      crossing.trip = params_.power.v_min;
+    }
+  }
+  return crossing;
 }
 
 std::size_t Mcu::add_comparator(const std::string& name, Volts threshold,

@@ -114,15 +114,53 @@ class Mcu final : public circuit::Load {
   /// Advances the state machine by dt at node voltage v_now.
   void advance(Seconds t, Seconds dt, Volts v_now);
 
-  /// Books a span the simulation loop skipped while the MCU was off (the
-  /// quiescent fast path and the macro stepper's brown-out spans): the
-  /// time counts toward the off-time metric, and `energy` is what the off
-  /// leakage drew from the node over the span (0 for a dead node at 0 V;
-  /// the analytic integral of I_off * V for a macro decay span).
-  void note_off_time(Seconds dt, Joules energy = 0.0) noexcept {
-    EDC_ASSERT(state_ == McuState::off);
-    metrics_.time_off += dt;
-    metrics_.energy_other += energy;
+  /// Books a span the simulation loop skipped while the MCU sat in a
+  /// quiescent state (off / sleep / wait / done — the quiescent engine's
+  /// dead-node fast path and analytic decay spans): the time counts toward
+  /// the state's wall-clock metric and `energy` — what the state's constant
+  /// draw took from the node over the span (0 for a dead node at 0 V; the
+  /// analytic integral of I_state * V for a decay span) — toward its energy
+  /// attribution, mirroring account_time()'s booking.
+  void note_quiescent_span(Seconds dt, Joules energy = 0.0) noexcept {
+    switch (state_) {
+      case McuState::off:
+        metrics_.time_off += dt;
+        metrics_.energy_other += energy;
+        break;
+      case McuState::sleep:
+        metrics_.time_sleep += dt;
+        metrics_.energy_sleep += energy;
+        break;
+      case McuState::wait:
+        metrics_.time_wait += dt;
+        metrics_.energy_other += energy;
+        break;
+      case McuState::done:
+        metrics_.time_done += dt;
+        metrics_.energy_sleep += energy;
+        break;
+      default:
+        EDC_ASSERT(false);  // only quiescent states may be span-booked
+    }
+  }
+
+  /// Span planning for the quiescent engine: the earliest instant anything
+  /// discrete can happen while the supply follows `decay` from decay.v0
+  /// with this MCU powered but quiescent — the first analytic comparator
+  /// trip (ComparatorBank::plan_falling_crossing) or the v_min brown-out
+  /// crossing, whichever comes first.
+  struct WakeCrossing {
+    Seconds time = 0.0;  ///< +infinity when the decay triggers nothing
+    Volts trip = 0.0;    ///< the governing threshold (valid when time is finite)
+  };
+  [[nodiscard]] WakeCrossing plan_wake_crossing(
+      const circuit::DecaySolution& decay) const;
+
+  /// Whether the attached policy certifies the *current* state as woken
+  /// only by comparators (PolicyHooks::wakes_only_by_comparator) — the
+  /// license plan_wake_crossing()'s result needs to be exhaustive.
+  [[nodiscard]] bool wake_is_comparator_driven() const {
+    return policy_->wakes_only_by_comparator(state_);
   }
 
   // ---- policy/governor command API -------------------------------------

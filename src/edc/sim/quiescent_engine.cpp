@@ -1,0 +1,221 @@
+#include "edc/sim/quiescent_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "edc/common/check.h"
+#include "edc/sim/simulator.h"
+
+namespace edc::sim {
+
+namespace {
+
+/// Number of whole dt steps starting at t that fit strictly inside [t, u),
+/// clamped to max_steps. A skipped step spans [s, s + dt], so the whole
+/// span must sit inside the driver's quiet window.
+std::uint64_t steps_within(Seconds t, Seconds u, Seconds dt,
+                           std::uint64_t max_steps) {
+  if (!(u > t)) return 0;
+  if (std::isinf(u)) return max_steps;
+  const double n = std::floor((u - t) / dt);
+  if (n <= 0.0) return 0;
+  if (n >= static_cast<double>(max_steps)) return max_steps;
+  return static_cast<std::uint64_t>(n);
+}
+
+/// Books the exact continuum energy split of a decay span into `span`:
+/// the stored-energy drop divides between the constant draw (consumed) and
+/// the bleed (dissipated) with zero ledger residual. Clamping guards the
+/// last few ulp.
+void book_decay_energy(QuiescentSpan& span, Farads capacitance, Volts v0,
+                       Seconds elapsed) {
+  const Joules delta =
+      0.5 * capacitance * (v0 * v0 - span.v_end * span.v_end);
+  span.consumed = std::min(span.decay.load_energy(elapsed), delta);
+  span.dissipated = delta - span.consumed;
+  EDC_ASSERT(span.consumed >= 0.0 && span.dissipated >= 0.0);
+}
+
+}  // namespace
+
+QuiescentEngine::QuiescentEngine(const SimConfig& config,
+                                 const circuit::SupplyNode& node,
+                                 const circuit::SupplyDriver& driver,
+                                 const mcu::Mcu& mcu)
+    : config_(&config), node_(&node), driver_(&driver), mcu_(&mcu) {}
+
+bool QuiescentEngine::enabled() const noexcept {
+  return config_->quiescent_fast_path || config_->macro_stepping;
+}
+
+std::optional<QuiescentSpan> QuiescentEngine::plan(Seconds t,
+                                                   std::uint64_t max_steps) const {
+  if (max_steps == 0) return std::nullopt;
+  const mcu::McuState state = mcu_->state();
+  if (state == mcu::McuState::off) {
+    // Below the power-on threshold the node can only decay, so the span is
+    // safe from spontaneous boots; at or above it the fine path must run
+    // (it will boot the MCU this step).
+    if (config_->macro_stepping && node_->voltage() < mcu_->power().v_on) {
+      if (auto span = plan_off(t, max_steps)) return span;
+    }
+    // The bit-exact dead-node skip also covers drivers without usable
+    // hints (per-substep probing), so try it even when a macro plan
+    // found no provably-quiet step.
+    if (config_->quiescent_fast_path) return plan_dead(t, max_steps);
+    return std::nullopt;
+  }
+  if (config_->macro_stepping &&
+      (state == mcu::McuState::sleep || state == mcu::McuState::wait ||
+       state == mcu::McuState::done) &&
+      mcu_->wake_is_comparator_driven()) {
+    return plan_low_power(t, max_steps);
+  }
+  return std::nullopt;
+}
+
+std::optional<QuiescentSpan> QuiescentEngine::plan_dead(
+    Seconds t, std::uint64_t /*max_steps*/) const {
+  // With the node clamped at exactly 0 V and no injected current, every
+  // energy flow of the step is identically zero (all flows integrate
+  // i * v_mid with v_mid = 0) and neither the node voltage nor the MCU
+  // state machine can change, so skipping the step is bit-exact. The
+  // driver must be quiet at *every* substep instant the ODE would have
+  // sampled, or the slow path could have started charging mid-step.
+  // A power-on threshold at (or below) ground would boot the MCU from a
+  // dead node in the slow path; the skip must never engage then.
+  if (node_->voltage() != 0.0 || mcu_->power().v_on <= 0.0) return std::nullopt;
+  QuiescentSpan span;
+  span.steps = 1;
+  span.v_end = 0.0;
+  span.decay = node_->decay_from(0.0, 0.0);
+  const Seconds dt = config_->dt;
+  // One quiescent_until() hint covers a whole dead span: a step fully
+  // inside the cached quiet window skips on a single comparison instead of
+  // one virtual driver probe per ODE substep. Spans stay single-step so
+  // the per-step metric additions (time_off += dt) remain bit-identical
+  // to the fine path's accumulation order.
+  if (t >= quiet_from_ && t + dt <= quiet_until_) return span;
+  const Seconds hint = driver_->quiescent_until(0.0, t);
+  if (hint > t) {
+    quiet_from_ = t;
+    quiet_until_ = hint;
+    if (t + dt <= hint) return span;
+  }
+  // No usable hint (or the window ends mid-step): fall back to probing the
+  // substep instants. The hint is conservative, so the final decision is
+  // identical to the historical per-substep check.
+  const Seconds h = dt / static_cast<double>(config_->node_substeps);
+  for (int i = 0; i < config_->node_substeps; ++i) {
+    if (driver_->current_into(0.0, t + h * static_cast<double>(i)) > 0.0) {
+      return std::nullopt;
+    }
+  }
+  return span;
+}
+
+std::optional<QuiescentSpan> QuiescentEngine::plan_off(
+    Seconds t, std::uint64_t max_steps) const {
+  const Seconds dt = config_->dt;
+  const Volts v0 = node_->voltage();
+  const Amps off_leakage = mcu_->current_draw(v0, t);
+  QuiescentSpan span;
+  span.draw = off_leakage;
+
+  if (v0 <= config_->macro_v_tol) {
+    // Dead (or tolerance-dead) node: nothing decays, so the span is limited
+    // by driver activity alone. The sub-tolerance residual charge is booked
+    // to the bleed in one lump so the energy ledger still closes exactly.
+    const std::uint64_t n =
+        steps_within(t, driver_->quiescent_until(0.0, t), dt, max_steps);
+    if (n == 0) return std::nullopt;
+    span.steps = n;
+    span.v_end = 0.0;
+    span.dissipated = 0.5 * node_->capacitance() * v0 * v0;
+    span.decay = node_->decay_from(0.0, off_leakage);
+    return span;
+  }
+
+  // Cheap rejection first: quiescent_until is monotone in v_floor and the
+  // node only decays from v0, so the hint at v0 bounds every achievable
+  // horizon from above. During charging ramps (driver active) this is the
+  // per-step cost of an enabled-but-idle macro path — one virtual call, no
+  // decay math.
+  if (steps_within(t, driver_->quiescent_until(v0, t), dt, 1) == 0) {
+    return std::nullopt;
+  }
+
+  span.decay = node_->decay_from(v0, off_leakage);
+  // The node only decays over the span, so its trajectory is bounded below
+  // by the value at the longest candidate horizon; a driver that is quiet
+  // down to that floor is quiet for the whole (shorter or equal) span.
+  // quiescent_until is monotone in v_floor, which makes the single
+  // most-conservative evaluation sound.
+  const Seconds cap = dt * static_cast<double>(max_steps);
+  const Volts v_floor = span.decay.voltage_at(cap);
+  const std::uint64_t n =
+      steps_within(t, driver_->quiescent_until(v_floor, t), dt, max_steps);
+  if (n == 0) return std::nullopt;
+
+  const Seconds elapsed = dt * static_cast<double>(n);
+  span.steps = n;
+  span.v_end = span.decay.voltage_at(elapsed);
+  book_decay_energy(span, node_->capacitance(), v0, elapsed);
+  return span;
+}
+
+std::optional<QuiescentSpan> QuiescentEngine::plan_low_power(
+    Seconds t, std::uint64_t max_steps) const {
+  const Seconds dt = config_->dt;
+  const Volts v0 = node_->voltage();
+  // Cheap rejection: while the driver conducts (charging ramps, active
+  // supply arcs) the span cannot start — one virtual call per fine step.
+  if (steps_within(t, driver_->quiescent_until(v0, t), dt, 1) == 0) {
+    return std::nullopt;
+  }
+
+  QuiescentSpan span;
+  span.draw = mcu_->current_draw(v0, t);  // constant per state
+  span.decay = node_->decay_from(v0, span.draw);
+
+  // The watchers' horizon: the first analytic comparator trip or v_min
+  // brown-out crossing on this decay. The crossing step itself must run
+  // finely — supply_update needs to see the v_prev > trip >= v_now
+  // transition to emit the event at its interpolated instant — so the span
+  // may only cover steps whose end stays strictly above the trip.
+  std::uint64_t n = max_steps;
+  const mcu::Mcu::WakeCrossing crossing = mcu_->plan_wake_crossing(span.decay);
+  const bool has_crossing = std::isfinite(crossing.time);
+  if (has_crossing) {
+    const double whole = std::ceil(crossing.time / dt) - 1.0;
+    if (whole <= 0.0) return std::nullopt;
+    if (whole < static_cast<double>(n)) n = static_cast<std::uint64_t>(whole);
+  }
+
+  // Driver horizon at the span's voltage floor (monotone in v_floor, so the
+  // single most-conservative evaluation is sound — same argument as the
+  // off-state span).
+  const Volts v_floor = span.decay.voltage_at(dt * static_cast<double>(n));
+  n = steps_within(t, driver_->quiescent_until(v_floor, t), dt, n);
+  if (n == 0) return std::nullopt;
+
+  span.v_end = span.decay.voltage_at(dt * static_cast<double>(n));
+  if (has_crossing) {
+    // Float-inverse guard: time_to_reach and voltage_at are analytic
+    // inverses only up to rounding, and a span that lands at or below the
+    // trip would swallow the crossing (fine stepping resumes with
+    // v_prev <= trip and the edge never fires). Backing off a step is
+    // always sound — the event then simply fires during fine stepping.
+    while (n > 0 && span.v_end <= crossing.trip) {
+      --n;
+      span.v_end = span.decay.voltage_at(dt * static_cast<double>(n));
+    }
+    if (n == 0) return std::nullopt;
+  }
+
+  span.steps = n;
+  book_decay_energy(span, node_->capacitance(), v0, dt * static_cast<double>(n));
+  return span;
+}
+
+}  // namespace edc::sim

@@ -1,0 +1,115 @@
+// The unified quiescent-state engine: analytic span planning for every
+// regime in which the simulated system is provably idle.
+//
+// Energy-driven systems are defined by their quiescent time: Hibernus-class
+// devices (paper §III, Fig 7/8) spend the bulk of every harvesting gap
+// *sleeping* with live comparators, browning out through a bled decay, or
+// sitting fully discharged waiting for the source. The fine-stepped loop
+// pays a fixed dt through all of it although nothing discrete can happen.
+// This engine collapses the simulator's historical special cases — the
+// bit-exact V = 0 skip, the MCU-off macro stepper, and (new) sleep-span
+// planning — into one description + one horizon planner:
+//
+//   * a QuiescentState: who draws constant current (off-leakage while the
+//     MCU is off, i_sleep / i_deep_wait while hibernating) and which
+//     discrete watchers are armed (none below the power-on threshold; the
+//     supply comparators + the v_min brown-out while powered);
+//   * a generalized horizon: the earliest of driver activity
+//     (SupplyDriver::quiescent_until), the analytic comparator/v_min
+//     crossing on the closed-form decay (DecaySolution::time_to_reach via
+//     ComparatorBank::plan_falling_crossing / Mcu::plan_wake_crossing),
+//     and the caller's own deadlines (t_end, governor period, folded into
+//     max_steps).
+//
+// The engine jumps whole dt-lattice spans to that horizon. Spans end
+// strictly *before* the first crossing step, so the resumed fine stepping
+// delivers the v_prev > trip >= v_now transition and every comparator
+// event, interpolated crossing time, policy callback and the energy ledger
+// stay in lock-step with the fine path. A span's energy split is exact in
+// the continuum: the stored-energy drop 0.5*C*(V0^2 - V1^2) is booked as
+// constant-draw (consumed) energy plus bleed dissipation with zero ledger
+// residual.
+//
+// Two accuracy regimes coexist (SimConfig):
+//   * quiescent_fast_path (default on): only the dead-node case (MCU off,
+//     V = 0, source quiet) — *bit-exact*, single-step spans.
+//   * macro_stepping (opt-in): the analytic decay spans — agree with the
+//     fine path within its own discretisation error (the contract
+//     differential-tested in tests/macro_step_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "edc/circuit/supply_driver.h"
+#include "edc/circuit/supply_node.h"
+#include "edc/common/units.h"
+#include "edc/mcu/mcu.h"
+
+namespace edc::sim {
+
+struct SimConfig;
+
+/// One planned quiescent span: `steps` whole dt steps the loop may jump in
+/// one go, with the end state and the exact energy booking. The simulator
+/// books every span the same way — time/energy via
+/// Mcu::note_quiescent_span, ledger shares into the run totals, probe
+/// samples replayed from `decay` — and a bit-exact dead-node skip is
+/// simply the degenerate span whose bookings and trajectory are
+/// identically zero.
+struct QuiescentSpan {
+  std::uint64_t steps = 0;       ///< always >= 1 when planned
+  Volts v_end = 0.0;             ///< node voltage at the end of the span
+  Joules consumed = 0.0;         ///< constant-draw share (MCU-drawn)
+  Joules dissipated = 0.0;       ///< bleed share (+ snapped sub-tolerance charge)
+  Amps draw = 0.0;               ///< the state's constant current (probe replay)
+  circuit::DecaySolution decay;  ///< analytic trajectory (probe replay)
+};
+
+class QuiescentEngine {
+ public:
+  /// All references must outlive the engine (they are the simulator's own).
+  QuiescentEngine(const SimConfig& config, const circuit::SupplyNode& node,
+                  const circuit::SupplyDriver& driver, const mcu::Mcu& mcu);
+
+  /// True when some quiescent planning is configured at all; when false the
+  /// simulator loop skips the per-step plan() call entirely.
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Plans the longest skippable span starting at step time `t`, up to
+  /// `max_steps` steps (the caller folds its t_end / governor deadlines in
+  /// there). Returns nullopt when the current MCU state is not quiescent,
+  /// the policy does not certify its wake conditions, or not even one whole
+  /// step is provably quiet — the caller then takes one fine step.
+  [[nodiscard]] std::optional<QuiescentSpan> plan(Seconds t,
+                                                  std::uint64_t max_steps) const;
+
+ private:
+  /// Bit-exact dead-node skip (MCU off, V exactly 0, v_on above ground):
+  /// single steps gated on the cached driver quiet window, falling back to
+  /// per-substep probing — decision identical to the historical fast path.
+  [[nodiscard]] std::optional<QuiescentSpan> plan_dead(Seconds t,
+                                                       std::uint64_t max_steps) const;
+
+  /// Analytic decay span while the MCU is off below its power-on threshold
+  /// (no watchers armed: the horizon is driver activity alone).
+  [[nodiscard]] std::optional<QuiescentSpan> plan_off(Seconds t,
+                                                      std::uint64_t max_steps) const;
+
+  /// Analytic decay span while the MCU sleeps/waits/is done with live
+  /// comparators: the horizon additionally stops strictly before the first
+  /// analytic comparator or v_min crossing.
+  [[nodiscard]] std::optional<QuiescentSpan> plan_low_power(
+      Seconds t, std::uint64_t max_steps) const;
+
+  const SimConfig* config_;
+  const circuit::SupplyNode* node_;
+  const circuit::SupplyDriver* driver_;
+  const mcu::Mcu* mcu_;
+  /// Cached driver quiet horizon for plan_dead: valid for steps fully
+  /// inside [quiet_from_, quiet_until_). Starts empty.
+  mutable Seconds quiet_from_ = 0.0;
+  mutable Seconds quiet_until_ = 0.0;
+};
+
+}  // namespace edc::sim

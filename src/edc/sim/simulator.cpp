@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "edc/common/check.h"
-#include "edc/sim/macro_stepper.h"
+#include "edc/sim/quiescent_engine.h"
 
 namespace edc::sim {
 
@@ -31,46 +31,10 @@ Simulator::Simulator(const SimConfig& config, circuit::SupplyNode& node,
   EDC_CHECK(config.node_substeps >= 1, "need at least one substep");
 }
 
-bool Simulator::step_is_quiescent(Seconds t) const {
-  // With the node clamped at exactly 0 V and no injected current, every
-  // energy flow of the step is identically zero (all flows integrate
-  // i * v_mid with v_mid = 0) and neither the node voltage nor the MCU
-  // state machine can change, so skipping the step is bit-exact. The
-  // driver must be quiet at *every* substep instant the ODE would have
-  // sampled, or the slow path could have started charging mid-step.
-  // A power-on threshold at (or below) ground would boot the MCU from a
-  // dead node in the slow path; the skip must never engage then.
-  if (mcu_->state() != mcu::McuState::off || node_->voltage() != 0.0 ||
-      mcu_->power().v_on <= 0.0) {
-    return false;
-  }
-  // One quiescent_until() hint covers a whole dead span: a step fully
-  // inside the cached quiet window skips on a single comparison instead of
-  // one virtual driver probe per ODE substep.
-  if (t >= quiet_from_ && t + config_.dt <= quiet_until_) return true;
-  const Seconds hint = driver_->quiescent_until(0.0, t);
-  if (hint > t) {
-    quiet_from_ = t;
-    quiet_until_ = hint;
-    if (t + config_.dt <= hint) return true;
-  }
-  // No usable hint (or the window ends mid-step): fall back to probing the
-  // substep instants. The hint is conservative, so the final decision is
-  // identical to the historical per-substep check.
-  const Seconds h = config_.dt / static_cast<double>(config_.node_substeps);
-  for (int i = 0; i < config_.node_substeps; ++i) {
-    if (driver_->current_into(0.0, t + h * static_cast<double>(i)) > 0.0) {
-      return false;
-    }
-  }
-  return true;
-}
-
 template <bool kProbing, bool kGoverned>
 void Simulator::run_loop(SimResult& result) {
   const Seconds dt = config_.dt;
   const Seconds t_end = config_.t_end;
-  const bool fast_path = config_.quiescent_fast_path;
   const int substeps = config_.node_substeps;
   circuit::SupplyNode& node = *node_;
   const circuit::SupplyDriver& driver = *driver_;
@@ -100,28 +64,27 @@ void Simulator::run_loop(SimResult& result) {
   Volts v_prev = node.voltage();
   mcu::McuState last_state = mcu.state();
 
-  const bool macro_enabled = config_.macro_stepping;
-  const MacroStepper macro(config_, node, driver);
+  // All idle-regime planning — the bit-exact dead-node skip, the MCU-off
+  // decay spans, and the comparator-watched sleep spans — lives in the one
+  // quiescent engine; this loop only folds its own deadlines (t_end, the
+  // governor period) into the span cap and replays probe samples from the
+  // analytic trajectory so schedules stay in lock-step with the fine path.
+  const QuiescentEngine engine(config_, node, driver, mcu);
+  const bool engine_enabled = engine.enabled();
 
   while (t < t_end) {
-    // Opt-in macro path: while the MCU is off (and cannot power on by
-    // itself — the node only decays), jump whole spans of steps at once,
-    // following the analytic decay instead of substepping. Spans stop at
-    // the governor's next deadline so its schedule stays in lock-step;
-    // probe samples inside the span are replayed from the analytic
-    // trajectory below.
-    if (macro_enabled && mcu.state() == mcu::McuState::off &&
-        node.voltage() < mcu.power().v_on) {
+    if (engine_enabled) {
       std::uint64_t max_steps = steps_starting_before(t, t_end, dt);
       if constexpr (kGoverned) {
         max_steps = std::min(max_steps, steps_starting_before(t, next_governor, dt));
       }
-      const Amps off_leakage = mcu.current_draw(node.voltage(), t);
-      if (const auto span = macro.plan(t, off_leakage, max_steps)) {
+      if (const auto span = engine.plan(t, max_steps)) {
         if constexpr (kProbing) {
           // Replay the fine path's probe schedule: a sample lands on every
           // skipped step whose start is at or past the deadline, carrying
           // the end-of-step analytic voltage.
+          const double freq_mhz = mcu.frequency() / 1e6;
+          const auto state_channel = static_cast<double>(mcu.state());
           double k_min = 0.0;
           while (true) {
             double k = std::ceil((next_probe - t) / dt);
@@ -129,43 +92,25 @@ void Simulator::run_loop(SimResult& result) {
             if (k >= static_cast<double>(span->steps)) break;
             const Volts v_probe = span->decay.voltage_at((k + 1.0) * dt);
             probe_vcc.push_back(v_probe);
-            probe_freq.push_back(mcu.frequency() / 1e6);
-            probe_state.push_back(static_cast<double>(mcu.state()));
-            probe_power.push_back(off_leakage * v_probe * 1e3);
+            probe_freq.push_back(freq_mhz);
+            probe_state.push_back(state_channel);
+            probe_power.push_back(span->draw * v_probe * 1e3);
             next_probe += probe_interval;
             k_min = k + 1.0;
           }
         }
-        mcu.note_off_time(static_cast<double>(span->steps) * dt, span->consumed);
+        const Seconds jumped = static_cast<double>(span->steps) * dt;
+        mcu.note_quiescent_span(jumped, span->consumed);
         consumed += span->consumed;
         dissipated += span->dissipated;
         node.set_voltage(span->v_end);
-        t += static_cast<double>(span->steps) * dt;
+        t += jumped;
         v_prev = span->v_end;
+        // Spans never cover a governor deadline (max_steps stops at it), so
+        // the re-schedule — like every other discrete action — happens on a
+        // fine step.
         continue;
       }
-    }
-
-    if (fast_path && step_is_quiescent(t)) {
-      // Dead node, dead source: only the clocks move. The MCU still owes
-      // the skipped span to its off-time metric, and the probe/governor
-      // schedules must stay in lock-step with the slow path.
-      mcu.note_off_time(dt);
-      if constexpr (kProbing) {
-        if (t >= next_probe) {
-          probe_vcc.push_back(0.0);
-          probe_freq.push_back(mcu.frequency() / 1e6);
-          probe_state.push_back(static_cast<double>(mcu.state()));
-          probe_power.push_back(0.0);
-          next_probe += probe_interval;
-        }
-      }
-      if constexpr (kGoverned) {
-        if (t >= next_governor) next_governor = t + governor_->period();
-      }
-      t += dt;
-      v_prev = 0.0;
-      continue;
     }
 
     const auto energy = node.step(t, dt, driver, mcu, substeps);

@@ -36,17 +36,20 @@ struct SimConfig {
   /// every energy flow is identically zero and the node clamps at ground —
   /// so this is purely a fast path; disable only to benchmark it.
   bool quiescent_fast_path = true;
-  /// Opt-in event-horizon macro-stepping (see sim/macro_stepper.h): while
-  /// the MCU is off, solve the bleed/off-leakage decay analytically and
-  /// jump whole spans of dt steps at once, up to the earliest of the
-  /// driver becoming active, the next probe/governor deadline and t_end.
-  /// Unlike quiescent_fast_path this is NOT bit-identical with the fine
-  /// path — the analytic trajectory replaces the fine path's Euler
-  /// substepping through brown-out tails — but it agrees within the fine
-  /// path's own discretisation error (differential-tested in
-  /// tests/macro_step_test.cpp) and turns O(t/dt) dead spans into O(1).
+  /// Opt-in analytic macro-stepping of every quiescent regime (see
+  /// sim/quiescent_engine.h): while the MCU is off *or* sleeping/waiting/
+  /// done under a comparator-driven policy, solve the bleed + constant-draw
+  /// decay analytically and jump whole spans of dt steps at once, up to the
+  /// earliest of the driver becoming active, the analytic comparator/v_min
+  /// crossing, the next governor deadline and t_end. Unlike
+  /// quiescent_fast_path this is NOT bit-identical with the fine path —
+  /// the analytic trajectory replaces the fine path's Euler substepping
+  /// through decay tails — but it agrees within the fine path's own
+  /// discretisation error (differential-tested in
+  /// tests/macro_step_test.cpp): same event sequences, crossing times
+  /// within a few dt, energies within 1%, bit-identical workload digests.
   /// Keep it off for reference/regression runs; turn it on for sweeps over
-  /// duty-cycled or brown-out-heavy scenarios.
+  /// duty-cycled, sleep-dominated or brown-out-heavy scenarios.
   bool macro_stepping = false;
   /// Accuracy knob of the macro path: node voltages at or below this are
   /// treated as fully discharged (the residual charge books to the bleed),
@@ -107,23 +110,11 @@ class Simulator {
   template <bool kProbing, bool kGoverned>
   void run_loop(SimResult& result);
 
-  /// True when the step starting at t cannot change anything: the MCU is
-  /// off, the node sits at exactly 0 V, and the driver injects no current
-  /// at any ODE substep instant. One driver quiescent_until() hint is
-  /// cached across a whole dead span, so the common case is a single
-  /// comparison per skipped step; drivers without a hint fall back to the
-  /// historical per-substep probing (bit-identical decisions either way).
-  [[nodiscard]] bool step_is_quiescent(Seconds t) const;
-
   SimConfig config_;
   circuit::SupplyNode* node_;
   const circuit::SupplyDriver* driver_;
   mcu::Mcu* mcu_;
   mcu::FrequencyGovernor* governor_ = nullptr;
-  /// Cached driver quiet horizon for step_is_quiescent: valid for steps
-  /// fully inside [quiet_from_, quiet_until_). Starts empty.
-  mutable Seconds quiet_from_ = 0.0;
-  mutable Seconds quiet_until_ = 0.0;
 };
 
 }  // namespace edc::sim

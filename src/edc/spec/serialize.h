@@ -36,7 +36,12 @@ namespace edc::spec {
 // v2: SimConfig gained macro_stepping + macro_v_tol (PR 3). The version is
 // part of the cache directory layout, so v1 entries age out instead of
 // colliding with differently-shaped keys.
-inline constexpr int kSpecFormatVersion = 2;
+// v3: macro_stepping's semantics widened — the quiescent engine (PR 4) now
+// also macro-steps sleep/wait/done spans to the analytic comparator
+// crossing, so macro results for sleep-heavy scenarios legitimately moved
+// within the accuracy contract. The byte format is unchanged; the bump
+// exists to age out cached macro rows computed under the old semantics.
+inline constexpr int kSpecFormatVersion = 3;
 
 /// Thrown by serialize()/parse_spec() on any deviation from the canonical
 /// format (shared with the SimResult serializer in edc/sim/result_io).

@@ -1,8 +1,10 @@
 #include "edc/spec/trace_loaders.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "edc/trace/csv.h"
 
@@ -38,6 +40,26 @@ PowerTraceSource load_power_trace_csv(const std::string& csv_path) {
   source.wave = read_waveform_csv(csv_path);
   source.label = basename_label(csv_path);
   return source;
+}
+
+std::vector<std::string> list_trace_csvs(const std::string& dataset_dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dataset_dir, ec)) {
+    throw std::invalid_argument("not a dataset directory: '" + dataset_dir + "'");
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dataset_dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".csv") continue;
+    paths.push_back(entry.path().string());
+  }
+  if (paths.empty()) {
+    throw std::invalid_argument("no *.csv traces in dataset directory: '" +
+                                dataset_dir + "'");
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
 }
 
 }  // namespace edc::spec

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "edc/spec/system_spec.h"
 
@@ -31,5 +32,15 @@ namespace edc::spec {
 
 /// Loads a "time,watts" CSV into a harvester-path trace source.
 [[nodiscard]] PowerTraceSource load_power_trace_csv(const std::string& csv_path);
+
+/// All regular "*.csv" files directly inside `dataset_dir`, sorted by
+/// filename so every process enumerates a dataset directory identically
+/// (grid order, cache keys and shard ownership all depend on it). Throws
+/// std::invalid_argument when the directory does not exist or holds no CSV
+/// — a silently empty axis would make a zero-point grid. The building
+/// block of the sweep layer's trace-directory axes
+/// (Grid::voltage_trace_dir_axis / power_trace_dir_axis).
+[[nodiscard]] std::vector<std::string> list_trace_csvs(
+    const std::string& dataset_dir);
 
 }  // namespace edc::spec

@@ -5,6 +5,7 @@
 
 #include "edc/common/check.h"
 #include "edc/sim/table.h"
+#include "edc/spec/trace_loaders.h"
 
 namespace edc::sweep {
 
@@ -46,6 +47,35 @@ Grid& Grid::capacitance_axis(const std::vector<Farads>& values) {
       "capacitance", values,
       [](spec::SystemSpec& s, double c) { s.storage.capacitance = c; },
       [](double c) { return sim::Table::eng(c, "F", 1); });
+}
+
+Grid& Grid::voltage_trace_dir_axis(std::string name, const std::string& dataset_dir,
+                                   Ohms series_resistance) {
+  std::vector<AxisValue> values;
+  for (const auto& path : spec::list_trace_csvs(dataset_dir)) {
+    // Load eagerly, once: every grid point then shares the same immutable
+    // waveform data instead of re-reading the file per instantiation.
+    auto source = spec::load_voltage_trace_csv(path, series_resistance);
+    std::string label = source.label;
+    values.push_back(AxisValue{std::move(label),
+                               [source = std::move(source)](spec::SystemSpec& s) {
+                                 s.source = source;
+                               }});
+  }
+  return axis(std::move(name), std::move(values));
+}
+
+Grid& Grid::power_trace_dir_axis(std::string name, const std::string& dataset_dir) {
+  std::vector<AxisValue> values;
+  for (const auto& path : spec::list_trace_csvs(dataset_dir)) {
+    auto source = spec::load_power_trace_csv(path);
+    std::string label = source.label;
+    values.push_back(AxisValue{std::move(label),
+                               [source = std::move(source)](spec::SystemSpec& s) {
+                                 s.source = source;
+                               }});
+  }
+  return axis(std::move(name), std::move(values));
 }
 
 Grid& Grid::workload_seed_axis(const std::vector<std::uint64_t>& seeds) {

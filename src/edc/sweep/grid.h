@@ -69,6 +69,22 @@ class Grid {
   /// workloads).
   Grid& workload_seed_axis(const std::vector<std::uint64_t>& seeds);
 
+  /// Axis over a measured-dataset directory: one value per "*.csv" file in
+  /// `dataset_dir` (sorted by filename; see spec::list_trace_csvs), each
+  /// setting spec.source to the loaded "time,volts" trace behind the
+  /// rectifier front-end. Labels are the file basenames, so reports, cache
+  /// keys and shard CSVs name the dataset file directly — the paper's
+  /// measured-source comparisons become one-liners:
+  ///
+  ///   grid.voltage_trace_dir_axis("harvester", "datasets/")
+  ///       .capacitance_axis({10e-6, 47e-6});
+  Grid& voltage_trace_dir_axis(std::string name, const std::string& dataset_dir,
+                               Ohms series_resistance = 50.0);
+
+  /// As voltage_trace_dir_axis, for "time,watts" traces feeding the
+  /// harvester-converter front-end.
+  Grid& power_trace_dir_axis(std::string name, const std::string& dataset_dir);
+
   /// Number of points: the product of the axis sizes (1 = just the base).
   [[nodiscard]] std::size_t size() const noexcept;
   [[nodiscard]] const std::vector<Axis>& axes() const noexcept { return axes_; }

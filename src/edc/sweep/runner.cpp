@@ -78,6 +78,24 @@ std::vector<sim::SimResult> Runner::run_shard(const Grid& grid, const Shard& sha
   return rows;
 }
 
+std::vector<sim::SimResult> Runner::run_assignment(const Grid& grid,
+                                                   const ShardAssignment& assignment,
+                                                   std::size_t shard_index,
+                                                   std::vector<double>* micros) const {
+  const std::vector<std::size_t>& owned = assignment.owned.at(shard_index);
+  // Row slot of global point i: its position in the (ascending) owned list.
+  std::vector<sim::SimResult> rows(owned.size());
+  if (micros != nullptr) micros->assign(rows.size(), 0.0);
+  for_each_point(grid, owned, [this, &owned, &rows, micros](const Point& point) {
+    const auto slot = static_cast<std::size_t>(
+        std::lower_bound(owned.begin(), owned.end(), point.index) - owned.begin());
+    double cost = 0.0;
+    rows[slot] = simulate_point(point, cost);
+    if (micros != nullptr) (*micros)[slot] = cost;
+  });
+  return rows;
+}
+
 int Runner::thread_count(std::size_t point_count) const noexcept {
   int threads = options_.threads;
   if (threads <= 0) {
@@ -97,12 +115,25 @@ void Runner::for_each_point(const Grid& grid,
 
 void Runner::for_each_point(const Grid& grid, const Shard& shard,
                             const std::function<void(const Point&)>& body) const {
-  const std::size_t count = shard.owned_count(grid.size());
-  if (count == 0) return;
   const auto global_index = [&shard](std::size_t position) {
     return shard.index + position * shard.count;
   };
+  pooled_for_each(grid, shard.owned_count(grid.size()), global_index, body);
+}
 
+void Runner::for_each_point(const Grid& grid, const std::vector<std::size_t>& points,
+                            const std::function<void(const Point&)>& body) const {
+  const auto global_index = [&points](std::size_t position) {
+    return points[position];
+  };
+  pooled_for_each(grid, points.size(), global_index, body);
+}
+
+template <typename IndexFn>
+void Runner::pooled_for_each(const Grid& grid, std::size_t count,
+                             const IndexFn& global_index,
+                             const std::function<void(const Point&)>& body) const {
+  if (count == 0) return;
   const int threads = thread_count(count);
   if (threads == 1) {
     for (std::size_t i = 0; i < count; ++i) body(grid.point(global_index(i)));

@@ -69,7 +69,8 @@ class Runner {
   /// When `micros` is non-null it receives one wall-time entry per row:
   /// the microseconds the point's simulation took on this run, or — for a
   /// cache hit — the cost recorded when the point was first simulated
-  /// (ROADMAP: the input to cost-weighted shard scheduling).
+  /// (the input ShardAssignment::balanced turns into an LPT partition for
+  /// run_assignment()).
   [[nodiscard]] std::vector<sim::SimResult> run(
       const Grid& grid, std::vector<double>* micros = nullptr) const;
 
@@ -78,6 +79,16 @@ class Runner {
   /// k-of-N results of a full partition merge back into the run() rows.
   [[nodiscard]] std::vector<sim::SimResult> run_shard(
       const Grid& grid, const Shard& shard,
+      std::vector<double>* micros = nullptr) const;
+
+  /// The cost-weighted re-run path: as run_shard(), but for slice
+  /// `shard_index` of an explicit ShardAssignment (e.g. the LPT partition
+  /// ShardAssignment::balanced builds from a previous run's `micros` — a
+  /// warm cached grid replays them without simulating). Rows are returned
+  /// in the slice's ascending global-point order; the slices of a full
+  /// assignment cover the run() rows exactly once.
+  [[nodiscard]] std::vector<sim::SimResult> run_assignment(
+      const Grid& grid, const ShardAssignment& assignment, std::size_t shard_index,
       std::vector<double>* micros = nullptr) const;
 
   /// As run(), but maps each completed simulation through `fn` inside the
@@ -112,6 +123,11 @@ class Runner {
   void for_each_point(const Grid& grid, const Shard& shard,
                       const std::function<void(const Point&)>& body) const;
 
+  /// As for_each_point, over an explicit list of global point indices
+  /// (each must be < grid.size()).
+  void for_each_point(const Grid& grid, const std::vector<std::size_t>& points,
+                      const std::function<void(const Point&)>& body) const;
+
   /// The pool size a grid of `point_count` points would run with.
   [[nodiscard]] int thread_count(std::size_t point_count) const noexcept;
 
@@ -120,6 +136,14 @@ class Runner {
   /// receives the point's wall-time cost (see run()).
   [[nodiscard]] sim::SimResult simulate_point(const Point& point,
                                               double& micros) const;
+
+  /// The shared thread-pool driver: executes body(grid.point(
+  /// global_index(p))) for p in [0, count) across the pool; first worker
+  /// exception rethrown on the calling thread after the pool drains.
+  template <typename IndexFn>
+  void pooled_for_each(const Grid& grid, std::size_t count,
+                       const IndexFn& global_index,
+                       const std::function<void(const Point&)>& body) const;
 
   RunnerOptions options_;
 };

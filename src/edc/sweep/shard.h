@@ -56,4 +56,41 @@ struct Shard {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Cost-weighted shard scheduling (ROADMAP): an explicit partition of a
+/// grid's points into shards, built from the measured per-point wall times
+/// a previous run recorded (Runner::run(grid, &micros); cache hits replay
+/// the point's original cost, so a warm grid re-shards for free).
+///
+/// Index striding balances only when per-point cost varies smoothly along
+/// the grid; one expensive corner (a long brown-out tail, a slow policy)
+/// can make one stride-shard the straggler. balanced() runs LPT
+/// (longest-processing-time-first): points in descending cost order, each
+/// to the currently least-loaded shard — a classic 4/3-approximation of
+/// the optimal makespan, deterministic here so every process computes the
+/// identical partition from the identical timing vector.
+struct ShardAssignment {
+  /// owned[k] = ascending global indices shard k simulates. Every point
+  /// appears exactly once across the shards.
+  std::vector<std::vector<std::size_t>> owned;
+
+  [[nodiscard]] std::size_t count() const noexcept { return owned.size(); }
+
+  /// The index-striding fallback partition: shard k owns i % count == k,
+  /// identical to Shard::owned_points for every k.
+  static ShardAssignment striding(std::size_t grid_size, std::size_t count);
+
+  /// LPT-balanced partition of `micros` (one positive cost per grid
+  /// point). Ties break deterministically (lower point index first, lower
+  /// shard index on equal load). Falls back to striding(micros.size(),
+  /// count) when timings are absent: an empty vector or any non-positive
+  /// entry (a point that never ran has no measured cost).
+  static ShardAssignment balanced(const std::vector<double>& micros,
+                                  std::size_t count);
+
+  /// Predicted wall time of the slowest shard under per-point costs
+  /// `micros` — what LPT minimises; lets callers report the expected
+  /// balance win before launching processes.
+  [[nodiscard]] double makespan(const std::vector<double>& micros) const;
+};
+
 }  // namespace edc::sweep

@@ -38,6 +38,13 @@ class BurstTaskPolicy final : public checkpoint::PolicyBase {
   void on_boundary(mcu::Mcu& mcu, workloads::Boundary boundary, Seconds t) override;
   void on_save_complete(mcu::Mcu& mcu, Seconds t) override;
 
+  /// Between bursts the device waits for the VTASK comparator (or a
+  /// brown-out) and nothing else, so quiescent spans are plannable.
+  [[nodiscard]] bool wakes_only_by_comparator(mcu::McuState state) const override {
+    return state == mcu::McuState::sleep || state == mcu::McuState::wait ||
+           state == mcu::McuState::done;
+  }
+
   [[nodiscard]] std::string name() const override { return "burst"; }
 
   [[nodiscard]] Volts wake_threshold() const noexcept { return v_wake_; }

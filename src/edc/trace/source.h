@@ -51,7 +51,7 @@ class VoltageSource {
   /// Thevenin series resistance (> 0).
   [[nodiscard]] virtual Ohms series_resistance() const = 0;
 
-  /// Activity hint for event-horizon macro-stepping (sim::MacroStepper):
+  /// Activity hint for event-horizon macro-stepping (sim::QuiescentEngine):
   /// the latest time u >= t such that open_circuit_voltage is *guaranteed*
   /// to stay within [floor, ceiling] at every instant of [t, u). Returning
   /// t claims nothing (the caller must sample); kNeverActive promises the

@@ -140,7 +140,7 @@ class WaveformVoltageSource final : public VoltageSource {
   [[nodiscard]] Ohms series_resistance() const override { return r_series_; }
   /// Backed by a nonzero-segment index built over the trace at
   /// construction: answers exactly where the recording is identically zero
-  /// (which is what the macro stepper's band queries need).
+  /// (which is what the quiescent engine's band queries need).
   [[nodiscard]] Seconds bounded_until(Volts floor, Volts ceiling,
                                       Seconds t) const override;
   [[nodiscard]] std::string name() const override { return name_; }

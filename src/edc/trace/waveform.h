@@ -65,7 +65,7 @@ class Waveform {
 
 /// Precomputed nonzero-segment index over a Waveform, for O(log n) activity
 /// queries by trace-backed sources (the driver hints behind
-/// sim::MacroStepper's event horizons).
+/// sim::QuiescentEngine's event horizons).
 ///
 /// A sample cell [i, i+1] is *active* when either endpoint sample is
 /// nonzero — with linear interpolation the waveform is identically zero on

@@ -4,6 +4,7 @@
 // partitions loudly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -194,6 +195,80 @@ TEST(Shard, ShardedRunnerComposesWithEmptyShards) {
   std::ostringstream merged;
   sweep::merge_shard_csvs(shard_texts, merged);
   EXPECT_EQ(merged.str(), serial_text);
+}
+
+// ------------------------------------- cost-weighted shard scheduling ----
+
+TEST(ShardAssignment, StridingMatchesShardOwnership) {
+  const auto assignment = sweep::ShardAssignment::striding(11, 3);
+  ASSERT_EQ(assignment.count(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(assignment.owned[k], (sweep::Shard{k, 3}.owned_points(11)));
+  }
+}
+
+TEST(ShardAssignment, BalancedBeatsStridingOnSkewedCosts) {
+  // One pathological straggler point plus uniform cheap points: striding
+  // stacks the straggler on top of a full stride of cheap work, LPT gives
+  // the straggler a shard of its own.
+  std::vector<double> micros(12, 100.0);
+  micros[0] = 1000.0;
+  const auto lpt = sweep::ShardAssignment::balanced(micros, 3);
+  const auto strided = sweep::ShardAssignment::striding(micros.size(), 3);
+  EXPECT_LT(lpt.makespan(micros), strided.makespan(micros));
+  // LPT bound: within 4/3 of the ideal split (here the straggler alone).
+  EXPECT_LE(lpt.makespan(micros), 1000.0 + 100.0);
+
+  // Every point owned exactly once.
+  std::vector<std::size_t> all;
+  for (const auto& points : lpt.owned) {
+    EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+    all.insert(all.end(), points.begin(), points.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<std::size_t> expected(micros.size());
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(all, expected);
+
+  // Deterministic: the identical timing vector yields the identical plan.
+  const auto again = sweep::ShardAssignment::balanced(micros, 3);
+  EXPECT_EQ(lpt.owned, again.owned);
+}
+
+TEST(ShardAssignment, FallsBackToStridingWithoutTimings) {
+  // Timings absent entirely, or incomplete (a never-simulated point has no
+  // positive cost): both degrade to index striding.
+  const auto empty = sweep::ShardAssignment::balanced({}, 2);
+  EXPECT_EQ(empty.owned, sweep::ShardAssignment::striding(0, 2).owned);
+
+  std::vector<double> partial(6, 50.0);
+  partial[4] = 0.0;
+  const auto fallback = sweep::ShardAssignment::balanced(partial, 2);
+  EXPECT_EQ(fallback.owned, sweep::ShardAssignment::striding(6, 2).owned);
+}
+
+TEST(ShardAssignment, RunAssignmentMatchesRunBitIdentically) {
+  // The cost-weighted re-run path: rows of every LPT slice must be the
+  // exact rows of the unsharded run, in each slice's ascending order.
+  const sweep::Grid grid = two_axis_grid();
+  const sweep::Runner runner;
+  std::vector<double> micros;
+  const auto serial = runner.run(grid, &micros);
+  ASSERT_EQ(micros.size(), grid.size());
+
+  const auto assignment = sweep::ShardAssignment::balanced(micros, 3);
+  std::size_t covered = 0;
+  for (std::size_t k = 0; k < assignment.count(); ++k) {
+    const auto rows = runner.run_assignment(grid, assignment, k);
+    ASSERT_EQ(rows.size(), assignment.owned[k].size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(sim::serialize_result(rows[i]),
+                sim::serialize_result(serial[assignment.owned[k][i]]))
+          << "shard " << k << " row " << i;
+    }
+    covered += rows.size();
+  }
+  EXPECT_EQ(covered, grid.size());
 }
 
 }  // namespace

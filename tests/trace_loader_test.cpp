@@ -3,6 +3,7 @@
 // and therefore cache/shard exactly like synthetic sources.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -84,6 +85,70 @@ TEST(TraceLoader, LoadedTracesAreCacheableSpecData) {
   auto system = spec::instantiate(s);
   const sim::SimResult result = system.run();
   EXPECT_GT(result.harvested, 0.0);
+}
+
+/// Builds a throwaway dataset directory with a few uniformly-sampled
+/// voltage CSVs (plus a non-CSV distractor).
+std::string make_dataset_dir(const std::string& name) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto write = [&dir](const std::string& file, double scale) {
+    std::ofstream out(dir / file, std::ios::trunc);
+    out << "time,volts\n";
+    for (int i = 0; i < 8; ++i) {
+      out << i * 0.1 << ',' << scale * (i % 4 == 0 ? 0.0 : 3.0) << '\n';
+    }
+  };
+  write("b_office.csv", 1.0);
+  write("a_window.csv", 1.5);
+  write("c_lab.csv", 0.5);
+  std::ofstream(dir / "README.txt", std::ios::trunc) << "not a trace\n";
+  return dir.string();
+}
+
+TEST(TraceLoader, ListTraceCsvsSortsAndValidates) {
+  const std::string dir = make_dataset_dir("dataset_list");
+  const auto paths = spec::list_trace_csvs(dir);
+  ASSERT_EQ(paths.size(), 3u);  // README.txt skipped
+  // Sorted by filename, so every process enumerates identically.
+  EXPECT_NE(paths[0].find("a_window.csv"), std::string::npos);
+  EXPECT_NE(paths[1].find("b_office.csv"), std::string::npos);
+  EXPECT_NE(paths[2].find("c_lab.csv"), std::string::npos);
+
+  EXPECT_THROW((void)spec::list_trace_csvs(dir + "/does_not_exist"),
+               std::invalid_argument);
+  const std::string empty_dir = std::string(testing::TempDir()) + "/dataset_empty";
+  std::filesystem::create_directories(empty_dir);
+  EXPECT_THROW((void)spec::list_trace_csvs(empty_dir), std::invalid_argument);
+}
+
+TEST(TraceLoader, TraceDirAxisMakesDatasetComparisonsOneLiners) {
+  const std::string dir = make_dataset_dir("dataset_axis");
+
+  spec::SystemSpec base;
+  base.storage.capacitance = 22e-6;
+  base.workload.kind = "sense";
+  base.sim.t_end = 0.3;
+
+  sweep::Grid grid(base);
+  grid.voltage_trace_dir_axis("harvester", dir).capacitance_axis({10e-6, 22e-6});
+  ASSERT_EQ(grid.size(), 6u);  // 3 datasets x 2 capacitances
+  ASSERT_EQ(grid.axes()[0].name, "harvester");
+  // Labels are the dataset file basenames, in sorted order.
+  EXPECT_EQ(grid.axes()[0].values[0].label, "a_window.csv");
+  EXPECT_EQ(grid.axes()[0].values[1].label, "b_office.csv");
+  EXPECT_EQ(grid.axes()[0].values[2].label, "c_lab.csv");
+
+  // Every point carries its dataset as plain spec data: cacheable and
+  // simulable like any synthetic source.
+  const auto point = grid.point(0);
+  EXPECT_EQ(point.labels[0], "a_window.csv");
+  EXPECT_TRUE(spec::is_cacheable(point.spec));
+  const auto rows = sweep::Runner().run(grid);
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& row : rows) EXPECT_GT(row.harvested, 0.0);
 }
 
 TEST(TraceLoader, VoltageTraceSweepsLikeAnyOtherSource) {
