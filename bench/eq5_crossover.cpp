@@ -25,6 +25,19 @@
 // the normal report; --cache memoises either mode; --t-end shortens the
 // horizon for smoke tests (shape checks are skipped — they are tuned for
 // the full 20 s horizon).
+//
+// --shard-plan TIMING.csv closes the cost-weighted sharding loop (ROADMAP)
+// end to end: an unsharded run *emits* the per-point timing CSV
+// ("index,micros" — measured, or replayed from the cache on a warm grid),
+// and a --shard k/N run *consumes* it, replacing index striding with the
+// LPT-balanced partition of sweep::ShardAssignment::balanced. Every shard
+// process computes the identical partition from the identical file, and
+// the v2 shard CSVs merge through sweep_merge exactly like striding ones:
+//
+//   eq5_crossover --csv base.csv --cache c --shard-plan timing.csv   # emit
+//   eq5_crossover --shard 0/2 --csv a.csv --cache c --shard-plan timing.csv
+//   eq5_crossover --shard 1/2 --csv b.csv --cache c --shard-plan timing.csv
+//   sweep_merge merged.csv a.csv b.csv     # == base.csv, LPT-balanced run
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +75,73 @@ double joules_per_mcycle(const sim::SimResult& result) {
   return result.mcu.energy_total() / (result.mcu.forward_cycles / 1e6);
 }
 
+/// Writes the "index,micros" timing plan a later --shard run consumes.
+bool write_shard_plan(const char* path, const std::vector<double>& micros) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path);
+    return false;
+  }
+  out << "index,micros\n";
+  for (std::size_t i = 0; i < micros.size(); ++i) {
+    out << i << ',' << micros[i] << '\n';
+  }
+  if (!out.good()) {
+    std::fprintf(stderr, "write to '%s' failed\n", path);
+    return false;
+  }
+  return true;
+}
+
+/// Reads the timing plan back: one positive cost per grid point, every
+/// index covered exactly once. Loud failure — a stale or truncated plan
+/// must never silently degrade into a partial partition (the merge would
+/// reject the mismatched shards anyway, but this fails with the reason).
+bool read_shard_plan(const char* path, std::size_t grid_size,
+                     std::vector<double>& micros) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open shard plan '%s' (run unsharded with "
+                 "--shard-plan first to emit it)\n", path);
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != "index,micros") {
+    std::fprintf(stderr, "'%s' is not a shard plan (bad header)\n", path);
+    return false;
+  }
+  micros.assign(grid_size, 0.0);
+  std::vector<bool> covered(grid_size, false);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    char* end = nullptr;
+    const unsigned long long index = std::strtoull(line.c_str(), &end, 10);
+    if (end == line.c_str() || *end != ',' || index >= grid_size) {
+      std::fprintf(stderr, "bad shard-plan row in '%s': %s\n", path, line.c_str());
+      return false;
+    }
+    const double cost = std::strtod(end + 1, &end);
+    if (*end != '\0' || !(cost > 0.0)) {
+      std::fprintf(stderr, "bad shard-plan cost in '%s': %s\n", path, line.c_str());
+      return false;
+    }
+    if (covered[index]) {
+      std::fprintf(stderr, "duplicate shard-plan index %llu in '%s'\n", index, path);
+      return false;
+    }
+    covered[index] = true;
+    micros[index] = cost;
+  }
+  for (std::size_t i = 0; i < grid_size; ++i) {
+    if (!covered[i]) {
+      std::fprintf(stderr, "shard plan '%s' misses point %zu (grid has %zu "
+                   "points — stale plan?)\n", path, i, grid_size);
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,6 +149,7 @@ int main(int argc, char** argv) {
   std::optional<sweep::Cache> cache;
   const char* csv_path = nullptr;
   const char* timing_csv_path = nullptr;
+  const char* shard_plan_path = nullptr;
   double t_end = 20.0;
   bool t_end_overridden = false;
   bool macro = false;
@@ -79,6 +160,8 @@ int main(int argc, char** argv) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--timing-csv") == 0 && i + 1 < argc) {
       timing_csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shard-plan") == 0 && i + 1 < argc) {
+      shard_plan_path = argv[++i];
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       cache.emplace(argv[++i]);
     } else if (std::strcmp(argv[i], "--macro") == 0) {
@@ -97,7 +180,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--shard k/N] [--csv FILE] [--timing-csv FILE] "
-                   "[--cache DIR] [--macro] [--t-end SECONDS]\n",
+                   "[--shard-plan FILE] [--cache DIR] [--macro] "
+                   "[--t-end SECONDS]\n",
                    argv[0]);
       return 2;
     }
@@ -160,14 +244,39 @@ int main(int argc, char** argv) {
 
   if (shard.has_value()) {
     // Shard mode: simulate the owned slice, emit the mergeable CSV, done.
+    // With a --shard-plan, ownership comes from the LPT-balanced partition
+    // of the plan's measured per-point costs instead of index striding —
+    // every shard process derives the identical partition from the
+    // identical file, so the slices still cover the grid exactly once.
     std::vector<double> shard_micros;
-    const auto rows = runner.run_shard(grid, *shard, &shard_micros);
+    std::vector<sim::SimResult> rows;
+    std::optional<sweep::ShardAssignment> assignment;
+    std::size_t owned_count = 0;
+    if (shard_plan_path != nullptr) {
+      std::vector<double> plan;
+      if (!read_shard_plan(shard_plan_path, grid.size(), plan)) return 1;
+      assignment = sweep::ShardAssignment::balanced(plan, shard->count);
+      rows = runner.run_assignment(grid, *assignment, shard->index, &shard_micros);
+      owned_count = assignment->owned[shard->index].size();
+      std::fprintf(stderr,
+                   "shard plan '%s': LPT makespan %.0f us vs striding %.0f us\n",
+                   shard_plan_path, assignment->makespan(plan),
+                   sweep::ShardAssignment::striding(grid.size(), shard->count)
+                       .makespan(plan));
+    } else {
+      rows = runner.run_shard(grid, *shard, &shard_micros);
+      owned_count = shard->owned_count(grid.size());
+    }
     std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "cannot open '%s' for writing\n", csv_path);
       return 1;
     }
-    sweep::write_shard_csv(out, grid, *shard, rows);
+    if (assignment.has_value()) {
+      sweep::write_assignment_shard_csv(out, grid, *assignment, shard->index, rows);
+    } else {
+      sweep::write_shard_csv(out, grid, *shard, rows);
+    }
     if (!out.good()) {
       std::fprintf(stderr, "write to '%s' failed\n", csv_path);
       return 1;
@@ -183,7 +292,9 @@ int main(int argc, char** argv) {
         return 1;
       }
       timing << "index,micros\n";
-      const auto owned = shard->owned_points(grid.size());
+      const std::vector<std::size_t> owned =
+          assignment.has_value() ? assignment->owned[shard->index]
+                                 : shard->owned_points(grid.size());
       for (std::size_t pos = 0; pos < owned.size(); ++pos) {
         timing << owned[pos] << ',' << shard_micros[pos] << '\n';
       }
@@ -193,8 +304,9 @@ int main(int argc, char** argv) {
       }
     }
     report_cache();
-    std::printf("shard %s: simulated %zu of %zu points -> %s\n",
-                shard->to_string().c_str(), shard->owned_count(grid.size()),
+    std::printf("shard %s%s: simulated %zu of %zu points -> %s\n",
+                shard->to_string().c_str(),
+                assignment.has_value() ? " (LPT plan)" : "", owned_count,
                 grid.size(), csv_path);
     return 0;
   }
@@ -214,6 +326,15 @@ int main(int argc, char** argv) {
   std::vector<double> micros;
   const auto results = runner.run(grid, &micros);
   report_cache();
+
+  if (shard_plan_path != nullptr) {
+    // Emit the timing plan for LPT-balanced --shard re-runs (cache hits
+    // replay each point's original cost, so a warm grid re-emits the same
+    // plan without simulating).
+    if (!write_shard_plan(shard_plan_path, micros)) return 1;
+    std::fprintf(stderr, "shard plan -> %s (%zu points)\n", shard_plan_path,
+                 micros.size());
+  }
 
   if (csv_path != nullptr) {
     std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);

@@ -1,7 +1,7 @@
 // Shared Fig 7 scenario specs for the bench programs.
 //
 // fig7_hibernus_fft --macro gates the harvesting-gap speedup on the same
-// scenario BM_MacroPair/Fig7Gapped_* records in BENCH_4.json
+// scenario BM_MacroPair/Fig7Gapped_* records in BENCH_5.json
 // (bench/perf_micro.cpp); one definition keeps the gate and the recorded
 // trajectory comparable by construction.
 #pragma once
@@ -32,7 +32,10 @@ inline edc::spec::SystemSpec base_spec() {
 /// The system across harvesting gaps: the 6 Hz sine arriving in 0.5 s
 /// bursts every 10 s with the paper's decay-to-zero intervals in between
 /// (save -> sleep -> brown-out -> dead node), surveyed over 20 s. The
-/// quiescent engine's sleep/off/dead spans collapse the gaps to O(1).
+/// quiescent engine's sleep/off/dead spans collapse the gaps to O(1) and
+/// the trace's quiet-segment index claims the sub-conduction arcs inside
+/// each burst. Unprobed, like a sweep at scale would run it (probe
+/// lock-step has its own differential coverage in tests/macro_step_test).
 inline edc::spec::SystemSpec gapped_spec() {
   const auto wave = edc::trace::Waveform::sample(
       [](edc::Seconds t) {
@@ -44,7 +47,23 @@ inline edc::spec::SystemSpec gapped_spec() {
   s.source = edc::spec::VoltageTraceSource{wave, 50.0, "fig7-gapped"};
   s.sim.t_end = 20.0;
   s.sim.stop_on_completion = false;  // survey the whole gap structure
-  s.sim.probe_interval = 0.5e-3;
+  return s;
+}
+
+/// The charge-ramp survey: the same design point fed 0.5 s *DC* bursts
+/// every 10 s (a bench supply gated on/off — SquareVoltageSource's exact
+/// phase arithmetic certifies each burst as one constant window). Every
+/// regime is then analytic: the burst's charging ramp jumps to the
+/// power-on / V_R rising crossing (circuit::ChargeSolution), the parked
+/// equilibrium rides to the burst's end, and the gap decays as in
+/// gapped_spec — only boot/active/save/restore steps run finely. This is
+/// the scenario class the charge-span planner exists for, and the pair
+/// BM_MacroPair/Fig7ChargeRamp_* records in BENCH_5.json.
+inline edc::spec::SystemSpec charge_ramp_spec() {
+  edc::spec::SystemSpec s = base_spec();
+  s.source = edc::spec::SquareSource{3.3, 0.1, 0.05, 0.0, 50.0};
+  s.sim.t_end = 20.0;
+  s.sim.stop_on_completion = false;
   return s;
 }
 

@@ -13,16 +13,28 @@
 // (SimConfig::macro_stepping), reports the wall-clock speedup and the
 // macro-vs-fine deltas, and then validates the *macro* results against the
 // Fig 8 shape checks — the governed leg of the accuracy contract
-// (BENCH_4.json tracks the same pair as BM_MacroPair/Fig8Wind_*).
+// (BENCH_5.json tracks the same pair as BM_MacroPair/Fig8Wind_*). It also
+// runs the *wind survey*: the same design point riding the turbine's
+// native multi-gust schedule (one gust every ~10 s) for 30 s — the Fig
+// 8-class regime where the stochastic source used to publish no quiet
+// hints at all and macro-stepping sat at ~1.0x. The wind source's
+// quiet-segment index (built per seed over the gust schedule) claims the
+// inter-gust gaps, the stalled stretches and the sub-conduction arcs, and
+// the survey speedup is gated so the index can never silently regress
+// (BM_MacroPair/Fig8WindSurvey_* records the same pair).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <limits>
 
 #include "edc/core/system.h"
 #include "edc/sim/ascii_plot.h"
 #include "edc/sim/table.h"
+#include "edc/spec/system_spec.h"
 #include "edc/workloads/crc32.h"
+#include "fig8_scenarios.h"
+#include "macro_survey.h"
 
 using namespace edc;
 
@@ -37,31 +49,14 @@ void check(bool ok, const char* what) {
 
 sim::SimResult run_once(bool with_governor, trace::TraceSet* probes_out,
                         bool macro = false, double* wall_ms = nullptr) {
-  core::SystemBuilder builder;
-  trace::WindTurbineSource::Params wind;
-  wind.peak_voltage = 5.0;
-  wind.peak_frequency = 6.0;
-  sim::SimConfig config;
-  config.t_end = 6.0;
-  config.stop_on_completion = false;  // observe the whole gust
-  config.probe_interval = 1e-3;
-  config.macro_stepping = macro;
-  builder.wind_source(wind, /*seed=*/3, /*horizon=*/6.0)
-      .capacitance(47e-6)
-      .bleed(10000.0)
-      .program(std::make_unique<workloads::Crc32Program>(512 * 1024, 9))
-      .policy_hibernus()
-      .sim_config(config);
-  if (with_governor) {
-    neutral::McuDfsGovernor::Config governor;
-    governor.v_ref = 2.9;
-    governor.band = 0.2;
-    governor.period = 2e-3;
-    builder.governor_power_neutral(governor);
-  }
-  auto system = builder.build();
+  // bench/fig8_scenarios.h: the governed leg is the exact scenario
+  // BM_MacroPair/Fig8Wind_* records in BENCH_5.json.
+  spec::SystemSpec s =
+      with_governor ? fig8::governed_figure_spec() : fig8::figure_spec();
+  s.sim.macro_stepping = macro;
+  auto system = spec::instantiate(s);
   const auto start = std::chrono::steady_clock::now();
-  auto result = system.run(6.0);
+  auto result = system.run();
   if (wall_ms != nullptr) {
     *wall_ms = std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - start)
@@ -118,12 +113,45 @@ int main(int argc, char** argv) {
                 pn_ms, pn_fine_ms, pn_fine_ms / pn_ms, fixed_ms, fixed_fine_ms,
                 fixed_fine_ms / fixed_ms);
     std::printf("deltas (PN): harvested %+.3g J, consumed %+.3g J, "
-                "saves %+lld, outages %+lld\n\n",
+                "saves %+lld, outages %+lld\n",
                 pn.harvested - pn_fine.harvested, pn.consumed - pn_fine.consumed,
                 static_cast<long long>(pn.mcu.saves_completed) -
                     static_cast<long long>(pn_fine.mcu.saves_completed),
                 static_cast<long long>(pn.mcu.brownouts) -
                     static_cast<long long>(pn_fine.mcu.brownouts));
+
+    // Wind survey: the turbine's native multi-gust schedule over 30 s —
+    // the Fig 8-class regime that sat at ~1.0x while the wind source
+    // published no quiet hints. The quiet-segment index claims inter-gust
+    // gaps, stalled stretches and sub-conduction arcs.
+    sim::SimResult survey_macro, survey_fine;
+    // bench/macro_survey.h owns the best-of-N timing loop; the survey is
+    // the exact scenario BM_MacroPair/Fig8WindSurvey_* records in
+    // BENCH_5.json (bench/fig8_scenarios.h).
+    const double survey_macro_ms = macro_survey::wall_millis(
+        fig8::wind_survey_spec(), survey_macro, true, /*repeats=*/3);
+    const double survey_fine_ms = macro_survey::wall_millis(
+        fig8::wind_survey_spec(), survey_fine, false, /*repeats=*/2);
+    const double survey_speedup = survey_fine_ms / survey_macro_ms;
+    std::printf("wind survey (multi-gust, 30 s horizon): %.1f ms vs %.1f ms "
+                "fine (%.1fx, %.1f%% of steps analytic); deltas: harvested "
+                "%+.3g J, consumed %+.3g J\n\n",
+                survey_macro_ms, survey_fine_ms, survey_speedup,
+                100.0 * macro_survey::span_coverage(survey_macro),
+                survey_macro.harvested - survey_fine.harvested,
+                survey_macro.consumed - survey_fine.consumed);
+    // An uncontended Release build measures ~5x here (BENCH_5.json); the
+    // hard gate sits at 3x so scheduler noise on a shared CI runner cannot
+    // flake the job while a regression to the hint-less ~1.0x class still
+    // fails loudly.
+    check(survey_speedup >= 3.0,
+          "wind-survey macro speedup is in the >=5x class "
+          "(hard gate at 3x for contended-runner headroom)");
+    check(survey_macro.mcu.boots == survey_fine.mcu.boots &&
+              survey_macro.mcu.brownouts == survey_fine.mcu.brownouts &&
+              survey_macro.mcu.saves_completed == survey_fine.mcu.saves_completed &&
+              survey_macro.transitions.size() == survey_fine.transitions.size(),
+          "wind-survey event sequence matches the fine path");
   }
 
   const auto* vcc = pn_probes.find("vcc");

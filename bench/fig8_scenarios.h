@@ -1,0 +1,70 @@
+// Shared Fig 8 scenario specs for the bench programs.
+//
+// fig8_hibernus_pn --macro gates the wind-survey speedup on the same
+// scenario BM_MacroPair/Fig8WindSurvey_* records in BENCH_5.json
+// (bench/perf_micro.cpp); one definition keeps the gate and the recorded
+// trajectory comparable by construction (the fig7_scenarios.h pattern).
+#pragma once
+
+#include <memory>
+
+#include "edc/neutral/dfs_governor.h"
+#include "edc/spec/system_spec.h"
+#include "edc/trace/voltage_sources.h"
+#include "edc/workloads/crc32.h"
+
+namespace fig8 {
+
+/// The Fig 8 design point: the micro wind turbine (5 V peak EMF, 6 Hz
+/// electrical at the gust peak) into a 47 uF node with a 10 kOhm board
+/// bleed, hibernus running a CRC over 512 KiB (the figure's workload is
+/// big enough to span the whole gust, so it rides the AC troughs instead
+/// of finishing early).
+inline edc::spec::SystemSpec base_spec(edc::Seconds horizon,
+                                       std::uint64_t seed) {
+  edc::spec::SystemSpec s;
+  edc::trace::WindTurbineSource::Params wind;
+  wind.peak_voltage = 5.0;
+  wind.peak_frequency = 6.0;
+  s.source = edc::spec::WindSource{wind, seed, horizon};
+  s.storage.capacitance = 47e-6;
+  s.storage.bleed = 10000.0;
+  s.workload.factory = [] {
+    return std::make_unique<edc::workloads::Crc32Program>(512 * 1024, 9);
+  };
+  s.sim.t_end = horizon;
+  s.sim.stop_on_completion = false;  // observe the whole wind schedule
+  return s;
+}
+
+/// The single-gust figure window (paper Fig 8): 6 s, probed, with the DFS
+/// governor of the hibernus-PN configuration attached by the bench.
+inline edc::spec::SystemSpec figure_spec() {
+  edc::spec::SystemSpec s = base_spec(6.0, /*seed=*/3);
+  s.sim.probe_interval = 1e-3;
+  return s;
+}
+
+/// The governed figure pair BM_MacroPair/Fig8Wind_* records: figure_spec
+/// plus the hibernus-PN governor (sleep spans capped at its 2 ms period).
+inline edc::spec::SystemSpec governed_figure_spec() {
+  edc::spec::SystemSpec s = figure_spec();
+  edc::neutral::McuDfsGovernor::Config governor;
+  governor.v_ref = 2.9;
+  governor.band = 0.2;
+  governor.period = 2e-3;
+  s.governor = governor;
+  return s;
+}
+
+/// The wind survey: the same system riding the turbine's native multi-gust
+/// schedule (~10 s gust spacing, seeded) for 30 s, unprobed, ungoverned —
+/// the Fig 8-class regime the stochastic quiet-segment index exists for.
+/// Inter-gust gaps, stalled (below cut-in) stretches and sub-conduction
+/// arcs all become analytic spans; the remaining fine steps are the
+/// genuinely conducting arcs and the workload's own execution.
+inline edc::spec::SystemSpec wind_survey_spec() {
+  return base_spec(30.0, /*seed=*/3);
+}
+
+}  // namespace fig8

@@ -1,0 +1,49 @@
+// Shared measurement helpers for the --macro survey gates
+// (fig7_hibernus_fft, fig8_hibernus_pn): one definition of the
+// gate-critical best-of-N wall-clock loop so the CI gates cannot silently
+// diverge in how they time their legs.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "edc/core/system.h"
+#include "edc/spec/system_spec.h"
+
+namespace macro_survey {
+
+/// Best-of-`repeats` wall time (ms) of running `base` with macro stepping
+/// toggled; `result` receives the (deterministic) last run's results. The
+/// gated ratios divide two of these, so repeats only filter scheduler
+/// hiccups out of the measurement — a macro leg in the single-digit
+/// milliseconds would otherwise flake its gate on one preemption.
+/// Instantiation (source/index construction) is deliberately inside the
+/// timed window: it is part of the price a sweep pays per point.
+inline double wall_millis(const edc::spec::SystemSpec& base,
+                          edc::sim::SimResult& result, bool macro_stepping,
+                          int repeats) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < repeats; ++i) {
+    edc::spec::SystemSpec s = base;
+    s.sim.macro_stepping = macro_stepping;
+    auto system = edc::spec::instantiate(s);
+    const auto start = std::chrono::steady_clock::now();
+    result = system.run();
+    best = std::min(best, std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+  }
+  return best;
+}
+
+/// Fraction of the run's dt steps the quiescent engine covered
+/// analytically (the SimResult step-mix diagnostics).
+inline double span_coverage(const edc::sim::SimResult& result) {
+  const auto total = result.fine_steps + result.span_steps;
+  return total == 0 ? 0.0
+                    : static_cast<double>(result.span_steps) /
+                          static_cast<double>(total);
+}
+
+}  // namespace macro_survey

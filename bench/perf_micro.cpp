@@ -13,6 +13,7 @@
 #include "edc/trace/voltage_sources.h"
 #include "edc/workloads/program.h"
 #include "fig7_scenarios.h"
+#include "fig8_scenarios.h"
 
 using namespace edc;
 
@@ -152,28 +153,23 @@ BENCHMARK_CAPTURE(BM_MacroPair, RfIdle_macro, rf_idle_spec(), true)
 /// this pair tracks the sleep-speedup headline per push.
 spec::SystemSpec fig7_gapped_spec() { return fig7::gapped_spec(); }
 
-/// The Fig 8 configuration (micro wind turbine, hibernus-PN with the DFS
-/// governor): sleep spans here are capped by the governor period, so this
-/// pair tracks the governed macro path.
-spec::SystemSpec fig8_wind_spec() {
-  spec::SystemSpec s;
-  trace::WindTurbineSource::Params wind;
-  wind.peak_voltage = 5.0;
-  wind.peak_frequency = 6.0;
-  s.source = spec::WindSource{wind, 3, 6.0};
-  s.storage.capacitance = 47e-6;
-  s.storage.bleed = 10000.0;
-  s.workload.kind = "crc";
-  s.workload.seed = 9;
-  neutral::McuDfsGovernor::Config governor;
-  governor.v_ref = 2.9;
-  governor.band = 0.2;
-  governor.period = 2e-3;
-  s.governor = governor;
-  s.sim.t_end = 6.0;
-  s.sim.stop_on_completion = false;
-  return s;
-}
+/// The Fig 8 governed figure (micro wind turbine, hibernus-PN with the DFS
+/// governor — bench/fig8_scenarios.h): sleep spans here are capped by the
+/// governor period, so this pair tracks the governed macro path.
+spec::SystemSpec fig8_wind_spec() { return fig8::governed_figure_spec(); }
+
+/// The Fig 8 wind survey (bench/fig8_scenarios.h — the exact scenario the
+/// fig8_hibernus_pn --macro survey gates): the stochastic quiet-segment
+/// index claims the turbine's inter-gust gaps, stalled stretches and
+/// sub-conduction arcs, so this pair tracks the stochastic-source hints
+/// per push.
+spec::SystemSpec fig8_wind_survey_spec() { return fig8::wind_survey_spec(); }
+
+/// The Fig 7 charge-ramp survey (bench/fig7_scenarios.h — the exact
+/// scenario the fig7_hibernus_fft --macro survey gates): DC bursts make
+/// every charging ramp one analytic ChargeSolution span, so this pair
+/// tracks the charge-span planner per push.
+spec::SystemSpec fig7_charge_ramp_spec() { return fig7::charge_ramp_spec(); }
 
 BENCHMARK_CAPTURE(BM_MacroPair, Fig7Sine_fine, fig7_like_spec(), false)
     ->Unit(benchmark::kMillisecond);
@@ -183,9 +179,17 @@ BENCHMARK_CAPTURE(BM_MacroPair, Fig7Gapped_fine, fig7_gapped_spec(), false)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_MacroPair, Fig7Gapped_macro, fig7_gapped_spec(), true)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, Fig7ChargeRamp_fine, fig7_charge_ramp_spec(), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, Fig7ChargeRamp_macro, fig7_charge_ramp_spec(), true)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_MacroPair, Fig8Wind_fine, fig8_wind_spec(), false)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_MacroPair, Fig8Wind_macro, fig8_wind_spec(), true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, Fig8WindSurvey_fine, fig8_wind_survey_spec(), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MacroPair, Fig8WindSurvey_macro, fig8_wind_survey_spec(), true)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,43 @@
+# bench_gate end-to-end smoke (ctest `bench_gate_smoke`): drive the real CLI
+# against the committed google-benchmark fixture and check all three verdict
+# classes — gates that hold (exit 0), a gate the recorded ratio misses
+# (exit 1), and a gate naming a pair the file does not carry (exit 1).
+#
+# Invoked as:
+#   cmake -DGATE=<bench_gate> -DFIXTURE=<bench_gate_sample.json> -P this_file
+
+if(NOT GATE OR NOT FIXTURE)
+  message(FATAL_ERROR "usage: cmake -DGATE=... -DFIXTURE=... -P bench_gate_smoke.cmake")
+endif()
+
+# 1. Both recorded pairs clear their gates (60x and ~4.3x in the fixture).
+execute_process(
+  COMMAND ${GATE} ${FIXTURE} --gate BrownoutTail=8 --gate Fig8WindSurvey=3
+  RESULT_VARIABLE pass_result OUTPUT_VARIABLE pass_out)
+if(NOT pass_result EQUAL 0)
+  message(FATAL_ERROR "expected gates to pass, got exit ${pass_result}:\n${pass_out}")
+endif()
+if(NOT pass_out MATCHES "\\[PASS\\] BrownoutTail")
+  message(FATAL_ERROR "missing PASS verdict for BrownoutTail:\n${pass_out}")
+endif()
+
+# 2. An unreachable threshold must fail loudly.
+execute_process(
+  COMMAND ${GATE} ${FIXTURE} --gate Fig8WindSurvey=100
+  RESULT_VARIABLE fail_result OUTPUT_VARIABLE fail_out)
+if(fail_result EQUAL 0)
+  message(FATAL_ERROR "expected the 100x gate to fail:\n${fail_out}")
+endif()
+if(NOT fail_out MATCHES "\\[FAIL\\] Fig8WindSurvey")
+  message(FATAL_ERROR "missing FAIL verdict for Fig8WindSurvey:\n${fail_out}")
+endif()
+
+# 3. A pair the file does not record must fail, not silently pass.
+execute_process(
+  COMMAND ${GATE} ${FIXTURE} --gate NoSuchPair=2
+  RESULT_VARIABLE missing_result OUTPUT_VARIABLE missing_out)
+if(missing_result EQUAL 0)
+  message(FATAL_ERROR "expected the missing pair to fail:\n${missing_out}")
+endif()
+
+message(STATUS "bench_gate smoke: pass/fail/missing verdicts all correct")

@@ -1,6 +1,7 @@
 #include "edc/circuit/comparator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "edc/circuit/supply_node.h"
@@ -85,6 +86,25 @@ Seconds ComparatorBank::plan_falling_crossing(const DecaySolution& decay,
   if (highest < 0.0) return std::numeric_limits<Seconds>::infinity();
   if (trip_out != nullptr) *trip_out = highest;
   return decay.time_to_reach(highest);
+}
+
+Seconds ComparatorBank::plan_rising_crossing(const ChargeSolution& charge,
+                                             Volts* trip_out) const {
+  // The rise is monotone, so the earliest crossing belongs to the lowest
+  // relevant trip; tracking the min trip and converting once keeps the
+  // time/trip pair consistent.
+  Volts lowest = std::numeric_limits<Volts>::infinity();
+  for (const auto& comparator : comparators_) {
+    if (comparator.output()) continue;  // falling trips cannot fire on a rise
+    const Volts trip = comparator.rising_trip();
+    // update() needs v_prev strictly below the trip; a rise starting at or
+    // above it can never supply that, so such comparators stay latched.
+    if (trip <= charge.v0) continue;
+    lowest = std::min(lowest, trip);
+  }
+  if (std::isinf(lowest)) return std::numeric_limits<Seconds>::infinity();
+  if (trip_out != nullptr) *trip_out = lowest;
+  return charge.time_to_reach(lowest);
 }
 
 }  // namespace edc::circuit

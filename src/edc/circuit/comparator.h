@@ -13,6 +13,7 @@
 
 namespace edc::circuit {
 
+struct ChargeSolution;
 struct DecaySolution;
 
 enum class Edge { rising, falling };
@@ -86,6 +87,20 @@ class ComparatorBank {
   /// still sees the v_prev > trip transition when fine stepping resumes.
   [[nodiscard]] Seconds plan_falling_crossing(const DecaySolution& decay,
                                               Volts* trip_out = nullptr) const;
+
+  /// The charging mirror of plan_falling_crossing: the earliest instant any
+  /// comparator would toggle while the supply follows the monotonically
+  /// *rising* `charge` trajectory from charge.v0. Only rising trips of
+  /// currently-low outputs strictly above v0 can fire on a rise (a falling
+  /// trip needs the voltage to decrease, and a trip at or below v0 needs a
+  /// previous sample strictly below it, which a rise from v0 never produces
+  /// again), so the earliest crossing belongs to the lowest such trip:
+  /// +infinity when no comparator can toggle (including trips the asymptote
+  /// never reaches). `trip_out` receives the trip voltage a planned span
+  /// must provably stay *below* so the crossing step still sees the
+  /// v_prev < trip transition when fine stepping resumes.
+  [[nodiscard]] Seconds plan_rising_crossing(const ChargeSolution& charge,
+                                             Volts* trip_out = nullptr) const;
 
  private:
   std::vector<Comparator> comparators_;

@@ -52,6 +52,27 @@ Seconds RectifiedSourceDriver::quiescent_until(Volts v_floor, Seconds t) const {
   return t;
 }
 
+ChargeSpanCert RectifiedSourceDriver::plan_charge_span(Seconds t) const {
+  Volts level = 0.0;
+  const Seconds until = source_->constant_until(t, &level);
+  if (!(until > t)) return {};
+  ChargeSpanCert cert;
+  cert.valid = true;
+  cert.r_series = source_->series_resistance();
+  // Rectify the certified level exactly as current_into does, so the
+  // engine's max(0, (v_source - v)/R) reproduces every substep sample.
+  switch (params_.kind) {
+    case RectifierKind::half_wave:
+      cert.v_source = std::max(level - params_.diode_drop, 0.0);
+      break;
+    case RectifierKind::full_wave:
+      cert.v_source = std::max(std::abs(level) - 2.0 * params_.diode_drop, 0.0);
+      break;
+  }
+  cert.until = until;
+  return cert;
+}
+
 std::string RectifiedSourceDriver::name() const {
   return (params_.kind == RectifierKind::half_wave ? "halfwave(" : "fullwave(") +
          source_->name() + ")";

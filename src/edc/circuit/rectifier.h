@@ -37,6 +37,12 @@ class RectifiedSourceDriver final : public SupplyDriver {
   /// the diode drop + v_floor define; delegates to the source's
   /// bounded_until activity hint.
   [[nodiscard]] Seconds quiescent_until(Volts v_floor, Seconds t) const override;
+  /// Charge-span certification: while the source certifies a constant
+  /// open-circuit voltage (VoltageSource::constant_until), the rectified
+  /// output is the constant Thevenin form the charge closed form needs —
+  /// every DC stretch and square-wave high phase becomes one analytic
+  /// charging ramp for the quiescent engine.
+  [[nodiscard]] ChargeSpanCert plan_charge_span(Seconds t) const override;
   [[nodiscard]] std::string name() const override;
 
   /// The rectified open-circuit voltage (before the node interaction); this

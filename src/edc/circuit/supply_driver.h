@@ -13,6 +13,24 @@
 
 namespace edc::circuit {
 
+/// Certificate for the quiescent engine's charge-span planner
+/// (sim::QuiescentEngine): over [t, until) the driver's injected current is
+/// *exactly* the rectified-Thevenin form
+///
+///   current_into(v, t') == max(0, (v_source - v) / r_series)
+///
+/// with both parameters constant. Unlike quiescent_until's quiet claim this
+/// is an exactness contract — the engine substitutes the closed-form
+/// rectifier+RC charge trajectory (circuit::ChargeSolution) for the fine
+/// path's substepping across the whole window, so "approximately constant"
+/// would corrupt macro runs. `valid == false` claims nothing.
+struct ChargeSpanCert {
+  bool valid = false;
+  Volts v_source = 0.0;  ///< constant rectified open-circuit voltage (>= 0)
+  Ohms r_series = 0.0;   ///< series resistance (> 0 when valid)
+  Seconds until = 0.0;   ///< certificate holds on [t, until)
+};
+
 class SupplyDriver {
  public:
   virtual ~SupplyDriver() = default;
@@ -33,6 +51,15 @@ class SupplyDriver {
   [[nodiscard]] virtual Seconds quiescent_until(Volts v_floor, Seconds t) const {
     (void)v_floor;
     return t;
+  }
+
+  /// Piecewise-constant certification for charge-span planning (see
+  /// ChargeSpanCert). The default claims nothing, which is always correct;
+  /// overrides must be exact over the certified window and may err
+  /// short-side only.
+  [[nodiscard]] virtual ChargeSpanCert plan_charge_span(Seconds t) const {
+    (void)t;
+    return {};
   }
 
   [[nodiscard]] virtual std::string name() const = 0;

@@ -69,6 +69,63 @@ Joules DecaySolution::load_energy(Seconds elapsed) const {
   return std::max(load * v_integral, 0.0);
 }
 
+Volts ChargeSolution::asymptote() const {
+  const double conductance = 1.0 / r_series + (bleed > 0.0 ? 1.0 / bleed : 0.0);
+  return (v_source / r_series - load) / conductance;
+}
+
+Seconds ChargeSolution::tau() const {
+  const double conductance = 1.0 / r_series + (bleed > 0.0 ? 1.0 / bleed : 0.0);
+  return capacitance / conductance;
+}
+
+Volts ChargeSolution::voltage_at(Seconds elapsed) const {
+  EDC_ASSERT(elapsed >= 0.0);
+  const Volts v_inf = asymptote();
+  const Volts v = v_inf + (v0 - v_inf) * std::exp(-elapsed / tau());
+  return v > 0.0 ? v : 0.0;
+}
+
+Seconds ChargeSolution::time_to_reach(Volts v) const {
+  const Volts v_inf = asymptote();
+  if (v0 < v_inf) {
+    if (v <= v0) return 0.0;
+    if (v >= v_inf) return kForever;
+  } else if (v0 > v_inf) {
+    if (v >= v0) return 0.0;
+    if (v <= v_inf) return kForever;
+  } else {
+    return v == v0 ? 0.0 : kForever;
+  }
+  // Both differences share a sign, so the logarithm's argument is > 1.
+  return tau() * std::log((v_inf - v0) / (v_inf - v));
+}
+
+Joules ChargeSolution::load_energy(Seconds elapsed) const {
+  EDC_ASSERT(elapsed >= 0.0);
+  if (load <= 0.0) return 0.0;
+  const Volts v_inf = asymptote();
+  const Seconds time_constant = tau();
+  const double v_integral =
+      v_inf * elapsed +
+      (v0 - v_inf) * time_constant * -std::expm1(-elapsed / time_constant);
+  return std::max(load * v_integral, 0.0);
+}
+
+Joules ChargeSolution::bleed_energy(Seconds elapsed) const {
+  EDC_ASSERT(elapsed >= 0.0);
+  if (bleed <= 0.0) return 0.0;
+  const Volts v_inf = asymptote();
+  const Volts dv = v0 - v_inf;
+  const Seconds time_constant = tau();
+  // integral of (v_inf + dv e^{-s/tau})^2 over [0, elapsed].
+  const double sq_integral =
+      v_inf * v_inf * elapsed +
+      2.0 * v_inf * dv * time_constant * -std::expm1(-elapsed / time_constant) +
+      dv * dv * 0.5 * time_constant * -std::expm1(-2.0 * elapsed / time_constant);
+  return std::max(sq_integral / bleed, 0.0);
+}
+
 SupplyNode::SupplyNode(Farads capacitance, Volts v_initial)
     : capacitance_(capacitance), voltage_(v_initial) {
   EDC_CHECK(capacitance > 0.0, "capacitance must be positive");
@@ -115,6 +172,14 @@ DecaySolution SupplyNode::decay_from(Volts v0, Amps load) const {
   EDC_CHECK(v0 >= 0.0, "decay start voltage must be non-negative");
   EDC_CHECK(load >= 0.0, "load current must be non-negative");
   return DecaySolution{capacitance_, bleed_, load, v0};
+}
+
+ChargeSolution SupplyNode::charge_from(Volts v0, Volts v_source, Ohms r_series,
+                                       Amps load) const {
+  EDC_CHECK(v0 >= 0.0, "charge start voltage must be non-negative");
+  EDC_CHECK(r_series > 0.0, "series resistance must be positive");
+  EDC_CHECK(load >= 0.0, "load current must be non-negative");
+  return ChargeSolution{capacitance_, v_source, r_series, bleed_, load, v0};
 }
 
 }  // namespace edc::circuit

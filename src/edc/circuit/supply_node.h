@@ -51,6 +51,61 @@ struct DecaySolution {
   [[nodiscard]] Joules load_energy(Seconds elapsed) const;
 };
 
+/// Closed-form solution of the *driven* node: a Thevenin source of constant
+/// (rectified) open-circuit voltage conducting through its series
+/// resistance against the bleed and a constant load current,
+///
+///   C dV/dt = (v_source - V)/r_series - V/R_bleed - I_load,   V(0) = v0,
+///
+/// i.e. the charging ramps of Fig 7: the supply is on, the MCU is off (or
+/// parked in a comparator-watched low-power state), and the node climbs the
+/// RC exponential toward the conduction equilibrium. Produced by
+/// SupplyNode::charge_from for the window a SupplyDriver::plan_charge_span
+/// certificate covers, and consumed by sim::QuiescentEngine, which books
+/// the exact continuum energy split and plans event horizons from the
+/// inverse solve time_to_reach() — the charging mirror of DecaySolution.
+///
+/// The linear ODE is monotone toward the asymptote
+/// v_inf = (v_source/r_series - I_load) / G with G = 1/r_series + 1/R_bleed
+/// and time constant tau = C/G. Started below v_source it stays below
+/// (v_inf < v_source whenever the bleed or load draw anything, and is
+/// approached from below otherwise), so the rectifier keeps conducting and
+/// the closed form stays valid over the whole certified window. The engine
+/// only plans *rising* trajectories (v0 < v_inf); the struct itself is
+/// direction-agnostic.
+struct ChargeSolution {
+  Farads capacitance = 0.0;
+  Volts v_source = 0.0;  ///< constant rectified open-circuit voltage
+  Ohms r_series = 0.0;   ///< source series resistance (> 0)
+  Ohms bleed = 0.0;      ///< 0 = no bleed path
+  Amps load = 0.0;       ///< constant load current
+  Volts v0 = 0.0;
+
+  /// The conduction equilibrium v_inf the trajectory approaches.
+  [[nodiscard]] Volts asymptote() const;
+
+  /// The RC time constant C / (1/r_series + 1/bleed).
+  [[nodiscard]] Seconds tau() const;
+
+  /// Node voltage after `elapsed` seconds (clamped at ground).
+  [[nodiscard]] Volts voltage_at(Seconds elapsed) const;
+
+  /// Inverse solve: the first instant the monotone trajectory reaches `v` —
+  /// the exact comparator/power-on crossing time of a rising threshold. 0
+  /// when the start already satisfies it (v <= v0 on a rise, v >= v0 on a
+  /// sag); +infinity when `v` lies beyond the asymptote. Inverse of
+  /// voltage_at up to floating-point rounding.
+  [[nodiscard]] Seconds time_to_reach(Volts v) const;
+
+  /// Energy the constant load drew over [0, elapsed]: load * integral of V.
+  [[nodiscard]] Joules load_energy(Seconds elapsed) const;
+
+  /// Energy the bleed dissipated over [0, elapsed]: integral of V^2/R_b.
+  /// Booking harvested = stored-energy delta + load_energy + bleed_energy
+  /// closes the span's ledger exactly in the continuum.
+  [[nodiscard]] Joules bleed_energy(Seconds elapsed) const;
+};
+
 class SupplyNode {
  public:
   /// `capacitance` is the *total* node capacitance. `v_initial` is the node
@@ -90,6 +145,11 @@ class SupplyNode {
   /// The analytic decay this node follows from `v0` with no injected
   /// current and a constant `load` draw (see DecaySolution).
   [[nodiscard]] DecaySolution decay_from(Volts v0, Amps load) const;
+
+  /// The analytic charge this node follows from `v0` while a constant
+  /// rectified Thevenin source conducts into it (see ChargeSolution).
+  [[nodiscard]] ChargeSolution charge_from(Volts v0, Volts v_source,
+                                           Ohms r_series, Amps load) const;
 
  private:
   Farads capacitance_;

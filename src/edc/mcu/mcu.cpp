@@ -352,6 +352,21 @@ Mcu::WakeCrossing Mcu::plan_wake_crossing(const circuit::DecaySolution& decay) c
   return crossing;
 }
 
+Mcu::WakeCrossing Mcu::plan_charge_crossing(
+    const circuit::ChargeSolution& charge) const {
+  WakeCrossing crossing;
+  if (state_ == McuState::off) {
+    // supply_update boots when the end-of-step voltage reaches v_on; the
+    // analytic instant V == v_on bounds that step from below, so
+    // re-entering fine stepping there can only be early, never late.
+    crossing.time = charge.time_to_reach(params_.power.v_on);
+    crossing.trip = params_.power.v_on;
+    return crossing;
+  }
+  crossing.time = comparators_.plan_rising_crossing(charge, &crossing.trip);
+  return crossing;
+}
+
 std::size_t Mcu::add_comparator(const std::string& name, Volts threshold,
                                 Volts hysteresis) {
   circuit::Comparator comparator(name, threshold, hysteresis);

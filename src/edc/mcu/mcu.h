@@ -156,6 +156,17 @@ class Mcu final : public circuit::Load {
   [[nodiscard]] WakeCrossing plan_wake_crossing(
       const circuit::DecaySolution& decay) const;
 
+  /// The charging mirror of plan_wake_crossing: the earliest instant
+  /// anything discrete can happen while the supply follows the monotone
+  /// rising `charge` trajectory from charge.v0. While the MCU is off the
+  /// only watcher is the power-on-reset release at v_on (supply_update
+  /// boots when the end-of-step voltage reaches it; the comparator bank is
+  /// only reset on that step); while powered-but-quiescent it is the first
+  /// rising comparator trip (ComparatorBank::plan_rising_crossing — the
+  /// v_min brown-out cannot fire on a rise).
+  [[nodiscard]] WakeCrossing plan_charge_crossing(
+      const circuit::ChargeSolution& charge) const;
+
   /// Whether the attached policy certifies the *current* state as woken
   /// only by comparators (PolicyHooks::wakes_only_by_comparator) — the
   /// license plan_wake_crossing()'s result needs to be exhaustive.

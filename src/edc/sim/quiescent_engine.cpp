@@ -8,6 +8,7 @@
 
 namespace edc::sim {
 
+
 namespace {
 
 /// Number of whole dt steps starting at t that fit strictly inside [t, u),
@@ -38,6 +39,28 @@ void book_decay_energy(QuiescentSpan& span, Farads capacitance, Volts v0,
 
 }  // namespace
 
+std::uint64_t QuiescentEngine::quiet_steps_on_decay(
+    const circuit::DecaySolution& decay, Seconds t, Seconds dt,
+    std::uint64_t n_cap) const {
+  // The driver window is evaluated at the candidate span's voltage floor
+  // (quiescent_until is monotone in v_floor, so one most-conservative
+  // query per candidate is sound). A deep candidate can tighten the band
+  // so far that not even one step fits although the first steps decay
+  // barely at all — retrying geometrically shallower candidates recovers
+  // those spans. Every accepted count is sound: the window was probed at a
+  // floor at least as deep as the span it licenses, and a shorter span
+  // only raises the true floor.
+  std::uint64_t n = n_cap;
+  while (n > 0) {
+    const Volts v_floor = decay.voltage_at(dt * static_cast<double>(n));
+    const std::uint64_t m =
+        steps_within(t, driver_->quiescent_until(v_floor, t), dt, n);
+    if (m > 0) return m;
+    n /= 16;
+  }
+  return 0;
+}
+
 QuiescentEngine::QuiescentEngine(const SimConfig& config,
                                  const circuit::SupplyNode& node,
                                  const circuit::SupplyDriver& driver,
@@ -53,11 +76,15 @@ std::optional<QuiescentSpan> QuiescentEngine::plan(Seconds t,
   if (max_steps == 0) return std::nullopt;
   const mcu::McuState state = mcu_->state();
   if (state == mcu::McuState::off) {
-    // Below the power-on threshold the node can only decay, so the span is
-    // safe from spontaneous boots; at or above it the fine path must run
-    // (it will boot the MCU this step).
+    // Below the power-on threshold the node can only decay or follow a
+    // certified charging ramp toward it, so the span planners stop
+    // strictly before any boot; at or above the threshold the fine path
+    // must run (it will boot the MCU this step).
     if (config_->macro_stepping && node_->voltage() < mcu_->power().v_on) {
       if (auto span = plan_off(t, max_steps)) return span;
+      if (config_->charge_spans) {
+        if (auto span = plan_charge(t, max_steps)) return span;
+      }
     }
     // The bit-exact dead-node skip also covers drivers without usable
     // hints (per-substep probing), so try it even when a macro plan
@@ -69,7 +96,8 @@ std::optional<QuiescentSpan> QuiescentEngine::plan(Seconds t,
       (state == mcu::McuState::sleep || state == mcu::McuState::wait ||
        state == mcu::McuState::done) &&
       mcu_->wake_is_comparator_driven()) {
-    return plan_low_power(t, max_steps);
+    if (auto span = plan_low_power(t, max_steps)) return span;
+    if (config_->charge_spans) return plan_charge(t, max_steps);
   }
   return std::nullopt;
 }
@@ -147,14 +175,10 @@ std::optional<QuiescentSpan> QuiescentEngine::plan_off(
 
   span.decay = node_->decay_from(v0, off_leakage);
   // The node only decays over the span, so its trajectory is bounded below
-  // by the value at the longest candidate horizon; a driver that is quiet
-  // down to that floor is quiet for the whole (shorter or equal) span.
-  // quiescent_until is monotone in v_floor, which makes the single
-  // most-conservative evaluation sound.
-  const Seconds cap = dt * static_cast<double>(max_steps);
-  const Volts v_floor = span.decay.voltage_at(cap);
-  const std::uint64_t n =
-      steps_within(t, driver_->quiescent_until(v_floor, t), dt, max_steps);
+  // by the value at the candidate horizon; quiet_steps_on_decay probes the
+  // driver window there and retries shallower when the deep band is
+  // already violated.
+  const std::uint64_t n = quiet_steps_on_decay(span.decay, t, dt, max_steps);
   if (n == 0) return std::nullopt;
 
   const Seconds elapsed = dt * static_cast<double>(n);
@@ -192,11 +216,9 @@ std::optional<QuiescentSpan> QuiescentEngine::plan_low_power(
     if (whole < static_cast<double>(n)) n = static_cast<std::uint64_t>(whole);
   }
 
-  // Driver horizon at the span's voltage floor (monotone in v_floor, so the
-  // single most-conservative evaluation is sound — same argument as the
-  // off-state span).
-  const Volts v_floor = span.decay.voltage_at(dt * static_cast<double>(n));
-  n = steps_within(t, driver_->quiescent_until(v_floor, t), dt, n);
+  // Driver horizon at the span's voltage floor (same shallower-retry
+  // scheme as the off-state span).
+  n = quiet_steps_on_decay(span.decay, t, dt, n);
   if (n == 0) return std::nullopt;
 
   span.v_end = span.decay.voltage_at(dt * static_cast<double>(n));
@@ -215,6 +237,69 @@ std::optional<QuiescentSpan> QuiescentEngine::plan_low_power(
 
   span.steps = n;
   book_decay_energy(span, node_->capacitance(), v0, dt * static_cast<double>(n));
+  return span;
+}
+
+std::optional<QuiescentSpan> QuiescentEngine::plan_charge(
+    Seconds t, std::uint64_t max_steps) const {
+  const circuit::ChargeSpanCert cert = driver_->plan_charge_span(t);
+  if (!cert.valid) return std::nullopt;
+  const Seconds dt = config_->dt;
+  std::uint64_t n = steps_within(t, cert.until, dt, max_steps);
+  if (n == 0) return std::nullopt;
+  const Volts v0 = node_->voltage();
+  // The rectifier conducts — and the closed form applies — only while the
+  // node sits strictly below the constant rectified source; at or above
+  // it the driver is dead and the decay planners own the span.
+  if (!(v0 < cert.v_source)) return std::nullopt;
+
+  QuiescentSpan span;
+  span.charging = true;
+  span.draw = mcu_->current_draw(v0, t);  // constant per state
+  span.charge = node_->charge_from(v0, cert.v_source, cert.r_series, span.draw);
+  // Only the monotone *rise* is a charging ramp; a node sagging toward a
+  // lower conduction equilibrium would arm falling watchers and is rare
+  // enough to leave to fine stepping.
+  if (!(span.charge.asymptote() > v0)) return std::nullopt;
+
+  // The watchers' horizon: the power-on boot (MCU off) or the first rising
+  // comparator trip on this rise. The crossing step itself must run finely
+  // — supply_update needs to see the v_prev < trip <= v_now transition —
+  // so the span may only cover steps whose end stays strictly below the
+  // trip.
+  const mcu::Mcu::WakeCrossing crossing = mcu_->plan_charge_crossing(span.charge);
+  const bool has_crossing = std::isfinite(crossing.time);
+  if (has_crossing) {
+    const double whole = std::ceil(crossing.time / dt) - 1.0;
+    if (whole <= 0.0) return std::nullopt;
+    if (whole < static_cast<double>(n)) n = static_cast<std::uint64_t>(whole);
+  }
+
+  span.v_end = span.charge.voltage_at(dt * static_cast<double>(n));
+  if (has_crossing) {
+    // Rising mirror of the decay spans' float-inverse guard: a span that
+    // lands at or above the trip would swallow the crossing (fine stepping
+    // resumes with v_prev >= trip and the edge never fires). Backing off a
+    // step is always sound.
+    while (n > 0 && span.v_end >= crossing.trip) {
+      --n;
+      span.v_end = span.charge.voltage_at(dt * static_cast<double>(n));
+    }
+    if (n == 0) return std::nullopt;
+  }
+
+  span.steps = n;
+  const Seconds elapsed = dt * static_cast<double>(n);
+  span.consumed = span.charge.load_energy(elapsed);
+  span.dissipated = span.charge.bleed_energy(elapsed);
+  // Deriving the harvested share from the continuum identity
+  // harvested == stored delta + consumed + dissipated closes the span's
+  // ledger exactly, mirroring book_decay_energy's zero residual.
+  const Joules delta =
+      0.5 * node_->capacitance() * (span.v_end * span.v_end - v0 * v0);
+  span.harvested = delta + span.consumed + span.dissipated;
+  EDC_ASSERT(span.consumed >= 0.0 && span.dissipated >= 0.0 &&
+             span.harvested >= 0.0);
   return span;
 }
 

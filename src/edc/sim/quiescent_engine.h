@@ -60,10 +60,18 @@ struct SimConfig;
 struct QuiescentSpan {
   std::uint64_t steps = 0;       ///< always >= 1 when planned
   Volts v_end = 0.0;             ///< node voltage at the end of the span
+  Joules harvested = 0.0;        ///< driver-delivered share (charge spans only)
   Joules consumed = 0.0;         ///< constant-draw share (MCU-drawn)
   Joules dissipated = 0.0;       ///< bleed share (+ snapped sub-tolerance charge)
   Amps draw = 0.0;               ///< the state's constant current (probe replay)
-  circuit::DecaySolution decay;  ///< analytic trajectory (probe replay)
+  bool charging = false;         ///< trajectory lives in `charge`, not `decay`
+  circuit::DecaySolution decay;    ///< analytic decay trajectory
+  circuit::ChargeSolution charge;  ///< analytic charge trajectory
+
+  /// The span's analytic node voltage `elapsed` seconds in (probe replay).
+  [[nodiscard]] Volts voltage_at(Seconds elapsed) const {
+    return charging ? charge.voltage_at(elapsed) : decay.voltage_at(elapsed);
+  }
 };
 
 class QuiescentEngine {
@@ -85,6 +93,16 @@ class QuiescentEngine {
                                                   std::uint64_t max_steps) const;
 
  private:
+  /// Largest provably-quiet step count <= n_cap for a span following
+  /// `decay`: probes the driver window (quiescent_until, monotone in the
+  /// floor) at the candidate floor and retries geometrically shallower
+  /// candidates when the deepest band is already violated — so a slowly
+  /// decaying node next to a driver that is only briefly quiet still gets
+  /// its short spans instead of a blanket rejection.
+  [[nodiscard]] std::uint64_t quiet_steps_on_decay(
+      const circuit::DecaySolution& decay, Seconds t, Seconds dt,
+      std::uint64_t n_cap) const;
+
   /// Bit-exact dead-node skip (MCU off, V exactly 0, v_on above ground):
   /// single steps gated on the cached driver quiet window, falling back to
   /// per-substep probing — decision identical to the historical fast path.
@@ -100,6 +118,16 @@ class QuiescentEngine {
   /// comparators: the horizon additionally stops strictly before the first
   /// analytic comparator or v_min crossing.
   [[nodiscard]] std::optional<QuiescentSpan> plan_low_power(
+      Seconds t, std::uint64_t max_steps) const;
+
+  /// Analytic charging ramp while the driver certifies a piecewise-constant
+  /// window (SupplyDriver::plan_charge_span) and the MCU is off or in a
+  /// certified low-power state: the closed-form rectifier+RC rise, stopped
+  /// strictly before the first power-on / rising-comparator crossing. The
+  /// span's energy booking derives the harvested share from the exact
+  /// continuum ledger (stored delta + load + bleed), so the residual is
+  /// zero by construction.
+  [[nodiscard]] std::optional<QuiescentSpan> plan_charge(
       Seconds t, std::uint64_t max_steps) const;
 
   const SimConfig* config_;

@@ -74,6 +74,9 @@ std::string serialize_result(const SimResult& result) {
   w.field("stored_final", result.stored_final);
   w.field("nvm_torn_writes", result.nvm_torn_writes);
   w.field("nvm_commits", result.nvm_commits);
+  w.field("fine_steps", result.fine_steps);
+  w.field("span_steps", result.span_steps);
+  w.field("spans", result.spans);
 
   const auto& m = result.mcu;
   w.begin("mcu");
@@ -147,6 +150,9 @@ SimResult parse_result(const std::string& text) {
   result.stored_final = r.number("stored_final");
   result.nvm_torn_writes = r.u64("nvm_torn_writes");
   result.nvm_commits = r.u64("nvm_commits");
+  result.fine_steps = r.u64("fine_steps");
+  result.span_steps = r.u64("span_steps");
+  result.spans = r.u64("spans");
 
   auto& m = result.mcu;
   r.begin("mcu");

@@ -19,7 +19,10 @@
 
 namespace edc::sim {
 
-inline constexpr int kResultFormatVersion = 1;
+// v2: SimResult gained the step-mix diagnostics fine_steps / span_steps /
+// spans (PR 5), so cached rows replay the same coverage numbers a fresh
+// simulation reports.
+inline constexpr int kResultFormatVersion = 2;
 
 /// Canonical byte string of the result (always succeeds).
 [[nodiscard]] std::string serialize_result(const SimResult& result);

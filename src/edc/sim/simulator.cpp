@@ -11,6 +11,7 @@
 
 namespace edc::sim {
 
+
 namespace {
 
 /// Number of steps on the dt lattice anchored at t whose *start* lies
@@ -60,6 +61,12 @@ void Simulator::run_loop(SimResult& result) {
   Seconds next_governor = 0.0;
 
   Joules harvested = 0.0, consumed = 0.0, dissipated = 0.0;
+  // The loop time lives on an exact step lattice (t == dt * step) instead
+  // of accumulating t += dt: summation order then cannot drift the time
+  // base, so a macro run that jumps spans of whole steps lands on exactly
+  // the same instants — and the same probe/governor/termination schedule —
+  // as the fine run it must stay in lock-step with.
+  std::uint64_t step = 0;
   Seconds t = 0.0;
   Volts v_prev = node.voltage();
   mcu::McuState last_state = mcu.state();
@@ -90,7 +97,7 @@ void Simulator::run_loop(SimResult& result) {
             double k = std::ceil((next_probe - t) / dt);
             if (k < k_min) k = k_min;
             if (k >= static_cast<double>(span->steps)) break;
-            const Volts v_probe = span->decay.voltage_at((k + 1.0) * dt);
+            const Volts v_probe = span->voltage_at((k + 1.0) * dt);
             probe_vcc.push_back(v_probe);
             probe_freq.push_back(freq_mhz);
             probe_state.push_back(state_channel);
@@ -101,10 +108,14 @@ void Simulator::run_loop(SimResult& result) {
         }
         const Seconds jumped = static_cast<double>(span->steps) * dt;
         mcu.note_quiescent_span(jumped, span->consumed);
+        harvested += span->harvested;  // nonzero for charge spans only
         consumed += span->consumed;
         dissipated += span->dissipated;
         node.set_voltage(span->v_end);
-        t += jumped;
+        step += span->steps;
+        t = dt * static_cast<double>(step);
+        result.span_steps += span->steps;
+        ++result.spans;
         v_prev = span->v_end;
         // Spans never cover a governor deadline (max_steps stops at it), so
         // the re-schedule — like every other discrete action — happens on a
@@ -146,7 +157,9 @@ void Simulator::run_loop(SimResult& result) {
       }
     }
 
-    t += dt;
+    ++step;
+    ++result.fine_steps;
+    t = dt * static_cast<double>(step);
     v_prev = v_now;
 
     if (config_.stop_on_completion && mcu.metrics().completed) break;

@@ -51,6 +51,16 @@ struct SimConfig {
   /// Keep it off for reference/regression runs; turn it on for sweeps over
   /// duty-cycled, sleep-dominated or brown-out-heavy scenarios.
   bool macro_stepping = false;
+  /// Macro-step *charging ramps* too (only meaningful with macro_stepping
+  /// on): while the MCU is off below its power-on threshold or parked in a
+  /// comparator-watched low-power state and the driver certifies a
+  /// piecewise-constant window (SupplyDriver::plan_charge_span — DC
+  /// sources, square-wave phases, recorded constant stretches), follow the
+  /// closed-form rectifier+RC charge trajectory (circuit::ChargeSolution)
+  /// and jump whole spans to the first power-on / rising-comparator
+  /// crossing. Same accuracy contract and differential tests as the decay
+  /// spans; a separate flag so the charge planner can be ablated.
+  bool charge_spans = true;
   /// Accuracy knob of the macro path: node voltages at or below this are
   /// treated as fully discharged (the residual charge books to the bleed),
   /// which lets exponential tails terminate instead of being chased
@@ -80,6 +90,16 @@ struct SimResult {
   /// system: torn (abandoned mid-write) and committed snapshot writes.
   std::uint64_t nvm_torn_writes = 0;
   std::uint64_t nvm_commits = 0;
+  /// Step-mix diagnostics: how the loop covered the horizon. fine_steps
+  /// counts fully integrated steps; span_steps counts dt steps covered by
+  /// the quiescent engine's analytic spans (dead-node skips, decay spans,
+  /// charging ramps), `spans` the spans themselves. fine_steps + span_steps
+  /// is the run's total step count, so span_steps / total is the fraction
+  /// of simulated time the engine collapsed — the quantity the macro
+  /// benches report next to their wall-clock speedups.
+  std::uint64_t fine_steps = 0;
+  std::uint64_t span_steps = 0;
+  std::uint64_t spans = 0;
   std::vector<StateChange> transitions;
   /// "vcc", "freq_mhz", "state", "power_mw" when probed. Samples are
   /// end-of-step values, so the waveforms start at t = dt (the end of the

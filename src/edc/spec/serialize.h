@@ -41,7 +41,14 @@ namespace edc::spec {
 // crossing, so macro results for sleep-heavy scenarios legitimately moved
 // within the accuracy contract. The byte format is unchanged; the bump
 // exists to age out cached macro rows computed under the old semantics.
-inline constexpr int kSpecFormatVersion = 3;
+// v4: SimConfig gained charge_spans (PR 5, the analytic charge-span
+// planner), and macro runs additionally jump certified charging ramps —
+// the field changes the byte stream and the semantics widening ages out
+// macro rows cached under decay-only planning. The stochastic sources'
+// quiet-segment hints don't alter the byte format but legitimately move
+// macro results for wind/kinetic scenarios within the accuracy contract,
+// which the same bump covers.
+inline constexpr int kSpecFormatVersion = 4;
 
 /// Thrown by serialize()/parse_spec() on any deviation from the canonical
 /// format (shared with the SimResult serializer in edc/sim/result_io).

@@ -17,6 +17,7 @@ const char* const kMetricColumns[] = {"done",     "t_done (s)", "brownouts",
                                       "harvested (mJ)"};
 
 constexpr char kShardMagic[] = "# edc-sweep-shard v1 shard ";
+constexpr char kAssignmentMagic[] = "# edc-sweep-shard v2 shard ";
 
 std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
@@ -95,9 +96,13 @@ void write_csv(std::ostream& out, const Grid& grid,
   }
 }
 
-void write_shard_csv(std::ostream& out, const Grid& grid, const Shard& shard,
-                     const std::vector<sim::SimResult>& results) {
-  const std::vector<std::size_t> owned = shard.owned_points(grid.size());
+namespace {
+
+/// Shared body of the two shard writers: magic line, header, indexed rows.
+void write_shard_rows(std::ostream& out, const Grid& grid,
+                      const std::vector<std::size_t>& owned,
+                      const std::vector<sim::SimResult>& results,
+                      const char* magic, const std::string& shard_label) {
   EDC_CHECK(results.size() == owned.size(),
             "result rows do not match the shard's owned point count");
   // The shard format is parsed line-by-line on merge, so a newline inside
@@ -113,15 +118,35 @@ void write_shard_csv(std::ostream& out, const Grid& grid, const Shard& shard,
                     value.label + "'");
     }
   }
-  out << kShardMagic << shard.to_string() << " grid " << grid.size() << '\n';
+  out << magic << shard_label << " grid " << grid.size() << '\n';
   out << "# header ";
   write_csv_header(out, grid);
   out << '\n';
   for (std::size_t pos = 0; pos < owned.size(); ++pos) {
+    EDC_CHECK(owned[pos] < grid.size(), "owned point index out of range");
     out << owned[pos] << ',';
     write_csv_row(out, grid.point(owned[pos]), results[pos]);
     out << '\n';
   }
+}
+
+}  // namespace
+
+void write_shard_csv(std::ostream& out, const Grid& grid, const Shard& shard,
+                     const std::vector<sim::SimResult>& results) {
+  write_shard_rows(out, grid, shard.owned_points(grid.size()), results,
+                   kShardMagic, shard.to_string());
+}
+
+void write_assignment_shard_csv(std::ostream& out, const Grid& grid,
+                                const ShardAssignment& assignment,
+                                std::size_t shard_index,
+                                const std::vector<sim::SimResult>& results) {
+  EDC_CHECK(shard_index < assignment.count(), "shard index out of range");
+  const std::string label = std::to_string(shard_index) + "/" +
+                            std::to_string(assignment.count());
+  write_shard_rows(out, grid, assignment.owned[shard_index], results,
+                   kAssignmentMagic, label);
 }
 
 void merge_shard_csvs(const std::vector<std::string>& shard_csvs, std::ostream& out) {
@@ -141,10 +166,13 @@ void merge_shard_csvs(const std::vector<std::string>& shard_csvs, std::ostream& 
     std::istringstream in(text);
     std::string line;
 
-    if (!std::getline(in, line) || line.rfind(kShardMagic, 0) != 0) {
+    const bool striding = std::getline(in, line) && line.rfind(kShardMagic, 0) == 0;
+    const bool assignment = !striding && line.rfind(kAssignmentMagic, 0) == 0;
+    if (!striding && !assignment) {
       throw std::invalid_argument("merge_shard_csvs: missing shard header line");
     }
-    // "<k>/<N> grid <size>" after the magic prefix.
+    // "<k>/<N> grid <size>" after the magic prefix (both magics are the
+    // same length).
     const std::string meta = line.substr(std::string(kShardMagic).size());
     const std::size_t space = meta.find(' ');
     if (space == std::string::npos || meta.substr(space + 1, 5) != "grid ") {
@@ -153,8 +181,9 @@ void merge_shard_csvs(const std::vector<std::string>& shard_csvs, std::ostream& 
     const Shard shard = Shard::parse(meta.substr(0, space));
     std::size_t size = 0;
     try {
+      const std::string_view tail = std::string_view(meta).substr(space + 6);
       size = static_cast<std::size_t>(
-          canon::parse_u64(std::string_view(meta).substr(space + 6)));
+          canon::parse_u64(tail.substr(0, tail.find(' '))));
     } catch (const canon::FormatError&) {
       throw std::invalid_argument("merge_shard_csvs: malformed grid size: " + line);
     }
@@ -203,7 +232,10 @@ void merge_shard_csvs(const std::vector<std::string>& shard_csvs, std::ostream& 
         throw std::invalid_argument("merge_shard_csvs: row index out of range: " +
                                     line);
       }
-      if (!shard.owns(index)) {
+      // Striding shards carry an index-ownership rule worth checking;
+      // assignment (v2) shards own exactly the rows they name, and the
+      // coverage/duplicate checks below still reject any bad partition.
+      if (striding && !shard.owns(index)) {
         throw std::invalid_argument("merge_shard_csvs: shard " + shard.to_string() +
                                     " does not own point " + std::to_string(index));
       }

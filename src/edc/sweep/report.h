@@ -50,10 +50,25 @@ void write_csv(std::ostream& out, const Grid& grid,
 void write_shard_csv(std::ostream& out, const Grid& grid, const Shard& shard,
                      const std::vector<sim::SimResult>& results);
 
+/// Per-shard CSV export for slice `shard_index` of an explicit
+/// ShardAssignment (the cost-weighted LPT partitions of
+/// ShardAssignment::balanced): identical layout to write_shard_csv but
+/// tagged `v2`, whose ownership is carried entirely by the per-row global
+/// indices instead of the striding rule — merge_shard_csvs accepts both
+/// and still validates coverage and duplicates strictly. `results` holds
+/// the slice's rows in its ascending global-index order (as returned by
+/// Runner::run_assignment).
+void write_assignment_shard_csv(std::ostream& out, const Grid& grid,
+                                const ShardAssignment& assignment,
+                                std::size_t shard_index,
+                                const std::vector<sim::SimResult>& results);
+
 /// Reassembles the shard CSV texts of a complete k/N partition into the
 /// byte stream write_csv would have produced for the unsharded grid.
 /// Throws std::invalid_argument when the shards disagree on grid size,
 /// shard count or header, duplicate a point, or leave a point uncovered.
+/// Striding (v1) shards additionally have their index-ownership rule
+/// checked; assignment (v2) shards own whatever their rows name.
 void merge_shard_csvs(const std::vector<std::string>& shard_csvs, std::ostream& out);
 
 }  // namespace edc::sweep

@@ -1,0 +1,84 @@
+#include "edc/trace/quiet_index.h"
+
+#include <cmath>
+#include <limits>
+
+#include "edc/common/check.h"
+
+namespace edc::trace {
+
+namespace {
+constexpr Seconds kForever = std::numeric_limits<Seconds>::infinity();
+}  // namespace
+
+QuietSegmentIndex::QuietSegmentIndex(Seconds t0, Seconds cell_width,
+                                     std::vector<Bounds> cells, Bounds head,
+                                     Bounds tail)
+    : t0_(t0), cell_(cell_width), cells_(std::move(cells)), head_(head), tail_(tail) {
+  EDC_CHECK(cells_.empty() || cell_width > 0.0,
+            "cell width must be positive when cells are present");
+  for (const Bounds& b : cells_) {
+    EDC_CHECK(b.lo <= b.hi, "cell bounds must be ordered");
+  }
+  summary_.reserve((cells_.size() + kSummaryGroup - 1) / kSummaryGroup);
+  for (std::size_t i = 0; i < cells_.size(); i += kSummaryGroup) {
+    Bounds group = cells_[i];
+    const std::size_t end = std::min(i + kSummaryGroup, cells_.size());
+    for (std::size_t j = i + 1; j < end; ++j) {
+      group.lo = std::min(group.lo, cells_[j].lo);
+      group.hi = std::max(group.hi, cells_[j].hi);
+    }
+    summary_.push_back(group);
+  }
+}
+
+Seconds QuietSegmentIndex::bounded_until(double floor, double ceiling,
+                                         Seconds t) const {
+  if (ceiling < floor) return t;
+  if (cells_.empty()) {
+    // Only the head/tail certificates exist; both must hold for a claim
+    // over the unbounded remainder.
+    return (fits(head_, floor, ceiling) && fits(tail_, floor, ceiling)) ? kForever
+                                                                        : t;
+  }
+  const Seconds span_end = t0_ + cell_ * static_cast<double>(cells_.size());
+  if (t >= span_end) {
+    return fits(tail_, floor, ceiling) ? kForever : t;
+  }
+  std::size_t i = 0;
+  // A violation at or before this index claims nothing: the instant t
+  // itself may lie inside that cell (index arithmetic below can place t
+  // one cell off at a boundary, so the cell t "really" occupies is never
+  // past home + 1... see below).
+  std::size_t home = 0;
+  if (t < t0_) {
+    if (!fits(head_, floor, ceiling)) return t;
+  } else {
+    // (t - t0) / cell can round *up* across a cell boundary, which would
+    // start the walk one cell late and return a sliver claim whose start
+    // instant already violates. Cell membership is defined by the same
+    // t0 + cell * j products the builder used, so stepping the walk back
+    // one cell and refusing any claim whose first violation sits at or
+    // before the computed cell is exactly conservative.
+    home = static_cast<std::size_t>((t - t0_) / cell_);
+    if (home >= cells_.size()) home = cells_.size() - 1;  // float-edge clamp
+    i = home > 0 ? home - 1 : 0;
+  }
+  // Walk cells (whole summary groups when the group bound already fits)
+  // until one violates the band.
+  while (i < cells_.size()) {
+    if (i % kSummaryGroup == 0 && fits(summary_[i / kSummaryGroup], floor, ceiling)) {
+      i = std::min(i + kSummaryGroup, cells_.size());
+      continue;
+    }
+    if (!fits(cells_[i], floor, ceiling)) {
+      if (t >= t0_ && i <= home) return t;
+      const Seconds u = t0_ + cell_ * static_cast<double>(i);
+      return u > t ? u : t;
+    }
+    ++i;
+  }
+  return fits(tail_, floor, ceiling) ? kForever : span_end;
+}
+
+}  // namespace edc::trace

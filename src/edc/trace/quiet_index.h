@@ -1,0 +1,79 @@
+// Quiet-segment index: a conservative interval envelope over a
+// deterministic signal, for band queries by the quiescent engine.
+//
+// The stochastic sources (wind turbine, kinetic harvester) pre-expand their
+// randomness at construction, so their whole sample path is known before
+// the first simulation step. This index certifies, per uniform time cell,
+// a bound lo <= signal(t) <= hi valid at *every* instant of the cell —
+// which turns VoltageSource::bounded_until's band contract ("guaranteed
+// within [floor, ceiling] throughout [t, u)") into a walk over cells whose
+// certified bounds sit inside the band. The builder owns the math that
+// makes each cell's bound sound (analytic gust-envelope bounds for the
+// wind turbine, ring-down tail sums for the kinetic harvester, exact
+// per-sample extrema for piecewise-linear recorded traces); the index just
+// stores and walks them.
+//
+// Bounds must be conservative: a cell's [lo, hi] may be wider than the
+// signal's true range (costs horizon, never correctness) but never
+// narrower. Outside the cell span the signal is certified to stay within
+// `head` (before the first cell) / `tail` (after the last) forever — a
+// zero tail is how a source whose gusts have fully decayed claims "quiet
+// for the rest of time".
+//
+// A two-level structure (per-cell bounds plus coarse summary bounds over
+// groups of cells) keeps long quiet walks cheap: a summary whose bounds
+// fit the band skips its whole group in one comparison.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "edc/common/units.h"
+
+namespace edc::trace {
+
+class QuietSegmentIndex {
+ public:
+  struct Bounds {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+
+  /// Empty index: the signal is certified identically zero everywhere.
+  QuietSegmentIndex() = default;
+
+  /// `cells[i]` bounds the signal on [t0 + i*cell_width, t0 + (i+1)*cell_width);
+  /// `head`/`tail` bound it on (-inf, t0) / [t0 + n*cell_width, +inf).
+  QuietSegmentIndex(Seconds t0, Seconds cell_width, std::vector<Bounds> cells,
+                    Bounds head, Bounds tail);
+
+  /// The latest u >= t such that the signal is guaranteed to stay within
+  /// [floor, ceiling] at every instant of [t, u): t when the cell holding t
+  /// (or the head/tail region) violates the band, +infinity when the bound
+  /// holds for the rest of time. Exactly VoltageSource::bounded_until's
+  /// contract, so sources can delegate to it directly.
+  [[nodiscard]] Seconds bounded_until(double floor, double ceiling, Seconds t) const;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cells_.size(); }
+  [[nodiscard]] Seconds t0() const noexcept { return t0_; }
+  [[nodiscard]] Seconds cell_width() const noexcept { return cell_; }
+  [[nodiscard]] const Bounds& head() const noexcept { return head_; }
+  [[nodiscard]] const Bounds& tail() const noexcept { return tail_; }
+  [[nodiscard]] const Bounds& cell(std::size_t i) const { return cells_.at(i); }
+
+ private:
+  static constexpr std::size_t kSummaryGroup = 64;
+
+  [[nodiscard]] static bool fits(const Bounds& b, double floor, double ceiling) {
+    return b.lo >= floor && b.hi <= ceiling;
+  }
+
+  Seconds t0_ = 0.0;
+  Seconds cell_ = 0.0;
+  std::vector<Bounds> cells_;
+  std::vector<Bounds> summary_;  ///< bounds over kSummaryGroup-cell groups
+  Bounds head_;
+  Bounds tail_;
+};
+
+}  // namespace edc::trace

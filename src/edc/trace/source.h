@@ -65,6 +65,21 @@ class VoltageSource {
     return t;
   }
 
+  /// Piecewise-constant certification for the charge-span planner
+  /// (circuit::SupplyDriver::plan_charge_span): the latest u >= t such
+  /// that open_circuit_voltage is guaranteed to equal `*value` *exactly*
+  /// at every instant of [t, u). Returning t claims nothing (the default,
+  /// `*value` then unset); kNeverActive certifies a DC source. Unlike
+  /// bounded_until's band this is an exactness contract — the quiescent
+  /// engine substitutes the certified value into the closed-form
+  /// rectifier+RC charge trajectory for the whole window, so
+  /// "approximately constant" would corrupt macro runs. Err short-side
+  /// only (a shaved horizon costs speed, never correctness).
+  [[nodiscard]] virtual Seconds constant_until(Seconds t, Volts* value) const {
+    (void)value;
+    return t;
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 

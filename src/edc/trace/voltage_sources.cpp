@@ -19,6 +19,65 @@ double forward_arc(double from, double to) {
   if (d < 0.0) d += kTwoPi;
   return d;
 }
+
+/// True when some angle congruent to `target` (mod 2 pi) lies in [p0, p1].
+/// Generous on the boundaries — used to widen sine range bounds, where
+/// over-inclusion is conservative.
+bool arc_contains(double p0, double p1, double target) {
+  const double first = target + kTwoPi * std::ceil((p0 - target) / kTwoPi);
+  return first <= p1;
+}
+
+/// Conservative range of sin over the phase interval [p0, p1] (p1 >= p0).
+void sin_range(double p0, double p1, double* lo, double* hi) {
+  if (p1 - p0 >= kTwoPi) {
+    *lo = -1.0;
+    *hi = 1.0;
+    return;
+  }
+  const double s0 = std::sin(p0);
+  const double s1 = std::sin(p1);
+  *lo = std::min(s0, s1);
+  *hi = std::max(s0, s1);
+  if (arc_contains(p0, p1, kPi / 2.0)) *hi = 1.0;
+  if (arc_contains(p0, p1, 1.5 * kPi)) *lo = -1.0;
+}
+
+/// Widens a bound pair by a few ulps so a runtime evaluation that lands on
+/// the mathematical extremum cannot exceed the certified bound through
+/// floating-point rounding. Exact-constant cells (lo == hi) stay exact —
+/// they carry values the runtime reproduces bit-for-bit.
+QuietSegmentIndex::Bounds padded(double lo, double hi) {
+  if (lo == hi) return {lo, hi};
+  const double pad = 4.0 * (std::abs(lo) + std::abs(hi) + 1.0) *
+                     std::numeric_limits<double>::epsilon();
+  return {lo - pad, hi + pad};
+}
+
+/// Exact interval envelope of a piecewise-linear waveform: cell bounds are
+/// sample extrema over `group`-sample stretches (with the shared boundary
+/// sample included on both sides), head/tail the clamped edge values.
+QuietSegmentIndex index_waveform(const Waveform& wave, std::size_t group) {
+  const auto& s = wave.samples();
+  if (s.size() < 2) {
+    const double v = s.empty() ? 0.0 : s.front();
+    return QuietSegmentIndex(0.0, 0.0, {}, {v, v}, {v, v});
+  }
+  std::vector<QuietSegmentIndex::Bounds> cells;
+  cells.reserve((s.size() - 1 + group - 1) / group);
+  for (std::size_t i = 0; i + 1 < s.size(); i += group) {
+    const std::size_t end = std::min(i + group, s.size() - 1);
+    double lo = s[i], hi = s[i];
+    for (std::size_t j = i + 1; j <= end; ++j) {
+      lo = std::min(lo, s[j]);
+      hi = std::max(hi, s[j]);
+    }
+    cells.push_back(padded(lo, hi));
+  }
+  return QuietSegmentIndex(wave.t0(), wave.dt() * static_cast<double>(group),
+                           std::move(cells), {s.front(), s.front()},
+                           {s.back(), s.back()});
+}
 }  // namespace
 
 // ---------------------------------------------------------------- Sine -----
@@ -71,6 +130,14 @@ Seconds SineVoltageSource::bounded_until(Volts floor, Volts ceiling,
   return conservative_horizon(t + arc / (kTwoPi * frequency_), t);
 }
 
+Seconds SineVoltageSource::constant_until(Seconds t, Volts* value) const {
+  if (amplitude_ != 0.0 && frequency_ != 0.0) return t;
+  // sin(0) == 0 exactly, so a zero-frequency (or zero-amplitude) sine is
+  // the constant offset at every instant.
+  *value = offset_;
+  return kNeverActive;
+}
+
 std::string SineVoltageSource::name() const {
   return "sine-" + std::to_string(frequency_) + "Hz";
 }
@@ -106,6 +173,19 @@ Seconds SquareVoltageSource::bounded_until(Volts floor, Volts ceiling,
   return conservative_horizon(switch_cycles / frequency_, t);
 }
 
+Seconds SquareVoltageSource::constant_until(Seconds t, Volts* value) const {
+  // Same phase arithmetic as open_circuit_voltage; the conservative shave
+  // keeps the certified window strictly inside the half-cycle so rounding
+  // in a caller's t' * frequency can never straddle the switch edge.
+  const double cycles = t * frequency_;
+  const double phase = cycles - std::floor(cycles);
+  const bool in_high = phase < duty_;
+  *value = in_high ? high_ : low_;
+  const double switch_cycles =
+      in_high ? std::floor(cycles) + duty_ : std::floor(cycles) + 1.0;
+  return conservative_horizon(switch_cycles / frequency_, t);
+}
+
 std::string SquareVoltageSource::name() const {
   return "square-" + std::to_string(frequency_) + "Hz";
 }
@@ -136,6 +216,7 @@ WindTurbineSource WindTurbineSource::single_gust(const Params& params) {
     acc += kTwoPi * params.peak_frequency * rel * dt;
   }
   src.phase_ = Waveform(0.0, dt, std::move(phase));
+  src.build_quiet_index();
   return src;
 }
 
@@ -166,9 +247,10 @@ WindTurbineSource::WindTurbineSource(const Params& params, std::uint64_t seed,
     acc += kTwoPi * params.peak_frequency * rel * dt;
   }
   phase_ = Waveform(0.0, dt, std::move(phase));
+  build_quiet_index();
 }
 
-Volts WindTurbineSource::envelope(Seconds t) const {
+Volts WindTurbineSource::envelope_raw(Seconds t) const {
   double env = 0.0;
   for (const Gust& gust : gusts_) {
     const Seconds rel = t - gust.start;
@@ -184,8 +266,112 @@ Volts WindTurbineSource::envelope(Seconds t) const {
                         std::exp(-t_star / params_.gust_fall);
     env += gust.strength * rise * fall / norm;
   }
-  const Volts v = params_.peak_voltage * env;
+  return params_.peak_voltage * env;
+}
+
+Volts WindTurbineSource::envelope(Seconds t) const {
+  const Volts v = envelope_raw(t);
   return v < params_.cut_in_voltage ? 0.0 : v;
+}
+
+void WindTurbineSource::build_quiet_index() {
+  // Per-cell certified bounds on v_oc = envelope * sin(phase):
+  //
+  //  * U(t) = (peak / norm) * sum_i s_i * exp(-(t - start_i) / tau_f)
+  //    upper-bounds the raw envelope (each gust's rise factor is < 1), and
+  //    (1/tau_r + 1/tau_f) * U(t) upper-bounds its slope — so per cell,
+  //    env <= min(mean-value bound from the edge samples, U_max), and a
+  //    cell whose envelope bound sits below the cut-in voltage is
+  //    *exactly* zero (the cut-in thresholds envelope() to 0).
+  //  * The pre-integrated phase is monotone, so sin over a cell ranges
+  //    within sin_range(phase(a), phase(b)); beyond the phase grid the
+  //    clamp freezes it.
+  //
+  // Cells extend past the gust horizon until U itself decays below the
+  // cut-in, after which the source is certified zero forever.
+  const double tau_r = params_.gust_rise;
+  const double tau_f = params_.gust_fall;
+  const double t_star = tau_r * std::log(1.0 + tau_f / tau_r);
+  const double norm =
+      (1.0 - std::exp(-t_star / tau_r)) * std::exp(-t_star / tau_f);
+  const double peak = params_.peak_voltage / norm;  // U's strength scale
+  const double slope_factor = 1.0 / tau_r + 1.0 / tau_f;
+  const double cut_in = params_.cut_in_voltage;
+
+  const Seconds w = 2e-3;
+  const double decay_per_cell = std::exp(-w / tau_f);
+  // Hard cap: horizon plus the time the largest conceivable tail sum needs
+  // to decay through the cut-in (plus slack); loops below also stop as
+  // soon as the tail actually clears.
+  double strength_total = 0.0;
+  Seconds last_start = 0.0;
+  for (const Gust& gust : gusts_) {
+    strength_total += gust.strength;
+    last_start = std::max(last_start, gust.start);
+  }
+  const double tail_decay =
+      cut_in > 0.0 && strength_total > 0.0
+          ? tau_f * std::log(std::max(peak * strength_total / cut_in, 1.0))
+          : 60.0 * tau_f;
+  const std::size_t max_cells =
+      static_cast<std::size_t>((last_start + t_star + tail_decay) / w) + 4;
+
+  std::vector<QuietSegmentIndex::Bounds> cells;
+  cells.reserve(max_cells);
+  double tail_sum = 0.0;  // sum_i s_i * exp(-(a - start_i)/tau_f) at cell start
+  std::size_t next_gust = 0;
+  for (std::size_t i = 0; i < max_cells; ++i) {
+    const Seconds a = w * static_cast<double>(i);
+    const Seconds b = a + w;
+    // Gusts not yet consumed that start by the end of this cell count at
+    // full strength for this cell's bound and join the decayed tail sum
+    // afterwards (each gust is consumed exactly once).
+    double fresh = 0.0;
+    double fresh_at_b = 0.0;
+    std::size_t g = next_gust;
+    while (g < gusts_.size() && gusts_[g].start <= b) {
+      fresh += gusts_[g].strength;
+      fresh_at_b +=
+          gusts_[g].strength * std::exp(-(b - gusts_[g].start) / tau_f);
+      ++g;
+    }
+    const double u_max = peak * (tail_sum + fresh);
+    if (u_max < cut_in && g >= gusts_.size()) {
+      // The tail can never climb back over the cut-in: zero forever.
+      break;
+    }
+    QuietSegmentIndex::Bounds bounds{0.0, 0.0};
+    if (u_max >= cut_in) {
+      // Mean-value bound on the raw envelope over [a, b] (|env'| is
+      // bounded by slope_factor * U <= slope_factor * u_max a.e.).
+      const double env_bound =
+          std::min(0.5 * (envelope_raw(a) + envelope_raw(b)) +
+                       0.5 * slope_factor * u_max * w,
+                   u_max);
+      if (env_bound >= cut_in) {
+        double s_lo = 0.0, s_hi = 0.0;
+        sin_range(phase_.at(a), phase_.at(b), &s_lo, &s_hi);
+        bounds = padded(s_lo < 0.0 ? env_bound * s_lo : 0.0,
+                        s_hi > 0.0 ? env_bound * s_hi : 0.0);
+      }
+    }
+    cells.push_back(bounds);
+    tail_sum = tail_sum * decay_per_cell + fresh_at_b;
+    next_gust = g;
+  }
+  // If the cap ran out before the tail cleared (a zero cut-in, say), the
+  // tail bound +-U holds forever — U only decays once the gusts stop.
+  QuietSegmentIndex::Bounds tail{0.0, 0.0};
+  if (cells.size() == max_cells && peak * tail_sum >= cut_in) {
+    const double u_end = peak * tail_sum;
+    tail = {-u_end, u_end};
+  }
+  quiet_ = QuietSegmentIndex(0.0, w, std::move(cells), {0.0, 0.0}, tail);
+}
+
+Seconds WindTurbineSource::bounded_until(Volts floor, Volts ceiling,
+                                         Seconds t) const {
+  return quiet_.bounded_until(floor, ceiling, t);
 }
 
 Volts WindTurbineSource::open_circuit_voltage(Seconds t) const {
@@ -212,6 +398,61 @@ KineticHarvesterSource::KineticHarvesterSource(const Params& params,
                  params.step_period * (1.0 + params.step_jitter * rng.normal()));
     t += spacing;
   }
+  build_quiet_index();
+}
+
+void KineticHarvesterSource::build_quiet_index() {
+  // Per-cell certified bounds on the ring-down superposition: a cell with
+  // no impulse inside its 8-tau window is exactly zero (the evaluation
+  // cuts contributions off there), and elsewhere
+  // |v| <= peak * (decayed tail sum + count of impulses landing in the
+  // cell) — every started impulse contributes at most peak * exp(-rel/tau)
+  // and a just-landed one at most peak. Past the last impulse's ring
+  // window the source is certified zero forever.
+  const double tau = params_.ring_tau;
+  const Seconds window = 8.0 * tau;
+  const Seconds w = 0.25 * tau;
+  const double decay_per_cell = std::exp(-w / tau);
+  std::vector<QuietSegmentIndex::Bounds> cells;
+  if (!impulses_.empty()) {
+    const Seconds end = impulses_.back() + window;
+    const auto n_cells = static_cast<std::size_t>(end / w) + 1;
+    cells.reserve(n_cells);
+    double tail_sum = 0.0;      // sum of exp(-(a - t_k)/tau) over started impulses
+    std::size_t next_hit = 0;   // first impulse with t_k > cell end
+    std::size_t first_live = 0; // first impulse with t_k >= a - window
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      const Seconds a = w * static_cast<double>(i);
+      const Seconds b = a + w;
+      double fresh = 0.0;
+      double fresh_at_b = 0.0;
+      std::size_t k = next_hit;
+      while (k < impulses_.size() && impulses_[k] <= b) {
+        fresh += 1.0;
+        fresh_at_b += std::exp(-(b - impulses_[k]) / tau);
+        ++k;
+      }
+      while (first_live < impulses_.size() && impulses_[first_live] < a - window) {
+        ++first_live;
+      }
+      // Exactly zero when every started impulse has rung past the cutoff
+      // and none lands by the cell's end.
+      if (first_live >= k) {
+        cells.push_back({0.0, 0.0});
+      } else {
+        const double amp = params_.impulse_peak * (tail_sum + fresh);
+        cells.push_back(padded(-amp, amp));
+      }
+      tail_sum = tail_sum * decay_per_cell + fresh_at_b;
+      next_hit = k;
+    }
+  }
+  quiet_ = QuietSegmentIndex(0.0, w, std::move(cells), {0.0, 0.0}, {0.0, 0.0});
+}
+
+Seconds KineticHarvesterSource::bounded_until(Volts floor, Volts ceiling,
+                                              Seconds t) const {
+  return quiet_.bounded_until(floor, ceiling, t);
 }
 
 Volts KineticHarvesterSource::open_circuit_voltage(Seconds t) const {
@@ -234,7 +475,7 @@ WaveformVoltageSource::WaveformVoltageSource(Waveform wave, Ohms series_resistan
     : wave_(std::move(wave)), r_series_(series_resistance), name_(std::move(name)) {
   EDC_CHECK(!wave_.empty(), "waveform must not be empty");
   EDC_CHECK(series_resistance > 0.0, "series resistance must be positive");
-  activity_ = ActivityIndex(wave_);
+  quiet_ = index_waveform(wave_, 16);
 }
 
 Volts WaveformVoltageSource::open_circuit_voltage(Seconds t) const {
@@ -243,11 +484,39 @@ Volts WaveformVoltageSource::open_circuit_voltage(Seconds t) const {
 
 Seconds WaveformVoltageSource::bounded_until(Volts floor, Volts ceiling,
                                              Seconds t) const {
-  // The index knows where the recording is identically zero; that answers
-  // the query exactly when 0 lies inside the requested band (which the
-  // macro stepper's queries guarantee). Elsewhere claim nothing.
-  if (floor > 0.0 || ceiling < 0.0) return t;
-  return activity_.zero_until(t);
+  return quiet_.bounded_until(floor, ceiling, t);
+}
+
+Seconds WaveformVoltageSource::constant_until(Seconds t, Volts* value) const {
+  const auto& s = wave_.samples();
+  const std::size_t n = s.size();
+  if (n == 1) {
+    *value = s.front();
+    return kNeverActive;
+  }
+  if (t >= wave_.t_end()) {
+    *value = s.back();  // clamped: constant forever
+    return kNeverActive;
+  }
+  // Mirror Waveform::at's cell arithmetic exactly so the certified value is
+  // the one every in-window evaluation reproduces.
+  std::size_t idx = 0;
+  if (t > wave_.t0()) {
+    idx = static_cast<std::size_t>((t - wave_.t0()) / wave_.dt());
+    if (idx >= n - 1) idx = n - 2;
+  }
+  if (s[idx + 1] != s[idx]) return t;  // interpolating cell: not constant
+  *value = s[idx];
+  // Extend through the run of identical samples (bounded walk: a claim is
+  // consumed as one span, so the amortised cost stays linear).
+  std::size_t run_end = idx + 1;
+  const std::size_t cap = std::min(n - 1, run_end + (std::size_t{1} << 16));
+  while (run_end < cap && s[run_end + 1] == s[idx]) ++run_end;
+  if (run_end == n - 1) return kNeverActive;  // runs to the clamped tail
+  // The shave keeps the window strictly inside the run so rounding in the
+  // caller's sample arithmetic cannot straddle the first changing cell.
+  return conservative_horizon(
+      wave_.t0() + wave_.dt() * static_cast<double>(run_end), t);
 }
 
 }  // namespace edc::trace

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "edc/trace/quiet_index.h"
 #include "edc/trace/rng.h"
 #include "edc/trace/source.h"
 #include "edc/trace/waveform.h"
@@ -22,6 +23,9 @@ class SineVoltageSource final : public VoltageSource {
   /// crossing of either band edge by offset + A sin(2 pi f t).
   [[nodiscard]] Seconds bounded_until(Volts floor, Volts ceiling,
                                       Seconds t) const override;
+  /// A degenerate sine (zero amplitude or frequency) is a DC supply: the
+  /// offset is certified forever. A live sine certifies nothing.
+  [[nodiscard]] Seconds constant_until(Seconds t, Volts* value) const override;
   [[nodiscard]] std::string name() const override;
 
  private:
@@ -43,6 +47,10 @@ class SquareVoltageSource final : public VoltageSource {
   /// violates the band.
   [[nodiscard]] Seconds bounded_until(Volts floor, Volts ceiling,
                                       Seconds t) const override;
+  /// The current level, certified until the next (float-safety-shaved)
+  /// switch edge — the canonical charge-span source: every high phase is a
+  /// constant-voltage window the rectifier+RC closed form covers whole.
+  [[nodiscard]] Seconds constant_until(Seconds t, Volts* value) const override;
   [[nodiscard]] std::string name() const override;
 
  private:
@@ -82,11 +90,25 @@ class WindTurbineSource final : public VoltageSource {
 
   [[nodiscard]] Volts open_circuit_voltage(Seconds t) const override;
   [[nodiscard]] Ohms series_resistance() const override { return params_.coil_resistance; }
+  /// Backed by the quiet-segment index built over the seeded gust schedule
+  /// at construction: per-cell bounds from the analytic gust-envelope tail
+  /// sum (every gust's contribution is bounded by its exponential decay)
+  /// and the phase waveform's monotone arc, so inter-gust gaps, stalled
+  /// (below cut-in) stretches and even the sub-cycle arcs where the EMF
+  /// provably stays under the rectifier's conduction band all answer
+  /// quiet. This is what lights the quiescent engine up on Fig 8.
+  [[nodiscard]] Seconds bounded_until(Volts floor, Volts ceiling,
+                                      Seconds t) const override;
   [[nodiscard]] std::string name() const override { return "micro-wind-turbine"; }
 
   /// Gust envelope (peak EMF of the AC waveform) at time t; exposed for
   /// tests and for the Fig 1a bench.
   [[nodiscard]] Volts envelope(Seconds t) const;
+
+  /// The quiet-segment index (tests / diagnostics).
+  [[nodiscard]] const QuietSegmentIndex& quiet_index() const noexcept {
+    return quiet_;
+  }
 
  private:
   struct Gust {
@@ -96,12 +118,19 @@ class WindTurbineSource final : public VoltageSource {
 
   explicit WindTurbineSource(const Params& params);
 
+  /// The gust-envelope sum before the cut-in threshold zeroes it.
+  [[nodiscard]] Volts envelope_raw(Seconds t) const;
+
+  /// Builds quiet_ from gusts_ + phase_ (call after both are final).
+  void build_quiet_index();
+
   Params params_;
   std::vector<Gust> gusts_;
   // Electrical phase is the integral of instantaneous frequency; we sample it
   // on a fine grid at construction so open_circuit_voltage() stays a pure
   // function of t.
   Waveform phase_;
+  QuietSegmentIndex quiet_;
 };
 
 /// Resonant kinetic (inertial/piezo) harvester excited by an impulse train,
@@ -122,11 +151,26 @@ class KineticHarvesterSource final : public VoltageSource {
 
   [[nodiscard]] Volts open_circuit_voltage(Seconds t) const override;
   [[nodiscard]] Ohms series_resistance() const override { return params_.coil_resistance; }
+  /// Backed by the quiet-segment index built over the seeded impulse train
+  /// at construction: a cell with no impulse inside its 8-tau ring window
+  /// is exactly zero, and elsewhere the ring-down tail sum bounds the EMF
+  /// magnitude — so late-tail stretches answer quiet for the rectifier's
+  /// conduction-band queries even while the transducer still rings.
+  [[nodiscard]] Seconds bounded_until(Volts floor, Volts ceiling,
+                                      Seconds t) const override;
   [[nodiscard]] std::string name() const override { return "kinetic-harvester"; }
 
+  /// The quiet-segment index (tests / diagnostics).
+  [[nodiscard]] const QuietSegmentIndex& quiet_index() const noexcept {
+    return quiet_;
+  }
+
  private:
+  void build_quiet_index();
+
   Params params_;
   std::vector<Seconds> impulses_;
+  QuietSegmentIndex quiet_;
 };
 
 /// Plays back an arbitrary waveform as an open-circuit voltage (e.g. a
@@ -138,16 +182,22 @@ class WaveformVoltageSource final : public VoltageSource {
 
   [[nodiscard]] Volts open_circuit_voltage(Seconds t) const override;
   [[nodiscard]] Ohms series_resistance() const override { return r_series_; }
-  /// Backed by a nonzero-segment index built over the trace at
-  /// construction: answers exactly where the recording is identically zero
-  /// (which is what the quiescent engine's band queries need).
+  /// Backed by a quiet-segment index built over the trace at construction:
+  /// the recording is piecewise linear, so per-cell sample extrema bound it
+  /// exactly and *any* band query answers — zero gaps, but also every
+  /// stretch where the recording provably stays under the rectifier's
+  /// conduction ceiling (the sub-cycle arcs of a recorded AC burst).
   [[nodiscard]] Seconds bounded_until(Volts floor, Volts ceiling,
                                       Seconds t) const override;
+  /// Exact run-length certification: a run of identical consecutive
+  /// samples interpolates to a constant, so recorded DC stretches become
+  /// charge-span windows.
+  [[nodiscard]] Seconds constant_until(Seconds t, Volts* value) const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:
   Waveform wave_;
-  ActivityIndex activity_;
+  QuietSegmentIndex quiet_;
   Ohms r_series_;
   std::string name_;
 };

@@ -247,6 +247,38 @@ TEST(ShardAssignment, FallsBackToStridingWithoutTimings) {
   EXPECT_EQ(fallback.owned, sweep::ShardAssignment::striding(6, 2).owned);
 }
 
+TEST(ShardAssignment, AssignmentShardCsvsMergeByteIdenticallyToSerialRun) {
+  // The cost-weighted CSV loop: LPT slices written as v2 assignment shard
+  // CSVs must merge into the exact write_csv bytes of the unsharded run,
+  // for skewed partitions striding could never produce.
+  const sweep::Grid grid = two_axis_grid();
+  const sweep::Runner runner;
+  std::vector<double> micros;
+  const auto serial = runner.run(grid, &micros);
+  const std::string expected = full_csv(grid, serial);
+
+  for (std::size_t count : {1u, 2u, 3u, 5u}) {
+    const auto assignment = sweep::ShardAssignment::balanced(micros, count);
+    std::vector<std::string> shard_texts;
+    for (std::size_t k = 0; k < assignment.count(); ++k) {
+      const auto rows = runner.run_assignment(grid, assignment, k);
+      std::ostringstream out;
+      sweep::write_assignment_shard_csv(out, grid, assignment, k, rows);
+      shard_texts.push_back(out.str());
+    }
+    std::ostringstream merged;
+    sweep::merge_shard_csvs(shard_texts, merged);
+    EXPECT_EQ(merged.str(), expected) << "N=" << count;
+
+    // Assignment shards still fail loudly on incomplete partitions.
+    if (count > 1) {
+      std::ostringstream sink;
+      EXPECT_THROW(sweep::merge_shard_csvs({shard_texts[0]}, sink),
+                   std::invalid_argument);
+    }
+  }
+}
+
 TEST(ShardAssignment, RunAssignmentMatchesRunBitIdentically) {
   // The cost-weighted re-run path: rows of every LPT slice must be the
   // exact rows of the unsharded run, in each slice's ascending order.

@@ -1,0 +1,176 @@
+// bench_gate — turns the perf-trajectory's recorded speedups into gates.
+//
+// Reads one or more google-benchmark JSON files (the BENCH_<pr>.json the
+// CI perf job emits), pairs up the BM_MacroPair/<Name>_fine and
+// BM_MacroPair/<Name>_macro entries, and asserts each named pair's
+// fine/macro real-time ratio against a per-pair threshold:
+//
+//   bench_gate BENCH_5.json --gate Fig7Gapped=15 --gate Fig8WindSurvey=3
+//
+// Exit status 0 iff every gated pair is present and at or above its
+// threshold — so a quiescent-engine speedup that silently regresses turns
+// the CI job red instead of merely shrinking a number in an archived
+// artifact. Multiple JSON files merge their entries (later files win),
+// which lets a sharded benchmark run feed one gate invocation.
+//
+// The parser is deliberately minimal: it scans for the "name",
+// "real_time" and "time_unit" keys of each benchmark object in the order
+// google-benchmark emits them. Unknown pairs and non-BM_MacroPair entries
+// are ignored.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Sample {
+  double real_time = 0.0;
+  std::string unit;
+};
+
+/// Extracts the JSON string that starts at text[pos] (pos at the opening
+/// quote). No escape handling beyond \": benchmark names never need more.
+std::string parse_string(const std::string& text, std::size_t pos) {
+  std::string out;
+  for (std::size_t i = pos + 1; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      out.push_back(text[++i]);
+      continue;
+    }
+    if (text[i] == '"') break;
+    out.push_back(text[i]);
+  }
+  return out;
+}
+
+/// Value of `"key": <scalar>` at/after `from` and before `until`.
+/// Returns the raw scalar text ("" when absent).
+std::string find_scalar(const std::string& text, const std::string& key,
+                        std::size_t from, std::size_t until) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) return "";
+  std::size_t i = text.find(':', at + needle.size());
+  if (i == std::string::npos || i >= until) return "";
+  ++i;
+  while (i < until && (text[i] == ' ' || text[i] == '\t')) ++i;
+  if (i < until && text[i] == '"') return parse_string(text, i);
+  std::string out;
+  while (i < until && text[i] != ',' && text[i] != '\n' && text[i] != '}') {
+    out.push_back(text[i++]);
+  }
+  return out;
+}
+
+/// Collects name -> (real_time, unit) for every benchmark entry in the
+/// google-benchmark JSON `text`.
+void collect(const std::string& text, std::map<std::string, Sample>& out) {
+  // Entries live in the "benchmarks" array; each starts with a "name" key.
+  std::size_t at = text.find("\"benchmarks\"");
+  if (at == std::string::npos) return;
+  const std::string needle = "\"name\"";
+  at = text.find(needle, at);
+  while (at != std::string::npos) {
+    const std::size_t next = text.find(needle, at + needle.size());
+    const std::size_t until = next == std::string::npos ? text.size() : next;
+    std::size_t q = text.find(':', at + needle.size());
+    if (q == std::string::npos) break;
+    q = text.find('"', q);
+    if (q == std::string::npos || q >= until) break;
+    const std::string name = parse_string(text, q);
+    Sample sample;
+    const std::string rt = find_scalar(text, "real_time", q, until);
+    sample.unit = find_scalar(text, "time_unit", q, until);
+    if (!rt.empty()) {
+      char* end = nullptr;
+      sample.real_time = std::strtod(rt.c_str(), &end);
+      if (end != rt.c_str()) out[name] = sample;
+    }
+    at = next;
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BENCH.json [MORE.json ...] --gate Pair=MinRatio "
+               "[--gate Pair=MinRatio ...]\n"
+               "  Pair names a BM_MacroPair/<Pair>_fine & _macro entry pair;\n"
+               "  the gate asserts fine/macro >= MinRatio.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<std::pair<std::string, double>> gates;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) return usage(argv[0]);
+      char* end = nullptr;
+      const double min_ratio = std::strtod(spec.c_str() + eq + 1, &end);
+      if (end == spec.c_str() + eq + 1 || *end != '\0' || !(min_ratio > 0.0)) {
+        std::fprintf(stderr, "bad --gate ratio: '%s'\n", spec.c_str());
+        return 2;
+      }
+      gates.emplace_back(spec.substr(0, eq), min_ratio);
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty() || gates.empty()) return usage(argv[0]);
+
+  std::map<std::string, Sample> samples;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    collect(text.str(), samples);
+  }
+
+  int failures = 0;
+  for (const auto& [pair, min_ratio] : gates) {
+    const auto fine = samples.find("BM_MacroPair/" + pair + "_fine");
+    const auto macro = samples.find("BM_MacroPair/" + pair + "_macro");
+    if (fine == samples.end() || macro == samples.end()) {
+      std::printf("[FAIL] %-18s missing %s entry\n", pair.c_str(),
+                  fine == samples.end() ? "_fine" : "_macro");
+      ++failures;
+      continue;
+    }
+    if (fine->second.unit != macro->second.unit) {
+      std::printf("[FAIL] %-18s fine/macro time units differ (%s vs %s)\n",
+                  pair.c_str(), fine->second.unit.c_str(),
+                  macro->second.unit.c_str());
+      ++failures;
+      continue;
+    }
+    if (!(macro->second.real_time > 0.0)) {
+      std::printf("[FAIL] %-18s non-positive macro time\n", pair.c_str());
+      ++failures;
+      continue;
+    }
+    const double ratio = fine->second.real_time / macro->second.real_time;
+    const bool ok = ratio >= min_ratio;
+    std::printf("[%s] %-18s %8.2f %s fine / %8.2f %s macro = %6.2fx (gate %.2fx)\n",
+                ok ? "PASS" : "FAIL", pair.c_str(), fine->second.real_time,
+                fine->second.unit.c_str(), macro->second.real_time,
+                macro->second.unit.c_str(), ratio, min_ratio);
+    if (!ok) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
