@@ -26,11 +26,17 @@
 // horizon for smoke tests (shape checks are skipped — they are tuned for
 // the full 20 s horizon).
 //
+// --batch runs the grid through the batched SoA kernel (sweep/batch.h) —
+// bit-identical rows, amortized lane-cost timings tagged provenance 'b'.
+//
 // --shard-plan TIMING.csv closes the cost-weighted sharding loop (ROADMAP)
 // end to end: an unsharded run *emits* the per-point timing CSV
-// ("index,micros" — measured, or replayed from the cache on a warm grid),
-// and a --shard k/N run *consumes* it, replacing index striding with the
-// LPT-balanced partition of sweep::ShardAssignment::balanced. Every shard
+// ("index,micros,provenance" — measured, or replayed from the cache on a
+// warm grid), and a --shard k/N run *consumes* it, replacing index
+// striding with the LPT-balanced partition of
+// sweep::ShardAssignment::balanced. A plan mixing scalar and batch
+// provenance is rejected (amortized lane costs are not comparable with
+// per-point wall times) unless --mixed-plan-ok. Every shard
 // process computes the identical partition from the identical file, and
 // the v2 shard CSVs merge through sweep_merge exactly like striding ones:
 //
@@ -75,16 +81,19 @@ double joules_per_mcycle(const sim::SimResult& result) {
   return result.mcu.energy_total() / (result.mcu.forward_cycles / 1e6);
 }
 
-/// Writes the "index,micros" timing plan a later --shard run consumes.
-bool write_shard_plan(const char* path, const std::vector<double>& micros) {
+/// Writes the "index,micros,provenance" timing plan a later --shard run
+/// consumes. The provenance column ('s' scalar / 'b' batch, see
+/// sweep/batch.h) records which execution path measured each cost.
+bool write_shard_plan(const char* path, const std::vector<double>& micros,
+                      const std::vector<char>& provenance) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "cannot open '%s' for writing\n", path);
     return false;
   }
-  out << "index,micros\n";
+  out << "index,micros,provenance\n";
   for (std::size_t i = 0; i < micros.size(); ++i) {
-    out << i << ',' << micros[i] << '\n';
+    out << i << ',' << micros[i] << ',' << provenance[i] << '\n';
   }
   if (!out.good()) {
     std::fprintf(stderr, "write to '%s' failed\n", path);
@@ -97,8 +106,16 @@ bool write_shard_plan(const char* path, const std::vector<double>& micros) {
 /// index covered exactly once. Loud failure — a stale or truncated plan
 /// must never silently degrade into a partial partition (the merge would
 /// reject the mismatched shards anyway, but this fails with the reason).
+///
+/// Plans without the provenance column (written before the batch path
+/// existed) still parse. Plans that *mix* scalar and batch provenance are
+/// rejected unless `mixed_ok`: a batch cost is a lane group's wall time
+/// amortized over its lanes, a scalar cost is the point's own wall time,
+/// and LPT-balancing a partition over incommensurable costs silently
+/// skews every shard. Re-emit the plan from one mode, or pass
+/// --mixed-plan-ok to accept the skew knowingly.
 bool read_shard_plan(const char* path, std::size_t grid_size,
-                     std::vector<double>& micros) {
+                     std::vector<double>& micros, bool mixed_ok) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "cannot open shard plan '%s' (run unsharded with "
@@ -106,12 +123,17 @@ bool read_shard_plan(const char* path, std::size_t grid_size,
     return false;
   }
   std::string line;
-  if (!std::getline(in, line) || line != "index,micros") {
+  bool with_provenance = false;
+  if (!std::getline(in, line) ||
+      (line != "index,micros" && line != "index,micros,provenance")) {
     std::fprintf(stderr, "'%s' is not a shard plan (bad header)\n", path);
     return false;
   }
+  with_provenance = line == "index,micros,provenance";
   micros.assign(grid_size, 0.0);
   std::vector<bool> covered(grid_size, false);
+  bool saw_scalar = false;
+  bool saw_batch = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     char* end = nullptr;
@@ -121,9 +143,17 @@ bool read_shard_plan(const char* path, std::size_t grid_size,
       return false;
     }
     const double cost = std::strtod(end + 1, &end);
-    if (*end != '\0' || !(cost > 0.0)) {
+    if (!(cost > 0.0) || (*end != '\0' && (!with_provenance || *end != ','))) {
       std::fprintf(stderr, "bad shard-plan cost in '%s': %s\n", path, line.c_str());
       return false;
+    }
+    if (with_provenance) {
+      if (end[0] != ',' || (end[1] != 's' && end[1] != 'b') || end[2] != '\0') {
+        std::fprintf(stderr, "bad shard-plan provenance in '%s': %s\n", path,
+                     line.c_str());
+        return false;
+      }
+      (end[1] == 'b' ? saw_batch : saw_scalar) = true;
     }
     if (covered[index]) {
       std::fprintf(stderr, "duplicate shard-plan index %llu in '%s'\n", index, path);
@@ -139,6 +169,17 @@ bool read_shard_plan(const char* path, std::size_t grid_size,
       return false;
     }
   }
+  if (saw_scalar && saw_batch && !mixed_ok) {
+    std::fprintf(stderr,
+                 "shard plan '%s' mixes scalar ('s') and batch ('b') "
+                 "provenance: batch costs are amortized over a lane group and "
+                 "are not comparable with per-point scalar wall times, so an "
+                 "LPT partition over them would be skewed. Re-emit the plan "
+                 "from a single mode (with or without --batch, cold cache), "
+                 "or pass --mixed-plan-ok to proceed anyway.\n",
+                 path);
+    return false;
+  }
   return true;
 }
 
@@ -153,6 +194,8 @@ int main(int argc, char** argv) {
   double t_end = 20.0;
   bool t_end_overridden = false;
   bool macro = false;
+  bool batch = false;
+  bool mixed_plan_ok = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
       shard = sweep::Shard::parse(argv[++i]);
@@ -169,6 +212,15 @@ int main(int argc, char** argv) {
       // points are outage-dominated (long brown-out tails), which is
       // exactly the regime the macro stepper collapses to O(1) per span.
       macro = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      // Batched SoA execution (sweep/batch.h): the two policies at each
+      // interrupt frequency share a source, so they step as one two-lane
+      // group. Rows are bit-identical to the scalar path; per-point
+      // timings become amortized lane costs (provenance 'b' in the
+      // timing CSV and shard plan).
+      batch = true;
+    } else if (std::strcmp(argv[i], "--mixed-plan-ok") == 0) {
+      mixed_plan_ok = true;
     } else if (std::strcmp(argv[i], "--t-end") == 0 && i + 1 < argc) {
       char* end = nullptr;
       t_end = std::strtod(argv[++i], &end);
@@ -180,8 +232,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--shard k/N] [--csv FILE] [--timing-csv FILE] "
-                   "[--shard-plan FILE] [--cache DIR] [--macro] "
-                   "[--t-end SECONDS]\n",
+                   "[--shard-plan FILE] [--cache DIR] [--macro] [--batch] "
+                   "[--mixed-plan-ok] [--t-end SECONDS]\n",
                    argv[0]);
       return 2;
     }
@@ -229,6 +281,7 @@ int main(int argc, char** argv) {
 
   sweep::RunnerOptions options;
   if (cache.has_value()) options.cache = &*cache;
+  options.batch = batch;
   const sweep::Runner runner(options);
 
   const auto report_cache = [&] {
@@ -249,14 +302,18 @@ int main(int argc, char** argv) {
     // every shard process derives the identical partition from the
     // identical file, so the slices still cover the grid exactly once.
     std::vector<double> shard_micros;
+    std::vector<char> shard_provenance;
     std::vector<sim::SimResult> rows;
     std::optional<sweep::ShardAssignment> assignment;
     std::size_t owned_count = 0;
     if (shard_plan_path != nullptr) {
       std::vector<double> plan;
-      if (!read_shard_plan(shard_plan_path, grid.size(), plan)) return 1;
+      if (!read_shard_plan(shard_plan_path, grid.size(), plan, mixed_plan_ok)) {
+        return 1;
+      }
       assignment = sweep::ShardAssignment::balanced(plan, shard->count);
-      rows = runner.run_assignment(grid, *assignment, shard->index, &shard_micros);
+      rows = runner.run_assignment(grid, *assignment, shard->index, &shard_micros,
+                                   &shard_provenance);
       owned_count = assignment->owned[shard->index].size();
       std::fprintf(stderr,
                    "shard plan '%s': LPT makespan %.0f us vs striding %.0f us\n",
@@ -264,7 +321,7 @@ int main(int argc, char** argv) {
                    sweep::ShardAssignment::striding(grid.size(), shard->count)
                        .makespan(plan));
     } else {
-      rows = runner.run_shard(grid, *shard, &shard_micros);
+      rows = runner.run_shard(grid, *shard, &shard_micros, &shard_provenance);
       owned_count = shard->owned_count(grid.size());
     }
     std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
@@ -282,21 +339,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (timing_csv_path != nullptr) {
-      // Per-shard timing: global point index + wall time, the per-point
-      // costs a cost-weighted re-shard of this grid would consume. (The
-      // mergeable shard CSV format itself stays timing-free so merged
-      // output is byte-comparable with a serial run.)
+      // Per-shard timing: global point index + wall time + execution-path
+      // provenance, the per-point costs a cost-weighted re-shard of this
+      // grid would consume. (The mergeable shard CSV format itself stays
+      // timing-free so merged output is byte-comparable with a serial
+      // run.)
       std::ofstream timing(timing_csv_path, std::ios::binary | std::ios::trunc);
       if (!timing) {
         std::fprintf(stderr, "cannot open '%s' for writing\n", timing_csv_path);
         return 1;
       }
-      timing << "index,micros\n";
+      timing << "index,micros,provenance\n";
       const std::vector<std::size_t> owned =
           assignment.has_value() ? assignment->owned[shard->index]
                                  : shard->owned_points(grid.size());
       for (std::size_t pos = 0; pos < owned.size(); ++pos) {
-        timing << owned[pos] << ',' << shard_micros[pos] << '\n';
+        timing << owned[pos] << ',' << shard_micros[pos] << ','
+               << shard_provenance[pos] << '\n';
       }
       if (!timing.good()) {
         std::fprintf(stderr, "write to '%s' failed\n", timing_csv_path);
@@ -324,14 +383,15 @@ int main(int argc, char** argv) {
               predicted, predicted / 2);
 
   std::vector<double> micros;
-  const auto results = runner.run(grid, &micros);
+  std::vector<char> provenance;
+  const auto results = runner.run(grid, &micros, &provenance);
   report_cache();
 
   if (shard_plan_path != nullptr) {
     // Emit the timing plan for LPT-balanced --shard re-runs (cache hits
-    // replay each point's original cost, so a warm grid re-emits the same
-    // plan without simulating).
-    if (!write_shard_plan(shard_plan_path, micros)) return 1;
+    // replay each point's original cost and provenance, so a warm grid
+    // re-emits the same plan without simulating).
+    if (!write_shard_plan(shard_plan_path, micros, provenance)) return 1;
     std::fprintf(stderr, "shard plan -> %s (%zu points)\n", shard_plan_path,
                  micros.size());
   }
@@ -350,14 +410,15 @@ int main(int argc, char** argv) {
   }
 
   if (timing_csv_path != nullptr) {
-    // The same rows with the per-point wall-time column appended — the
-    // measured input a cost-weighted shard assignment would consume.
+    // The same rows with the per-point wall-time and provenance columns
+    // appended — the measured input a cost-weighted shard assignment
+    // would consume, tagged with the execution path that measured it.
     std::ofstream out(timing_csv_path, std::ios::binary | std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "cannot open '%s' for writing\n", timing_csv_path);
       return 1;
     }
-    sweep::write_csv(out, grid, results, &micros);
+    sweep::write_csv(out, grid, results, &micros, &provenance);
     if (!out.good()) {
       std::fprintf(stderr, "write to '%s' failed\n", timing_csv_path);
       return 1;

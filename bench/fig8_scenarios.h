@@ -1,7 +1,7 @@
 // Shared Fig 8 scenario specs for the bench programs.
 //
 // fig8_hibernus_pn --macro gates the wind-survey speedup on the same
-// scenario BM_MacroPair/Fig8WindSurvey_* records in BENCH_5.json
+// scenario BM_MacroPair/Fig8WindSurvey_* records in BENCH_6.json
 // (bench/perf_micro.cpp); one definition keeps the gate and the recorded
 // trajectory comparable by construction (the fig7_scenarios.h pattern).
 #pragma once
@@ -10,6 +10,7 @@
 
 #include "edc/neutral/dfs_governor.h"
 #include "edc/spec/system_spec.h"
+#include "edc/sweep/grid.h"
 #include "edc/trace/voltage_sources.h"
 #include "edc/workloads/crc32.h"
 
@@ -65,6 +66,23 @@ inline edc::spec::SystemSpec governed_figure_spec() {
 /// genuinely conducting arcs and the workload's own execution.
 inline edc::spec::SystemSpec wind_survey_spec() {
   return base_spec(30.0, /*seed=*/3);
+}
+
+/// The batched-sweep survey: the Fig 8 design point swept over 16 node
+/// capacitances across one seeded gust (1 s), all fine-stepped. The
+/// WindSource *spec* is serializable, so the grid is one batch group even
+/// though the workload factory makes the points non-cacheable — the
+/// turbine's EMF (gust envelope x electrical AC) is evaluated once per
+/// substep and broadcast across the lanes. fig8_hibernus_pn --batch gates
+/// the scalar/batch speedup here; BM_BatchPair/Fig8Wind_* records the
+/// same pair in BENCH_6.json.
+inline edc::sweep::Grid batch_survey_grid() {
+  edc::spec::SystemSpec s = base_spec(1.0, /*seed=*/3);
+  edc::sweep::Grid grid(std::move(s));
+  grid.capacitance_axis({4.7e-6, 6.8e-6, 10e-6, 15e-6, 22e-6, 33e-6, 47e-6,
+                         68e-6, 100e-6, 150e-6, 220e-6, 330e-6, 470e-6,
+                         680e-6, 1000e-6, 1500e-6});
+  return grid;
 }
 
 }  // namespace fig8

@@ -1,15 +1,18 @@
-// Shared measurement helpers for the --macro survey gates
+// Shared measurement helpers for the --macro and --batch survey gates
 // (fig7_hibernus_fft, fig8_hibernus_pn): one definition of the
-// gate-critical best-of-N wall-clock loop so the CI gates cannot silently
+// gate-critical best-of-N wall-clock loops so the CI gates cannot silently
 // diverge in how they time their legs.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <vector>
 
 #include "edc/core/system.h"
 #include "edc/spec/system_spec.h"
+#include "edc/sweep/grid.h"
+#include "edc/sweep/runner.h"
 
 namespace macro_survey {
 
@@ -30,6 +33,29 @@ inline double wall_millis(const edc::spec::SystemSpec& base,
     auto system = edc::spec::instantiate(s);
     const auto start = std::chrono::steady_clock::now();
     result = system.run();
+    best = std::min(best, std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+  }
+  return best;
+}
+
+/// Best-of-`repeats` wall time (ms) of running `grid` through the sweep
+/// Runner with the batch strategy toggled; `rows` receives the
+/// (deterministic) last run's results. Single worker thread in both legs,
+/// so a gated scalar/batch ratio measures the SoA kernel alone, not pool
+/// parallelism — the same protocol as BM_BatchPair in bench/perf_micro.
+inline double sweep_wall_millis(const edc::sweep::Grid& grid,
+                                std::vector<edc::sim::SimResult>& rows,
+                                bool batch, int repeats) {
+  edc::sweep::RunnerOptions options;
+  options.threads = 1;
+  options.batch = batch;
+  const edc::sweep::Runner runner(options);
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    rows = runner.run(grid);
     best = std::min(best, std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - start)
                               .count());

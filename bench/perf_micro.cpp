@@ -9,6 +9,8 @@
 
 #include "edc/core/system.h"
 #include "edc/spec/system_spec.h"
+#include "edc/sweep/grid.h"
+#include "edc/sweep/runner.h"
 #include "edc/trace/power_sources.h"
 #include "edc/trace/voltage_sources.h"
 #include "edc/workloads/program.h"
@@ -190,6 +192,71 @@ BENCHMARK_CAPTURE(BM_MacroPair, Fig8Wind_macro, fig8_wind_spec(), true)
 BENCHMARK_CAPTURE(BM_MacroPair, Fig8WindSurvey_fine, fig8_wind_survey_spec(), false)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_MacroPair, Fig8WindSurvey_macro, fig8_wind_survey_spec(), true)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- scalar vs batched sweep execution on survey grids ---------------------
+// Each pair runs the identical grid through sweep::Runner with a single
+// worker thread, toggling only RunnerOptions::batch; the scalar/batch
+// real-time ratio is therefore the SoA batch kernel's end-to-end speedup
+// on that grid class (no thread-pool parallelism in either leg). Rows are
+// bit-identical by contract (tests/batch_diff_test.cpp), so the pairs
+// measure pure execution strategy. tools/bench_gate --batch-gate asserts
+// these ratios in CI.
+
+void BM_BatchPair(benchmark::State& state, sweep::Grid grid, bool batch) {
+  sweep::RunnerOptions options;
+  options.threads = 1;
+  options.batch = batch;
+  const sweep::Runner runner(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(grid));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(grid.size()));
+}
+
+/// The Eq 5 crossover grid (bench/eq5_crossover.cpp) at a shortened
+/// horizon: 7 interrupt frequencies x {hibernus, quickrecall}. Each
+/// frequency is its own square-wave source, so the batch groups are only
+/// two lanes wide — this pair bounds the kernel's gain on group-poor
+/// grids (shared source evaluation still halves, SIMD width is 2).
+sweep::Grid eq5_grid() {
+  edc::checkpoint::InterruptPolicy::Config config;
+  config.margin = 3.0;
+  config.restore_headroom = 0.15;
+  spec::SystemSpec base;
+  base.storage.capacitance = 10e-6;
+  base.storage.bleed = 1000.0;
+  base.workload.kind = "fft";
+  base.workload.seed = 5;
+  base.sim.t_end = 0.5;
+  sweep::Grid grid(std::move(base));
+  grid.numeric_axis(
+          "f_interrupt (Hz)", {5, 10, 20, 40, 80, 160, 320},
+          [](spec::SystemSpec& s, double f) {
+            s.source = spec::SquareSource{3.3, f, 0.5, 0.0, 50.0};
+          })
+      .axis("policy", {{"hibernus",
+                        [config](spec::SystemSpec& s) {
+                          s.policy = spec::Hibernus{config};
+                        }},
+                       {"quickrecall", [config](spec::SystemSpec& s) {
+                          s.policy = spec::QuickRecall{config};
+                        }}});
+  return grid;
+}
+
+BENCHMARK_CAPTURE(BM_BatchPair, Fig7Survey_scalar, fig7::batch_survey_grid(), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BatchPair, Fig7Survey_batch, fig7::batch_survey_grid(), true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BatchPair, Fig8Wind_scalar, fig8::batch_survey_grid(), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BatchPair, Fig8Wind_batch, fig8::batch_survey_grid(), true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BatchPair, Eq5Grid_scalar, eq5_grid(), false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BatchPair, Eq5Grid_batch, eq5_grid(), true)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

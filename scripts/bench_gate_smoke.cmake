@@ -10,15 +10,20 @@ if(NOT GATE OR NOT FIXTURE)
   message(FATAL_ERROR "usage: cmake -DGATE=... -DFIXTURE=... -P bench_gate_smoke.cmake")
 endif()
 
-# 1. Both recorded pairs clear their gates (60x and ~4.3x in the fixture).
+# 1. All recorded pairs clear their gates (60x and ~4.3x macro, 4x batch in
+# the fixture) — macro and batch gates mixed in one invocation.
 execute_process(
   COMMAND ${GATE} ${FIXTURE} --gate BrownoutTail=8 --gate Fig8WindSurvey=3
+          --batch-gate Fig7Survey=2
   RESULT_VARIABLE pass_result OUTPUT_VARIABLE pass_out)
 if(NOT pass_result EQUAL 0)
   message(FATAL_ERROR "expected gates to pass, got exit ${pass_result}:\n${pass_out}")
 endif()
 if(NOT pass_out MATCHES "\\[PASS\\] BrownoutTail")
   message(FATAL_ERROR "missing PASS verdict for BrownoutTail:\n${pass_out}")
+endif()
+if(NOT pass_out MATCHES "\\[PASS\\] Fig7Survey")
+  message(FATAL_ERROR "missing PASS verdict for Fig7Survey:\n${pass_out}")
 endif()
 
 # 2. An unreachable threshold must fail loudly.
@@ -38,6 +43,27 @@ execute_process(
   RESULT_VARIABLE missing_result OUTPUT_VARIABLE missing_out)
 if(missing_result EQUAL 0)
   message(FATAL_ERROR "expected the missing pair to fail:\n${missing_out}")
+endif()
+
+# 4. Batch gates have the same fail/missing behaviour: an unreachable
+# threshold (the fixture records 4x) and a pair with no BM_BatchPair
+# entries (BrownoutTail is a BM_MacroPair — --batch-gate must not pair up
+# with the macro entries).
+execute_process(
+  COMMAND ${GATE} ${FIXTURE} --batch-gate Fig7Survey=100
+  RESULT_VARIABLE batch_fail_result OUTPUT_VARIABLE batch_fail_out)
+if(batch_fail_result EQUAL 0)
+  message(FATAL_ERROR "expected the 100x batch gate to fail:\n${batch_fail_out}")
+endif()
+if(NOT batch_fail_out MATCHES "\\[FAIL\\] Fig7Survey")
+  message(FATAL_ERROR "missing FAIL verdict for Fig7Survey:\n${batch_fail_out}")
+endif()
+execute_process(
+  COMMAND ${GATE} ${FIXTURE} --batch-gate BrownoutTail=2
+  RESULT_VARIABLE batch_missing_result OUTPUT_VARIABLE batch_missing_out)
+if(batch_missing_result EQUAL 0)
+  message(FATAL_ERROR
+          "expected --batch-gate on a macro-only pair to fail:\n${batch_missing_out}")
 endif()
 
 message(STATUS "bench_gate smoke: pass/fail/missing verdicts all correct")

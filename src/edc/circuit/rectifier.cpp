@@ -73,6 +73,17 @@ ChargeSpanCert RectifiedSourceDriver::plan_charge_span(Seconds t) const {
   return cert;
 }
 
+DriverSample RectifiedSourceDriver::batch_sample(Seconds t) const {
+  DriverSample sample;
+  sample.kind = DriverSample::Kind::rectified;
+  // rectified_open_circuit is exactly the value current_into(v, t) computes
+  // before its node interaction, so the per-lane reconstruction
+  // (v_open <= v ? 0 : (v_open - v) / r_series) is bit-identical.
+  sample.v_open = rectified_open_circuit(t);
+  sample.r_series = source_->series_resistance();
+  return sample;
+}
+
 std::string RectifiedSourceDriver::name() const {
   return (params_.kind == RectifierKind::half_wave ? "halfwave(" : "fullwave(") +
          source_->name() + ")";
@@ -98,6 +109,19 @@ Amps HarvesterPowerDriver::current_into(Volts v_node, Seconds t) const {
 
 Seconds HarvesterPowerDriver::quiescent_until(Volts, Seconds t) const {
   return source_->dormant_until(t);
+}
+
+DriverSample HarvesterPowerDriver::batch_sample(Seconds t) const {
+  DriverSample sample;
+  sample.kind = DriverSample::Kind::harvester;
+  // current_into only consults the source through eta * available_power(t);
+  // sampling it unconditionally (current_into skips it above the ceiling)
+  // is value-identical because the ceiling branch ignores the power term.
+  sample.power = params_.efficiency * source_->available_power(t);
+  sample.v_ceiling = params_.v_ceiling;
+  sample.i_max = params_.i_max;
+  sample.v_floor = params_.v_floor;
+  return sample;
 }
 
 std::string HarvesterPowerDriver::name() const {

@@ -43,6 +43,12 @@ class RectifiedSourceDriver final : public SupplyDriver {
   /// every DC stretch and square-wave high phase becomes one analytic
   /// charging ramp for the quiescent engine.
   [[nodiscard]] ChargeSpanCert plan_charge_span(Seconds t) const override;
+  /// Batch sampling (DriverSample): the rectified open-circuit voltage and
+  /// the series resistance are the only source-dependent terms of
+  /// current_into, so lanes sharing this source evaluate it once per
+  /// substep instant and reconstruct their currents bit-identically.
+  [[nodiscard]] bool batchable() const noexcept override { return true; }
+  [[nodiscard]] DriverSample batch_sample(Seconds t) const override;
   [[nodiscard]] std::string name() const override;
 
   /// The rectified open-circuit voltage (before the node interaction); this
@@ -72,6 +78,11 @@ class HarvesterPowerDriver final : public SupplyDriver {
   /// Zero available power means zero output current at any node voltage;
   /// delegates to the source's dormant_until activity hint.
   [[nodiscard]] Seconds quiescent_until(Volts v_floor, Seconds t) const override;
+  /// Batch sampling (DriverSample): the efficiency-scaled available power
+  /// is the only source-dependent term of current_into; the converter
+  /// limits (ceiling, compliance, floor) are per-driver constants.
+  [[nodiscard]] bool batchable() const noexcept override { return true; }
+  [[nodiscard]] DriverSample batch_sample(Seconds t) const override;
   [[nodiscard]] std::string name() const override;
 
  private:

@@ -31,6 +31,39 @@ struct ChargeSpanCert {
   Seconds until = 0.0;   ///< certificate holds on [t, until)
 };
 
+/// One shared source evaluation for the batched SoA node step
+/// (SupplyNode::step_lanes): the source-dependent terms of current_into at
+/// a single instant, factored out so many lanes whose source axes agree
+/// can evaluate the (possibly expensive) source once and broadcast. The
+/// exactness contract matches ChargeSpanCert's spirit: reconstructing the
+/// per-lane current from the sample with the alternative-specific formula
+/// below must reproduce current_into(v, t) *bit-for-bit* for every node
+/// voltage v >= 0 — the batch runner's results are differential-tested
+/// for bit-identity against the scalar path (tests/batch_diff_test.cpp).
+///
+///   quiet:      i = 0
+///   rectified:  i = (v_open <= v) ? 0 : (v_open - v) / r_series
+///   harvester:  i = (v >= v_ceiling) ? 0
+///             : (power <= 0)         ? 0
+///             : min(power / max(v, v_floor), i_max)
+struct DriverSample {
+  enum class Kind : std::uint8_t {
+    none,       ///< driver does not support batch sampling
+    quiet,      ///< injects nothing at this instant regardless of v
+    rectified,  ///< rectified-Thevenin form (RectifiedSourceDriver)
+    harvester,  ///< power-envelope converter form (HarvesterPowerDriver)
+  };
+  Kind kind = Kind::none;
+  // Kind::rectified
+  Volts v_open = 0.0;   ///< rectified open-circuit voltage at this instant
+  Ohms r_series = 0.0;  ///< source series resistance (> 0)
+  // Kind::harvester
+  Watts power = 0.0;    ///< efficiency-scaled available power at this instant
+  Volts v_ceiling = 0.0;
+  Amps i_max = 0.0;
+  Volts v_floor = 0.0;
+};
+
 class SupplyDriver {
  public:
   virtual ~SupplyDriver() = default;
@@ -58,6 +91,20 @@ class SupplyDriver {
   /// overrides must be exact over the certified window and may err
   /// short-side only.
   [[nodiscard]] virtual ChargeSpanCert plan_charge_span(Seconds t) const {
+    (void)t;
+    return {};
+  }
+
+  /// Whether batch_sample() yields usable samples (the batched sweep
+  /// runner falls back to the scalar path otherwise).
+  [[nodiscard]] virtual bool batchable() const noexcept { return false; }
+
+  /// The shared source evaluation of the batched node step (see
+  /// DriverSample): all source-dependent terms of current_into(., t),
+  /// evaluated once per substep instant and broadcast across lanes. The
+  /// default claims nothing (Kind::none); overrides must honour the
+  /// bit-identity contract documented on DriverSample.
+  [[nodiscard]] virtual DriverSample batch_sample(Seconds t) const {
     (void)t;
     return {};
   }
@@ -104,6 +151,12 @@ class NullDriver final : public SupplyDriver {
   [[nodiscard]] Amps current_into(Volts, Seconds) const override { return 0.0; }
   [[nodiscard]] Seconds quiescent_until(Volts, Seconds) const override {
     return std::numeric_limits<Seconds>::infinity();
+  }
+  [[nodiscard]] bool batchable() const noexcept override { return true; }
+  [[nodiscard]] DriverSample batch_sample(Seconds) const override {
+    DriverSample sample;
+    sample.kind = DriverSample::Kind::quiet;
+    return sample;
   }
   [[nodiscard]] std::string name() const override { return "null"; }
 };

@@ -158,6 +158,75 @@ SupplyNode::StepEnergy SupplyNode::step(Seconds t, Seconds dt,
   return energy;
 }
 
+void SupplyNode::step_lanes(Seconds t, Seconds dt, const SupplyDriver& driver,
+                            int substeps, const SoaLanes& lanes) {
+  EDC_CHECK(dt > 0.0, "dt must be positive");
+  EDC_CHECK(substeps >= 1, "need at least one substep");
+  const std::size_t n = lanes.count;
+  double* v = lanes.v;
+  const double* cap = lanes.capacitance;
+  const double* bleed = lanes.bleed;
+  const double* i_load = lanes.i_load;
+  double* harvested = lanes.harvested;
+  double* consumed = lanes.consumed;
+  double* dissipated = lanes.dissipated;
+  for (std::size_t l = 0; l < n; ++l) {
+    harvested[l] = 0.0;
+    consumed[l] = 0.0;
+    dissipated[l] = 0.0;
+  }
+
+  const Seconds h = dt / static_cast<double>(substeps);
+  // One substep over all lanes with the injected current supplied by
+  // `i_in_of(v_lane)`. The body is the scalar step() substep verbatim —
+  // same expression structure, same evaluation order — so each lane's
+  // trajectory and energy split match the scalar path bit-for-bit. Each
+  // lane is a pure element-wise recurrence, so the loop vectorizes.
+  const auto run_lanes = [&](auto i_in_of) {
+#pragma omp simd
+    for (std::size_t l = 0; l < n; ++l) {
+      const double v_lane = v[l];
+      const double i_in = i_in_of(v_lane);
+      const double i_out = i_load[l];
+      const double i_bleed = bleed[l] > 0.0 ? v_lane / bleed[l] : 0.0;
+      double v_next = v_lane + (i_in - i_out - i_bleed) / cap[l] * h;
+      v_next = std::max(v_next, 0.0);  // node cannot go below ground
+      const double v_mid = 0.5 * (v_lane + v_next);
+      harvested[l] += i_in * v_mid * h;
+      consumed[l] += i_out * v_mid * h;
+      dissipated[l] += i_bleed * v_mid * h;
+      v[l] = v_next;
+    }
+  };
+  for (int i = 0; i < substeps; ++i) {
+    const Seconds t_sub = t + h * static_cast<double>(i);
+    // One shared source evaluation per substep instant, broadcast across
+    // the lanes via the reconstruction contract on DriverSample.
+    const DriverSample sample = driver.batch_sample(t_sub);
+    switch (sample.kind) {
+      case DriverSample::Kind::quiet:
+        run_lanes([](double) { return 0.0; });
+        break;
+      case DriverSample::Kind::rectified:
+        run_lanes([v_open = sample.v_open, r = sample.r_series](double v_lane) {
+          return v_open <= v_lane ? 0.0 : (v_open - v_lane) / r;
+        });
+        break;
+      case DriverSample::Kind::harvester:
+        run_lanes([p = sample.power, v_ceiling = sample.v_ceiling,
+                   i_max = sample.i_max, v_floor = sample.v_floor](double v_lane) {
+          if (v_lane >= v_ceiling) return 0.0;
+          if (p <= 0.0) return 0.0;
+          const double v_eff = std::max(v_lane, v_floor);
+          return std::min(p / v_eff, i_max);
+        });
+        break;
+      case DriverSample::Kind::none:
+        EDC_CHECK(false, "step_lanes needs a batchable driver");
+    }
+  }
+}
+
 void SupplyNode::set_bleed(Ohms bleed_resistance) {
   EDC_CHECK(bleed_resistance >= 0.0, "bleed resistance must be non-negative");
   bleed_ = bleed_resistance;

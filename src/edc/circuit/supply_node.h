@@ -139,6 +139,38 @@ class SupplyNode {
   StepEnergy step(Seconds t, Seconds dt, const SupplyDriver& driver,
                   const Load& load, int substeps = 4);
 
+  /// Structure-of-arrays view over the node state of many *lockstep* lanes
+  /// (batched sweeps, sim/batch_kernel.h): contiguous parallel arrays of
+  /// `count` lanes, each lane an independent node advancing through the
+  /// same (t, dt, substeps) schedule under the same driver. Per-lane
+  /// capacitance/bleed may differ (the sweep's storage axes); the per-step
+  /// load draw is hoisted by the caller (the MCU's state draw is constant
+  /// across one step's substeps — nothing advances its state machine
+  /// between them). The `harvested`/`consumed`/`dissipated` slots are
+  /// *overwritten* with the step's energy split, mirroring StepEnergy.
+  struct SoaLanes {
+    std::size_t count = 0;
+    double* v = nullptr;             ///< node voltage, in/out
+    const double* capacitance = nullptr;
+    const double* bleed = nullptr;   ///< 0 = no bleed path
+    const double* i_load = nullptr;  ///< hoisted constant load draw over the step
+    double* harvested = nullptr;     ///< out: StepEnergy.harvested per lane
+    double* consumed = nullptr;      ///< out: StepEnergy.consumed per lane
+    double* dissipated = nullptr;    ///< out: StepEnergy.dissipated per lane
+  };
+
+  /// The SoA mirror of step(): advances every lane by dt with the exact
+  /// per-lane arithmetic of the scalar substep loop (same expression
+  /// structure, no reassociation), but with the source evaluated *once*
+  /// per substep instant through SupplyDriver::batch_sample and broadcast
+  /// across lanes. Per-lane results are bit-identical to `count`
+  /// independent step() calls (differential-tested in
+  /// tests/batch_diff_test.cpp); the inner lane loops are omp-simd
+  /// vectorizable because each lane is a pure element-wise recurrence.
+  /// Precondition: driver.batchable().
+  static void step_lanes(Seconds t, Seconds dt, const SupplyDriver& driver,
+                         int substeps, const SoaLanes& lanes);
+
   /// Forces the node voltage (tests; initial conditions).
   void set_voltage(Volts v);
 

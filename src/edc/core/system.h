@@ -71,6 +71,11 @@ class EnergyDrivenSystem {
   [[nodiscard]] workloads::Program& program() noexcept { return *program_; }
   [[nodiscard]] checkpoint::PolicyBase& policy() noexcept { return *policy_; }
   [[nodiscard]] const circuit::SupplyDriver& driver() const noexcept { return *driver_; }
+  /// Optional power-neutral governor (null when the spec didn't add one).
+  [[nodiscard]] mcu::FrequencyGovernor* governor() noexcept { return governor_.get(); }
+  /// The simulation configuration the spec carried (the batch kernel wires
+  /// its own stepping loop instead of going through run()).
+  [[nodiscard]] const sim::SimConfig& sim_config() const noexcept { return sim_config_; }
   [[nodiscard]] std::string policy_name() const { return policy_->name(); }
 
  private:

@@ -8,21 +8,9 @@
 
 #include "edc/common/check.h"
 #include "edc/sim/quiescent_engine.h"
+#include "edc/sim/step_lattice.h"
 
 namespace edc::sim {
-
-
-namespace {
-
-/// Number of steps on the dt lattice anchored at t whose *start* lies
-/// strictly before `limit` — i.e. how many steps the loop may take (or
-/// skip) before an event scheduled at `limit` must be processed.
-std::uint64_t steps_starting_before(Seconds t, Seconds limit, Seconds dt) {
-  if (t >= limit) return 0;
-  return static_cast<std::uint64_t>(std::ceil((limit - t) / dt));
-}
-
-}  // namespace
 
 Simulator::Simulator(const SimConfig& config, circuit::SupplyNode& node,
                      const circuit::SupplyDriver& driver, mcu::Mcu& mcu)
@@ -81,9 +69,9 @@ void Simulator::run_loop(SimResult& result) {
 
   while (t < t_end) {
     if (engine_enabled) {
-      std::uint64_t max_steps = steps_starting_before(t, t_end, dt);
+      std::uint64_t max_steps = steps_starting_before(step, t_end, dt);
       if constexpr (kGoverned) {
-        max_steps = std::min(max_steps, steps_starting_before(t, next_governor, dt));
+        max_steps = std::min(max_steps, steps_starting_before(step, next_governor, dt));
       }
       if (const auto span = engine.plan(t, max_steps)) {
         if constexpr (kProbing) {

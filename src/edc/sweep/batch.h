@@ -1,0 +1,80 @@
+// Lockstep batching of sweep grids (the sweep-side half of the batched SoA
+// kernel; the stepping itself lives in sim/batch_kernel.h).
+//
+// Grid points whose *shared-lattice* axes agree — source, front-end, dt,
+// node substeps — can advance in lockstep with one source evaluation per
+// substep instant broadcast across all of them. batch_group_key() canonises
+// exactly those axes into a string key (via spec::serialize on a stripped
+// spec), so grouping is a hash-map partition; everything else — storage,
+// policy, workload, horizon, probes, governor, macro flags — varies freely
+// within a group. Points whose source cannot be shared (custom factories,
+// unset sources) get no key and take the scalar path unchanged.
+//
+// run_batched() is the Runner's batch execution strategy
+// (RunnerOptions::batch): resolve cache hits, group the rest, chunk groups
+// into <= batch_lanes lanes, and execute chunks through sim::BatchKernel —
+// with singleton groups and ungroupable points falling back to the
+// caller-supplied scalar simulation. Per-point results are bit-identical
+// to the scalar runner (tests/batch_diff_test.cpp); what changes is the
+// wall time and the *provenance* of the recorded cost: a batched point's
+// micros is the chunk's wall time amortized over its lanes, which is the
+// right weight for LPT sharding of a future batched run but must never be
+// silently mixed into a scalar shard plan — hence the provenance codes
+// below, carried through the cache (sweep/cache.h), the CSV reports
+// (sweep/report.h) and the shard-plan tooling (bench/eq5_crossover.cpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "edc/sim/simulator.h"
+#include "edc/spec/system_spec.h"
+#include "edc/sweep/grid.h"
+#include "edc/sweep/runner.h"
+
+namespace edc::sweep {
+
+/// Execution-path provenance of a sweep row's result + recorded cost.
+inline constexpr char kProvenanceScalar = 's';  ///< scalar Simulator, per-point wall time
+inline constexpr char kProvenanceBatch = 'b';   ///< SoA kernel, amortized lane cost
+
+/// The lockstep grouping key: a canonical serialization of exactly the
+/// axes every lane of a sim::BatchKernel must share (source + front-end
+/// + dt + node_substeps, embedded in an otherwise default spec). Returns
+/// nullopt when the point cannot join a group: custom source factories
+/// (not serializable, and each instantiation may differ), or no source at
+/// all. Two points with equal keys instantiate structurally identical,
+/// batchable drivers — deterministic sources make equal specs sample
+/// identically — which is what SupplyNode::step_lanes' broadcast relies on.
+[[nodiscard]] std::optional<std::string> batch_group_key(
+    const spec::SystemSpec& spec);
+
+/// One point of a batched execution: the grid point to simulate and the
+/// output slot its row/micros/provenance land in (callers pass their own
+/// slot mapping: identity for run(), strided for run_shard(), ...).
+struct BatchPointRef {
+  std::size_t global_index = 0;
+  std::size_t slot = 0;
+};
+
+/// Scalar fallback used for cache-cold points that cannot batch: simulate
+/// `point`, report its wall-time cost and provenance.
+using ScalarPointFn =
+    std::function<sim::SimResult(const Point& point, double& micros, char& provenance)>;
+
+/// Executes `points` of `grid` under the batching strategy described above
+/// and writes each result into rows[ref.slot] (plus micros/provenance when
+/// non-null; both must already be sized by the caller). Work units (batch
+/// chunks and scalar points) run across options.threads workers; rows are
+/// bit-identical regardless of thread count. options.cache, when set,
+/// resolves warm points up front (replaying their stored provenance) and
+/// stores freshly batched points with kProvenanceBatch.
+void run_batched(const Grid& grid, const std::vector<BatchPointRef>& points,
+                 const RunnerOptions& options, const ScalarPointFn& scalar_point,
+                 std::vector<sim::SimResult>& rows, std::vector<double>* micros,
+                 std::vector<char>* provenance);
+
+}  // namespace edc::sweep

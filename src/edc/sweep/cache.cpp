@@ -17,7 +17,11 @@ namespace edc::sweep {
 namespace {
 
 // v2: a `micros` wall-time line between the magic and the blocks (PR 3).
-constexpr char kEntryMagic[] = "edc.CacheEntry v2";
+// v3: a `provenance` line ('s' scalar / 'b' batch) after the wall time
+//     (PR 6). v2 entries still decode — they all predate the batch path,
+//     so their provenance is 's' by construction.
+constexpr char kEntryMagic[] = "edc.CacheEntry v3";
+constexpr char kEntryMagicV2[] = "edc.CacheEntry v2";
 
 std::string hex16(std::uint64_t value) {
   char buffer[17];
@@ -26,22 +30,26 @@ std::string hex16(std::uint64_t value) {
   return buffer;
 }
 
-/// Entry format: a wall-time metadata line plus two length-prefixed raw
-/// blocks, so neither the key nor the result text needs escaping:
+/// Entry format: metadata lines plus two length-prefixed raw blocks, so
+/// neither the key nor the result text needs escaping:
 ///
-///   edc.CacheEntry v2\n
+///   edc.CacheEntry v3\n
 ///   micros <wall time of the original simulation, canonical double>\n
+///   provenance <s|b>\n
 ///   spec_bytes <N>\n
 ///   <N raw bytes of canonical spec text>
 ///   result_bytes <M>\n
 ///   <M raw bytes of canonical result text>
 std::string encode_entry(const std::string& key_text, const std::string& result_text,
-                         double micros) {
+                         double micros, char provenance) {
   std::string out;
-  out.reserve(key_text.size() + result_text.size() + 80);
+  out.reserve(key_text.size() + result_text.size() + 96);
   out += kEntryMagic;
   out += '\n';
   out += "micros " + canon::double_text(micros) + '\n';
+  out += "provenance ";
+  out += provenance;
+  out += '\n';
   out += "spec_bytes " + std::to_string(key_text.size()) + '\n';
   out += key_text;
   out += "result_bytes " + std::to_string(result_text.size()) + '\n';
@@ -53,6 +61,7 @@ struct DecodedEntry {
   std::string spec_text;
   std::string result_text;
   double micros = 0.0;
+  char provenance = 's';
 };
 
 /// Splits an entry back into its parts; nullopt on any corruption (bad
@@ -83,7 +92,9 @@ std::optional<DecodedEntry> decode_entry(const std::string& bytes) {
   };
 
   const auto magic = read_line();
-  if (!magic || *magic != kEntryMagic) return std::nullopt;
+  if (!magic || (*magic != kEntryMagic && *magic != kEntryMagicV2)) {
+    return std::nullopt;
+  }
   const auto micros_line = read_line();
   if (!micros_line || micros_line->rfind("micros ", 0) != 0) return std::nullopt;
   DecodedEntry entry;
@@ -91,6 +102,15 @@ std::optional<DecodedEntry> decode_entry(const std::string& bytes) {
     entry.micros = canon::parse_double(std::string_view(*micros_line).substr(7));
   } catch (const canon::FormatError&) {
     return std::nullopt;
+  }
+  if (*magic == kEntryMagic) {
+    const auto provenance_line = read_line();
+    if (!provenance_line || provenance_line->size() != 12 ||
+        provenance_line->rfind("provenance ", 0) != 0) {
+      return std::nullopt;
+    }
+    entry.provenance = (*provenance_line)[11];
+    if (entry.provenance != 's' && entry.provenance != 'b') return std::nullopt;
   }
   auto spec_text = read_block("spec_bytes ");
   if (!spec_text) return std::nullopt;
@@ -141,6 +161,7 @@ std::optional<CachedPoint> Cache::load(const std::string& key_text) const {
     CachedPoint point;
     point.result = sim::parse_result(entry->result_text);
     point.micros = entry->micros;
+    point.provenance = entry->provenance;
     ++hits_;
     // Refresh recency so LRU pruning ranks this entry as just-used.
     std::error_code ec;
@@ -177,7 +198,7 @@ std::string Cache::fsck_entry(const std::filesystem::path& path) {
 }
 
 void Cache::store(const std::string& key_text, const sim::SimResult& result,
-                  double micros) const {
+                  double micros, char provenance) const {
   const std::filesystem::path path = entry_path(key_text);
   std::error_code ec;
   std::filesystem::create_directories(path.parent_path(), ec);
@@ -197,7 +218,7 @@ void Cache::store(const std::string& key_text, const sim::SimResult& result,
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return;
     const std::string entry =
-        encode_entry(key_text, sim::serialize_result(result), micros);
+        encode_entry(key_text, sim::serialize_result(result), micros, provenance);
     out.write(entry.data(), static_cast<std::streamsize>(entry.size()));
     if (!out.good()) {
       out.close();

@@ -57,6 +57,14 @@ struct CacheStats {
 struct CachedPoint {
   sim::SimResult result;
   double micros = 0.0;
+  /// Which execution path produced the stored result: 's' = scalar
+  /// simulator, 'b' = batched SoA kernel (see sweep/batch.h). The two are
+  /// bit-identical by contract, but shard-plan/timing consumers need the
+  /// distinction because batch wall times are amortized over a lane group —
+  /// warm hits replay the original provenance so a re-run cannot silently
+  /// relabel its timings. Entries written before the field default to 's'
+  /// (the batch path did not exist then).
+  char provenance = 's';
 };
 
 class Cache {
@@ -71,10 +79,11 @@ class Cache {
   [[nodiscard]] std::optional<CachedPoint> load(const std::string& key_text) const;
 
   /// Stores `result` under `key_text`, atomically (temp file + rename),
-  /// together with the wall time the simulation took (microseconds).
+  /// together with the wall time the simulation took (microseconds) and
+  /// the execution-path provenance ('s' scalar / 'b' batch).
   /// Thread-safe; concurrent stores of the same key are harmless.
   void store(const std::string& key_text, const sim::SimResult& result,
-             double micros = 0.0) const;
+             double micros = 0.0, char provenance = 's') const;
 
   /// Integrity check of one on-disk entry of the *current* format version
   /// (the `sweep_cache fsck` core): decodes the blocks, verifies the

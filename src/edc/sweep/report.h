@@ -32,11 +32,16 @@ namespace edc::sweep {
 /// when they contain separators). When `micros` is non-null (one wall-time
 /// entry per row, as filled in by Runner::run) a trailing `micros` column
 /// records each point's simulation cost — the input to cost-weighted shard
-/// scheduling. The shard CSV format deliberately omits it so merged shard
-/// output stays byte-comparable with a serial run.
+/// scheduling. When `provenance` is additionally non-null (one 's'/'b'
+/// code per row, see sweep/batch.h) a trailing `provenance` column records
+/// which execution path produced each cost, so timing consumers can refuse
+/// to mix per-point scalar wall times with amortized batch lane costs.
+/// The shard CSV format deliberately omits both so merged shard output
+/// stays byte-comparable with a serial run.
 void write_csv(std::ostream& out, const Grid& grid,
                const std::vector<sim::SimResult>& results,
-               const std::vector<double>* micros = nullptr);
+               const std::vector<double>* micros = nullptr,
+               const std::vector<char>* provenance = nullptr);
 
 /// Per-shard CSV export: `results` holds the rows of the shard's owned
 /// points in ascending global-index order (as returned by

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "edc/spec/serialize.h"
+#include "edc/sweep/batch.h"
 #include "edc/sweep/cache.h"
 
 namespace edc::sweep {
@@ -27,11 +28,13 @@ sim::SimResult timed_simulation(Body&& body, double& micros) {
 
 }  // namespace
 
-sim::SimResult Runner::simulate_point(const Point& point, double& micros) const {
+sim::SimResult Runner::simulate_point(const Point& point, double& micros,
+                                      char& provenance) const {
   const auto simulate = [&point] {
     auto system = spec::instantiate(point.spec);
     return system.run();
   };
+  provenance = kProvenanceScalar;
   Cache* cache = options_.cache;
   if (cache == nullptr) {
     return timed_simulation(simulate, micros);
@@ -42,38 +45,65 @@ sim::SimResult Runner::simulate_point(const Point& point, double& micros) const 
   }
   const std::string key = spec::serialize(point.spec);
   if (auto cached = cache->load(key)) {
-    // Report the point's *original* simulation cost, not the load time —
-    // that is what a cost-weighted re-shard of the warm grid needs.
+    // Report the point's *original* simulation cost and provenance, not
+    // the load time — that is what a cost-weighted re-shard of the warm
+    // grid needs (and a warm batch-produced point must keep reporting its
+    // amortized lane cost as such).
     micros = cached->micros;
+    provenance = cached->provenance;
     return std::move(cached->result);
   }
   sim::SimResult result = timed_simulation(simulate, micros);
-  cache->store(key, result, micros);
+  cache->store(key, result, micros, kProvenanceScalar);
   return result;
 }
 
-std::vector<sim::SimResult> Runner::run(const Grid& grid,
-                                        std::vector<double>* micros) const {
+std::vector<sim::SimResult> Runner::run(const Grid& grid, std::vector<double>* micros,
+                                        std::vector<char>* provenance) const {
   std::vector<sim::SimResult> rows(grid.size());
   if (micros != nullptr) micros->assign(grid.size(), 0.0);
-  for_each_point(grid, [this, &rows, micros](const Point& point) {
+  if (provenance != nullptr) provenance->assign(grid.size(), kProvenanceScalar);
+  if (options_.batch) {
+    std::vector<BatchPointRef> refs(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) refs[i] = BatchPointRef{i, i};
+    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance);
+    return rows;
+  }
+  for_each_point(grid, [this, &rows, micros, provenance](const Point& point) {
     double cost = 0.0;
-    rows[point.index] = simulate_point(point, cost);
+    char source = kProvenanceScalar;
+    rows[point.index] = simulate_point(point, cost, source);
     if (micros != nullptr) (*micros)[point.index] = cost;
+    if (provenance != nullptr) (*provenance)[point.index] = source;
   });
   return rows;
 }
 
 std::vector<sim::SimResult> Runner::run_shard(const Grid& grid, const Shard& shard,
-                                              std::vector<double>* micros) const {
+                                              std::vector<double>* micros,
+                                              std::vector<char>* provenance) const {
   std::vector<sim::SimResult> rows(shard.owned_count(grid.size()));
   if (micros != nullptr) micros->assign(rows.size(), 0.0);
-  for_each_point(grid, shard, [this, &shard, &rows, micros](const Point& point) {
+  if (provenance != nullptr) provenance->assign(rows.size(), kProvenanceScalar);
+  if (options_.batch) {
     // Owned points are strided index % count == index0, so the row slot of
     // global point i is simply i / count.
+    std::vector<BatchPointRef> refs;
+    refs.reserve(rows.size());
+    for (std::size_t slot = 0; slot < rows.size(); ++slot) {
+      refs.push_back(BatchPointRef{shard.index + slot * shard.count, slot});
+    }
+    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance);
+    return rows;
+  }
+  for_each_point(grid, shard,
+                 [this, &shard, &rows, micros, provenance](const Point& point) {
+    const std::size_t slot = point.index / shard.count;
     double cost = 0.0;
-    rows[point.index / shard.count] = simulate_point(point, cost);
-    if (micros != nullptr) (*micros)[point.index / shard.count] = cost;
+    char source = kProvenanceScalar;
+    rows[slot] = simulate_point(point, cost, source);
+    if (micros != nullptr) (*micros)[slot] = cost;
+    if (provenance != nullptr) (*provenance)[slot] = source;
   });
   return rows;
 }
@@ -81,19 +111,39 @@ std::vector<sim::SimResult> Runner::run_shard(const Grid& grid, const Shard& sha
 std::vector<sim::SimResult> Runner::run_assignment(const Grid& grid,
                                                    const ShardAssignment& assignment,
                                                    std::size_t shard_index,
-                                                   std::vector<double>* micros) const {
+                                                   std::vector<double>* micros,
+                                                   std::vector<char>* provenance) const {
   const std::vector<std::size_t>& owned = assignment.owned.at(shard_index);
   // Row slot of global point i: its position in the (ascending) owned list.
   std::vector<sim::SimResult> rows(owned.size());
   if (micros != nullptr) micros->assign(rows.size(), 0.0);
-  for_each_point(grid, owned, [this, &owned, &rows, micros](const Point& point) {
+  if (provenance != nullptr) provenance->assign(rows.size(), kProvenanceScalar);
+  if (options_.batch) {
+    std::vector<BatchPointRef> refs;
+    refs.reserve(owned.size());
+    for (std::size_t slot = 0; slot < owned.size(); ++slot) {
+      refs.push_back(BatchPointRef{owned[slot], slot});
+    }
+    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance);
+    return rows;
+  }
+  for_each_point(grid, owned,
+                 [this, &owned, &rows, micros, provenance](const Point& point) {
     const auto slot = static_cast<std::size_t>(
         std::lower_bound(owned.begin(), owned.end(), point.index) - owned.begin());
     double cost = 0.0;
-    rows[slot] = simulate_point(point, cost);
+    char source = kProvenanceScalar;
+    rows[slot] = simulate_point(point, cost, source);
     if (micros != nullptr) (*micros)[slot] = cost;
+    if (provenance != nullptr) (*provenance)[slot] = source;
   });
   return rows;
+}
+
+ScalarPointFn Runner::scalar_point_fn() const {
+  return [this](const Point& point, double& micros, char& provenance) {
+    return simulate_point(point, micros, provenance);
+  };
 }
 
 int Runner::thread_count(std::size_t point_count) const noexcept {

@@ -56,6 +56,14 @@ struct RunnerOptions {
   /// Optional on-disk memoiser for run()/run_shard() (see sweep/cache.h).
   /// Not owned; must outlive the Runner. map() ignores it.
   Cache* cache = nullptr;
+  /// Batched execution strategy (see sweep/batch.h): group points whose
+  /// source/front-end/lattice axes agree and step them in lockstep through
+  /// the SoA kernel, up to `batch_lanes` lanes per kernel. Rows are
+  /// bit-identical to the scalar path; per-point wall times become
+  /// amortized lane costs (provenance 'b'). map() ignores it (extractors
+  /// need the scalar per-point lifecycle).
+  bool batch = false;
+  int batch_lanes = 16;
 };
 
 class Runner {
@@ -71,15 +79,22 @@ class Runner {
   /// cache hit — the cost recorded when the point was first simulated
   /// (the input ShardAssignment::balanced turns into an LPT partition for
   /// run_assignment()).
+  ///
+  /// When `provenance` is non-null it receives one execution-path code per
+  /// row ('s' scalar / 'b' batch, see sweep/batch.h) telling timing
+  /// consumers how to interpret the matching micros entry: per-point wall
+  /// time, or a batch chunk's cost amortized over its lanes. Cache hits
+  /// replay the provenance recorded when the point was first simulated.
   [[nodiscard]] std::vector<sim::SimResult> run(
-      const Grid& grid, std::vector<double>* micros = nullptr) const;
+      const Grid& grid, std::vector<double>* micros = nullptr,
+      std::vector<char>* provenance = nullptr) const;
 
   /// As run(), but only for the points `shard` owns; rows are returned in
   /// ascending global-point order (matching Shard::owned_points). The
   /// k-of-N results of a full partition merge back into the run() rows.
   [[nodiscard]] std::vector<sim::SimResult> run_shard(
-      const Grid& grid, const Shard& shard,
-      std::vector<double>* micros = nullptr) const;
+      const Grid& grid, const Shard& shard, std::vector<double>* micros = nullptr,
+      std::vector<char>* provenance = nullptr) const;
 
   /// The cost-weighted re-run path: as run_shard(), but for slice
   /// `shard_index` of an explicit ShardAssignment (e.g. the LPT partition
@@ -89,7 +104,8 @@ class Runner {
   /// assignment cover the run() rows exactly once.
   [[nodiscard]] std::vector<sim::SimResult> run_assignment(
       const Grid& grid, const ShardAssignment& assignment, std::size_t shard_index,
-      std::vector<double>* micros = nullptr) const;
+      std::vector<double>* micros = nullptr,
+      std::vector<char>* provenance = nullptr) const;
 
   /// As run(), but maps each completed simulation through `fn` inside the
   /// worker thread, while the wired system is still alive. `fn` must be
@@ -133,9 +149,16 @@ class Runner {
 
  private:
   /// Simulates one point, consulting options_.cache when set. `micros`
-  /// receives the point's wall-time cost (see run()).
-  [[nodiscard]] sim::SimResult simulate_point(const Point& point,
-                                              double& micros) const;
+  /// receives the point's wall-time cost and `provenance` its execution
+  /// path (see run()).
+  [[nodiscard]] sim::SimResult simulate_point(const Point& point, double& micros,
+                                              char& provenance) const;
+
+  /// simulate_point wrapped as the batch executor's scalar fallback
+  /// (sweep::ScalarPointFn; spelled out here to avoid a header cycle with
+  /// sweep/batch.h).
+  [[nodiscard]] std::function<sim::SimResult(const Point&, double&, char&)>
+  scalar_point_fn() const;
 
   /// The shared thread-pool driver: executes body(grid.point(
   /// global_index(p))) for p in [0, count) across the pool; first worker

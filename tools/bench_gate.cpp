@@ -5,13 +5,19 @@
 // BM_MacroPair/<Name>_macro entries, and asserts each named pair's
 // fine/macro real-time ratio against a per-pair threshold:
 //
-//   bench_gate BENCH_5.json --gate Fig7Gapped=15 --gate Fig8WindSurvey=3
+//   bench_gate BENCH_6.json --gate Fig7Gapped=15 --gate Fig8WindSurvey=3
+//
+// --batch-gate does the same for the batched-sweep pairs
+// BM_BatchPair/<Name>_scalar and _batch (sweep/batch.h), asserting the
+// scalar/batch ratio — the SoA kernel's speedup on that grid class:
+//
+//   bench_gate BENCH_6.json --batch-gate Fig7Survey=2 --batch-gate Eq5Grid=1.2
 //
 // Exit status 0 iff every gated pair is present and at or above its
-// threshold — so a quiescent-engine speedup that silently regresses turns
-// the CI job red instead of merely shrinking a number in an archived
-// artifact. Multiple JSON files merge their entries (later files win),
-// which lets a sharded benchmark run feed one gate invocation.
+// threshold — so a quiescent-engine or batch-kernel speedup that silently
+// regresses turns the CI job red instead of merely shrinking a number in
+// an archived artifact. Multiple JSON files merge their entries (later
+// files win), which lets a sharded benchmark run feed one gate invocation.
 //
 // The parser is deliberately minimal: it scans for the "name",
 // "real_time" and "time_unit" keys of each benchmark object in the order
@@ -98,30 +104,42 @@ void collect(const std::string& text, std::map<std::string, Sample>& out) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s BENCH.json [MORE.json ...] --gate Pair=MinRatio "
-               "[--gate Pair=MinRatio ...]\n"
-               "  Pair names a BM_MacroPair/<Pair>_fine & _macro entry pair;\n"
-               "  the gate asserts fine/macro >= MinRatio.\n",
+               "[--batch-gate Pair=MinRatio ...]\n"
+               "  --gate       Pair names a BM_MacroPair/<Pair>_fine & _macro "
+               "pair; asserts fine/macro >= MinRatio.\n"
+               "  --batch-gate Pair names a BM_BatchPair/<Pair>_scalar & "
+               "_batch pair; asserts scalar/batch >= MinRatio.\n",
                argv0);
   return 2;
 }
 
 }  // namespace
 
+struct Gate {
+  std::string pair;
+  double min_ratio = 0.0;
+  /// false: BM_MacroPair/<pair>_{fine,macro}; true:
+  /// BM_BatchPair/<pair>_{scalar,batch}.
+  bool batch = false;
+};
+
 int main(int argc, char** argv) {
   std::vector<std::string> files;
-  std::vector<std::pair<std::string, double>> gates;
+  std::vector<Gate> gates;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
+    const bool is_gate = std::strcmp(argv[i], "--gate") == 0;
+    const bool is_batch_gate = std::strcmp(argv[i], "--batch-gate") == 0;
+    if ((is_gate || is_batch_gate) && i + 1 < argc) {
       const std::string spec = argv[++i];
       const std::size_t eq = spec.find('=');
       if (eq == std::string::npos || eq == 0) return usage(argv[0]);
       char* end = nullptr;
       const double min_ratio = std::strtod(spec.c_str() + eq + 1, &end);
       if (end == spec.c_str() + eq + 1 || *end != '\0' || !(min_ratio > 0.0)) {
-        std::fprintf(stderr, "bad --gate ratio: '%s'\n", spec.c_str());
+        std::fprintf(stderr, "bad %s ratio: '%s'\n", argv[i - 1], spec.c_str());
         return 2;
       }
-      gates.emplace_back(spec.substr(0, eq), min_ratio);
+      gates.push_back({spec.substr(0, eq), min_ratio, is_batch_gate});
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -143,33 +161,39 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
-  for (const auto& [pair, min_ratio] : gates) {
-    const auto fine = samples.find("BM_MacroPair/" + pair + "_fine");
-    const auto macro = samples.find("BM_MacroPair/" + pair + "_macro");
-    if (fine == samples.end() || macro == samples.end()) {
-      std::printf("[FAIL] %-18s missing %s entry\n", pair.c_str(),
-                  fine == samples.end() ? "_fine" : "_macro");
+  for (const Gate& gate : gates) {
+    // The slow (reference) leg over the fast (gated) leg, in both families.
+    const char* prefix = gate.batch ? "BM_BatchPair/" : "BM_MacroPair/";
+    const char* slow_suffix = gate.batch ? "_scalar" : "_fine";
+    const char* fast_suffix = gate.batch ? "_batch" : "_macro";
+    const auto slow = samples.find(prefix + gate.pair + slow_suffix);
+    const auto fast = samples.find(prefix + gate.pair + fast_suffix);
+    if (slow == samples.end() || fast == samples.end()) {
+      std::printf("[FAIL] %-18s missing %s entry\n", gate.pair.c_str(),
+                  slow == samples.end() ? slow_suffix : fast_suffix);
       ++failures;
       continue;
     }
-    if (fine->second.unit != macro->second.unit) {
-      std::printf("[FAIL] %-18s fine/macro time units differ (%s vs %s)\n",
-                  pair.c_str(), fine->second.unit.c_str(),
-                  macro->second.unit.c_str());
+    if (slow->second.unit != fast->second.unit) {
+      std::printf("[FAIL] %-18s %s/%s time units differ (%s vs %s)\n",
+                  gate.pair.c_str(), slow_suffix + 1, fast_suffix + 1,
+                  slow->second.unit.c_str(), fast->second.unit.c_str());
       ++failures;
       continue;
     }
-    if (!(macro->second.real_time > 0.0)) {
-      std::printf("[FAIL] %-18s non-positive macro time\n", pair.c_str());
+    if (!(fast->second.real_time > 0.0)) {
+      std::printf("[FAIL] %-18s non-positive %s time\n", gate.pair.c_str(),
+                  fast_suffix + 1);
       ++failures;
       continue;
     }
-    const double ratio = fine->second.real_time / macro->second.real_time;
-    const bool ok = ratio >= min_ratio;
-    std::printf("[%s] %-18s %8.2f %s fine / %8.2f %s macro = %6.2fx (gate %.2fx)\n",
-                ok ? "PASS" : "FAIL", pair.c_str(), fine->second.real_time,
-                fine->second.unit.c_str(), macro->second.real_time,
-                macro->second.unit.c_str(), ratio, min_ratio);
+    const double ratio = slow->second.real_time / fast->second.real_time;
+    const bool ok = ratio >= gate.min_ratio;
+    std::printf("[%s] %-18s %8.2f %s %s / %8.2f %s %s = %6.2fx (gate %.2fx)\n",
+                ok ? "PASS" : "FAIL", gate.pair.c_str(), slow->second.real_time,
+                slow->second.unit.c_str(), slow_suffix + 1,
+                fast->second.real_time, fast->second.unit.c_str(),
+                fast_suffix + 1, ratio, gate.min_ratio);
     if (!ok) ++failures;
   }
   return failures == 0 ? 0 : 1;
