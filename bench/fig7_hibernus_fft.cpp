@@ -18,7 +18,7 @@
 // There the engine's analytic sleep/off/dead spans collapse the gaps to
 // O(1), the trace's quiet-segment index claims the sub-conduction arcs
 // inside each burst, and the headline speedup lands in the 25x class
-// (recorded per push in BENCH_6.json as BM_MacroPair/Fig7Gapped_*). The
+// (recorded per push in BENCH_7.json as BM_MacroPair/Fig7Gapped_*). The
 // *charge-ramp survey* swaps the sine bursts for DC bursts, where the
 // charge-span planner (circuit::ChargeSolution) makes every charging
 // ramp analytic too — the 40x class, gated at 25x.
@@ -79,7 +79,7 @@ double figure_wall_millis(core::EnergyDrivenSystem& system, sim::SimResult& resu
 
 // bench/macro_survey.h owns the gate-critical best-of-N timing loop; the
 // surveys here measure the exact scenarios BM_MacroPair/Fig7Gapped_* and
-// Fig7ChargeRamp_* record in BENCH_6.json (bench/fig7_scenarios.h), so
+// Fig7ChargeRamp_* record in BENCH_7.json (bench/fig7_scenarios.h), so
 // the gates and the recorded trajectory stay comparable by construction.
 using macro_survey::span_coverage;
 using macro_survey::wall_millis;
@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
   if (batch) {
     // Batched-sweep survey: the Fig 7 design point across 16 node
     // capacitances (bench/fig7_scenarios.h — the exact grid
-    // BM_BatchPair/Fig7Survey_* records in BENCH_6.json), scalar runner
+    // BM_BatchPair/Fig7Survey_* records in BENCH_7.json), scalar runner
     // vs the SoA batch kernel, single worker thread in both legs. The
     // rows must be *bit-identical* — the batch kernel replays the scalar
     // loop per lane and only restructures the node ODE arithmetic — so
@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
                   sim::serialize_result(batch_rows[i]);
     }
     check(identical, "batch rows are bit-identical to the scalar rows");
-    // An uncontended Release build measures ~2.4x here (BENCH_6.json):
+    // An uncontended Release build measures ~2.4x here (BENCH_7.json):
     // the sine is evaluated once per substep instead of once per lane and
     // the lane ODE vectorizes, while the per-lane MCU/policy machinery
     // (identical in both legs by the bit-identity contract) bounds the
@@ -176,7 +176,7 @@ int main(int argc, char** argv) {
                 100.0 * span_coverage(gap_macro),
                 gap_macro.harvested - gap_fine.harvested,
                 gap_macro.consumed - gap_fine.consumed);
-    // An uncontended Release build measures ~25x here (BENCH_6.json: the
+    // An uncontended Release build measures ~25x here (BENCH_7.json: the
     // trace's quiet-segment index claims the sub-conduction arcs inside
     // each sine burst on top of PR 4's sleep/off/dead gap spans, which
     // measured 8-9x). The hard gate sits at 15x: scheduler noise on a

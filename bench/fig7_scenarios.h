@@ -1,7 +1,7 @@
 // Shared Fig 7 scenario specs for the bench programs.
 //
 // fig7_hibernus_fft --macro gates the harvesting-gap speedup on the same
-// scenario BM_MacroPair/Fig7Gapped_* records in BENCH_6.json
+// scenario BM_MacroPair/Fig7Gapped_* records in BENCH_7.json
 // (bench/perf_micro.cpp); one definition keeps the gate and the recorded
 // trajectory comparable by construction.
 #pragma once
@@ -59,7 +59,7 @@ inline edc::spec::SystemSpec gapped_spec() {
 /// equilibrium rides to the burst's end, and the gap decays as in
 /// gapped_spec — only boot/active/save/restore steps run finely. This is
 /// the scenario class the charge-span planner exists for, and the pair
-/// BM_MacroPair/Fig7ChargeRamp_* records in BENCH_6.json.
+/// BM_MacroPair/Fig7ChargeRamp_* records in BENCH_7.json.
 inline edc::spec::SystemSpec charge_ramp_spec() {
   edc::spec::SystemSpec s = base_spec();
   s.source = edc::spec::SquareSource{3.3, 0.1, 0.05, 0.0, 50.0};
@@ -81,7 +81,7 @@ inline edc::spec::SystemSpec charge_ramp_spec() {
 /// and policy machinery (identical in both paths by the bit-identity
 /// contract) caps the ratio near 1.9x. fig7_hibernus_fft --batch gates
 /// the scalar/batch speedup on this grid and BM_BatchPair/Fig7Survey_*
-/// records the same pair in BENCH_6.json. The workload is fft-small so
+/// records the same pair in BENCH_7.json. The workload is fft-small so
 /// per-lane MCU work does not drown the node/source share being
 /// measured.
 inline edc::sweep::Grid batch_survey_grid() {

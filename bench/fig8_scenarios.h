@@ -1,7 +1,7 @@
 // Shared Fig 8 scenario specs for the bench programs.
 //
 // fig8_hibernus_pn --macro gates the wind-survey speedup on the same
-// scenario BM_MacroPair/Fig8WindSurvey_* records in BENCH_6.json
+// scenario BM_MacroPair/Fig8WindSurvey_* records in BENCH_7.json
 // (bench/perf_micro.cpp); one definition keeps the gate and the recorded
 // trajectory comparable by construction (the fig7_scenarios.h pattern).
 #pragma once
@@ -75,7 +75,7 @@ inline edc::spec::SystemSpec wind_survey_spec() {
 /// turbine's EMF (gust envelope x electrical AC) is evaluated once per
 /// substep and broadcast across the lanes. fig8_hibernus_pn --batch gates
 /// the scalar/batch speedup here; BM_BatchPair/Fig8Wind_* records the
-/// same pair in BENCH_6.json.
+/// same pair in BENCH_7.json.
 inline edc::sweep::Grid batch_survey_grid() {
   edc::spec::SystemSpec s = base_spec(1.0, /*seed=*/3);
   edc::sweep::Grid grid(std::move(s));

@@ -88,6 +88,34 @@ Seconds ComparatorBank::plan_falling_crossing(const DecaySolution& decay,
   return decay.time_to_reach(highest);
 }
 
+Seconds ComparatorBank::plan_ramp_crossing(const LinearRampSolution& ramp,
+                                           Volts err_pad, Seconds t_max,
+                                           Volts* trip_out) const {
+  Seconds earliest = std::numeric_limits<Seconds>::infinity();
+  Volts binding = 0.0;
+  for (const auto& comparator : comparators_) {
+    const Volts trip =
+        comparator.output() ? comparator.falling_trip() : comparator.rising_trip();
+    // A negative falling trip can never fire — the node clamps at ground
+    // (and ramp spans additionally certify a positive voltage floor).
+    if (trip < 0.0) continue;
+    Seconds entry;
+    if (ramp.v0 > trip + err_pad) {
+      entry = ramp.time_to_reach(trip + err_pad, t_max);
+    } else if (ramp.v0 < trip - err_pad) {
+      entry = ramp.time_to_reach(trip - err_pad, t_max);
+    } else {
+      entry = 0.0;  // the start already sits inside the trip's band
+    }
+    if (entry < earliest) {
+      earliest = entry;
+      binding = trip;
+    }
+  }
+  if (trip_out != nullptr && std::isfinite(earliest)) *trip_out = binding;
+  return earliest;
+}
+
 Seconds ComparatorBank::plan_rising_crossing(const ChargeSolution& charge,
                                              Volts* trip_out) const {
   // The rise is monotone, so the earliest crossing belongs to the lowest

@@ -15,6 +15,7 @@ namespace edc::circuit {
 
 struct ChargeSolution;
 struct DecaySolution;
+struct LinearRampSolution;
 
 enum class Edge { rising, falling };
 
@@ -101,6 +102,24 @@ class ComparatorBank {
   /// v_prev < trip transition when fine stepping resumes.
   [[nodiscard]] Seconds plan_rising_crossing(const ChargeSolution& charge,
                                              Volts* trip_out = nullptr) const;
+
+  /// The interval-certified mirror for *non-monotone* linear-ramp
+  /// trajectories (circuit::LinearRampSolution), where the modeled voltage
+  /// may additionally deviate from the true node voltage by up to
+  /// `err_pad` (>= 0, the ramp certificate's envelope). A toggle in either
+  /// direction requires the true voltage to touch the armed trip, and the
+  /// true voltage stays within err_pad of the model — so the first instant
+  /// the model *enters* the band [trip - err_pad, trip + err_pad] bounds
+  /// every possible fire from below. Unlike the monotone planners no
+  /// comparator can be ruled out by its output state alone (a ramp can dip
+  /// and recross), so every armed trip is checked against the band-entry
+  /// rule; returns 0 when some trip's band already contains the ramp's
+  /// start (no span is certifiable), +infinity when no comparator can
+  /// toggle within [0, t_max]. `trip_out` receives the binding trip, which
+  /// a planned span's end voltage must provably stay err_pad clear of.
+  [[nodiscard]] Seconds plan_ramp_crossing(const LinearRampSolution& ramp,
+                                           Volts err_pad, Seconds t_max,
+                                           Volts* trip_out = nullptr) const;
 
  private:
   std::vector<Comparator> comparators_;

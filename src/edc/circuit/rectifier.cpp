@@ -31,6 +31,48 @@ Amps RectifiedSourceDriver::current_into(Volts v_node, Seconds t) const {
   return (v_rect - v_node) / source_->series_resistance();
 }
 
+namespace {
+
+/// End of the *chord-certified dark window* from t: the last instant the
+/// source's affine chord certificate (VoltageSource::linear_until), widened
+/// by its interval envelope, provably stays at or below `ceiling` (and at
+/// or above -`ceiling` when `two_sided`). Returns t when no window is
+/// certifiable. This is what lets an AC source's sub-conduction arcs — the
+/// trough half-cycles a cell-granular band index cannot see — feed the
+/// decay-span planners: the certificate is a proof, so any envelope width
+/// works, but a too-wide probe can drown a real dark window in its own
+/// ~h^2 error; geometrically tighter probes recover it. A chord *rising
+/// toward* the ceiling still certifies its prefix up to the envelope's
+/// crossing, so the approach to a conduction edge is claimed too.
+Seconds chord_dark_window(const trace::VoltageSource& source, Volts ceiling,
+                          bool two_sided, Seconds t) {
+  Seconds horizon = 8e-3;
+  for (int attempt = 0; attempt < 4; ++attempt, horizon *= 0.25) {
+    const trace::VoltageSource::LinearCert cert = source.linear_until(t, horizon);
+    if (!cert.valid || !(cert.until > t)) return t;
+    // The chord starts on the actual source sample, so a start value
+    // outside the band means the source conducts *right now* — no tighter
+    // envelope can change that, and this probe is the per-fine-step cost
+    // during conducting arcs. Bail on the first attempt.
+    if (cert.value > ceiling || (two_sided && cert.value < -ceiling)) return t;
+    const Volts hi0 = cert.value + cert.err_hi;
+    const Volts lo0 = cert.value + cert.err_lo;
+    if (!(hi0 <= ceiling) || (two_sided && !(lo0 >= -ceiling))) {
+      continue;  // a tighter envelope may still clear the band
+    }
+    Seconds s_max = cert.until - t;
+    if (cert.slope > 0.0) {
+      s_max = std::min(s_max, (ceiling - hi0) / cert.slope);
+    } else if (cert.slope < 0.0 && two_sided) {
+      s_max = std::min(s_max, (-ceiling - lo0) / cert.slope);
+    }
+    if (s_max > 0.0) return t + s_max;
+  }
+  return t;
+}
+
+}  // namespace
+
 Seconds RectifiedSourceDriver::quiescent_until(Volts v_floor, Seconds t) const {
   if (v_floor < 0.0) v_floor = 0.0;  // the node clamps at ground
   // current_into is zero iff rectified_open_circuit(t) <= v_node, and the
@@ -38,15 +80,22 @@ Seconds RectifiedSourceDriver::quiescent_until(Volts v_floor, Seconds t) const {
   // band on the raw open-circuit voltage is what the source must promise:
   //   half-wave:  v_oc - drop <= v_floor          (no lower bound needed)
   //   full-wave:  |v_oc| - 2*drop <= v_floor
+  // The source's own band query answers from its quiet structure (exact
+  // dead/stalled stretches); when it has no window, a chord certificate
+  // can still prove the sub-conduction arcs dark.
   switch (params_.kind) {
     case RectifierKind::half_wave: {
       const Volts ceiling = v_floor + params_.diode_drop;
-      return source_->bounded_until(-std::numeric_limits<Volts>::infinity(),
-                                    ceiling, t);
+      const Seconds u = source_->bounded_until(
+          -std::numeric_limits<Volts>::infinity(), ceiling, t);
+      if (u > t) return u;
+      return chord_dark_window(*source_, ceiling, /*two_sided=*/false, t);
     }
     case RectifierKind::full_wave: {
       const Volts ceiling = v_floor + 2.0 * params_.diode_drop;
-      return source_->bounded_until(-ceiling, ceiling, t);
+      const Seconds u = source_->bounded_until(-ceiling, ceiling, t);
+      if (u > t) return u;
+      return chord_dark_window(*source_, ceiling, /*two_sided=*/true, t);
     }
   }
   return t;
@@ -71,6 +120,56 @@ ChargeSpanCert RectifiedSourceDriver::plan_charge_span(Seconds t) const {
   }
   cert.until = until;
   return cert;
+}
+
+RampSpanCert RectifiedSourceDriver::plan_ramp_span(Seconds t,
+                                                   Seconds horizon) const {
+  const trace::VoltageSource::LinearCert chord = source_->linear_until(t, horizon);
+  if (!chord.valid || !(chord.until > t)) return {};
+  const Seconds h = chord.until - t;
+  // The chord is affine, so its certified extrema over the window sit at
+  // the endpoints, widened by the interval envelope.
+  const Volts lo_end = chord.value + std::min(0.0, chord.slope * h);
+  const Volts hi_end = chord.value + std::max(0.0, chord.slope * h);
+  const Volts chord_min = lo_end + chord.err_lo;
+  const Volts chord_max = hi_end + chord.err_hi;
+  RampSpanCert cert;
+  cert.r_series = source_->series_resistance();
+  cert.until = chord.until;
+  switch (params_.kind) {
+    case RectifierKind::half_wave: {
+      // Provably above the drop throughout: max(v - drop, 0) never clamps,
+      // so the rectified source is the chord shifted down by the drop.
+      if (!(chord_min > params_.diode_drop)) return {};
+      cert.valid = true;
+      cert.v_source0 = chord.value - params_.diode_drop;
+      cert.slope = chord.slope;
+      cert.err_lo = chord.err_lo;
+      cert.err_hi = chord.err_hi;
+      return cert;
+    }
+    case RectifierKind::full_wave: {
+      const Volts drop = 2.0 * params_.diode_drop;
+      if (chord_min > drop) {  // positive-definite half
+        cert.valid = true;
+        cert.v_source0 = chord.value - drop;
+        cert.slope = chord.slope;
+        cert.err_lo = chord.err_lo;
+        cert.err_hi = chord.err_hi;
+        return cert;
+      }
+      if (chord_max < -drop) {  // negative-definite half: |.| flips the chord
+        cert.valid = true;
+        cert.v_source0 = -chord.value - drop;
+        cert.slope = -chord.slope;
+        cert.err_lo = -chord.err_hi;
+        cert.err_hi = -chord.err_lo;
+        return cert;
+      }
+      return {};
+    }
+  }
+  return {};
 }
 
 DriverSample RectifiedSourceDriver::batch_sample(Seconds t) const {

@@ -43,6 +43,14 @@ class RectifiedSourceDriver final : public SupplyDriver {
   /// every DC stretch and square-wave high phase becomes one analytic
   /// charging ramp for the quiescent engine.
   [[nodiscard]] ChargeSpanCert plan_charge_span(Seconds t) const override;
+  /// Ramp-span certification: while the source certifies a chord whose
+  /// whole interval envelope stays sign-definite beyond the diode drop(s)
+  /// (VoltageSource::linear_until), the max(., 0) clamp provably never
+  /// engages and the rectified output is the affine Thevenin form the
+  /// linear-ramp closed form needs — sine arcs, gust crests and trace
+  /// cells become analytic charging ramps for the quiescent engine.
+  [[nodiscard]] RampSpanCert plan_ramp_span(Seconds t,
+                                            Seconds horizon) const override;
   /// Batch sampling (DriverSample): the rectified open-circuit voltage and
   /// the series resistance are the only source-dependent terms of
   /// current_into, so lanes sharing this source evaluate it once per

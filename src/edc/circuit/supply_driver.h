@@ -31,6 +31,33 @@ struct ChargeSpanCert {
   Seconds until = 0.0;   ///< certificate holds on [t, until)
 };
 
+/// Certificate for the quiescent engine's *ramp*-span planner: over
+/// [t, until) the driver's injected current is the rectified-Thevenin form
+///
+///   current_into(v, t') == (vs(t') - v) / r_series   while vs(t') > v
+///
+/// where the rectified open-circuit voltage vs tracks the affine chord
+///
+///   v_source0 + slope * (t' - t) + [err_lo, err_hi]
+///
+/// and *provably never engages the rectifier clamp* within that envelope
+/// (the sign-definiteness is certified at issue time, so the piecewise
+/// max(0, .) never bends the affine form). Unlike ChargeSpanCert this is
+/// an interval contract, not an exactness contract: the chord may deviate
+/// from the true source within the certified envelope, and the engine's
+/// ICP-style contractor re-queries with a smaller horizon until the
+/// envelope fits its span tolerance before committing a jump.
+/// `valid == false` claims nothing.
+struct RampSpanCert {
+  bool valid = false;
+  Volts v_source0 = 0.0;  ///< rectified chord value at the query instant
+  double slope = 0.0;     ///< chord slope [V/s]
+  Volts err_lo = 0.0;     ///< envelope low side (<= 0)
+  Volts err_hi = 0.0;     ///< envelope high side (>= 0)
+  Ohms r_series = 0.0;    ///< series resistance (> 0 when valid)
+  Seconds until = 0.0;    ///< certificate holds on [t, until)
+};
+
 /// One shared source evaluation for the batched SoA node step
 /// (SupplyNode::step_lanes): the source-dependent terms of current_into at
 /// a single instant, factored out so many lanes whose source axes agree
@@ -92,6 +119,18 @@ class SupplyDriver {
   /// short-side only.
   [[nodiscard]] virtual ChargeSpanCert plan_charge_span(Seconds t) const {
     (void)t;
+    return {};
+  }
+
+  /// Piecewise-linear interval certification for ramp-span planning (see
+  /// RampSpanCert). `horizon` caps the window the caller can use — issuing
+  /// a shorter certificate is always sound, and the caller re-queries with
+  /// smaller horizons while the envelope exceeds its tolerance. The
+  /// default claims nothing, which is always correct.
+  [[nodiscard]] virtual RampSpanCert plan_ramp_span(Seconds t,
+                                                    Seconds horizon) const {
+    (void)t;
+    (void)horizon;
     return {};
   }
 

@@ -126,6 +126,191 @@ Joules ChargeSolution::bleed_energy(Seconds elapsed) const {
   return std::max(sq_integral / bleed, 0.0);
 }
 
+namespace {
+
+double node_conductance(Ohms r_series, Ohms bleed) {
+  return 1.0 / r_series + (bleed > 0.0 ? 1.0 / bleed : 0.0);
+}
+
+}  // namespace
+
+Seconds LinearRampSolution::tau() const {
+  return capacitance / node_conductance(r_series, bleed);
+}
+
+double LinearRampSolution::drift() const {
+  return slope / (r_series * node_conductance(r_series, bleed));
+}
+
+Volts LinearRampSolution::offset() const {
+  const double g = node_conductance(r_series, bleed);
+  return (v_source0 / r_series - load - capacitance * drift()) / g;
+}
+
+Volts LinearRampSolution::voltage_at(Seconds elapsed) const {
+  EDC_ASSERT(elapsed >= 0.0);
+  const Volts a = offset();
+  const Volts v =
+      a + drift() * elapsed + (v0 - a) * std::exp(-elapsed / tau());
+  return v > 0.0 ? v : 0.0;
+}
+
+Seconds LinearRampSolution::time_to_reach(Volts v, Seconds t_max) const {
+  EDC_ASSERT(t_max >= 0.0);
+  const Volts a = offset();
+  const double b = drift();
+  const Volts c = v0 - a;
+  const Seconds time_constant = tau();
+  const auto raw = [&](Seconds t) {
+    return a + b * t + c * std::exp(-t / time_constant);
+  };
+  // V'(t) = b - (c/tau) e^{-t/tau} is monotone, so the trajectory has at
+  // most one interior extremum, at t* = -tau ln(b*tau/c) when the log
+  // argument lies in (0, 1]. Split the window there into monotone pieces.
+  Seconds pieces[3] = {0.0, t_max, t_max};
+  int n_pieces = 1;
+  if (c != 0.0 && b != 0.0) {
+    const double arg = b * time_constant / c;
+    if (arg > 0.0 && arg <= 1.0) {
+      const Seconds t_star = -time_constant * std::log(arg);
+      if (t_star > 0.0 && t_star < t_max) {
+        pieces[1] = t_star;
+        n_pieces = 2;
+      }
+    }
+  }
+  for (int p = 0; p < n_pieces; ++p) {
+    Seconds lo = pieces[p];
+    Seconds hi = pieces[p + 1];
+    const Volts v_lo = raw(lo);
+    const Volts v_hi = raw(hi);
+    if (v == v_lo) return lo;
+    const bool rising = v_hi >= v_lo;
+    const bool inside = rising ? (v_lo < v && v <= v_hi)
+                               : (v_hi <= v && v < v_lo);
+    if (!inside) continue;
+    // Safeguarded bisection on the monotone piece. Returns the *lower*
+    // bracket, so the reported instant is at or just before the true
+    // crossing — the conservative side for every planner (a span capped at
+    // ceil(time/dt)-1 then provably ends before the crossing step no
+    // matter how loose the bracket is). That soundness-by-direction is
+    // what lets the loop stop at ~1e-6 of the piece width instead of
+    // grinding to one ulp: each iteration costs an exp(), and this is the
+    // hot inner call of the ramp-span crossing planners.
+    const Seconds width_tol = (hi - lo) * 9.5e-7 + 1e-15;
+    for (int i = 0; i < 64 && hi - lo > width_tol; ++i) {
+      const Seconds mid = 0.5 * (lo + hi);
+      if (mid <= lo || mid >= hi) break;
+      const bool before = rising ? (raw(mid) < v) : (raw(mid) > v);
+      if (before) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  return kForever;
+}
+
+Volts LinearRampSolution::min_voltage(Seconds elapsed) const {
+  EDC_ASSERT(elapsed >= 0.0);
+  const Volts a = offset();
+  const double b = drift();
+  const Volts c = v0 - a;
+  const Seconds time_constant = tau();
+  const auto raw = [&](Seconds t) {
+    return a + b * t + c * std::exp(-t / time_constant);
+  };
+  Volts lo = std::min(raw(0.0), raw(elapsed));
+  if (c != 0.0 && b != 0.0) {
+    const double arg = b * time_constant / c;
+    if (arg > 0.0 && arg <= 1.0) {
+      const Seconds t_star = -time_constant * std::log(arg);
+      if (t_star > 0.0 && t_star < elapsed) lo = std::min(lo, raw(t_star));
+    }
+  }
+  return lo;
+}
+
+Volts LinearRampSolution::max_voltage(Seconds elapsed) const {
+  EDC_ASSERT(elapsed >= 0.0);
+  const Volts a = offset();
+  const double b = drift();
+  const Volts c = v0 - a;
+  const Seconds time_constant = tau();
+  const auto raw = [&](Seconds t) {
+    return a + b * t + c * std::exp(-t / time_constant);
+  };
+  Volts hi = std::max(raw(0.0), raw(elapsed));
+  if (c != 0.0 && b != 0.0) {
+    const double arg = b * time_constant / c;
+    if (arg > 0.0 && arg <= 1.0) {
+      const Seconds t_star = -time_constant * std::log(arg);
+      if (t_star > 0.0 && t_star < elapsed) hi = std::max(hi, raw(t_star));
+    }
+  }
+  return hi;
+}
+
+Volts LinearRampSolution::min_source_margin(Seconds elapsed) const {
+  EDC_ASSERT(elapsed >= 0.0);
+  const Volts a = offset();
+  const double b = drift();
+  const Volts c = v0 - a;
+  const Seconds time_constant = tau();
+  // D(t) = Vs(t) - V(t) = (v_source0 - a) + (slope - b) t - c e^{-t/tau}.
+  // D'(t) = (slope - b) + (c/tau) e^{-t/tau} is monotone, so the margin's
+  // minimum sits at an endpoint or the single critical point.
+  const auto margin = [&](Seconds t) {
+    return (v_source0 - a) + (slope - b) * t -
+           c * std::exp(-t / time_constant);
+  };
+  Volts lo = std::min(margin(0.0), margin(elapsed));
+  if (c != 0.0 && slope != b) {
+    const double arg = (b - slope) * time_constant / c;
+    if (arg > 0.0 && arg <= 1.0) {
+      const Seconds t_crit = -time_constant * std::log(arg);
+      if (t_crit > 0.0 && t_crit < elapsed) lo = std::min(lo, margin(t_crit));
+    }
+  }
+  return lo;
+}
+
+Joules LinearRampSolution::load_energy(Seconds elapsed) const {
+  EDC_ASSERT(elapsed >= 0.0);
+  if (load <= 0.0) return 0.0;
+  const Volts a = offset();
+  const double b = drift();
+  const Volts c = v0 - a;
+  const Seconds time_constant = tau();
+  const double v_integral =
+      a * elapsed + 0.5 * b * elapsed * elapsed +
+      c * time_constant * -std::expm1(-elapsed / time_constant);
+  return std::max(load * v_integral, 0.0);
+}
+
+Joules LinearRampSolution::bleed_energy(Seconds elapsed) const {
+  EDC_ASSERT(elapsed >= 0.0);
+  if (bleed <= 0.0) return 0.0;
+  const Volts a = offset();
+  const double b = drift();
+  const Volts c = v0 - a;
+  const Seconds time_constant = tau();
+  const double s = elapsed;
+  const double e1 = -std::expm1(-s / time_constant);        // 1 - e^{-s/tau}
+  const double e2 = -std::expm1(-2.0 * s / time_constant);  // 1 - e^{-2s/tau}
+  // integral of t e^{-t/tau} over [0, s].
+  const double t_exp = time_constant * time_constant * e1 -
+                       time_constant * s * std::exp(-s / time_constant);
+  // integral of (a + b t + c e^{-t/tau})^2 over [0, s].
+  const double sq_integral = a * a * s + a * b * s * s +
+                             b * b * s * s * s / 3.0 +
+                             2.0 * c * (a * time_constant * e1 + b * t_exp) +
+                             c * c * 0.5 * time_constant * e2;
+  return std::max(sq_integral / bleed, 0.0);
+}
+
 SupplyNode::SupplyNode(Farads capacitance, Volts v_initial)
     : capacitance_(capacitance), voltage_(v_initial) {
   EDC_CHECK(capacitance > 0.0, "capacitance must be positive");
@@ -249,6 +434,16 @@ ChargeSolution SupplyNode::charge_from(Volts v0, Volts v_source, Ohms r_series,
   EDC_CHECK(r_series > 0.0, "series resistance must be positive");
   EDC_CHECK(load >= 0.0, "load current must be non-negative");
   return ChargeSolution{capacitance_, v_source, r_series, bleed_, load, v0};
+}
+
+LinearRampSolution SupplyNode::ramp_from(Volts v0, Volts v_source0,
+                                         double slope, Ohms r_series,
+                                         Amps load) const {
+  EDC_CHECK(v0 >= 0.0, "ramp start voltage must be non-negative");
+  EDC_CHECK(r_series > 0.0, "series resistance must be positive");
+  EDC_CHECK(load >= 0.0, "load current must be non-negative");
+  return LinearRampSolution{capacitance_, v_source0, slope,
+                            r_series,     bleed_,    load, v0};
 }
 
 }  // namespace edc::circuit

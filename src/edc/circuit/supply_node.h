@@ -106,6 +106,76 @@ struct ChargeSolution {
   [[nodiscard]] Joules bleed_energy(Seconds elapsed) const;
 };
 
+/// Closed-form solution of the node driven by an *affine* Thevenin source:
+/// the rectified open-circuit voltage ramps linearly over the window,
+///
+///   C dV/dt = (v_source0 + slope*t - V)/r_series - V/R_bleed - I_load,
+///
+/// i.e. a certified piecewise-linear source chord (a sine arc, a wind-gust
+/// tail, one trace cell) instead of ChargeSolution's constant window. With
+/// G = 1/r_series + 1/R_bleed and tau = C/G the trajectory is
+///
+///   V(t) = a + b*t + (v0 - a) e^{-t/tau},
+///   b = slope / (r_series * G),   a = (v_source0/r_series - I_load - C*b)/G,
+///
+/// the affine particular solution plus a decaying transient. V'(t) is
+/// monotone (single interior extremum at most), so the inverse solve walks
+/// at most two monotone pieces with safeguarded bisection. Produced by
+/// SupplyNode::ramp_from for the window a SupplyDriver::plan_ramp_span
+/// certificate covers, and consumed by sim::QuiescentEngine, which books
+/// the continuum energy split exactly like the constant-window spans.
+struct LinearRampSolution {
+  Farads capacitance = 0.0;
+  Volts v_source0 = 0.0;  ///< rectified open-circuit voltage at span start
+  double slope = 0.0;     ///< source ramp rate dVs/dt over the window [V/s]
+  Ohms r_series = 0.0;    ///< source series resistance (> 0)
+  Ohms bleed = 0.0;       ///< 0 = no bleed path
+  Amps load = 0.0;        ///< constant load current
+  Volts v0 = 0.0;
+
+  /// The RC time constant C / (1/r_series + 1/bleed).
+  [[nodiscard]] Seconds tau() const;
+
+  /// Slope b of the affine particular solution a + b*t.
+  [[nodiscard]] double drift() const;
+
+  /// Offset a of the affine particular solution a + b*t.
+  [[nodiscard]] Volts offset() const;
+
+  /// Node voltage after `elapsed` seconds (clamped at ground; the engine
+  /// certifies min_voltage > 0 before committing, so the clamp is inert
+  /// over any planned span).
+  [[nodiscard]] Volts voltage_at(Seconds elapsed) const;
+
+  /// Inverse solve over [0, t_max]: the first instant the trajectory
+  /// reaches `v`, or +infinity when it never does within the window. The
+  /// trajectory is not monotone in general (the transient can overshoot
+  /// the ramp), so the solve brackets the at-most-one interior extremum
+  /// and bisects each monotone piece.
+  [[nodiscard]] Seconds time_to_reach(Volts v, Seconds t_max) const;
+
+  /// Minimum of the (unclamped) trajectory over [0, elapsed]: ground-clamp
+  /// certification — a span is only valid while this stays above the node
+  /// error envelope.
+  [[nodiscard]] Volts min_voltage(Seconds elapsed) const;
+
+  /// Maximum of the (unclamped) trajectory over [0, elapsed].
+  [[nodiscard]] Volts max_voltage(Seconds elapsed) const;
+
+  /// Minimum of the conduction margin Vs(t) - V(t) over [0, elapsed]:
+  /// rectifier certification — the diode provably keeps conducting while
+  /// this stays above the chord + node error envelopes.
+  [[nodiscard]] Volts min_source_margin(Seconds elapsed) const;
+
+  /// Energy the constant load drew over [0, elapsed]: load * integral of V.
+  [[nodiscard]] Joules load_energy(Seconds elapsed) const;
+
+  /// Energy the bleed dissipated over [0, elapsed]: integral of V^2/R_b.
+  /// Booking harvested = stored-energy delta + load_energy + bleed_energy
+  /// closes the span's ledger exactly in the continuum.
+  [[nodiscard]] Joules bleed_energy(Seconds elapsed) const;
+};
+
 class SupplyNode {
  public:
   /// `capacitance` is the *total* node capacitance. `v_initial` is the node
@@ -182,6 +252,12 @@ class SupplyNode {
   /// rectified Thevenin source conducts into it (see ChargeSolution).
   [[nodiscard]] ChargeSolution charge_from(Volts v0, Volts v_source,
                                            Ohms r_series, Amps load) const;
+
+  /// The analytic trajectory this node follows from `v0` while an *affine*
+  /// rectified Thevenin source conducts into it (see LinearRampSolution).
+  [[nodiscard]] LinearRampSolution ramp_from(Volts v0, Volts v_source0,
+                                             double slope, Ohms r_series,
+                                             Amps load) const;
 
  private:
   Farads capacitance_;

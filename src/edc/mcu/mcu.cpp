@@ -367,6 +367,35 @@ Mcu::WakeCrossing Mcu::plan_charge_crossing(
   return crossing;
 }
 
+Mcu::WakeCrossing Mcu::plan_ramp_crossing(const circuit::LinearRampSolution& ramp,
+                                          Volts err_pad, Seconds t_max) const {
+  WakeCrossing crossing;
+  if (state_ == McuState::off) {
+    // supply_update boots when the end-of-step voltage reaches v_on
+    // (level-triggered; the comparator bank is only reset on that step, so
+    // the power-on release is the off state's only watcher). The first
+    // instant the modeled trajectory could carry the true voltage to v_on
+    // is its entry into the threshold's err_pad band from below.
+    crossing.trip = params_.power.v_on;
+    crossing.time = ramp.v0 >= crossing.trip - err_pad
+                        ? 0.0
+                        : ramp.time_to_reach(crossing.trip - err_pad, t_max);
+    return crossing;
+  }
+  crossing.time = comparators_.plan_ramp_crossing(ramp, err_pad, t_max, &crossing.trip);
+  // The v_min brown-out is level-triggered on the end-of-step voltage; on a
+  // non-monotone ramp it too is bounded from below by band entry.
+  const Volts v_min = params_.power.v_min;
+  const Seconds loss = ramp.v0 <= v_min + err_pad
+                           ? 0.0
+                           : ramp.time_to_reach(v_min + err_pad, t_max);
+  if (loss < crossing.time) {
+    crossing.time = loss;
+    crossing.trip = v_min;
+  }
+  return crossing;
+}
+
 std::size_t Mcu::add_comparator(const std::string& name, Volts threshold,
                                 Volts hysteresis) {
   circuit::Comparator comparator(name, threshold, hysteresis);

@@ -167,6 +167,21 @@ class Mcu final : public circuit::Load {
   [[nodiscard]] WakeCrossing plan_charge_crossing(
       const circuit::ChargeSolution& charge) const;
 
+  /// The interval-certified mirror for *non-monotone* linear-ramp
+  /// trajectories: the earliest instant anything discrete could happen
+  /// while the supply follows `ramp` from ramp.v0, given that the true
+  /// node voltage may deviate from the model by up to `err_pad` (the ramp
+  /// certificate's envelope). Every armed comparator trip and both
+  /// level-triggered power watchers (the v_on power-on release while off,
+  /// the v_min brown-out while powered) are bounded from below by the
+  /// first instant the model enters the watcher's +/- err_pad band
+  /// (ComparatorBank::plan_ramp_crossing's rule). Returns 0 when some
+  /// watcher's band already contains the start voltage — no span is then
+  /// certifiable; +infinity when nothing can fire within [0, t_max].
+  [[nodiscard]] WakeCrossing plan_ramp_crossing(
+      const circuit::LinearRampSolution& ramp, Volts err_pad,
+      Seconds t_max) const;
+
   /// Whether the attached policy certifies the *current* state as woken
   /// only by comparators (PolicyHooks::wakes_only_by_comparator) — the
   /// license plan_wake_crossing()'s result needs to be exhaustive.

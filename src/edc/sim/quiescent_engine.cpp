@@ -85,6 +85,9 @@ std::optional<QuiescentSpan> QuiescentEngine::plan(Seconds t,
       if (config_->charge_spans) {
         if (auto span = plan_charge(t, max_steps)) return span;
       }
+      if (config_->ramp_spans) {
+        if (auto span = plan_ramp(t, max_steps)) return span;
+      }
     }
     // The bit-exact dead-node skip also covers drivers without usable
     // hints (per-substep probing), so try it even when a macro plan
@@ -97,7 +100,10 @@ std::optional<QuiescentSpan> QuiescentEngine::plan(Seconds t,
        state == mcu::McuState::done) &&
       mcu_->wake_is_comparator_driven()) {
     if (auto span = plan_low_power(t, max_steps)) return span;
-    if (config_->charge_spans) return plan_charge(t, max_steps);
+    if (config_->charge_spans) {
+      if (auto span = plan_charge(t, max_steps)) return span;
+    }
+    if (config_->ramp_spans) return plan_ramp(t, max_steps);
   }
   return std::nullopt;
 }
@@ -295,6 +301,112 @@ std::optional<QuiescentSpan> QuiescentEngine::plan_charge(
   // Deriving the harvested share from the continuum identity
   // harvested == stored delta + consumed + dissipated closes the span's
   // ledger exactly, mirroring book_decay_energy's zero residual.
+  const Joules delta =
+      0.5 * node_->capacitance() * (span.v_end * span.v_end - v0 * v0);
+  span.harvested = delta + span.consumed + span.dissipated;
+  EDC_ASSERT(span.consumed >= 0.0 && span.dissipated >= 0.0 &&
+             span.harvested >= 0.0);
+  return span;
+}
+
+std::optional<QuiescentSpan> QuiescentEngine::plan_ramp(
+    Seconds t, std::uint64_t max_steps) const {
+  const Seconds dt = config_->dt;
+  const Volts tol = config_->macro_v_tol;
+
+  // ICP-style contraction (the bound-and-shrink idiom): ask the driver for
+  // a certified chord over a candidate horizon and shrink the horizon
+  // while the interval envelope exceeds the span tolerance. Chord error
+  // scales ~h^2 for the C2 sources, so a few halvings converge; give up
+  // below a 2-step window, where nothing is left to claim. Even 2-3 step
+  // spans pay for themselves: near every chord-run boundary the
+  // alternative is a fine step *plus* this same contractor run ending in
+  // rejection. An invalid certificate exits immediately — that is the
+  // per-fine-step rejection path during uncertifiable stretches, and must
+  // stay one virtual call.
+  const double n_cap =
+      static_cast<double>(std::min<std::uint64_t>(max_steps, 256));
+  Seconds horizon = n_cap * dt;
+  circuit::RampSpanCert cert;
+  for (int iter = 0;; ++iter) {
+    if (iter >= 16 || !(horizon >= 2.0 * dt)) return std::nullopt;
+    cert = driver_->plan_ramp_span(t, horizon);
+    if (!cert.valid) return std::nullopt;
+    const Volts envelope = std::max(-cert.err_lo, cert.err_hi);
+    if (envelope <= tol) break;
+    horizon = std::min(cert.until - t, horizon) * 0.5;
+  }
+  // The chord may deviate from the true source by env_pad; the node (a
+  // stable linear ODE with DC gain <= 1 from the source and zero initial
+  // deviation) then deviates from the modeled trajectory by at most
+  // env_pad too.
+  const Volts env_pad = std::max(-cert.err_lo, cert.err_hi);
+
+  std::uint64_t n = steps_within(t, cert.until, dt, max_steps);
+  if (n == 0) return std::nullopt;
+
+  const Volts v0 = node_->voltage();
+  QuiescentSpan span;
+  span.ramping = true;
+  span.draw = mcu_->current_draw(v0, t);  // constant per state
+  span.ramp = node_->ramp_from(v0, cert.v_source0, cert.slope, cert.r_series,
+                               span.draw);
+
+  Seconds elapsed = dt * static_cast<double>(n);
+  // Certify the closed form's validity over the whole window:
+  //  * the ground clamp provably never engages — the modeled minimum
+  //    clears the node deviation envelope;
+  //  * the rectifier provably keeps conducting — the modeled source-node
+  //    margin clears the chord envelope plus the node envelope, so the
+  //    true rectified source stays strictly above the true node voltage
+  //    and current_into never takes its zero branch.
+  // Either failing leaves the span to fine stepping (or to a later, closer
+  // equilibrium where the margins reopen).
+  if (!(span.ramp.min_voltage(elapsed) > env_pad)) return std::nullopt;
+  if (!(span.ramp.min_source_margin(elapsed) > 2.0 * env_pad)) {
+    return std::nullopt;
+  }
+
+  // The watchers' horizon on the (possibly non-monotone) ramp: the first
+  // instant the modeled trajectory enters any armed watcher's +/- env_pad
+  // band bounds every possible discrete event from below. The crossing
+  // step itself must run finely, so the span may only cover steps whose
+  // end provably stays outside the binding band.
+  const mcu::Mcu::WakeCrossing crossing = mcu_->plan_ramp_crossing(
+      span.ramp, env_pad, elapsed + dt);
+  const bool has_crossing = std::isfinite(crossing.time);
+  if (has_crossing) {
+    const double whole = std::ceil(crossing.time / dt) - 1.0;
+    if (whole <= 0.0) return std::nullopt;
+    if (whole < static_cast<double>(n)) {
+      n = static_cast<std::uint64_t>(whole);
+      elapsed = dt * static_cast<double>(n);
+    }
+  }
+
+  span.v_end = span.ramp.voltage_at(elapsed);
+  if (has_crossing) {
+    // Float-inverse guard, interval edition: the span's end must sit
+    // strictly outside the binding trip's err_pad band on the starting
+    // side, so the resumed fine stepping still owns the whole crossing
+    // edge. Backing off a step is always sound.
+    const bool from_above = span.ramp.v0 > crossing.trip;
+    const Volts guard =
+        from_above ? crossing.trip + env_pad : crossing.trip - env_pad;
+    while (n > 0 &&
+           (from_above ? span.v_end <= guard : span.v_end >= guard)) {
+      --n;
+      elapsed = dt * static_cast<double>(n);
+      span.v_end = span.ramp.voltage_at(elapsed);
+    }
+    if (n == 0) return std::nullopt;
+  }
+
+  span.steps = n;
+  span.consumed = span.ramp.load_energy(elapsed);
+  span.dissipated = span.ramp.bleed_energy(elapsed);
+  // Same continuum identity as plan_charge: deriving the harvested share
+  // from stored delta + consumed + dissipated closes the ledger exactly.
   const Joules delta =
       0.5 * node_->capacitance() * (span.v_end * span.v_end - v0 * v0);
   span.harvested = delta + span.consumed + span.dissipated;

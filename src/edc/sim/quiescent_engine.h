@@ -60,16 +60,19 @@ struct SimConfig;
 struct QuiescentSpan {
   std::uint64_t steps = 0;       ///< always >= 1 when planned
   Volts v_end = 0.0;             ///< node voltage at the end of the span
-  Joules harvested = 0.0;        ///< driver-delivered share (charge spans only)
+  Joules harvested = 0.0;        ///< driver-delivered share (charge/ramp spans)
   Joules consumed = 0.0;         ///< constant-draw share (MCU-drawn)
   Joules dissipated = 0.0;       ///< bleed share (+ snapped sub-tolerance charge)
   Amps draw = 0.0;               ///< the state's constant current (probe replay)
   bool charging = false;         ///< trajectory lives in `charge`, not `decay`
-  circuit::DecaySolution decay;    ///< analytic decay trajectory
-  circuit::ChargeSolution charge;  ///< analytic charge trajectory
+  bool ramping = false;          ///< trajectory lives in `ramp` (overrides both)
+  circuit::DecaySolution decay;        ///< analytic decay trajectory
+  circuit::ChargeSolution charge;      ///< analytic charge trajectory
+  circuit::LinearRampSolution ramp;    ///< analytic linear-source trajectory
 
   /// The span's analytic node voltage `elapsed` seconds in (probe replay).
   [[nodiscard]] Volts voltage_at(Seconds elapsed) const {
+    if (ramping) return ramp.voltage_at(elapsed);
     return charging ? charge.voltage_at(elapsed) : decay.voltage_at(elapsed);
   }
 };
@@ -128,6 +131,21 @@ class QuiescentEngine {
   /// continuum ledger (stored delta + load + bleed), so the residual is
   /// zero by construction.
   [[nodiscard]] std::optional<QuiescentSpan> plan_charge(
+      Seconds t, std::uint64_t max_steps) const;
+
+  /// Analytic *linear-ramp* span while the driver certifies a piecewise-
+  /// linear chord window with an interval error envelope
+  /// (SupplyDriver::plan_ramp_span) and the MCU is off or in a certified
+  /// low-power state. An ICP-style contractor halves the candidate horizon
+  /// until the chord envelope fits macro_v_tol (chord error shrinks ~h^2,
+  /// so a few halvings converge), then certifies on the closed form that
+  /// (a) the ground clamp provably never engages, (b) the rectifier
+  /// provably keeps conducting (source margin clears chord + node
+  /// envelopes), and (c) every comparator / power watcher stays provably
+  /// clear of the trajectory's error band (Mcu::plan_ramp_crossing), so
+  /// the crossing step is unique within the envelope when fine stepping
+  /// resumes. This is what claims the sine/wind arcs charge spans cannot.
+  [[nodiscard]] std::optional<QuiescentSpan> plan_ramp(
       Seconds t, std::uint64_t max_steps) const;
 
   const SimConfig* config_;

@@ -74,6 +74,10 @@ void Simulator::run_loop(SimResult& result) {
         max_steps = std::min(max_steps, steps_starting_before(step, next_governor, dt));
       }
       if (const auto span = engine.plan(t, max_steps)) {
+        // A planned span must make progress: a zero-step span would spin
+        // this loop forever at the same t (the plan/fine-step livelock a
+        // zero-length quiet-index sliver once caused). Fail loudly instead.
+        EDC_CHECK(span->steps >= 1, "quiescent span must cover >= 1 step");
         if constexpr (kProbing) {
           // Replay the fine path's probe schedule: a sample lands on every
           // skipped step whose start is at or past the deadline, carrying

@@ -61,6 +61,21 @@ struct SimConfig {
   /// crossing. Same accuracy contract and differential tests as the decay
   /// spans; a separate flag so the charge planner can be ablated.
   bool charge_spans = true;
+  /// Macro-step *piecewise-linear arcs* too (only meaningful with
+  /// macro_stepping on): where charge spans need a piecewise-constant
+  /// source, ramp spans accept any stretch the source certifies as an
+  /// affine chord with an interval error envelope
+  /// (VoltageSource::linear_until -> SupplyDriver::plan_ramp_span — sine
+  /// arcs, wind gust tails, recorded trace cells). An ICP-style contractor
+  /// shrinks the candidate window until the chord envelope fits
+  /// macro_v_tol, then the closed-form linear-ramp solution
+  /// (circuit::LinearRampSolution) jumps the span — stopped strictly
+  /// before the first instant the trajectory could enter any armed
+  /// comparator / power watcher's error band, so the crossing step is
+  /// provably unique and still runs finely. Same accuracy contract and
+  /// differential tests as the other spans; a separate flag so the ramp
+  /// planner can be ablated.
+  bool ramp_spans = true;
   /// Accuracy knob of the macro path: node voltages at or below this are
   /// treated as fully discharged (the residual charge books to the bleed),
   /// which lets exponential tails terminate instead of being chased

@@ -48,7 +48,12 @@ namespace edc::spec {
 // quiet-segment hints don't alter the byte format but legitimately move
 // macro results for wind/kinetic scenarios within the accuracy contract,
 // which the same bump covers.
-inline constexpr int kSpecFormatVersion = 4;
+// v5: SimConfig gained ramp_spans (PR 7, the certified piecewise-linear
+// span planner), and macro runs additionally jump interval-certified
+// affine chords of sine/wind/trace sources — the field changes the byte
+// stream and the semantics widening ages out macro rows cached under
+// constant-window-only planning.
+inline constexpr int kSpecFormatVersion = 5;
 
 /// Thrown by serialize()/parse_spec() on any deviation from the canonical
 /// format (shared with the SimResult serializer in edc/sim/result_io).

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <map>
 #include <mutex>
@@ -39,6 +40,21 @@ int pool_size(const RunnerOptions& options, std::size_t unit_count) {
 }
 
 }  // namespace
+
+std::vector<double> amortize_lane_micros(double wall_micros, std::size_t lanes) {
+  if (lanes == 0) return {};
+  const auto total = static_cast<long long>(
+      std::llround(wall_micros < 0.0 ? 0.0 : wall_micros));
+  const auto n = static_cast<long long>(lanes);
+  const long long base = total / n;
+  const long long extra = total % n;
+  std::vector<double> per_lane(lanes);
+  for (std::size_t k = 0; k < lanes; ++k) {
+    per_lane[k] =
+        static_cast<double>(base + (static_cast<long long>(k) < extra ? 1 : 0));
+  }
+  return per_lane;
+}
 
 std::optional<std::string> batch_group_key(const spec::SystemSpec& spec) {
   if (!spec::has_source(spec.source) ||
@@ -155,25 +171,29 @@ void run_batched(const Grid& grid, const std::vector<BatchPointRef>& points,
       lanes.push_back(lane);
     }
     std::vector<sim::SimResult> results = sim::BatchKernel(std::move(lanes)).run();
-    // Amortized lane cost: the chunk's wall time split evenly. This is the
-    // point's marginal cost under *batched* re-execution, which is what a
-    // batched shard plan should weigh — see the provenance contract in the
-    // header for why it must not silently mix with scalar timings.
+    // Amortized lane cost: the chunk's wall time split evenly — the point's
+    // marginal cost under *batched* re-execution, which is what a batched
+    // shard plan should weigh — with the sub-lane remainder distributed so
+    // the recorded costs sum back to the measured wall time (see
+    // amortize_lane_micros; a plain wall/n split drifts timing-CSV totals
+    // by up to lanes-1 us per chunk). The provenance contract in the header
+    // says why these must not silently mix with scalar timings.
     const double wall = std::chrono::duration<double, std::micro>(
                             std::chrono::steady_clock::now() - start)
                             .count();
-    const double per_lane = wall / static_cast<double>(unit.refs.size());
+    const std::vector<double> per_lane =
+        amortize_lane_micros(wall, unit.refs.size());
     for (std::size_t k = 0; k < unit.refs.size(); ++k) {
       const BatchPointRef& ref = unit.refs[k];
       if (cache != nullptr) {
         const Point point = grid.point(ref.global_index);
         if (spec::is_cacheable(point.spec)) {
-          cache->store(spec::serialize(point.spec), results[k], per_lane,
+          cache->store(spec::serialize(point.spec), results[k], per_lane[k],
                        kProvenanceBatch);
         }
       }
       rows[ref.slot] = std::move(results[k]);
-      if (micros != nullptr) (*micros)[ref.slot] = per_lane;
+      if (micros != nullptr) (*micros)[ref.slot] = per_lane[k];
       if (provenance != nullptr) (*provenance)[ref.slot] = kProvenanceBatch;
     }
   };

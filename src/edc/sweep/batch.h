@@ -60,6 +60,18 @@ struct BatchPointRef {
   std::size_t slot = 0;
 };
 
+/// Splits a lane group's measured wall time into per-lane amortized costs
+/// whose *sum reproduces the measurement* at microsecond resolution: each
+/// lane gets floor(total/n) whole microseconds and the first total%n lanes
+/// carry one extra. Plain wall/n leaks up to (lanes-1) us of rounding per
+/// group once the costs are serialized, so `--timing-csv` column totals
+/// drift away from the wall time a shard planner has to budget against;
+/// remainder distribution keeps the totals exact while every lane still
+/// differs by at most 1 us from the even split. Returns an empty vector
+/// when `lanes` is 0; negative measurements clamp to zero.
+[[nodiscard]] std::vector<double> amortize_lane_micros(double wall_micros,
+                                                       std::size_t lanes);
+
 /// Scalar fallback used for cache-cold points that cannot batch: simulate
 /// `point`, report its wall-time cost and provenance.
 using ScalarPointFn =

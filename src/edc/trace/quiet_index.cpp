@@ -74,7 +74,13 @@ Seconds QuietSegmentIndex::bounded_until(double floor, double ceiling,
     if (!fits(cells_[i], floor, ceiling)) {
       if (t >= t0_ && i <= home) return t;
       const Seconds u = t0_ + cell_ * static_cast<double>(i);
-      return u > t ? u : t;
+      // Refuse sliver claims: when t sits within rounding of the violating
+      // cell's boundary, u can exceed t by a few ulps — a "claim" no
+      // simulation step fits inside, which would send the engine around
+      // its plan/fine-step loop without advancing. Claiming nothing
+      // instead is always conservative.
+      const Seconds margin = 1e-12 * (std::abs(t) < 1.0 ? 1.0 : std::abs(t));
+      return u > t + margin ? u : t;
     }
     ++i;
   }

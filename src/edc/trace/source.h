@@ -18,6 +18,7 @@
 // them at arbitrary instants and remain bit-reproducible.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -78,6 +79,47 @@ class VoltageSource {
   [[nodiscard]] virtual Seconds constant_until(Seconds t, Volts* value) const {
     (void)value;
     return t;
+  }
+
+  /// Piecewise-linear chord certificate for the ramp-span planner
+  /// (circuit::SupplyDriver::plan_ramp_span). Over the half-open window
+  /// [t, until) the open-circuit voltage is guaranteed to satisfy
+  ///
+  ///   value + slope*(s - t) + err_lo  <=  v_oc(s)  <=
+  ///   value + slope*(s - t) + err_hi
+  ///
+  /// at every instant s. Unlike constant_until this is an *interval*
+  /// contract: the chord may deviate from the true source, but the
+  /// deviation is bounded by the certified envelope, and the quiescent
+  /// engine's contractor re-queries with a smaller horizon until the
+  /// envelope fits its span tolerance. Over-claiming (an envelope the true
+  /// source escapes anywhere in the window) corrupts macro runs;
+  /// under-claiming (wide envelopes, short windows, or valid=false) only
+  /// costs speed.
+  struct LinearCert {
+    bool valid = false;
+    Volts value = 0.0;    ///< chord value at the query instant t
+    double slope = 0.0;   ///< chord slope [V/s]
+    Volts err_lo = 0.0;   ///< envelope low side (<= 0)
+    Volts err_hi = 0.0;   ///< envelope high side (>= 0)
+    Seconds until = 0.0;  ///< certificate holds on [t, until)
+  };
+
+  /// Certifies a chord over [t, min(until, t + horizon)). The default
+  /// derives a zero-slope, zero-error chord from constant_until, so every
+  /// exactly-constant window is automatically also a linear window;
+  /// curved sources (sine arcs, gust envelopes, trace cells) override
+  /// with genuine chords + curvature-bounded envelopes.
+  [[nodiscard]] virtual LinearCert linear_until(Seconds t,
+                                                Seconds horizon) const {
+    Volts value = 0.0;
+    const Seconds until = constant_until(t, &value);
+    if (!(until > t) || !(horizon > 0.0)) return {};
+    LinearCert cert;
+    cert.valid = true;
+    cert.value = value;
+    cert.until = std::min(until, t + horizon);
+    return cert;
   }
 
   [[nodiscard]] virtual std::string name() const = 0;

@@ -138,6 +138,34 @@ Seconds SineVoltageSource::constant_until(Seconds t, Volts* value) const {
   return kNeverActive;
 }
 
+VoltageSource::LinearCert SineVoltageSource::linear_until(
+    Seconds t, Seconds horizon) const {
+  if (amplitude_ == 0.0 || frequency_ == 0.0) {
+    return VoltageSource::linear_until(t, horizon);  // exact DC certificate
+  }
+  if (!(horizon > 0.0)) return {};
+  const Seconds u = t + horizon;
+  const Seconds h = horizon;
+  const Volts va = open_circuit_voltage(t);
+  const Volts vb = open_circuit_voltage(u);
+  LinearCert cert;
+  cert.valid = true;
+  cert.value = va;
+  cert.slope = (vb - va) / h;
+  // Endpoint-interpolating chord of a C2 function: |f - chord| <=
+  // max|f''| h^2 / 8, with f'' = -A (2 pi f)^2 sin. The pad absorbs the
+  // rounding difference between this evaluation and the runtime's chord
+  // arithmetic (both are a handful of flops on O(A + |offset|) operands).
+  const double omega = kTwoPi * frequency_;
+  const double err = amplitude_ * omega * omega * h * h / 8.0;
+  const double pad = 8.0 * (std::abs(offset_) + amplitude_ + 1.0) *
+                     std::numeric_limits<double>::epsilon();
+  cert.err_lo = -(err + pad);
+  cert.err_hi = err + pad;
+  cert.until = u;
+  return cert;
+}
+
 std::string SineVoltageSource::name() const {
   return "sine-" + std::to_string(frequency_) + "Hz";
 }
@@ -318,6 +346,15 @@ void WindTurbineSource::build_quiet_index() {
 
   std::vector<QuietSegmentIndex::Bounds> cells;
   cells.reserve(max_cells);
+  // Per-cell scratch for the chord-certification pass below.
+  std::vector<double> u_maxes;
+  std::vector<double> env_uppers;
+  std::vector<double> env_lowers;
+  std::vector<std::uint8_t> gust_onset;  // a gust starts inside the cell
+  u_maxes.reserve(max_cells);
+  env_uppers.reserve(max_cells);
+  env_lowers.reserve(max_cells);
+  gust_onset.reserve(max_cells);
   double tail_sum = 0.0;  // sum_i s_i * exp(-(a - start_i)/tau_f) at cell start
   std::size_t next_gust = 0;
   for (std::size_t i = 0; i < max_cells; ++i) {
@@ -341,21 +378,27 @@ void WindTurbineSource::build_quiet_index() {
       break;
     }
     QuietSegmentIndex::Bounds bounds{0.0, 0.0};
+    double env_upper = 0.0;
+    double env_lower = 0.0;
     if (u_max >= cut_in) {
-      // Mean-value bound on the raw envelope over [a, b] (|env'| is
+      // Mean-value bounds on the raw envelope over [a, b] (|env'| is
       // bounded by slope_factor * U <= slope_factor * u_max a.e.).
-      const double env_bound =
-          std::min(0.5 * (envelope_raw(a) + envelope_raw(b)) +
-                       0.5 * slope_factor * u_max * w,
-                   u_max);
-      if (env_bound >= cut_in) {
+      const double mid = 0.5 * (envelope_raw(a) + envelope_raw(b));
+      const double swing = 0.5 * slope_factor * u_max * w;
+      env_upper = std::min(mid + swing, u_max);
+      env_lower = mid - swing;
+      if (env_upper >= cut_in) {
         double s_lo = 0.0, s_hi = 0.0;
         sin_range(phase_.at(a), phase_.at(b), &s_lo, &s_hi);
-        bounds = padded(s_lo < 0.0 ? env_bound * s_lo : 0.0,
-                        s_hi > 0.0 ? env_bound * s_hi : 0.0);
+        bounds = padded(s_lo < 0.0 ? env_upper * s_lo : 0.0,
+                        s_hi > 0.0 ? env_upper * s_hi : 0.0);
       }
     }
     cells.push_back(bounds);
+    u_maxes.push_back(u_max);
+    env_uppers.push_back(env_upper);
+    env_lowers.push_back(env_lower);
+    gust_onset.push_back(g != next_gust ? 1 : 0);
     tail_sum = tail_sum * decay_per_cell + fresh_at_b;
     next_gust = g;
   }
@@ -366,7 +409,55 @@ void WindTurbineSource::build_quiet_index() {
     const double u_end = peak * tail_sum;
     tail = {-u_end, u_end};
   }
+  const std::size_t n_cells = cells.size();
   quiet_ = QuietSegmentIndex(0.0, w, std::move(cells), {0.0, 0.0}, tail);
+
+  // Second pass: chord certification for linear_until. A cell is
+  // chord-certifiable (kCellChord) when
+  //  * the raw envelope provably stays above the cut-in over the whole
+  //    cell (env_lower > cut_in), so envelope() == envelope_raw() there
+  //    and v_oc = env * sin(phase) is free of the stall discontinuity; and
+  //  * no gust starts inside the cell — a gust onset kinks env' (the rise
+  //    factor switches on with slope strength/tau_r), which the smooth
+  //    curvature bound below does not cover.
+  // On such a cell, with U <= u_nb (neighborhood max, see below):
+  //    |env''|  <= slope_factor^2 * u_nb      (per-term second derivative)
+  //    |env'|   <= slope_factor * u_nb
+  //    |phase'| <= P = 2 pi f_peak * u_nb / peak_voltage
+  // so away from phase-grid kinks |v_oc''| <= M = slope_factor^2 * u_nb
+  // + 2 slope_factor * u_nb * P + u_nb * P^2, giving the classic chord
+  // bound M h^2 / 8. The pre-integrated phase is piecewise *linear*, so
+  // phase' additionally jumps at grid points by at most
+  // slope_factor * u_nb * grid_dt * 2 pi f_peak / peak_voltage; through
+  // the chord's Green function (|G| <= h/4, at most (h + grid_dt)/grid_dt
+  // kinks in a window of length h) those contribute
+  // kink * h * (h + grid_dt) with kink = u_nb * slope_factor * P / 4.
+  // The neighborhood max matters because the phase slope over an instant
+  // is set by the grid sample up to grid_dt *before* it, which can fall in
+  // the previous cell (grid_dt < w).
+  chord_kind_.assign(n_cells, kCellNone);
+  chord_curve_.assign(n_cells, 0.0);
+  chord_kink_.assign(n_cells, 0.0);
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    if (u_maxes[i] < cut_in || env_uppers[i] < cut_in) {
+      // The envelope provably sits below the cut-in: exactly zero (the
+      // same condition that produced the {0, 0} quiet-index bounds).
+      chord_kind_[i] = kCellZero;
+      continue;
+    }
+    if (!(env_lowers[i] > cut_in) || gust_onset[i] != 0) continue;
+    double u_nb = u_maxes[i];
+    if (i > 0) u_nb = std::max(u_nb, u_maxes[i - 1]);
+    if (i + 1 < n_cells) u_nb = std::max(u_nb, u_maxes[i + 1]);
+    const double phase_rate = kTwoPi * params_.peak_frequency / params_.peak_voltage;
+    const double p_bound = phase_rate * u_nb;
+    const double curvature = slope_factor * slope_factor * u_nb +
+                             2.0 * slope_factor * u_nb * p_bound +
+                             u_nb * p_bound * p_bound;
+    chord_kind_[i] = kCellChord;
+    chord_curve_[i] = curvature / 8.0;
+    chord_kink_[i] = u_nb * slope_factor * p_bound / 4.0;
+  }
 }
 
 Seconds WindTurbineSource::bounded_until(Volts floor, Volts ceiling,
@@ -378,6 +469,65 @@ Volts WindTurbineSource::open_circuit_voltage(Seconds t) const {
   const Volts env = envelope(t);
   if (env <= 0.0) return 0.0;
   return env * std::sin(phase_.at(t));
+}
+
+VoltageSource::LinearCert WindTurbineSource::linear_until(
+    Seconds t, Seconds horizon) const {
+  const Seconds w = quiet_.cell_width();
+  const std::size_t n = chord_kind_.size();
+  if (n == 0 || !(w > 0.0) || !(horizon > 0.0) || t < 0.0) return {};
+  auto idx = static_cast<std::size_t>(t / w);
+  if (idx >= n) return {};
+  if (chord_kind_[idx] != kCellChord) return {};
+  // Boundary guard: t / w can land one cell high at a float boundary. When
+  // the previous cell carries no chord certificate (a possible cut-in
+  // stall or gust onset at the shared boundary), only claim once t sits
+  // safely inside this cell; when it does, its certificate covers the
+  // rounding slack via the coefficient max below.
+  const Seconds cell_start = w * static_cast<double>(idx);
+  if (idx == 0 || chord_kind_[idx - 1] != kCellChord) {
+    const Seconds margin = 1e-9 * (std::abs(t) < 1.0 ? 1.0 : std::abs(t));
+    if (!(t - cell_start > margin)) return {};
+  }
+  double curve = chord_curve_[idx];
+  double kink = chord_kink_[idx];
+  if (idx > 0 && chord_kind_[idx - 1] == kCellChord) {
+    curve = std::max(curve, chord_curve_[idx - 1]);
+    kink = std::max(kink, chord_kink_[idx - 1]);
+  }
+  // Extend across the run of chord cells up to the horizon; the error
+  // coefficients are maxed over every covered cell.
+  const Seconds want = t + horizon;
+  std::size_t j = idx;
+  Seconds run_end = cell_start + w;
+  while (run_end < want && j + 1 < n && chord_kind_[j + 1] == kCellChord) {
+    ++j;
+    curve = std::max(curve, chord_curve_[j]);
+    kink = std::max(kink, chord_kink_[j]);
+    run_end = w * static_cast<double>(j + 1);
+  }
+  Seconds u = std::min(want, run_end);
+  if (u == run_end) {
+    // The claim abuts an uncertified cell (or the index end): shave so it
+    // provably stays inside the chord-certified run.
+    u = conservative_horizon(u, t);
+  }
+  if (!(u > t)) return {};
+  const Seconds h = u - t;
+  const Volts va = open_circuit_voltage(t);
+  const Volts vb = open_circuit_voltage(u);
+  LinearCert cert;
+  cert.valid = true;
+  cert.value = va;
+  cert.slope = (vb - va) / h;
+  const double err = curve * h * h + kink * h * (h + phase_.dt());
+  const double pad = 8.0 *
+                     (std::abs(va) + std::abs(vb) + params_.peak_voltage + 1.0) *
+                     std::numeric_limits<double>::epsilon();
+  cert.err_lo = -(err + pad);
+  cert.err_hi = err + pad;
+  cert.until = u;
+  return cert;
 }
 
 // ------------------------------------------------------------- Kinetic -----
@@ -517,6 +667,52 @@ Seconds WaveformVoltageSource::constant_until(Seconds t, Volts* value) const {
   // caller's sample arithmetic cannot straddle the first changing cell.
   return conservative_horizon(
       wave_.t0() + wave_.dt() * static_cast<double>(run_end), t);
+}
+
+VoltageSource::LinearCert WaveformVoltageSource::linear_until(
+    Seconds t, Seconds horizon) const {
+  if (!(horizon > 0.0)) return {};
+  const auto& s = wave_.samples();
+  const std::size_t n = s.size();
+  LinearCert cert;
+  if (n == 1 || t >= wave_.t_end()) {
+    cert.valid = true;
+    cert.value = n == 1 ? s.front() : s.back();  // clamped: exact constant
+    cert.until = t + horizon;
+    return cert;
+  }
+  if (t <= wave_.t0()) {
+    // Clamped head: exact constant until the sample span starts (shaved so
+    // rounding in the caller's time arithmetic stays inside the clamp).
+    const Seconds u = std::min(conservative_horizon(wave_.t0(), t), t + horizon);
+    if (!(u > t)) return {};
+    cert.valid = true;
+    cert.value = s.front();
+    cert.until = u;
+    return cert;
+  }
+  // Mirror Waveform::at's cell arithmetic: within one sample cell the
+  // interpolation *is* affine, so the chord is exact up to rounding.
+  const double pos = (t - wave_.t0()) / wave_.dt();
+  auto idx = static_cast<std::size_t>(pos);
+  if (idx >= n - 1) idx = n - 2;
+  const Seconds cell_end = wave_.t0() + wave_.dt() * static_cast<double>(idx + 1);
+  const Seconds u = std::min(conservative_horizon(cell_end, t), t + horizon);
+  if (!(u > t)) return {};
+  cert.valid = true;
+  cert.value = wave_.at(t);
+  cert.slope = (s[idx + 1] - s[idx]) / wave_.dt();
+  // The chord and at() differ only through rounding in the position
+  // arithmetic; pad by a few ulps scaled to the position magnitude (idx
+  // can be large for long traces) and the cell's sample swing.
+  const double pad = 8.0 * std::numeric_limits<double>::epsilon() *
+                     ((static_cast<double>(idx) + 2.0) *
+                          std::abs(s[idx + 1] - s[idx]) +
+                      std::abs(s[idx]) + std::abs(s[idx + 1]) + 1.0);
+  cert.err_lo = -pad;
+  cert.err_hi = pad;
+  cert.until = u;
+  return cert;
 }
 
 }  // namespace edc::trace

@@ -1,6 +1,7 @@
 // Thevenin-style source generators (feed a rectifier / the supply node).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "edc/trace/quiet_index.h"
@@ -26,6 +27,12 @@ class SineVoltageSource final : public VoltageSource {
   /// A degenerate sine (zero amplitude or frequency) is a DC supply: the
   /// offset is certified forever. A live sine certifies nothing.
   [[nodiscard]] Seconds constant_until(Seconds t, Volts* value) const override;
+  /// Endpoint chord over [t, t+horizon) with the C2 curvature envelope
+  /// |v_oc - chord| <= A (2 pi f)^2 h^2 / 8 (plus a few-ulp float pad).
+  /// This is what lets the ramp planner claim live sine arcs whole; a
+  /// degenerate sine defers to the exact constant certificate.
+  [[nodiscard]] LinearCert linear_until(Seconds t,
+                                        Seconds horizon) const override;
   [[nodiscard]] std::string name() const override;
 
  private:
@@ -99,6 +106,18 @@ class WindTurbineSource final : public VoltageSource {
   /// quiet. This is what lights the quiescent engine up on Fig 8.
   [[nodiscard]] Seconds bounded_until(Volts floor, Volts ceiling,
                                       Seconds t) const override;
+  /// Endpoint chord over the run of chord-certified quiet-index cells
+  /// containing t (capped at t+horizon). A cell is chord-certifiable when
+  /// the gust envelope provably stays above the cut-in (so v_oc is the
+  /// smooth env * sin(phase) with no stall discontinuity) and no gust
+  /// starts inside it (gust onsets kink env'); the per-cell coefficients
+  /// precomputed at construction bound the chord error by
+  ///   curve*h^2 + kink*h*(h + phase-grid dt)
+  /// — a curvature term from |d2/dt2 (env sin phi)| and a distributional
+  /// term for the piecewise-linear phase's slope kinks at grid points.
+  /// This is what claims the Fig 8 gust arcs for the ramp planner.
+  [[nodiscard]] LinearCert linear_until(Seconds t,
+                                        Seconds horizon) const override;
   [[nodiscard]] std::string name() const override { return "micro-wind-turbine"; }
 
   /// Gust envelope (peak EMF of the AC waveform) at time t; exposed for
@@ -131,6 +150,12 @@ class WindTurbineSource final : public VoltageSource {
   // function of t.
   Waveform phase_;
   QuietSegmentIndex quiet_;
+  // Per-cell chord certification, same cell geometry as quiet_ (t0 = 0,
+  // width = quiet_.cell_width()), filled by build_quiet_index.
+  enum : std::uint8_t { kCellNone = 0, kCellZero = 1, kCellChord = 2 };
+  std::vector<std::uint8_t> chord_kind_;
+  std::vector<double> chord_curve_;  // h^2 coefficient of the chord error
+  std::vector<double> chord_kink_;   // h*(h + grid dt) coefficient
 };
 
 /// Resonant kinetic (inertial/piezo) harvester excited by an impulse train,
@@ -193,6 +218,12 @@ class WaveformVoltageSource final : public VoltageSource {
   /// samples interpolates to a constant, so recorded DC stretches become
   /// charge-span windows.
   [[nodiscard]] Seconds constant_until(Seconds t, Volts* value) const override;
+  /// Within one sample cell the interpolated trace *is* affine, so the
+  /// cell's chord is exact up to interpolation rounding (a few-ulp pad);
+  /// the clamped head/tail certify constant chords. Every recorded trace
+  /// thereby feeds the ramp planner cell by cell.
+  [[nodiscard]] LinearCert linear_until(Seconds t,
+                                        Seconds horizon) const override;
   [[nodiscard]] std::string name() const override { return name_; }
 
  private:

@@ -14,6 +14,7 @@
 // metrics, NVM counters, transitions, probe waveforms — bit for bit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -64,6 +65,29 @@ void expect_bit_identical(const Grid& grid, int lanes = 4,
     }
     EXPECT_GT(micros[i], 0.0) << "point " << i << " reported no cost";
   }
+}
+
+TEST(BatchAmortize, OddLaneGroupRemainderIsSumPreserving) {
+  // 1000 us over 7 lanes: wall/n = 142.857..., whose serialized copies sum
+  // to anything but the measurement; the amortizer pins the column total to
+  // the measured wall time exactly.
+  const std::vector<double> lanes = amortize_lane_micros(1000.0, 7);
+  ASSERT_EQ(lanes.size(), 7u);
+  double total = 0.0;
+  for (const double m : lanes) total += m;
+  EXPECT_DOUBLE_EQ(total, 1000.0);
+  // floor split is 142 with remainder 6: six lanes carry one extra us, and
+  // no lane strays more than 1 us from the even split.
+  EXPECT_EQ(std::count(lanes.begin(), lanes.end(), 143.0), 6);
+  EXPECT_EQ(std::count(lanes.begin(), lanes.end(), 142.0), 1);
+  for (const double m : lanes) EXPECT_NEAR(m, 1000.0 / 7.0, 1.0);
+  // Fractional measurements round to the nearest whole us before splitting.
+  const std::vector<double> frac = amortize_lane_micros(10.6, 3);
+  ASSERT_EQ(frac.size(), 3u);
+  EXPECT_DOUBLE_EQ(frac[0] + frac[1] + frac[2], 11.0);
+  // Degenerate shapes stay well-defined.
+  EXPECT_TRUE(amortize_lane_micros(5.0, 0).empty());
+  EXPECT_DOUBLE_EQ(amortize_lane_micros(-2.0, 2)[0], 0.0);
 }
 
 /// Storage + policy axes shared by the per-source-family grids: three
