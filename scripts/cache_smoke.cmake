@@ -2,10 +2,14 @@
 # runs the tab_policy_comparison bench twice against a fresh cache
 # directory and requires that the warm rerun (a) simulates 0 points and
 # (b) prints a bit-identical table (the bench writes cache statistics to
-# stderr precisely so stdout stays byte-comparable).
+# stderr precisely so stdout stays byte-comparable). Then corrupts one
+# entry and drives the self-healing CLI loop: fsck flags it (exit 1),
+# fsck --quarantine moves it aside to <entry>.bad, and a re-check comes
+# back clean (exit 0).
 #
-#   cmake -DBENCH=<tab_policy_comparison> -DWORK=<dir> -P this
-foreach(var BENCH WORK)
+#   cmake -DBENCH=<tab_policy_comparison> -DSWEEP_CACHE=<sweep_cache>
+#         -DWORK=<dir> -P this
+foreach(var BENCH SWEEP_CACHE WORK)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "missing -D${var}=...")
   endif()
@@ -47,3 +51,39 @@ if(NOT cold_err MATCHES "0 hits")
 endif()
 
 message(STATUS "warm-cache rerun simulated 0 points with a bit-identical table")
+
+# ---- self-healing CLI loop: corrupt -> fsck -> quarantine -> clean ----------
+
+file(GLOB_RECURSE entries "${WORK}/cache/*.edcres")
+list(LENGTH entries entry_count)
+if(entry_count EQUAL 0)
+  message(FATAL_ERROR "warm cache holds no entries to corrupt")
+endif()
+list(GET entries 0 victim)
+file(WRITE "${victim}" "deliberately rotten bytes")
+
+execute_process(COMMAND "${SWEEP_CACHE}" fsck "${WORK}/cache"
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "fsck missed a deliberately corrupted entry")
+endif()
+
+execute_process(COMMAND "${SWEEP_CACHE}" fsck "${WORK}/cache" --quarantine
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "fsck --quarantine reported a clean cache while quarantining")
+endif()
+if(EXISTS "${victim}")
+  message(FATAL_ERROR "fsck --quarantine left the corrupt entry in place")
+endif()
+if(NOT EXISTS "${victim}.bad")
+  message(FATAL_ERROR "fsck --quarantine did not produce ${victim}.bad")
+endif()
+
+execute_process(COMMAND "${SWEEP_CACHE}" fsck "${WORK}/cache"
+  OUTPUT_QUIET ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cache still dirty after fsck --quarantine")
+endif()
+
+message(STATUS "fsck --quarantine healed the corrupted entry (moved to .bad)")

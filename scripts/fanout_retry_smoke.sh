@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# fanout_retry_smoke.sh — end-to-end check of sweep_fanout.sh's retry path
+# (ctest `fanout_retry_smoke`).
+#
+#   fanout_retry_smoke.sh FANOUT_SH BENCH SWEEP_MERGE WORKDIR
+#
+# Three scenarios against the real launcher:
+#   1. a clean run exits 0;
+#   2. a flaky bench that fails the FIRST attempt of every shard exits 3
+#      ("recovered after retries") and its merged CSV is byte-identical to
+#      the clean run's;
+#   3. a bench that always fails exhausts its attempts and exits 1.
+set -eu
+
+[ $# -eq 4 ] || { echo "usage: $0 FANOUT_SH BENCH SWEEP_MERGE WORKDIR" >&2; exit 2; }
+fanout=$1
+bench=$2
+merge=$3
+work=$4
+
+rm -rf "${work}"
+mkdir -p "${work}/markers"
+
+fail() { echo "fanout_retry_smoke FAILED: $*" >&2; exit 1; }
+
+# A wrapper that injects one failure per distinct shard argv, then defers
+# to the real bench — the "transient worker death" a retry must absorb.
+flaky="${work}/flaky_bench.sh"
+cat > "${flaky}" <<EOF
+#!/usr/bin/env bash
+marker="${work}/markers/\$(echo "\$*" | tr -c 'A-Za-z0-9' '_')"
+if [ ! -e "\${marker}" ]; then
+  touch "\${marker}"
+  echo "flaky_bench: injected first-attempt failure" >&2
+  exit 1
+fi
+exec $(printf '%q' "${bench}") "\$@"
+EOF
+chmod +x "${flaky}"
+
+# A bench that never succeeds — the launcher must give up loudly.
+broken="${work}/broken_bench.sh"
+cat > "${broken}" <<'EOF'
+#!/usr/bin/env bash
+echo "broken_bench: permanent failure" >&2
+exit 1
+EOF
+chmod +x "${broken}"
+
+echo "fanout_retry_smoke: clean run" >&2
+rc=0
+bash "${fanout}" -n 2 -w "${work}/clean" -o "${work}/clean.csv" \
+  -m "${merge}" -r 3 -b 50 -- "${bench}" --t-end 0.3 || rc=$?
+[ "${rc}" -eq 0 ] || fail "clean run exited ${rc}, want 0"
+
+echo "fanout_retry_smoke: flaky run (every shard fails once)" >&2
+rc=0
+bash "${fanout}" -n 2 -w "${work}/flaky" -o "${work}/flaky.csv" \
+  -m "${merge}" -r 3 -b 50 -- "${flaky}" --t-end 0.3 || rc=$?
+[ "${rc}" -eq 3 ] || fail "flaky run exited ${rc}, want 3 (recovered after retries)"
+cmp -s "${work}/clean.csv" "${work}/flaky.csv" \
+  || fail "recovered merge differs from the clean merge"
+
+echo "fanout_retry_smoke: broken run (every attempt fails)" >&2
+rc=0
+bash "${fanout}" -n 2 -w "${work}/broken" -o "${work}/broken.csv" \
+  -m "${merge}" -r 2 -b 50 -- "${broken}" --t-end 0.3 || rc=$?
+[ "${rc}" -eq 1 ] || fail "broken run exited ${rc}, want 1 (gave up)"
+[ ! -e "${work}/broken.csv" ] || fail "gave-up run still produced a merged CSV"
+
+echo "fanout_retry_smoke OK" >&2
+exit 0

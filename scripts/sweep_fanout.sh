@@ -1,36 +1,48 @@
 #!/usr/bin/env bash
-# sweep_fanout.sh — launch a sharded sweep across processes or hosts, then
-# merge and verify (ROADMAP: remote/cluster launcher).
-#
-# The sharding CLI contract (bench --shard k/N --csv FILE, reassembled by
-# sweep_merge) is process-complete but launching the N processes was manual.
-# This driver closes the loop:
+# sweep_fanout.sh — launch a sharded sweep across processes or hosts with
+# per-shard retries, then merge and verify (ROADMAP: remote/cluster
+# launcher; PR 8 hardened it for flaky shards and hosts).
 #
 #   # 4 local processes:
 #   scripts/sweep_fanout.sh -n 4 -o merged.csv -- ./build/eq5_crossover
 #
-#   # one shard per host over ssh (repo built at the same path everywhere),
-#   # via GNU parallel when available, plain ssh otherwise:
+#   # one shard per host over ssh (repo built at the same path everywhere):
 #   scripts/sweep_fanout.sh -H hostA,hostB -o merged.csv -- ./build/eq5_crossover
 #
 # Every shard k of N runs `BENCH ARGS --shard k/N --csv WORKDIR/shard_k.csv`;
 # after all shards exit, sweep_merge reassembles the per-shard CSVs into a
 # byte stream identical to the unsharded run (the merge itself re-verifies
-# the partition: missing/duplicated shards fail loudly). The final exit
-# status is the combined "shards done, merged, verified" answer: 0 only if
-# every shard succeeded AND the merge validated.
+# the partition: missing/duplicated shards fail loudly).
+#
+# Fault tolerance: a failed shard is retried up to -r times with capped
+# exponential backoff between rounds, and host failures are isolated — a
+# retried shard moves to the host with the fewest recorded failures, so one
+# sick machine cannot take the whole sweep down with it. Shards are
+# idempotent (same shard -> same CSV bytes, the cache absorbs re-simulation
+# cost), which is what makes blind retries safe.
+#
+# Exit status is the combined "shards done, merged, verified" answer:
+#   0  every shard succeeded first try AND the merge validated
+#   3  recovered: some shard needed a retry, but everything succeeded and
+#      the merge validated (alert-worthy, not failure-worthy)
+#   1  gave up: a shard exhausted its attempts, or the merge failed
 set -u
 
 usage() {
   cat >&2 <<EOF
-usage: $0 [-n SHARDS] [-H host1,host2,...] [-o OUT.csv] [-w WORKDIR] [-m SWEEP_MERGE] -- BENCH [ARGS...]
-  -n SHARDS   number of shards (default: one per host, else nproc)
-  -H HOSTS    comma-separated ssh hosts; each must see BENCH at the same
-              path (shared filesystem or identical build). Shards are
-              assigned round-robin. Default: run locally.
-  -o OUT.csv  merged output (default: WORKDIR/merged.csv)
-  -w WORKDIR  scratch directory for shard CSVs (default: mktemp -d)
-  -m PATH     sweep_merge binary (default: next to BENCH, else \$PATH)
+usage: $0 [-n SHARDS] [-H host1,host2,...] [-o OUT.csv] [-w WORKDIR] [-m SWEEP_MERGE] [-r ATTEMPTS] [-b BACKOFF_MS] -- BENCH [ARGS...]
+  -n SHARDS     number of shards (default: one per host, else nproc)
+  -H HOSTS      comma-separated ssh hosts; each must see BENCH at the same
+                path (shared filesystem or identical build). Shards are
+                assigned round-robin; retries prefer the healthiest host.
+                Default: run locally.
+  -o OUT.csv    merged output (default: WORKDIR/merged.csv)
+  -w WORKDIR    scratch directory for shard CSVs (default: mktemp -d)
+  -m PATH       sweep_merge binary (default: next to BENCH, else \$PATH)
+  -r ATTEMPTS   max attempts per shard (default 3; 1 = no retries)
+  -b BACKOFF_MS base backoff between retry rounds, doubled each round and
+                capped at 8x (default 500)
+exit status: 0 clean, 3 recovered after retries, 1 gave up / merge failed
 EOF
   exit 2
 }
@@ -40,13 +52,17 @@ hosts=""
 out=""
 workdir=""
 merge_bin=""
-while getopts "n:H:o:w:m:h" opt; do
+max_attempts=3
+backoff_ms=500
+while getopts "n:H:o:w:m:r:b:h" opt; do
   case "$opt" in
     n) shards="$OPTARG" ;;
     H) hosts="$OPTARG" ;;
     o) out="$OPTARG" ;;
     w) workdir="$OPTARG" ;;
     m) merge_bin="$OPTARG" ;;
+    r) max_attempts="$OPTARG" ;;
+    b) backoff_ms="$OPTARG" ;;
     *) usage ;;
   esac
 done
@@ -54,6 +70,13 @@ shift $((OPTIND - 1))
 [ $# -ge 1 ] || usage
 bench=$1
 shift
+
+case "$max_attempts" in
+  ''|*[!0-9]*|0) echo "sweep_fanout: -r must be a positive integer" >&2; exit 2 ;;
+esac
+case "$backoff_ms" in
+  ''|*[!0-9]*) echo "sweep_fanout: -b must be a non-negative integer" >&2; exit 2 ;;
+esac
 
 IFS=',' read -r -a host_list <<< "${hosts}"
 [ -n "${hosts}" ] || host_list=()
@@ -83,50 +106,116 @@ if [ -z "${merge_bin}" ]; then
   fi
 fi
 
-# One launch command per shard; stdout/stderr captured per shard so a
-# failure names its log instead of interleaving 16 tables.
-launch_cmds=()
-for ((k = 0; k < shards; ++k)); do
-  csv="${workdir}/shard_${k}.csv"
+# Per-host failure counters (index-aligned with host_list) for retry
+# placement: a retried shard goes to the host with the fewest failures.
+host_failures=()
+for ((h = 0; h < ${#host_list[@]}; ++h)); do host_failures[h]=0; done
+
+healthiest_host_index() {
+  local best=0 h
+  for ((h = 1; h < ${#host_list[@]}; ++h)); do
+    if [ "${host_failures[h]}" -lt "${host_failures[best]}" ]; then best=$h; fi
+  done
+  echo "$best"
+}
+
+# Builds the (logged, possibly ssh-wrapped) launch command for shard k on
+# host index h (-1 = local).
+shard_cmd() {
+  local k=$1 h=$2
+  shift 2  # remaining args: the bench argv
+  local csv="${workdir}/shard_${k}.csv"
+  local cmd
   cmd="$(printf '%q ' "${bench}" "$@") --shard ${k}/${shards} --csv $(printf '%q' "${csv}")"
-  if [ ${#host_list[@]} -gt 0 ]; then
-    host="${host_list[$((k % ${#host_list[@]}))]}"
+  if [ "$h" -ge 0 ]; then
     # The hosts share the filesystem (or an identical checkout): run in the
     # current directory so relative bench paths keep working. The remote
     # command ships as one %q-escaped argv (surviving the local re-parse),
     # with the working directory %q-quoted *inside* it for the remote
     # shell's own parse.
-    remote_cmd="cd $(printf '%q' "$(pwd)") && ${cmd}"
-    cmd="ssh -o BatchMode=yes $(printf '%q' "${host}") $(printf '%q' "${remote_cmd}")"
+    local remote_cmd="cd $(printf '%q' "$(pwd)") && ${cmd}"
+    cmd="ssh -o BatchMode=yes $(printf '%q' "${host_list[h]}") $(printf '%q' "${remote_cmd}")"
   fi
-  launch_cmds+=("${cmd} > $(printf '%q' "${workdir}/shard_${k}.log") 2>&1")
-done
+  echo "${cmd} > $(printf '%q' "${workdir}/shard_${k}.log") 2>&1"
+}
 
-echo "sweep_fanout: ${shards} shards, $([ ${#host_list[@]} -gt 0 ] && echo "hosts: ${hosts}" || echo "local"), workdir ${workdir}" >&2
+echo "sweep_fanout: ${shards} shards, $([ ${#host_list[@]} -gt 0 ] && echo "hosts: ${hosts}" || echo "local"), workdir ${workdir}, up to ${max_attempts} attempts/shard" >&2
 
-failed=0
-if command -v parallel >/dev/null 2>&1; then
-  # GNU parallel drives the fan-out (and caps concurrency at shard count).
-  printf '%s\n' "${launch_cmds[@]}" | parallel -j "${shards}" || failed=1
-else
+pending=()
+for ((k = 0; k < shards; ++k)); do pending+=("$k"); done
+attempts_of=()
+for ((k = 0; k < shards; ++k)); do attempts_of[k]=0; done
+
+retried=0
+gave_up=0
+round=1
+while [ ${#pending[@]} -gt 0 ] && [ "${gave_up}" -eq 0 ]; do
+  if [ "${round}" -gt 1 ]; then
+    # Capped exponential backoff between retry rounds: base, 2x, 4x, 8x, 8x...
+    exp=$((round - 2)); [ "${exp}" -gt 3 ] && exp=3
+    delay_ms=$((backoff_ms * (1 << exp)))
+    echo "sweep_fanout: retry round ${round} for shards [${pending[*]}] after ${delay_ms}ms" >&2
+    sleep "$(awk "BEGIN { printf \"%.3f\", ${delay_ms} / 1000 }")"
+  fi
+
   pids=()
-  for cmd in "${launch_cmds[@]}"; do
-    bash -c "${cmd}" &
+  launched=()
+  ran_on=()
+  for k in "${pending[@]}"; do
+    h=-1
+    if [ ${#host_list[@]} -gt 0 ]; then
+      if [ "${round}" -eq 1 ]; then
+        h=$((k % ${#host_list[@]}))       # initial spread: round-robin
+      else
+        h=$(healthiest_host_index)        # retries avoid sick hosts
+      fi
+    fi
+    attempts_of[k]=$((attempts_of[k] + 1))
+    bash -c "$(shard_cmd "$k" "$h" "$@")" &
     pids+=($!)
+    launched+=("$k")
+    ran_on+=("$h")
   done
-  for ((k = 0; k < ${#pids[@]}; ++k)); do
-    if ! wait "${pids[$k]}"; then
-      echo "sweep_fanout: shard ${k} FAILED (log: ${workdir}/shard_${k}.log)" >&2
-      failed=1
+
+  next_pending=()
+  for ((i = 0; i < ${#pids[@]}; ++i)); do
+    k=${launched[i]}
+    if wait "${pids[i]}"; then
+      if [ "${attempts_of[k]}" -gt 1 ]; then
+        echo "sweep_fanout: shard ${k} recovered on attempt ${attempts_of[k]}" >&2
+        retried=1
+      fi
+      continue
+    fi
+    h=${ran_on[i]}
+    if [ "$h" -ge 0 ]; then
+      host_failures[h]=$((host_failures[h] + 1))
+      where=" on ${host_list[h]}"
+    else
+      where=""
+    fi
+    if [ "${attempts_of[k]}" -ge "${max_attempts}" ]; then
+      echo "sweep_fanout: shard ${k} FAILED${where} after ${attempts_of[k]} attempts (log: ${workdir}/shard_${k}.log)" >&2
+      gave_up=1
+    else
+      echo "sweep_fanout: shard ${k} failed${where} (attempt ${attempts_of[k]}/${max_attempts}), will retry" >&2
+      next_pending+=("$k")
     fi
   done
-fi
+  pending=("${next_pending[@]:-}")
+  [ -n "${pending[0]:-}" ] || pending=()
+  round=$((round + 1))
+done
 
-if [ "${failed}" -ne 0 ]; then
-  echo "sweep_fanout: shards done: FAILED (logs in ${workdir})" >&2
+if [ "${gave_up}" -ne 0 ]; then
+  echo "sweep_fanout: shards done: GAVE UP (logs in ${workdir})" >&2
   exit 1
 fi
-echo "sweep_fanout: shards done: ok" >&2
+if [ "${retried}" -ne 0 ]; then
+  echo "sweep_fanout: shards done: ok (recovered after retries)" >&2
+else
+  echo "sweep_fanout: shards done: ok" >&2
+fi
 
 shard_csvs=()
 for ((k = 0; k < shards; ++k)); do
@@ -137,4 +226,5 @@ if ! "${merge_bin}" "${out}" "${shard_csvs[@]}"; then
   exit 1
 fi
 echo "sweep_fanout: merged, verified: ok -> ${out}" >&2
+[ "${retried}" -ne 0 ] && exit 3
 exit 0

@@ -1,0 +1,160 @@
+#include "edc/serve/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace edc::serve {
+
+namespace {
+
+/// Lines longer than this are a protocol violation, not a buffering
+/// challenge (header lines are tens of bytes; blocks are length-prefixed).
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("serve: socket() failed");
+  Socket sock(fd);
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw std::runtime_error(std::string("serve: bind(127.0.0.1:") +
+                             std::to_string(port) +
+                             ") failed: " + std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    throw std::runtime_error(std::string("serve: listen() failed: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw std::runtime_error("serve: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  sock_ = std::move(sock);
+}
+
+std::optional<Socket> Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL after shutdown(), or a persistent failure: stop.
+    return std::nullopt;
+  }
+}
+
+void Listener::shutdown() noexcept {
+  if (sock_.valid()) {
+    // shutdown() wakes a blocked accept(); keep the fd alive until the
+    // Listener dies so a racing accept never reads a recycled fd.
+    ::shutdown(sock_.fd(), SHUT_RDWR);
+  }
+}
+
+Socket connect_local(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Socket{};
+  Socket sock(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Socket{};
+  }
+  return sock;
+}
+
+bool Stream::fill() {
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  char chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or error
+  }
+}
+
+std::optional<std::string> Stream::read_line() {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+      return line;
+    }
+    if (buffer_.size() - pos_ > kMaxLineBytes) return std::nullopt;
+    if (!fill()) return std::nullopt;
+  }
+}
+
+bool Stream::read_exact(char* dst, std::size_t n) {
+  std::size_t copied = 0;
+  while (copied < n) {
+    if (pos_ >= buffer_.size() && !fill()) return false;
+    const std::size_t take = std::min(n - copied, buffer_.size() - pos_);
+    std::memcpy(dst + copied, buffer_.data() + pos_, take);
+    pos_ += take;
+    copied += take;
+  }
+  return true;
+}
+
+bool Stream::write_all(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that closed early yields EPIPE, not a
+    // process-killing SIGPIPE.
+    const ssize_t n = ::send(socket_.fd(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace edc::serve

@@ -1,0 +1,93 @@
+// Minimal RAII POSIX TCP plumbing for the sweep service (localhost only).
+//
+// The service's transport needs are deliberately small — accept loopback
+// connections, read one request frame, write one response frame — so this
+// wraps exactly that: a move-only fd (Socket), a listener bound to
+// 127.0.0.1 with ephemeral-port support (Listener, port 0 -> kernel picks,
+// port() reports), a blocking connect (connect_local), and a buffered
+// reader/writer (Stream) exposing the read_line / read_exact / write_all
+// primitives the line-oriented protocol codec (serve/protocol.h) consumes.
+//
+// Robustness posture: every operation degrades to an error return, never
+// an abort — a peer that disappears mid-frame yields a short read, which
+// the codec reports as a malformed frame and the service answers or drops
+// without taking the daemon down. SIGPIPE is disabled per-send
+// (MSG_NOSIGNAL) so a client that closed early cannot kill the process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "edc/serve/protocol.h"
+
+namespace edc::serve {
+
+/// Move-only owned file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1:`port` (0 = kernel-assigned
+/// ephemeral port). Throws std::runtime_error when binding fails.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+
+  /// The actually bound port (differs from the request for port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks for the next connection; nullopt once shutdown() was called
+  /// (or on a persistent accept error).
+  [[nodiscard]] std::optional<Socket> accept();
+
+  /// Unblocks any accept() in flight and makes all future ones fail.
+  void shutdown() noexcept;
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking loopback connect; invalid Socket on failure.
+[[nodiscard]] Socket connect_local(std::uint16_t port);
+
+/// Buffered frame I/O over a connected socket, implementing the protocol
+/// codec's ByteSource contract (bounded read_line, exact-length block
+/// reads). Short reads / peer resets surface as nullopt/false.
+class Stream final : public ByteSource {
+ public:
+  explicit Stream(Socket socket) : socket_(std::move(socket)) {}
+
+  [[nodiscard]] std::optional<std::string> read_line() override;
+  [[nodiscard]] bool read_exact(char* dst, std::size_t n) override;
+  [[nodiscard]] bool write_all(std::string_view bytes);
+
+  [[nodiscard]] const Socket& socket() const noexcept { return socket_; }
+
+ private:
+  /// Pulls more bytes into buffer_; false on EOF/error.
+  [[nodiscard]] bool fill();
+
+  Socket socket_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace edc::serve

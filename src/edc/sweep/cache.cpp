@@ -11,6 +11,7 @@
 
 #include "edc/sim/result_io.h"
 #include "edc/spec/serialize.h"
+#include "edc/sweep/fault_injector.h"
 
 namespace edc::sweep {
 
@@ -136,8 +137,21 @@ std::filesystem::path Cache::entry_path(const std::string& key_text) const {
   return versioned_directory() / hex.substr(0, 2) / (hex + ".edcres");
 }
 
+bool Cache::quarantine_entry(const std::filesystem::path& path) {
+  std::error_code ec;
+  std::filesystem::rename(path, path.string() + ".bad", ec);
+  return !ec;
+}
+
 std::optional<CachedPoint> Cache::load(const std::string& key_text) const {
   const std::filesystem::path path = entry_path(key_text);
+  const std::uint64_t key_hash = spec::fnv1a64(key_text);
+  if (fault_injector_ != nullptr && fault_injector_->fail_read(key_hash)) {
+    // An injected transient I/O error: the entry is unreadable this time
+    // (not corrupt — nothing to quarantine), so degrade to a miss.
+    ++misses_;
+    return std::nullopt;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     ++misses_;
@@ -149,11 +163,30 @@ std::optional<CachedPoint> Cache::load(const std::string& key_text) const {
     ++misses_;
     return std::nullopt;
   }
+  std::string bytes = buffer.str();
+  if (fault_injector_ != nullptr && fault_injector_->truncate_read(key_hash)) {
+    // An injected short read: the decoder must reject the prefix and the
+    // quarantine path below must fire exactly as for real corruption.
+    bytes.resize(bytes.size() / 2);
+  }
 
-  const auto entry = decode_entry(buffer.str());
-  if (!entry || entry->spec_text != key_text) {
-    // Corrupt entry, or a 64-bit hash collision with a different spec:
-    // either way the stored row is not ours. Fall back to simulating.
+  const auto quarantine_corrupt = [this, &path] {
+    if (quarantine_entry(path)) ++quarantined_;
+    ++misses_;
+  };
+
+  const auto entry = decode_entry(bytes);
+  if (!entry) {
+    // Bytes exist but don't decode: a torn or bit-rotted entry. Move it
+    // aside so it stops wasting a read per lookup and can't be mistaken
+    // for a healthy entry by pruning; the caller simulates.
+    quarantine_corrupt();
+    return std::nullopt;
+  }
+  if (entry->spec_text != key_text) {
+    // A well-formed entry for a *different* spec: a 64-bit hash collision,
+    // not corruption. The stored row is not ours — miss, but leave the
+    // entry alone (it is somebody's valid result).
     ++misses_;
     return std::nullopt;
   }
@@ -169,7 +202,7 @@ std::optional<CachedPoint> Cache::load(const std::string& key_text) const {
         path, std::filesystem::file_time_type::clock::now(), ec);
     return point;
   } catch (const canon::FormatError&) {
-    ++misses_;
+    quarantine_corrupt();
     return std::nullopt;
   }
 }
@@ -200,6 +233,7 @@ std::string Cache::fsck_entry(const std::filesystem::path& path) {
 void Cache::store(const std::string& key_text, const sim::SimResult& result,
                   double micros, char provenance) const {
   const std::filesystem::path path = entry_path(key_text);
+  const std::uint64_t key_hash = spec::fnv1a64(key_text);
   std::error_code ec;
   std::filesystem::create_directories(path.parent_path(), ec);
   if (ec) return;  // unwritable cache never fails the sweep
@@ -219,12 +253,32 @@ void Cache::store(const std::string& key_text, const sim::SimResult& result,
     if (!out) return;
     const std::string entry =
         encode_entry(key_text, sim::serialize_result(result), micros, provenance);
+    if (fault_injector_ != nullptr &&
+        fault_injector_->crash_mid_write(key_hash)) {
+      // Fork-based crash tests: die with the tmp file half-written. The
+      // entry path must never become visible (rename never ran).
+      out.write(entry.data(), static_cast<std::streamsize>(entry.size() / 2));
+      out.flush();
+      ::_exit(9);
+    }
     out.write(entry.data(), static_cast<std::streamsize>(entry.size()));
-    if (!out.good()) {
+    const bool injected_write_error =
+        fault_injector_ != nullptr && fault_injector_->fail_write(key_hash);
+    if (!out.good() || injected_write_error) {
+      // A failed (or injected-failed, e.g. disk-full) write never leaves
+      // debris: drop the tmp file and degrade to "not cached".
       out.close();
       std::filesystem::remove(tmp, ec);
       return;
     }
+  }
+  if (fault_injector_ != nullptr &&
+      fault_injector_->crash_before_rename(key_hash)) {
+    ::_exit(9);
+  }
+  if (fault_injector_ != nullptr && fault_injector_->fail_rename(key_hash)) {
+    std::filesystem::remove(tmp, ec);
+    return;
   }
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -240,6 +294,7 @@ CacheStats Cache::stats() const noexcept {
   stats.misses = misses_.load();
   stats.stores = stores_.load();
   stats.non_cacheable = non_cacheable_.load();
+  stats.quarantined = quarantined_.load();
   return stats;
 }
 
@@ -248,6 +303,7 @@ void Cache::reset_stats() const noexcept {
   misses_.store(0);
   stores_.store(0);
   non_cacheable_.store(0);
+  quarantined_.store(0);
 }
 
 }  // namespace edc::sweep

@@ -27,10 +27,21 @@
 //
 // Entries are written to a temp file and renamed into place, so concurrent
 // writers (the Runner's worker threads, or independent shard processes
-// pointed at a shared directory) never expose a torn entry. Unreadable or
-// corrupt entries are treated as misses. Specs carrying opaque factory
-// callbacks are non-cacheable (see spec::non_cacheable_reason) and are
-// always re-simulated; the Runner counts them in stats().non_cacheable.
+// pointed at a shared directory) never expose a torn entry. Unreadable
+// entries are treated as misses; *corrupt* entries (bytes present but
+// undecodable, or a stored result that fails to parse) are self-healed:
+// the bad file is quarantined — renamed to <entry>.bad, out of the load /
+// fsck / prune namespace — and counted in stats().quarantined, so a bad
+// sector can't keep masquerading as a cache entry and pruning can't
+// resurrect it. A valid entry whose embedded key differs (a 64-bit hash
+// collision) is NOT corruption and is left in place. Specs carrying opaque
+// factory callbacks are non-cacheable (see spec::non_cacheable_reason) and
+// are always re-simulated; the Runner counts them in stats().non_cacheable.
+//
+// For chaos testing, set_fault_injector() threads a sweep::FaultInjector
+// through every I/O seam (read / truncated read / write / rename, plus the
+// process-kill crash points fork-based crash tests use); injected faults
+// exercise exactly the degradation paths above.
 #pragma once
 
 #include <atomic>
@@ -43,11 +54,14 @@
 
 namespace edc::sweep {
 
+class FaultInjector;
+
 struct CacheStats {
   std::uint64_t hits = 0;           ///< load() found a valid entry
   std::uint64_t misses = 0;         ///< load() found nothing usable
   std::uint64_t stores = 0;         ///< store() wrote an entry
   std::uint64_t non_cacheable = 0;  ///< points skipped (opaque callbacks)
+  std::uint64_t quarantined = 0;    ///< corrupt entries renamed to .bad
 };
 
 /// A cache hit: the memoised result plus the wall time the original
@@ -94,6 +108,21 @@ class Cache {
   /// versioned_directory() (as the CLI does) rather than judge them.
   [[nodiscard]] static std::string fsck_entry(const std::filesystem::path& path);
 
+  /// Quarantines one on-disk entry: renames `path` to `path + ".bad"`,
+  /// taking it out of the load / fsck / prune namespace while preserving
+  /// the bytes for post-mortem. Returns true when the rename succeeded
+  /// (best-effort; a concurrent quarantine of the same entry is fine).
+  /// load() calls this automatically on corrupt entries; `sweep_cache
+  /// fsck --quarantine` applies it to everything fsck flags.
+  static bool quarantine_entry(const std::filesystem::path& path);
+
+  /// Threads a fault injector through every I/O seam (nullptr to detach).
+  /// Not owned; must outlive the Cache. Not thread-safe against concurrent
+  /// load/store — wire it up before handing the cache to workers.
+  void set_fault_injector(const FaultInjector* injector) noexcept {
+    fault_injector_ = injector;
+  }
+
   /// Books a point that could not participate (opaque factory callbacks).
   void note_non_cacheable() const noexcept { ++non_cacheable_; }
 
@@ -112,10 +141,12 @@ class Cache {
 
  private:
   std::filesystem::path dir_;
+  const FaultInjector* fault_injector_ = nullptr;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> stores_{0};
   mutable std::atomic<std::uint64_t> non_cacheable_{0};
+  mutable std::atomic<std::uint64_t> quarantined_{0};
 };
 
 }  // namespace edc::sweep

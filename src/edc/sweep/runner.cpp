@@ -10,6 +10,7 @@
 #include "edc/spec/serialize.h"
 #include "edc/sweep/batch.h"
 #include "edc/sweep/cache.h"
+#include "edc/sweep/fault_injector.h"
 
 namespace edc::sweep {
 
@@ -36,25 +37,31 @@ sim::SimResult Runner::simulate_point(const Point& point, double& micros,
   };
   provenance = kProvenanceScalar;
   Cache* cache = options_.cache;
-  if (cache == nullptr) {
+  const FaultInjector* chaos = options_.fault_injector;
+  if (cache == nullptr && chaos == nullptr) {
     return timed_simulation(simulate, micros);
   }
   if (!spec::is_cacheable(point.spec)) {
-    cache->note_non_cacheable();
+    // No canonical key: neither cacheable nor fault-injectable.
+    if (cache != nullptr) cache->note_non_cacheable();
     return timed_simulation(simulate, micros);
   }
   const std::string key = spec::serialize(point.spec);
-  if (auto cached = cache->load(key)) {
-    // Report the point's *original* simulation cost and provenance, not
-    // the load time — that is what a cost-weighted re-shard of the warm
-    // grid needs (and a warm batch-produced point must keep reporting its
-    // amortized lane cost as such).
-    micros = cached->micros;
-    provenance = cached->provenance;
-    return std::move(cached->result);
+  if (cache != nullptr) {
+    if (auto cached = cache->load(key)) {
+      // Report the point's *original* simulation cost and provenance, not
+      // the load time — that is what a cost-weighted re-shard of the warm
+      // grid needs (and a warm batch-produced point must keep reporting
+      // its amortized lane cost as such).
+      micros = cached->micros;
+      provenance = cached->provenance;
+      return std::move(cached->result);
+    }
   }
+  // May inject latency or throw WorkerKilledError (see RunnerOptions).
+  if (chaos != nullptr) chaos->before_simulate(spec::fnv1a64(key));
   sim::SimResult result = timed_simulation(simulate, micros);
-  cache->store(key, result, micros, kProvenanceScalar);
+  if (cache != nullptr) cache->store(key, result, micros, kProvenanceScalar);
   return result;
 }
 

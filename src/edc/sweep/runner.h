@@ -48,6 +48,7 @@
 namespace edc::sweep {
 
 class Cache;
+class FaultInjector;
 
 struct RunnerOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (at least 1).
@@ -64,6 +65,17 @@ struct RunnerOptions {
   /// need the scalar per-point lifecycle).
   bool batch = false;
   int batch_lanes = 16;
+  /// Optional chaos source (see sweep/fault_injector.h). Not owned; must
+  /// outlive the Runner. Applied on the scalar simulation path only: the
+  /// injector's before_simulate() seam runs before each point's
+  /// simulation (keyed by spec hash), injecting latency for scheduled
+  /// slow points and throwing WorkerKilledError for scheduled kills —
+  /// which the Runner surfaces like any worker exception (rethrown after
+  /// the pool drains). Fault-tolerant callers (the serve engine) catch
+  /// and retry; the cache's own I/O faults are wired separately via
+  /// Cache::set_fault_injector. Non-cacheable specs have no stable key
+  /// and are never fault-injected.
+  const FaultInjector* fault_injector = nullptr;
 };
 
 class Runner {

@@ -12,13 +12,16 @@
 //       from stale format versions age out first in practice because
 //       nothing refreshes them.
 //
-//   sweep_cache fsck <dir> [--delete]
+//   sweep_cache fsck <dir> [--delete | --quarantine]
 //       Verifies every entry of the *current* format version: decodable
 //       blocks, filename matching the FNV-1a-64 of the embedded canonical
-//       key text, parseable stored result. Reports (and with --delete
-//       removes) broken entries. Entries under other v<S>-<R> directories
-//       belong to other binaries and are skipped, not judged — the
-//       versioned layout exists so releases can share one directory.
+//       key text, parseable stored result. Reports broken entries; with
+//       --delete removes them, with --quarantine moves them aside (renamed
+//       to <entry>.bad, the same self-healing rename Cache::load applies
+//       on a corrupt read — bytes preserved for post-mortem, entry out of
+//       the load/fsck/prune namespace). Entries under other v<S>-<R>
+//       directories belong to other binaries and are skipped, not judged —
+//       the versioned layout exists so releases can share one directory.
 //       Healthy caches exit 0; corruption exits 1.
 #include <algorithm>
 #include <chrono>
@@ -39,9 +42,10 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " stats <dir>\n"
             << "       " << argv0 << " prune <dir> --max-bytes <N>\n"
-            << "       " << argv0 << " fsck <dir> [--delete]\n"
+            << "       " << argv0 << " fsck <dir> [--delete | --quarantine]\n"
             << "Inspects (stats), LRU-evicts (prune) or verifies (fsck) an\n"
-            << "on-disk sweep cache written by sweep::Cache.\n";
+            << "on-disk sweep cache written by sweep::Cache. fsck --quarantine\n"
+            << "renames broken entries to <entry>.bad instead of deleting them.\n";
   return 2;
 }
 
@@ -68,6 +72,18 @@ std::vector<Entry> collect_entries(const fs::path& root) {
     entries.push_back(std::move(entry));
   }
   return entries;
+}
+
+/// Quarantined (.bad) files under a directory — load()/fsck self-healing
+/// residue awaiting post-mortem or deletion.
+std::size_t count_quarantined(const fs::path& root) {
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& item : fs::recursive_directory_iterator(
+           root, fs::directory_options::skip_permission_denied, ec)) {
+    if (item.is_regular_file(ec) && item.path().extension() == ".bad") ++count;
+  }
+  return count;
 }
 
 double hours_since(fs::file_time_type mtime) {
@@ -112,10 +128,15 @@ int cmd_stats(const fs::path& root) {
       std::cout << ", last used between " << newest_h << "h and " << oldest_h
                 << "h ago";
     }
+    const std::size_t quarantined = count_quarantined(version);
+    if (quarantined > 0) std::cout << ", " << quarantined << " quarantined";
     std::cout << "\n";
   }
   std::cout << "  total: " << total_entries << " entries, " << total_bytes
-            << " bytes\n";
+            << " bytes";
+  const std::size_t quarantined = count_quarantined(root);
+  if (quarantined > 0) std::cout << ", " << quarantined << " quarantined";
+  std::cout << "\n";
   return 0;
 }
 
@@ -146,7 +167,9 @@ int cmd_prune(const fs::path& root, std::uintmax_t max_bytes) {
   return 0;
 }
 
-int cmd_fsck(const fs::path& root, bool remove_broken) {
+enum class FsckAction { kReport, kDelete, kQuarantine };
+
+int cmd_fsck(const fs::path& root, FsckAction action) {
   // Only the current format version's entries can be judged by this
   // binary; other v<S>-<R> directories are counted but left alone.
   const edc::sweep::Cache cache(root);
@@ -167,16 +190,24 @@ int cmd_fsck(const fs::path& root, bool remove_broken) {
     if (reason.empty()) continue;
     ++broken;
     std::cout << "BROKEN " << entry.path.string() << ": " << reason << "\n";
-    if (remove_broken) {
+    if (action == FsckAction::kDelete) {
       std::error_code remove_ec;
       fs::remove(entry.path, remove_ec);
       if (remove_ec) {
         std::cout << "  (removal failed: " << remove_ec.message() << ")\n";
       }
+    } else if (action == FsckAction::kQuarantine) {
+      if (!edc::sweep::Cache::quarantine_entry(entry.path)) {
+        std::cout << "  (quarantine failed)\n";
+      }
     }
   }
   std::cout << "sweep_cache: fsck checked " << entries.size() << " entries, "
-            << broken << " broken" << (remove_broken && broken ? " (removed)" : "");
+            << broken << " broken"
+            << (broken == 0                         ? ""
+                : action == FsckAction::kDelete     ? " (removed)"
+                : action == FsckAction::kQuarantine ? " (quarantined)"
+                                                    : "");
   if (foreign > 0) {
     std::cout << "; " << foreign << " entries under other format versions skipped";
   }
@@ -206,13 +237,15 @@ int main(int argc, char** argv) {
   }
 
   if (command == "fsck") {
-    bool remove_broken = false;
+    FsckAction action = FsckAction::kReport;
     if (argc == 4 && std::strcmp(argv[3], "--delete") == 0) {
-      remove_broken = true;
+      action = FsckAction::kDelete;
+    } else if (argc == 4 && std::strcmp(argv[3], "--quarantine") == 0) {
+      action = FsckAction::kQuarantine;
     } else if (argc != 3) {
       return usage(argv[0]);
     }
-    return cmd_fsck(root, remove_broken);
+    return cmd_fsck(root, action);
   }
 
   return usage(argv[0]);

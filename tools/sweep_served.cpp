@@ -1,0 +1,560 @@
+// sweep_served — the fault-tolerant sweep service daemon and its client
+// (serve::Service / serve::Engine; ROADMAP "Sweep service").
+//
+//   sweep_served serve <port> [--cache <dir>] [--workers N] [--queue N]
+//                [--timeout-ms X] [--deadline-ms X] [--max-attempts N]
+//                [--port-file <path>]
+//                [--fault-seed S --fault-read P --fault-truncate P
+//                 --fault-write P --fault-rename P --fault-slow P
+//                 --fault-slow-ms X --fault-kill P]
+//       Binds 127.0.0.1:<port> (0 = ephemeral), prints `listening <port>`
+//       and serves until a `shutdown` op arrives. The --fault-* knobs arm
+//       a deterministic sweep::FaultInjector across the cache and runner
+//       seams — chaos testing a live daemon is one flag set, not a fork
+//       of the code.
+//
+//   sweep_served request <port> [--deadline-ms X] <spec-file>...
+//       Sends the canonical spec texts in the given files as one `run`
+//       request; prints each row as `row <i> <bytes>` + raw block to
+//       stdout and the per-request tallies to stderr.
+//
+//   sweep_served stats|ping|shutdown <port>
+//       The matching one-shot ops.
+//
+//   sweep_served demo-spec <index>
+//       Prints the canonical spec text of demo point <index> (a cheap
+//       square-supply checkpointing system; the family request storms and
+//       fan-out tests feed the service).
+//
+//   sweep_served smoke [--dir <work-dir>]
+//       The acceptance storm (ctest `service_smoke`): concurrent cold +
+//       warm + duplicate requests against a daemon under a seeded fault
+//       schedule (injected cache read/truncate/write/rename errors, slow
+//       points past the watchdog timeout, killed workers). Asserts every
+//       response is byte-identical to a clean serial Runner::run, the
+//       chaos really fired (nonzero quarantines / retries / kills /
+//       requeues), and a healed warm pass answers everything from cache
+//       with zero simulations. Exits 0 only if all of it holds.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "edc/serve/service.h"
+#include "edc/sim/result_io.h"
+#include "edc/spec/serialize.h"
+#include "edc/sweep/cache.h"
+#include "edc/sweep/fault_injector.h"
+#include "edc/sweep/grid.h"
+#include "edc/sweep/runner.h"
+
+namespace fs = std::filesystem;
+using namespace edc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " serve <port> [--cache <dir>] [options]\n"
+      << "       " << argv0 << " request <port> [--deadline-ms X] <spec-file>...\n"
+      << "       " << argv0 << " stats|ping|shutdown <port>\n"
+      << "       " << argv0 << " demo-spec <index>\n"
+      << "       " << argv0 << " smoke [--dir <work-dir>]\n"
+      << "Fault-tolerant sweep service daemon over the on-disk sweep cache.\n"
+      << "serve options: --workers N --queue N --timeout-ms X --deadline-ms X\n"
+      << "  --max-attempts N --port-file <path> --fault-seed S --fault-read P\n"
+      << "  --fault-truncate P --fault-write P --fault-rename P --fault-slow P\n"
+      << "  --fault-slow-ms X --fault-kill P\n";
+  return 2;
+}
+
+/// Demo point family: the cheap-but-complete system the cache tests use
+/// (square supply, real checkpointing, short horizon), fanned out over
+/// capacitance and workload seed so every index is a distinct cache key.
+spec::SystemSpec demo_spec(std::uint64_t index) {
+  spec::SystemSpec s;
+  s.source = spec::SquareSource{3.3, 25.0, 0.5, 0.0, 50.0};
+  s.storage.capacitance = (index % 3 == 0)   ? 10e-6
+                          : (index % 3 == 1) ? 22e-6
+                                             : 47e-6;
+  s.storage.bleed = 20000.0;
+  s.workload.kind = "fft-small";
+  s.workload.seed = 100 + index;
+  s.sim.t_end = 0.3;
+  return s;
+}
+
+/// Clean serial reference row: what a faultless, cacheless Runner::run of
+/// this spec returns — the byte-identity oracle for every service path.
+std::string serial_row(const spec::SystemSpec& s) {
+  sweep::RunnerOptions options;
+  options.threads = 1;
+  const auto rows = sweep::Runner(options).run(sweep::Grid(s));
+  return sim::serialize_result(rows.at(0));
+}
+
+bool parse_u16(const char* text, std::uint16_t* out) {
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || value > 65535) return false;
+  *out = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+std::uint64_t stat_of(const std::string& stats_text, const std::string& key) {
+  std::istringstream in(stats_text);
+  std::string line;
+  const std::string prefix = key + ' ';
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) {
+      return std::strtoull(line.c_str() + prefix.size(), nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+int cmd_simple_op(std::uint16_t port, serve::Request::Op op) {
+  serve::Request request;
+  request.op = op;
+  std::string error;
+  const auto response = serve::call_service(port, request, &error);
+  if (!response) {
+    std::cerr << "sweep_served: " << error << "\n";
+    return 1;
+  }
+  if (response->status != serve::Response::Status::kOk) {
+    std::cerr << "sweep_served: " << response->error << "\n";
+    return 1;
+  }
+  std::cout << response->stats_text;
+  return 0;
+}
+
+int cmd_request(std::uint16_t port, double deadline_ms,
+                const std::vector<std::string>& files) {
+  serve::Request request;
+  request.op = serve::Request::Op::kRun;
+  request.deadline_ms = deadline_ms;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "sweep_served: cannot read '" << file << "'\n";
+      return 2;
+    }
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    request.points.push_back(bytes.str());
+  }
+  std::string error;
+  const auto response = serve::call_service(port, request, &error);
+  if (!response) {
+    std::cerr << "sweep_served: " << error << "\n";
+    return 1;
+  }
+  if (response->status == serve::Response::Status::kBusy) {
+    std::cerr << "sweep_served: service busy (bounded queue full)\n";
+    return 3;
+  }
+  if (response->status != serve::Response::Status::kOk) {
+    std::cerr << "sweep_served: " << response->error << "\n";
+    return 1;
+  }
+  for (std::size_t i = 0; i < response->rows.size(); ++i) {
+    std::cout << "row " << i << ' ' << response->rows[i].size() << '\n'
+              << response->rows[i];
+  }
+  std::cerr << response->stats_text;
+  return 0;
+}
+
+int cmd_serve(std::uint16_t port, int argc, char** argv, int first_option) {
+  fs::path cache_dir;
+  fs::path port_file;
+  serve::ServiceOptions options;
+  sweep::FaultPlan plan;
+  bool faulted = false;
+
+  for (int i = first_option; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "sweep_served: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = value();
+    if (v == nullptr) return 2;
+    if (flag == "--cache") cache_dir = v;
+    else if (flag == "--port-file") port_file = v;
+    else if (flag == "--workers") options.request_workers = std::atoi(v);
+    else if (flag == "--queue") options.queue_capacity = static_cast<std::size_t>(std::atoll(v));
+    else if (flag == "--timeout-ms") options.point_timeout_ms = std::atof(v);
+    else if (flag == "--deadline-ms") options.default_deadline_ms = std::atof(v);
+    else if (flag == "--max-attempts") options.max_attempts = std::atoi(v);
+    else if (flag == "--fault-seed") { plan.seed = std::strtoull(v, nullptr, 10); faulted = true; }
+    else if (flag == "--fault-read") { plan.read_error = std::atof(v); faulted = true; }
+    else if (flag == "--fault-truncate") { plan.truncate_read = std::atof(v); faulted = true; }
+    else if (flag == "--fault-write") { plan.write_error = std::atof(v); faulted = true; }
+    else if (flag == "--fault-rename") { plan.rename_error = std::atof(v); faulted = true; }
+    else if (flag == "--fault-slow") { plan.slow_point = std::atof(v); faulted = true; }
+    else if (flag == "--fault-slow-ms") { plan.slow_millis = std::atof(v); faulted = true; }
+    else if (flag == "--fault-kill") { plan.kill_worker = std::atof(v); faulted = true; }
+    else {
+      std::cerr << "sweep_served: unknown flag '" << flag << "'\n";
+      return 2;
+    }
+  }
+
+  std::optional<sweep::Cache> cache;
+  if (!cache_dir.empty()) cache.emplace(cache_dir);
+  std::optional<sweep::FaultInjector> injector;
+  if (faulted) injector.emplace(plan);
+  if (cache && injector) cache->set_fault_injector(&*injector);
+  options.cache = cache ? &*cache : nullptr;
+  options.fault_injector = injector ? &*injector : nullptr;
+
+  serve::Service service(options, port);
+  service.start();
+  std::cout << "listening " << service.port() << std::endl;
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << service.port() << "\n";
+  }
+  service.wait();
+  std::cout << "stopped\n";
+  return 0;
+}
+
+// ---- smoke ---------------------------------------------------------------
+
+struct SmokeFailure {
+  std::mutex mutex;
+  std::vector<std::string> reasons;
+  void add(const std::string& reason) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    reasons.push_back(reason);
+  }
+  [[nodiscard]] bool failed() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return !reasons.empty();
+  }
+};
+
+/// Sends one run request for the demo indices in `subset`, retrying busy
+/// rejections, and byte-checks every row against the serial references.
+void storm_request(std::uint16_t port, const std::vector<std::uint64_t>& subset,
+                   const std::vector<std::string>& point_texts,
+                   const std::vector<std::string>& reference_rows,
+                   SmokeFailure* failures) {
+  serve::Request request;
+  request.op = serve::Request::Op::kRun;
+  for (const std::uint64_t i : subset) request.points.push_back(point_texts[i]);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::string error;
+    const auto response = serve::call_service(port, request, &error);
+    if (!response) {
+      failures->add("transport failure: " + error);
+      return;
+    }
+    if (response->status == serve::Response::Status::kBusy) {
+      // Loud backpressure: back off briefly and retry the whole request.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    if (response->status != serve::Response::Status::kOk) {
+      failures->add("request failed: " + response->error);
+      return;
+    }
+    if (response->rows.size() != subset.size()) {
+      failures->add("row count mismatch");
+      return;
+    }
+    for (std::size_t j = 0; j < subset.size(); ++j) {
+      if (response->rows[j] != reference_rows[subset[j]]) {
+        failures->add("row bytes diverged from clean serial reference (point " +
+                      std::to_string(subset[j]) + ")");
+        return;
+      }
+    }
+    return;
+  }
+  failures->add("still busy after 200 attempts");
+}
+
+int cmd_smoke(const fs::path& work_dir) {
+  std::cout << "service smoke: work dir " << work_dir.string() << "\n";
+  fs::remove_all(work_dir);
+  fs::create_directories(work_dir);
+
+  constexpr std::uint64_t kPoints = 12;
+  std::vector<std::string> point_texts;
+  std::vector<std::string> reference_rows;
+  for (std::uint64_t i = 0; i < kPoints; ++i) {
+    const spec::SystemSpec s = demo_spec(i);
+    point_texts.push_back(spec::serialize(s));
+    reference_rows.push_back(serial_row(s));
+  }
+  std::cout << "service smoke: " << kPoints << " reference rows simulated\n";
+
+  // ---- Phase A: request storm under a seeded fault schedule. ----
+  sweep::Cache cache(work_dir / "cache");
+  sweep::FaultPlan plan;
+  plan.seed = 42;
+  plan.read_error = 0.20;
+  plan.truncate_read = 0.20;
+  plan.write_error = 0.15;
+  plan.rename_error = 0.10;
+  plan.slow_point = 0.10;
+  plan.slow_millis = 40.0;
+  plan.kill_worker = 0.30;
+  sweep::FaultInjector chaos(plan);
+  cache.set_fault_injector(&chaos);
+
+  SmokeFailure failures;
+  std::uint64_t storm_requests = 0;
+  {
+    serve::ServiceOptions options;
+    options.cache = &cache;
+    options.fault_injector = &chaos;
+    options.request_workers = 3;
+    options.sim_threads = 1;
+    options.queue_capacity = 8;
+    options.point_timeout_ms = 500.0;
+    options.max_attempts = 6;
+    serve::Service service(options, 0);
+    service.start();
+    const std::uint16_t port = service.port();
+
+    // Four concurrent clients, overlapping and duplicated subsets: cold
+    // points, warm re-reads, and identical in-flight points all at once.
+    const std::vector<std::vector<std::uint64_t>> subsets = {
+        {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+        {0, 2, 4, 6, 8, 10, 0, 2},          // duplicates inside one request
+        {1, 3, 5, 7, 9, 11},
+        {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},  // duplicate of client 0
+    };
+    std::vector<std::thread> clients;
+    for (const auto& subset : subsets) {
+      clients.emplace_back([&, subset] {
+        for (int round = 0; round < 3; ++round) {
+          storm_request(port, subset, point_texts, reference_rows, &failures);
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+    storm_requests = subsets.size() * 3;
+
+    // The schedule is deterministic, but "the storm stormed" must hold by
+    // construction, not by luck: keep poking until a worker kill and a
+    // quarantine have demonstrably fired (bounded, loud on exhaustion).
+    std::uint64_t extra = kPoints;
+    while (chaos.counters().worker_kills == 0 && extra < kPoints + 40 &&
+           !failures.failed()) {
+      const spec::SystemSpec s = demo_spec(extra);
+      point_texts.push_back(spec::serialize(s));
+      reference_rows.push_back(serial_row(s));
+      storm_request(port, {extra}, point_texts, reference_rows, &failures);
+      ++extra;
+    }
+    for (int round = 0; round < 40 && cache.stats().quarantined == 0 &&
+                        !failures.failed();
+         ++round) {
+      storm_request(port, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, point_texts,
+                    reference_rows, &failures);
+    }
+
+    const serve::ServiceStats stats = service.stats();
+    const sweep::FaultCounters counters = chaos.counters();
+    std::cout << "service smoke: storm done — " << stats.requests
+              << " requests, " << stats.simulated << " simulated, "
+              << stats.warm_hits << " warm, " << stats.merged << " merged, "
+              << stats.requeued << " requeued, " << stats.retries
+              << " retries\n";
+    std::cout << "service smoke: chaos — " << counters.read_errors
+              << " read errors, " << counters.truncated_reads
+              << " truncated reads, " << counters.write_errors
+              << " write errors, " << counters.rename_errors
+              << " rename errors, " << counters.slow_points << " slow points, "
+              << counters.worker_kills << " worker kills; "
+              << cache.stats().quarantined << " quarantined\n";
+    if (counters.worker_kills == 0) failures.add("no worker kill ever fired");
+    if (cache.stats().quarantined == 0) failures.add("no entry was quarantined");
+    if (stats.retries == 0) failures.add("no simulation retry was recorded");
+    if (stats.requests < storm_requests) {
+      failures.add("service under-counted its requests");
+    }
+    // Service (and its engine/watchdog) shut down at scope exit.
+  }
+
+  // ---- Phase B: healed warm pass — cache answers everything, the
+  // simulator is never touched. ----
+  cache.set_fault_injector(nullptr);
+  if (!failures.failed()) {
+    serve::ServiceOptions options;
+    options.cache = &cache;
+    options.request_workers = 2;
+    options.queue_capacity = 8;
+    serve::Service service(options, 0);
+    service.start();
+
+    serve::Request request;
+    request.op = serve::Request::Op::kRun;
+    for (std::uint64_t i = 0; i < kPoints; ++i) {
+      request.points.push_back(point_texts[i]);
+    }
+    std::string error;
+    // Backfill: repair any holes the write/rename faults left behind.
+    auto backfill = serve::call_service(service.port(), request, &error);
+    if (!backfill || backfill->status != serve::Response::Status::kOk) {
+      failures.add("warm backfill request failed");
+    }
+    const auto warm = serve::call_service(service.port(), request, &error);
+    if (!warm || warm->status != serve::Response::Status::kOk) {
+      failures.add("warm request failed");
+    } else {
+      const std::uint64_t warm_hits = stat_of(warm->stats_text, "warm");
+      const std::uint64_t simulated = stat_of(warm->stats_text, "simulated");
+      std::cout << "service smoke: warm pass — " << warm_hits << " warm, "
+                << simulated << " simulated\n";
+      if (warm_hits != kPoints || simulated != 0) {
+        failures.add("warm pass touched the simulator (warm " +
+                     std::to_string(warm_hits) + ", simulated " +
+                     std::to_string(simulated) + ")");
+      }
+      for (std::uint64_t i = 0; i < kPoints; ++i) {
+        if (warm->rows[i] != reference_rows[i]) {
+          failures.add("warm row " + std::to_string(i) + " diverged");
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- Phase C: watchdog requeue — a follower stuck behind a slow owner
+  // simulates the point itself instead of hanging. ----
+  if (!failures.failed()) {
+    bool requeued = false;
+    for (int round = 0; round < 3 && !requeued; ++round) {
+      const fs::path slow_dir = work_dir / ("slow-" + std::to_string(round));
+      sweep::Cache slow_cache(slow_dir);
+      sweep::FaultPlan slow_plan;
+      slow_plan.seed = 7;
+      slow_plan.slow_point = 1.0;
+      slow_plan.slow_millis = 250.0;
+      sweep::FaultInjector slow_chaos(slow_plan);
+      slow_cache.set_fault_injector(&slow_chaos);
+      serve::ServiceOptions options;
+      options.cache = &slow_cache;
+      options.fault_injector = &slow_chaos;
+      options.point_timeout_ms = 80.0;
+      serve::Engine engine(options);
+
+      const std::uint64_t index = 200 + static_cast<std::uint64_t>(round);
+      const spec::SystemSpec s = demo_spec(index);
+      const std::string text = spec::serialize(s);
+      const std::string reference = serial_row(s);
+      serve::Request request;
+      request.op = serve::Request::Op::kRun;
+      request.points.push_back(text);
+
+      std::thread owner([&] {
+        const auto response = engine.execute(request);
+        if (response.status != serve::Response::Status::kOk ||
+            response.rows.at(0) != reference) {
+          failures.add("slow owner's row diverged");
+        }
+      });
+      // Give the owner a head start so this thread follows its flight.
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      const auto follower = engine.execute(request);
+      owner.join();
+      if (follower.status != serve::Response::Status::kOk ||
+          follower.rows.at(0) != reference) {
+        failures.add("requeued follower's row diverged");
+      }
+      requeued = engine.stats().requeued > 0;
+    }
+    if (!requeued) failures.add("no follower was ever requeued");
+    else std::cout << "service smoke: watchdog requeue fired\n";
+  }
+
+  if (failures.failed()) {
+    for (const std::string& reason : failures.reasons) {
+      std::cerr << "service smoke FAILED: " << reason << "\n";
+    }
+    return 1;
+  }
+  fs::remove_all(work_dir);
+  std::cout << "service smoke OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+
+  if (command == "demo-spec") {
+    if (argc != 3) return usage(argv[0]);
+    const std::uint64_t index = std::strtoull(argv[2], nullptr, 10);
+    std::cout << spec::serialize(demo_spec(index));
+    return 0;
+  }
+
+  if (command == "smoke") {
+    fs::path dir = fs::temp_directory_path() /
+                   ("edc_serve_smoke_" + std::to_string(::getpid()));
+    if (argc == 4 && std::strcmp(argv[2], "--dir") == 0) {
+      dir = argv[3];
+    } else if (argc != 2) {
+      return usage(argv[0]);
+    }
+    try {
+      return cmd_smoke(dir);
+    } catch (const std::exception& e) {
+      std::cerr << "service smoke FAILED: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (argc < 3) return usage(argv[0]);
+  std::uint16_t port = 0;
+  if (!parse_u16(argv[2], &port)) {
+    std::cerr << "sweep_served: bad port '" << argv[2] << "'\n";
+    return 2;
+  }
+
+  if (command == "serve") return cmd_serve(port, argc, argv, 3);
+  if (command == "stats") return cmd_simple_op(port, serve::Request::Op::kStats);
+  if (command == "ping") return cmd_simple_op(port, serve::Request::Op::kPing);
+  if (command == "shutdown") {
+    return cmd_simple_op(port, serve::Request::Op::kShutdown);
+  }
+  if (command == "request") {
+    double deadline_ms = 0.0;
+    std::vector<std::string> files;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+        deadline_ms = std::atof(argv[++i]);
+      } else {
+        files.emplace_back(argv[i]);
+      }
+    }
+    if (files.empty()) return usage(argv[0]);
+    return cmd_request(port, deadline_ms, files);
+  }
+
+  return usage(argv[0]);
+}
