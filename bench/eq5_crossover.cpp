@@ -29,6 +29,20 @@
 // --batch runs the grid through the batched SoA kernel (sweep/batch.h) —
 // bit-identical rows, amortized lane-cost timings tagged provenance 'b'.
 //
+// --solve answers the crossover question with sweep::Search instead of the
+// dense sweep: bracketed bisection over a *refined* frequency lattice
+// (5 Hz .. 320 Hz, 8 points per octave — 49 frequencies where the dense
+// sweep has 7) locates the crossover cell in O(log) probes. The dense
+// seven frequencies are an exact floating-point sub-lattice (5 * 2^k =
+// lattice[8k]), so probe specs — and therefore cache keys and rows — are
+// byte-identical with the dense sweep's at shared frequencies.
+// --solve-check runs the solver *first* (cold-probe accounting stays
+// honest), then the dense grid, and asserts the refined bracket lies
+// inside the dense crossover cell. --search-csv FILE appends the
+// "name,probes,simulated,warm,grid_points" telemetry row bench_gate
+// --points-gate asserts in CI (--search-name renames it, default
+// Eq5Solve).
+//
 // --shard-plan TIMING.csv closes the cost-weighted sharding loop (ROADMAP)
 // end to end: an unsharded run *emits* the per-point timing CSV
 // ("index,micros,provenance" — measured, or replayed from the cache on a
@@ -61,6 +75,7 @@
 #include "edc/sweep/grid.h"
 #include "edc/sweep/report.h"
 #include "edc/sweep/runner.h"
+#include "edc/sweep/search.h"
 #include "edc/workloads/fft.h"
 
 using namespace edc;
@@ -79,6 +94,21 @@ double joules_per_mcycle(const sim::SimResult& result) {
     return std::numeric_limits<double>::infinity();
   }
   return result.mcu.energy_total() / (result.mcu.forward_cycles / 1e6);
+}
+
+/// The --solve frequency lattice: 5 Hz .. 320 Hz at 8 points per octave
+/// (49 values; dense-equivalent grid 49 x 2 policies = 98 points). The
+/// dense sweep's seven frequencies are the exact floating-point
+/// sub-lattice at i = 8k (ldexp keeps 5 * 2^k exact; pow(2, 0/8) == 1), so
+/// a probe at a shared frequency serializes to the same cache key — and
+/// replays the same bytes — as the dense grid point.
+std::vector<double> refined_lattice() {
+  std::vector<double> lattice;
+  lattice.reserve(49);
+  for (int i = 0; i <= 48; ++i) {
+    lattice.push_back(std::ldexp(5.0, i / 8) * std::pow(2.0, (i % 8) / 8.0));
+  }
+  return lattice;
 }
 
 /// Writes the "index,micros,provenance" timing plan a later --shard run
@@ -196,6 +226,10 @@ int main(int argc, char** argv) {
   bool macro = false;
   bool batch = false;
   bool mixed_plan_ok = false;
+  bool solve = false;
+  bool solve_check = false;
+  const char* search_csv_path = nullptr;
+  const char* search_name = "Eq5Solve";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
       shard = sweep::Shard::parse(argv[++i]);
@@ -221,6 +255,15 @@ int main(int argc, char** argv) {
       batch = true;
     } else if (std::strcmp(argv[i], "--mixed-plan-ok") == 0) {
       mixed_plan_ok = true;
+    } else if (std::strcmp(argv[i], "--solve") == 0) {
+      solve = true;
+    } else if (std::strcmp(argv[i], "--solve-check") == 0) {
+      solve = true;
+      solve_check = true;
+    } else if (std::strcmp(argv[i], "--search-csv") == 0 && i + 1 < argc) {
+      search_csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--search-name") == 0 && i + 1 < argc) {
+      search_name = argv[++i];
     } else if (std::strcmp(argv[i], "--t-end") == 0 && i + 1 < argc) {
       char* end = nullptr;
       t_end = std::strtod(argv[++i], &end);
@@ -233,13 +276,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--shard k/N] [--csv FILE] [--timing-csv FILE] "
                    "[--shard-plan FILE] [--cache DIR] [--macro] [--batch] "
-                   "[--mixed-plan-ok] [--t-end SECONDS]\n",
+                   "[--mixed-plan-ok] [--solve] [--solve-check] "
+                   "[--search-csv FILE] [--search-name NAME] [--t-end SECONDS]\n",
                    argv[0]);
       return 2;
     }
   }
   if (shard.has_value() && csv_path == nullptr) {
     std::fprintf(stderr, "--shard requires --csv FILE (the shard's output)\n");
+    return 2;
+  }
+  if (solve && shard.has_value()) {
+    std::fprintf(stderr, "--solve and --shard are mutually exclusive\n");
     return 2;
   }
 
@@ -263,21 +311,23 @@ int main(int argc, char** argv) {
   base.sim.t_end = t_end;
   base.sim.macro_stepping = macro;
 
+  // The frequency/policy axis definitions are shared between the dense
+  // grid and the --solve search, so a probe's spec — and cache key — is
+  // byte-identical to the dense grid point at the same frequency.
+  const auto set_frequency = [](spec::SystemSpec& s, double f) {
+    s.source = spec::SquareSource{3.3, f, 0.5, 0.0, 50.0};
+  };
+  const auto frequency_label = [](double f) { return sim::Table::num(f, 0); };
+  const std::vector<sweep::AxisValue> policies = {
+      {"hibernus",
+       [config](spec::SystemSpec& s) { s.policy = spec::Hibernus{config}; }},
+      {"quickrecall",
+       [config](spec::SystemSpec& s) { s.policy = spec::QuickRecall{config}; }}};
+
   const std::vector<Hertz> sweep = {5, 10, 20, 40, 80, 160, 320};
-  sweep::Grid grid(std::move(base));
-  grid.numeric_axis(
-          "f_interrupt (Hz)", sweep,
-          [](spec::SystemSpec& s, double f) {
-            s.source = spec::SquareSource{3.3, f, 0.5, 0.0, 50.0};
-          },
-          [](double f) { return sim::Table::num(f, 0); })
-      .axis("policy", {{"hibernus",
-                        [config](spec::SystemSpec& s) {
-                          s.policy = spec::Hibernus{config};
-                        }},
-                       {"quickrecall", [config](spec::SystemSpec& s) {
-                          s.policy = spec::QuickRecall{config};
-                        }}});
+  sweep::Grid grid(base);
+  grid.numeric_axis("f_interrupt (Hz)", sweep, set_frequency, frequency_label)
+      .axis("policy", policies);
 
   sweep::RunnerOptions options;
   if (cache.has_value()) options.cache = &*cache;
@@ -294,6 +344,100 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.stores),
                  static_cast<unsigned long long>(stats.non_cacheable));
   };
+
+  if (solve) {
+    // Solver-guided mode: answer the crossover question with bracketed
+    // bisection over the refined lattice instead of simulating the grid.
+    // The objective is the QuickRecall-minus-hibernus energy gap per
+    // Mcycle: positive while hibernus wins (low f), negative once
+    // QuickRecall wins (high f) — sign-falling along the axis, so the
+    // declared direction turns an accidentally mirrored objective into a
+    // loud kReversed error.
+    std::printf("=== Eq 5 crossover via sweep::Search (solver-guided) ===\n\n");
+    const std::vector<double> lattice = refined_lattice();
+    const std::size_t dense_points = lattice.size() * policies.size();
+
+    sweep::SearchOptions search_options;
+    search_options.runner = options;
+    search_options.direction = -1;
+    sweep::Search search(
+        base, {"f_interrupt (Hz)", set_frequency, frequency_label}, "policy",
+        policies,
+        [](double, const std::vector<sim::SimResult>& rows) {
+          return (joules_per_mcycle(rows[1]) - joules_per_mcycle(rows[0])) * 1e6;
+        },
+        search_options);
+
+    sweep::SearchOutcome outcome;
+    try {
+      outcome = search.bracket_on(lattice);
+    } catch (const sweep::SearchError& error) {
+      std::fprintf(stderr, "search failed (%s): %s\n",
+                   sweep::search_error_kind_name(error.kind()), error.what());
+      return 1;
+    }
+
+    sim::Table probe_table({"probe", "f (Hz)", "hibernus (uJ/Mcycle)",
+                            "quickrecall (uJ/Mcycle)", "qr - hib", "origin"});
+    for (std::size_t i = 0; i < outcome.probes.size(); ++i) {
+      const sweep::SearchProbe& probe = outcome.probes[i];
+      probe_table.add_row(
+          {std::to_string(i), sim::Table::num(probe.x, 1),
+           sim::Table::num(joules_per_mcycle(probe.rows[0]) * 1e6, 2),
+           sim::Table::num(joules_per_mcycle(probe.rows[1]) * 1e6, 2),
+           sim::Table::num(probe.value, 2),
+           probe.warm == 0 ? "fresh" : (probe.simulated == 0 ? "warm" : "mixed")});
+    }
+    probe_table.print(std::cout);
+
+    std::printf("\ncrossover bracket: hibernus wins at %.1f Hz, quickrecall at "
+                "%.1f Hz (lattice cell %zu..%zu of %zu)\n",
+                outcome.lo, outcome.hi, outcome.lo_index, outcome.hi_index,
+                lattice.size() - 1);
+    std::printf("simulated %zu of %zu dense-equivalent points (%.0f%%), "
+                "%zu replayed warm\n",
+                outcome.simulated_points(), dense_points,
+                100.0 * static_cast<double>(outcome.simulated_points()) /
+                    static_cast<double>(dense_points),
+                outcome.warm_points());
+    report_cache();
+
+    if (search_csv_path != nullptr) {
+      sweep::append_search_telemetry(search_csv_path, search_name, search,
+                                     dense_points);
+      std::fprintf(stderr, "search telemetry -> %s (%s)\n", search_csv_path,
+                   search_name);
+    }
+
+    if (solve_check) {
+      // Dense cross-check: the solver ran FIRST, so its cold-probe counts
+      // above were unaffected by this sweep warming the shared cache.
+      std::printf("\ndense cross-check (%zu points):\n", grid.size());
+      const auto results = runner.run(grid);
+      std::size_t first_qr_win = sweep.size();
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const double hib = joules_per_mcycle(results[i * 2]);
+        const double qr = joules_per_mcycle(results[i * 2 + 1]);
+        if (qr < hib) {
+          first_qr_win = i;
+          break;
+        }
+      }
+      check(first_qr_win > 0 && first_qr_win < sweep.size(),
+            "dense sweep finds an interior crossover cell");
+      if (first_qr_win > 0 && first_qr_win < sweep.size()) {
+        const double cell_lo = sweep[first_qr_win - 1];
+        const double cell_hi = sweep[first_qr_win];
+        std::printf("  dense crossover cell: [%.0f, %.0f] Hz\n", cell_lo, cell_hi);
+        check(outcome.lo >= cell_lo && outcome.hi <= cell_hi,
+              "solver bracket lies inside the dense crossover cell");
+      }
+      std::printf("\n%s\n", g_failures == 0 ? "SOLVE CHECK PASSED"
+                                            : "SOLVE CHECK FAILED");
+      return g_failures == 0 ? 0 : 1;
+    }
+    return 0;
+  }
 
   if (shard.has_value()) {
     // Shard mode: simulate the owned slice, emit the mergeable CSV, done.

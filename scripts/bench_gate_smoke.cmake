@@ -3,11 +3,17 @@
 # classes — gates that hold (exit 0), a gate the recorded ratio misses
 # (exit 1), and a gate naming a pair the file does not carry (exit 1).
 #
+# The probe-count gates (--points-csv/--points-gate) are smoked the same
+# way against the committed search telemetry fixture: a cold-budget gate
+# that holds, the zero-point warm gate, a budget the recorded count
+# exceeds, and a search the file does not carry.
+#
 # Invoked as:
-#   cmake -DGATE=<bench_gate> -DFIXTURE=<bench_gate_sample.json> -P this_file
+#   cmake -DGATE=<bench_gate> -DFIXTURE=<bench_gate_sample.json>
+#         -DPOINTS_FIXTURE=<search_points_sample.csv> -P this_file
 
-if(NOT GATE OR NOT FIXTURE)
-  message(FATAL_ERROR "usage: cmake -DGATE=... -DFIXTURE=... -P bench_gate_smoke.cmake")
+if(NOT GATE OR NOT FIXTURE OR NOT POINTS_FIXTURE)
+  message(FATAL_ERROR "usage: cmake -DGATE=... -DFIXTURE=... -DPOINTS_FIXTURE=... -P bench_gate_smoke.cmake")
 endif()
 
 # 1. All recorded pairs clear their gates (60x and ~4.3x macro, 4x batch in
@@ -64,6 +70,40 @@ execute_process(
 if(batch_missing_result EQUAL 0)
   message(FATAL_ERROR
           "expected --batch-gate on a macro-only pair to fail:\n${batch_missing_out}")
+endif()
+
+# 5. Probe-count gates: the recorded cold search (16 simulated points)
+# clears its budget, the warm rerun clears the zero-point gate — both in
+# one invocation, alongside a ratio gate (mixed gate families must
+# compose).
+execute_process(
+  COMMAND ${GATE} ${FIXTURE} --gate BrownoutTail=8
+          --points-csv ${POINTS_FIXTURE}
+          --points-gate Eq5Solve=24 --points-gate Eq5SolveWarm=0
+  RESULT_VARIABLE points_pass_result OUTPUT_VARIABLE points_pass_out)
+if(NOT points_pass_result EQUAL 0)
+  message(FATAL_ERROR "expected points gates to pass, got exit ${points_pass_result}:\n${points_pass_out}")
+endif()
+if(NOT points_pass_out MATCHES "\\[PASS\\] Eq5SolveWarm")
+  message(FATAL_ERROR "missing PASS verdict for Eq5SolveWarm:\n${points_pass_out}")
+endif()
+
+# 6. A budget the recorded count exceeds must fail loudly, and a search the
+# telemetry file does not carry must fail, not silently pass.
+execute_process(
+  COMMAND ${GATE} --points-csv ${POINTS_FIXTURE} --points-gate Eq5Solve=5
+  RESULT_VARIABLE points_fail_result OUTPUT_VARIABLE points_fail_out)
+if(points_fail_result EQUAL 0)
+  message(FATAL_ERROR "expected the 5-point budget to fail:\n${points_fail_out}")
+endif()
+if(NOT points_fail_out MATCHES "\\[FAIL\\] Eq5Solve")
+  message(FATAL_ERROR "missing FAIL verdict for Eq5Solve:\n${points_fail_out}")
+endif()
+execute_process(
+  COMMAND ${GATE} --points-csv ${POINTS_FIXTURE} --points-gate NoSuchSearch=10
+  RESULT_VARIABLE points_missing_result OUTPUT_VARIABLE points_missing_out)
+if(points_missing_result EQUAL 0)
+  message(FATAL_ERROR "expected the missing search to fail:\n${points_missing_out}")
 endif()
 
 message(STATUS "bench_gate smoke: pass/fail/missing verdicts all correct")

@@ -77,7 +77,7 @@ std::optional<std::string> batch_group_key(const spec::SystemSpec& spec) {
 void run_batched(const Grid& grid, const std::vector<BatchPointRef>& points,
                  const RunnerOptions& options, const ScalarPointFn& scalar_point,
                  std::vector<sim::SimResult>& rows, std::vector<double>* micros,
-                 std::vector<char>* provenance) {
+                 std::vector<char>* provenance, std::vector<char>* origin) {
   Cache* cache = options.cache;
 
   // Phase 1 (serial, cheap): resolve warm cache points, partition the rest
@@ -92,6 +92,7 @@ void run_batched(const Grid& grid, const std::vector<BatchPointRef>& points,
         rows[ref.slot] = std::move(cached->result);
         if (micros != nullptr) (*micros)[ref.slot] = cached->micros;
         if (provenance != nullptr) (*provenance)[ref.slot] = cached->provenance;
+        if (origin != nullptr) (*origin)[ref.slot] = kOriginWarm;
         continue;
       }
     }
@@ -145,9 +146,11 @@ void run_batched(const Grid& grid, const std::vector<BatchPointRef>& points,
       const Point point = grid.point(ref.global_index);
       double cost = 0.0;
       char source = kProvenanceScalar;
-      rows[ref.slot] = scalar_point(point, cost, source);
+      char from = kOriginFresh;
+      rows[ref.slot] = scalar_point(point, cost, source, from);
       if (micros != nullptr) (*micros)[ref.slot] = cost;
       if (provenance != nullptr) (*provenance)[ref.slot] = source;
+      if (origin != nullptr) (*origin)[ref.slot] = from;
       return;
     }
 
@@ -195,6 +198,7 @@ void run_batched(const Grid& grid, const std::vector<BatchPointRef>& points,
       rows[ref.slot] = std::move(results[k]);
       if (micros != nullptr) (*micros)[ref.slot] = per_lane[k];
       if (provenance != nullptr) (*provenance)[ref.slot] = kProvenanceBatch;
+      if (origin != nullptr) (*origin)[ref.slot] = kOriginFresh;
     }
   };
 

@@ -30,12 +30,13 @@ sim::SimResult timed_simulation(Body&& body, double& micros) {
 }  // namespace
 
 sim::SimResult Runner::simulate_point(const Point& point, double& micros,
-                                      char& provenance) const {
+                                      char& provenance, char& origin) const {
   const auto simulate = [&point] {
     auto system = spec::instantiate(point.spec);
     return system.run();
   };
   provenance = kProvenanceScalar;
+  origin = kOriginFresh;
   Cache* cache = options_.cache;
   const FaultInjector* chaos = options_.fault_injector;
   if (cache == nullptr && chaos == nullptr) {
@@ -52,9 +53,11 @@ sim::SimResult Runner::simulate_point(const Point& point, double& micros,
       // Report the point's *original* simulation cost and provenance, not
       // the load time — that is what a cost-weighted re-shard of the warm
       // grid needs (and a warm batch-produced point must keep reporting
-      // its amortized lane cost as such).
+      // its amortized lane cost as such). Only `origin` says "warm": it
+      // describes this run, not the stored entry.
       micros = cached->micros;
       provenance = cached->provenance;
+      origin = kOriginWarm;
       return std::move(cached->result);
     }
   }
@@ -66,32 +69,39 @@ sim::SimResult Runner::simulate_point(const Point& point, double& micros,
 }
 
 std::vector<sim::SimResult> Runner::run(const Grid& grid, std::vector<double>* micros,
-                                        std::vector<char>* provenance) const {
+                                        std::vector<char>* provenance,
+                                        std::vector<char>* origin) const {
   std::vector<sim::SimResult> rows(grid.size());
   if (micros != nullptr) micros->assign(grid.size(), 0.0);
   if (provenance != nullptr) provenance->assign(grid.size(), kProvenanceScalar);
+  if (origin != nullptr) origin->assign(grid.size(), kOriginFresh);
   if (options_.batch) {
     std::vector<BatchPointRef> refs(grid.size());
     for (std::size_t i = 0; i < grid.size(); ++i) refs[i] = BatchPointRef{i, i};
-    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance);
+    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance,
+                origin);
     return rows;
   }
-  for_each_point(grid, [this, &rows, micros, provenance](const Point& point) {
+  for_each_point(grid, [this, &rows, micros, provenance, origin](const Point& point) {
     double cost = 0.0;
     char source = kProvenanceScalar;
-    rows[point.index] = simulate_point(point, cost, source);
+    char from = kOriginFresh;
+    rows[point.index] = simulate_point(point, cost, source, from);
     if (micros != nullptr) (*micros)[point.index] = cost;
     if (provenance != nullptr) (*provenance)[point.index] = source;
+    if (origin != nullptr) (*origin)[point.index] = from;
   });
   return rows;
 }
 
 std::vector<sim::SimResult> Runner::run_shard(const Grid& grid, const Shard& shard,
                                               std::vector<double>* micros,
-                                              std::vector<char>* provenance) const {
+                                              std::vector<char>* provenance,
+                                              std::vector<char>* origin) const {
   std::vector<sim::SimResult> rows(shard.owned_count(grid.size()));
   if (micros != nullptr) micros->assign(rows.size(), 0.0);
   if (provenance != nullptr) provenance->assign(rows.size(), kProvenanceScalar);
+  if (origin != nullptr) origin->assign(rows.size(), kOriginFresh);
   if (options_.batch) {
     // Owned points are strided index % count == index0, so the row slot of
     // global point i is simply i / count.
@@ -100,17 +110,20 @@ std::vector<sim::SimResult> Runner::run_shard(const Grid& grid, const Shard& sha
     for (std::size_t slot = 0; slot < rows.size(); ++slot) {
       refs.push_back(BatchPointRef{shard.index + slot * shard.count, slot});
     }
-    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance);
+    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance,
+                origin);
     return rows;
   }
   for_each_point(grid, shard,
-                 [this, &shard, &rows, micros, provenance](const Point& point) {
+                 [this, &shard, &rows, micros, provenance, origin](const Point& point) {
     const std::size_t slot = point.index / shard.count;
     double cost = 0.0;
     char source = kProvenanceScalar;
-    rows[slot] = simulate_point(point, cost, source);
+    char from = kOriginFresh;
+    rows[slot] = simulate_point(point, cost, source, from);
     if (micros != nullptr) (*micros)[slot] = cost;
     if (provenance != nullptr) (*provenance)[slot] = source;
+    if (origin != nullptr) (*origin)[slot] = from;
   });
   return rows;
 }
@@ -119,37 +132,42 @@ std::vector<sim::SimResult> Runner::run_assignment(const Grid& grid,
                                                    const ShardAssignment& assignment,
                                                    std::size_t shard_index,
                                                    std::vector<double>* micros,
-                                                   std::vector<char>* provenance) const {
+                                                   std::vector<char>* provenance,
+                                                   std::vector<char>* origin) const {
   const std::vector<std::size_t>& owned = assignment.owned.at(shard_index);
   // Row slot of global point i: its position in the (ascending) owned list.
   std::vector<sim::SimResult> rows(owned.size());
   if (micros != nullptr) micros->assign(rows.size(), 0.0);
   if (provenance != nullptr) provenance->assign(rows.size(), kProvenanceScalar);
+  if (origin != nullptr) origin->assign(rows.size(), kOriginFresh);
   if (options_.batch) {
     std::vector<BatchPointRef> refs;
     refs.reserve(owned.size());
     for (std::size_t slot = 0; slot < owned.size(); ++slot) {
       refs.push_back(BatchPointRef{owned[slot], slot});
     }
-    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance);
+    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance,
+                origin);
     return rows;
   }
   for_each_point(grid, owned,
-                 [this, &owned, &rows, micros, provenance](const Point& point) {
+                 [this, &owned, &rows, micros, provenance, origin](const Point& point) {
     const auto slot = static_cast<std::size_t>(
         std::lower_bound(owned.begin(), owned.end(), point.index) - owned.begin());
     double cost = 0.0;
     char source = kProvenanceScalar;
-    rows[slot] = simulate_point(point, cost, source);
+    char from = kOriginFresh;
+    rows[slot] = simulate_point(point, cost, source, from);
     if (micros != nullptr) (*micros)[slot] = cost;
     if (provenance != nullptr) (*provenance)[slot] = source;
+    if (origin != nullptr) (*origin)[slot] = from;
   });
   return rows;
 }
 
 ScalarPointFn Runner::scalar_point_fn() const {
-  return [this](const Point& point, double& micros, char& provenance) {
-    return simulate_point(point, micros, provenance);
+  return [this](const Point& point, double& micros, char& provenance, char& origin) {
+    return simulate_point(point, micros, provenance, origin);
   };
 }
 

@@ -50,6 +50,16 @@ namespace edc::sweep {
 class Cache;
 class FaultInjector;
 
+/// Per-row origin codes (the probe-count accounting solver-guided searches
+/// rely on, see sweep/search.h): was the row computed by a fresh
+/// simulation on *this* run, or replayed warm from the cache? Unlike
+/// provenance ('s'/'b', which survives cache round trips), origin is a
+/// property of the current run — a warm rerun of a cached grid is all
+/// kOriginWarm even though every row's provenance still names the path
+/// that first produced it.
+inline constexpr char kOriginFresh = 'f';  ///< simulated on this run
+inline constexpr char kOriginWarm = 'w';   ///< loaded from the cache
+
 struct RunnerOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (at least 1).
   /// The pool never exceeds the number of grid points.
@@ -97,16 +107,23 @@ class Runner {
   /// consumers how to interpret the matching micros entry: per-point wall
   /// time, or a batch chunk's cost amortized over its lanes. Cache hits
   /// replay the provenance recorded when the point was first simulated.
+  ///
+  /// When `origin` is non-null it receives one code per row saying whether
+  /// the row was simulated fresh on this run (kOriginFresh) or replayed
+  /// from the cache (kOriginWarm) — the exact cold-point accounting
+  /// sweep::Search gates its probe budgets on.
   [[nodiscard]] std::vector<sim::SimResult> run(
       const Grid& grid, std::vector<double>* micros = nullptr,
-      std::vector<char>* provenance = nullptr) const;
+      std::vector<char>* provenance = nullptr,
+      std::vector<char>* origin = nullptr) const;
 
   /// As run(), but only for the points `shard` owns; rows are returned in
   /// ascending global-point order (matching Shard::owned_points). The
   /// k-of-N results of a full partition merge back into the run() rows.
   [[nodiscard]] std::vector<sim::SimResult> run_shard(
       const Grid& grid, const Shard& shard, std::vector<double>* micros = nullptr,
-      std::vector<char>* provenance = nullptr) const;
+      std::vector<char>* provenance = nullptr,
+      std::vector<char>* origin = nullptr) const;
 
   /// The cost-weighted re-run path: as run_shard(), but for slice
   /// `shard_index` of an explicit ShardAssignment (e.g. the LPT partition
@@ -117,7 +134,8 @@ class Runner {
   [[nodiscard]] std::vector<sim::SimResult> run_assignment(
       const Grid& grid, const ShardAssignment& assignment, std::size_t shard_index,
       std::vector<double>* micros = nullptr,
-      std::vector<char>* provenance = nullptr) const;
+      std::vector<char>* provenance = nullptr,
+      std::vector<char>* origin = nullptr) const;
 
   /// As run(), but maps each completed simulation through `fn` inside the
   /// worker thread, while the wired system is still alive. `fn` must be
@@ -161,15 +179,16 @@ class Runner {
 
  private:
   /// Simulates one point, consulting options_.cache when set. `micros`
-  /// receives the point's wall-time cost and `provenance` its execution
-  /// path (see run()).
+  /// receives the point's wall-time cost, `provenance` its execution path
+  /// and `origin` whether it was simulated fresh or loaded warm (see
+  /// run()).
   [[nodiscard]] sim::SimResult simulate_point(const Point& point, double& micros,
-                                              char& provenance) const;
+                                              char& provenance, char& origin) const;
 
   /// simulate_point wrapped as the batch executor's scalar fallback
   /// (sweep::ScalarPointFn; spelled out here to avoid a header cycle with
   /// sweep/batch.h).
-  [[nodiscard]] std::function<sim::SimResult(const Point&, double&, char&)>
+  [[nodiscard]] std::function<sim::SimResult(const Point&, double&, char&, char&)>
   scalar_point_fn() const;
 
   /// The shared thread-pool driver: executes body(grid.point(

@@ -1,0 +1,371 @@
+// design_query — answer inverse design questions with sweep::Search.
+//
+// The paper's sizing questions ("what is the minimum storage that survives
+// this harvester trace?", "how slow can the reader field pulse before the
+// workload stops completing?") are inverse problems over one spec axis.
+// This tool asks them directly: pick a base spec, a continuous axis, and a
+// pass/fail objective, and the solver brackets the threshold in O(log)
+// simulations instead of a dense sweep's O(grid).
+//
+//   design_query --demo
+//       The minimum-capacitance question on the micro wind turbine
+//       (5 V / 6 Hz, seeded gusts): smallest C in [1 uF, 1 mF] that rides
+//       through the full 10 s trace with zero brownouts, to 1 uF.
+//
+//   design_query --spec system.spec --axis capacitance --lo 1e-6 --hi 1e-3 \
+//                --objective brownouts --target 0 --tol 1e-6
+//       The same question on any canonical spec (see spec/serialize.h;
+//       "-" reads the spec from stdin, --print-spec emits the demo's).
+//
+// Axes: capacitance, bleed, t-end (horizon), frequency, duty, amplitude
+// (the last three mutate the source in place and require a compatible
+// source family). Objectives (positive = pass, negative = fail):
+//
+//   completed          +1 when the workload completed, -1 otherwise
+//   brownouts          (target + 0.5) - brownouts     (pass: <= target)
+//   forward-cycles     forward_cycles - target + 0.5  (pass: >= target)
+//   final-energy       stored_final - target          (pass: >= target J)
+//
+// Integer objectives are biased half a count off zero so the crossing is a
+// strict sign change (sweep::Search rejects sign-degenerate probes loudly).
+//
+// The default strategy is continuous interval contraction to --tol;
+// --lattice N / --log-lattice N switch to discrete bisection over an
+// N-point linear/geometric lattice (with neighbour verification, see
+// sweep/search.h). --cache memoises probes on disk — a warm rerun of the
+// same query simulates zero points — and --search-csv appends the
+// "name,probes,simulated,warm,grid_points" telemetry row that
+// tools/bench_gate --points-gate asserts in CI.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "edc/sim/table.h"
+#include "edc/spec/serialize.h"
+#include "edc/spec/system_spec.h"
+#include "edc/sweep/cache.h"
+#include "edc/sweep/search.h"
+#include "edc/trace/voltage_sources.h"
+
+using namespace edc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--demo | --spec FILE|-)\n"
+      "          [--axis capacitance|bleed|t-end|frequency|duty|amplitude]\n"
+      "          [--lo X --hi X] [--tol X | --lattice N | --log-lattice N]\n"
+      "          [--objective completed|brownouts|forward-cycles|final-energy]\n"
+      "          [--target X] [--max-probes N] [--cache DIR]\n"
+      "          [--search-csv FILE] [--search-name NAME] [--print-spec]\n",
+      argv0);
+  return 2;
+}
+
+/// The --demo base spec: the Fig 1a micro wind turbine (5 V / 6 Hz peak,
+/// seeded gusts) feeding a leaky node, CRC workload looping over the full
+/// 10 s trace (stop_on_completion off — survival means riding out the
+/// whole trace, not finishing one pass). Macro-stepping collapses the
+/// outage tails the small-C candidates spend most of the trace in.
+spec::SystemSpec demo_spec() {
+  spec::SystemSpec s;
+  trace::WindTurbineSource::Params wind;
+  wind.peak_voltage = 5.0;
+  wind.peak_frequency = 6.0;
+  s.source = spec::WindSource{wind, 3, 10.0};
+  s.storage.capacitance = 10e-6;
+  s.storage.bleed = 10000.0;
+  s.workload.kind = "crc";
+  s.workload.seed = 9;
+  s.sim.t_end = 10.0;
+  s.sim.stop_on_completion = false;
+  s.sim.macro_stepping = true;
+  return s;
+}
+
+/// Mutates the source's fundamental frequency in place, whatever family
+/// the spec carries (the axis requires a frequency-bearing source).
+void set_source_frequency(spec::SystemSpec& s, double x) {
+  if (auto* sine = std::get_if<spec::SineSource>(&s.source)) {
+    sine->frequency = x;
+  } else if (auto* square = std::get_if<spec::SquareSource>(&s.source)) {
+    square->frequency = x;
+  } else if (auto* wind = std::get_if<spec::WindSource>(&s.source)) {
+    wind->params.peak_frequency = x;
+  } else {
+    throw std::invalid_argument(
+        "--axis frequency needs a sine, square or wind source");
+  }
+}
+
+void set_source_duty(spec::SystemSpec& s, double x) {
+  if (auto* square = std::get_if<spec::SquareSource>(&s.source)) {
+    square->duty = x;
+  } else {
+    throw std::invalid_argument("--axis duty needs a square source");
+  }
+}
+
+void set_source_amplitude(spec::SystemSpec& s, double x) {
+  if (auto* sine = std::get_if<spec::SineSource>(&s.source)) {
+    sine->amplitude = x;
+  } else if (auto* square = std::get_if<spec::SquareSource>(&s.source)) {
+    square->high = x;
+  } else if (auto* dc = std::get_if<spec::DcSource>(&s.source)) {
+    dc->voltage = x;
+  } else if (auto* wind = std::get_if<spec::WindSource>(&s.source)) {
+    wind->params.peak_voltage = x;
+  } else {
+    throw std::invalid_argument(
+        "--axis amplitude needs a sine, square, dc or wind source");
+  }
+}
+
+sweep::SearchAxis make_axis(const std::string& name) {
+  if (name == "capacitance") {
+    return {"capacitance (F)",
+            [](spec::SystemSpec& s, double x) { s.storage.capacitance = x; },
+            [](double x) { return sim::Table::eng(x, "F", 1); }};
+  }
+  if (name == "bleed") {
+    return {"bleed (Ohm)",
+            [](spec::SystemSpec& s, double x) { s.storage.bleed = x; },
+            {}};
+  }
+  if (name == "t-end") {
+    return {"t_end (s)", [](spec::SystemSpec& s, double x) { s.sim.t_end = x; },
+            {}};
+  }
+  if (name == "frequency") {
+    return {"frequency (Hz)", set_source_frequency, {}};
+  }
+  if (name == "duty") {
+    return {"duty", set_source_duty, {}};
+  }
+  if (name == "amplitude") {
+    return {"amplitude (V)", set_source_amplitude, {}};
+  }
+  throw std::invalid_argument("unknown --axis '" + name + "'");
+}
+
+sweep::SearchObjective make_objective(const std::string& name, double target) {
+  if (name == "completed") {
+    return [](double, const std::vector<sim::SimResult>& rows) {
+      return rows[0].mcu.completed ? 1.0 : -1.0;
+    };
+  }
+  if (name == "brownouts") {
+    return [target](double, const std::vector<sim::SimResult>& rows) {
+      return (target + 0.5) - static_cast<double>(rows[0].mcu.brownouts);
+    };
+  }
+  if (name == "forward-cycles") {
+    return [target](double, const std::vector<sim::SimResult>& rows) {
+      return rows[0].mcu.forward_cycles - target + 0.5;
+    };
+  }
+  if (name == "final-energy") {
+    return [target](double, const std::vector<sim::SimResult>& rows) {
+      return rows[0].stored_final - target;
+    };
+  }
+  throw std::invalid_argument("unknown --objective '" + name + "'");
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = false;
+  bool print_spec = false;
+  const char* spec_path = nullptr;
+  std::string axis_name = "capacitance";
+  std::string objective_name = "brownouts";
+  double target = 0.0;
+  double lo = 1e-6;
+  double hi = 1e-3;
+  double tol = 1e-6;
+  long lattice_n = 0;
+  bool log_lattice = false;
+  long max_probes = 64;
+  std::optional<sweep::Cache> cache;
+  const char* search_csv_path = nullptr;
+  const char* search_name = "DesignQuery";
+
+  for (int i = 1; i < argc; ++i) {
+    const auto number_flag = [&](const char* flag, double& out) {
+      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return false;
+      if (!parse_double(argv[i + 1], out)) {
+        std::fprintf(stderr, "%s needs a number, got '%s'\n", flag, argv[i + 1]);
+        std::exit(2);
+      }
+      ++i;
+      return true;
+    };
+    double probes_value = 0.0;
+    double lattice_value = 0.0;
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--print-spec") == 0) {
+      print_spec = true;
+    } else if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
+      spec_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--axis") == 0 && i + 1 < argc) {
+      axis_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--objective") == 0 && i + 1 < argc) {
+      objective_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache.emplace(argv[++i]);
+    } else if (std::strcmp(argv[i], "--search-csv") == 0 && i + 1 < argc) {
+      search_csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--search-name") == 0 && i + 1 < argc) {
+      search_name = argv[++i];
+    } else if (number_flag("--target", target) || number_flag("--lo", lo) ||
+               number_flag("--hi", hi) || number_flag("--tol", tol)) {
+      // parsed in the condition
+    } else if (number_flag("--max-probes", probes_value)) {
+      max_probes = static_cast<long>(probes_value);
+    } else if (number_flag("--lattice", lattice_value)) {
+      lattice_n = static_cast<long>(lattice_value);
+      log_lattice = false;
+    } else if (number_flag("--log-lattice", lattice_value)) {
+      lattice_n = static_cast<long>(lattice_value);
+      log_lattice = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (demo == (spec_path != nullptr)) {
+    std::fprintf(stderr, "pick exactly one of --demo / --spec FILE\n");
+    return usage(argv[0]);
+  }
+  if (!(lo < hi) || !(tol > 0.0) || max_probes < 2 ||
+      (lattice_n != 0 && lattice_n < 2)) {
+    std::fprintf(stderr, "need --lo < --hi, --tol > 0, --max-probes >= 2 and "
+                         "--lattice/--log-lattice >= 2\n");
+    return 2;
+  }
+  if (log_lattice && !(lo > 0.0)) {
+    std::fprintf(stderr, "--log-lattice needs --lo > 0\n");
+    return 2;
+  }
+
+  spec::SystemSpec base;
+  if (demo) {
+    base = demo_spec();
+  } else {
+    std::string text;
+    if (std::strcmp(spec_path, "-") == 0) {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      text = buffer.str();
+    } else {
+      std::ifstream in(spec_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot open spec '%s'\n", spec_path);
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+    try {
+      base = spec::parse_spec(text);
+    } catch (const spec::SpecFormatError& error) {
+      std::fprintf(stderr, "bad spec '%s': %s\n", spec_path, error.what());
+      return 1;
+    }
+  }
+  if (print_spec) {
+    std::cout << spec::serialize(base);
+    return 0;
+  }
+
+  sweep::SearchOptions options;
+  options.max_probes = static_cast<std::size_t>(max_probes);
+  if (cache.has_value()) options.runner.cache = &*cache;
+
+  sweep::SearchOutcome outcome;
+  std::size_t dense_points = 0;
+  try {
+    sweep::Search search(base, make_axis(axis_name),
+                         make_objective(objective_name, target), options);
+    if (lattice_n > 0) {
+      std::vector<double> lattice;
+      lattice.reserve(static_cast<std::size_t>(lattice_n));
+      for (long i = 0; i < lattice_n; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(lattice_n - 1);
+        lattice.push_back(log_lattice ? lo * std::pow(hi / lo, t)
+                                      : lo + (hi - lo) * t);
+      }
+      dense_points = lattice.size();
+      outcome = search.bracket_on(lattice);
+    } else {
+      // Dense-equivalent resolution: the grid a tolerance-matched linear
+      // sweep would need (one point per tol-sized cell, inclusive ends).
+      dense_points =
+          static_cast<std::size_t>(std::ceil((hi - lo) / tol)) + 1;
+      outcome = search.contract(lo, hi, tol);
+    }
+
+    sim::Table table({"probe", axis_name, "objective", "origin"});
+    for (std::size_t i = 0; i < outcome.probes.size(); ++i) {
+      const sweep::SearchProbe& probe = outcome.probes[i];
+      table.add_row({std::to_string(i), sim::Table::num(probe.x, 9),
+                     sim::Table::num(probe.value, 3),
+                     probe.warm == 0 ? "fresh"
+                                     : (probe.simulated == 0 ? "warm" : "mixed")});
+    }
+    std::printf("=== design query: %s vs %s (objective %s, target %g) ===\n\n",
+                objective_name.c_str(), axis_name.c_str(), objective_name.c_str(),
+                target);
+    table.print(std::cout);
+
+    const bool pass_high = outcome.direction > 0;
+    std::printf("\nthreshold bracket: fails at %s = %.9g, passes at %.9g\n",
+                axis_name.c_str(), pass_high ? outcome.lo : outcome.hi,
+                pass_high ? outcome.hi : outcome.lo);
+    std::printf("simulated %zu of %zu dense-equivalent points, %zu replayed "
+                "warm (%zu probes)\n",
+                outcome.simulated_points(), dense_points, outcome.warm_points(),
+                outcome.probe_count());
+
+    if (search_csv_path != nullptr) {
+      sweep::append_search_telemetry(search_csv_path, search_name, search,
+                                     dense_points);
+      std::fprintf(stderr, "search telemetry -> %s (%s)\n", search_csv_path,
+                   search_name);
+    }
+  } catch (const sweep::SearchError& error) {
+    std::fprintf(stderr, "search failed (%s): %s\n",
+                 sweep::search_error_kind_name(error.kind()), error.what());
+    return 1;
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 2;
+  }
+
+  if (cache.has_value()) {
+    const sweep::CacheStats stats = cache->stats();
+    std::fprintf(stderr, "cache: %llu hits, %llu misses, %llu stored\n",
+                 static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses),
+                 static_cast<unsigned long long>(stats.stores));
+  }
+  return 0;
+}
