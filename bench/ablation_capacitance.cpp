@@ -18,6 +18,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common_flags.h"
 #include "edc/checkpoint/hibernus_pp.h"
 #include "edc/checkpoint/interrupt_policy.h"
 #include "edc/checkpoint/thresholds.h"
@@ -48,7 +49,10 @@ struct Outcome {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Flagless bench: any argument is a loud error (bench/common_flags.h).
+  if (!bench::FlagParser().parse(argc, argv)) return 2;
+
   std::printf("=== Eq 4 ablation: deployed capacitance vs characterisation ===\n\n");
 
   const Farads characterised = 22e-6;  // hibernus was designed for this

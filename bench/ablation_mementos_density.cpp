@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common_flags.h"
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
 #include "edc/workloads/crc32.h"
@@ -60,7 +61,10 @@ Outcome run(unsigned stride) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Flagless bench: any argument is a loud error (bench/common_flags.h).
+  if (!bench::FlagParser().parse(argc, argv)) return 2;
+
   std::printf("=== Mementos checkpoint-placement density sweep (CRC-128KiB) ===\n\n");
   std::printf("poll stride 1 = check V_CC at every loop boundary;\n");
   std::printf("larger strides approach task-based granularity (Fig 2's arc).\n\n");

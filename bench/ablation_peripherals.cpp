@@ -16,6 +16,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common_flags.h"
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
 #include "edc/sweep/grid.h"
@@ -42,7 +43,10 @@ struct Outcome {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Flagless bench: any argument is a loud error (bench/common_flags.h).
+  if (!bench::FlagParser().parse(argc, argv)) return 2;
+
   std::printf("=== Peripheral state across outages: snapshot vs re-initialise ===\n\n");
   std::printf("workload: 512 sense rounds (ADC + radio); peripheral file 512 B;\n");
   std::printf("re-initialisation 60 kcycles (~7.5 ms at 8 MHz).\n\n");

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common_flags.h"
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
 #include "edc/workloads/crc32.h"
@@ -63,7 +64,10 @@ Outcome run(Amps i_base, bool with_governor) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Flagless bench: any argument is a loud error (bench/common_flags.h).
+  if (!bench::FlagParser().parse(argc, argv)) return 2;
+
   std::printf("=== Power proportionality vs power-neutral benefit (one wind gust) ===\n\n");
   std::printf("i_base is the MCU's static (frequency-independent) current; the\n");
   std::printf("dynamic share at 8 MHz is ~600 uA. Proportionality = dynamic share.\n\n");

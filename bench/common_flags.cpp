@@ -1,0 +1,64 @@
+#include "common_flags.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace bench {
+
+FlagParser& FlagParser::on(std::string name, std::function<void()> handler) {
+  flags_.push_back({std::move(name), {},
+                    [handler = std::move(handler)](const char*) {
+                      handler();
+                      return true;
+                    }});
+  return *this;
+}
+
+FlagParser& FlagParser::on_value(std::string name, std::string value_name,
+                                 std::function<bool(const char*)> handler) {
+  flags_.push_back({std::move(name), std::move(value_name), std::move(handler)});
+  return *this;
+}
+
+void FlagParser::print_usage(const char* argv0) const {
+  std::string usage = "usage: ";
+  usage += argv0;
+  for (const Flag& flag : flags_) {
+    usage += " [" + flag.name;
+    if (!flag.value_name.empty()) usage += ' ' + flag.value_name;
+    usage += ']';
+  }
+  std::fprintf(stderr, "%s\n", usage.c_str());
+}
+
+bool FlagParser::parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const Flag* match = nullptr;
+    for (const Flag& flag : flags_) {
+      if (std::strcmp(argv[i], flag.name.c_str()) == 0) {
+        match = &flag;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      print_usage(argv[0]);
+      return false;
+    }
+    if (match->value_name.empty()) {
+      match->handler(nullptr);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value (%s)\n", match->name.c_str(),
+                   match->value_name.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    if (!match->handler(argv[++i])) return false;
+  }
+  return true;
+}
+
+}  // namespace bench

@@ -1,0 +1,54 @@
+// Shared command-line flag parsing for the bench programs.
+//
+// Every bench used to hand-roll the same strcmp loop (and the flagless
+// ones ignored argv entirely, so a typo like --cahce silently ran the
+// wrong experiment). FlagParser centralises the loop: register each flag
+// with a handler, then parse(). Anything unregistered — including any
+// argument to a flagless bench — fails loudly with an auto-generated
+// usage line and a non-zero exit.
+//
+//   bench::FlagParser flags;
+//   flags.on("--macro", [&] { macro = true; });
+//   flags.on_value("--cache", "DIR", [&](const char* v) {
+//     cache.emplace(v);
+//     return true;                      // false = invalid value, exit 2
+//   });
+//   if (!flags.parse(argc, argv)) return 2;
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+class FlagParser {
+ public:
+  /// Boolean flag: `handler` runs when the flag appears (repeats allowed,
+  /// matching the historical loops).
+  FlagParser& on(std::string name, std::function<void()> handler);
+
+  /// Value flag: `--name VALUE`. `value_name` is the usage placeholder
+  /// (e.g. "DIR"). The handler returns false to reject the value — parse()
+  /// then fails without printing the usage line (the handler is expected
+  /// to have printed its own diagnostic, matching --t-end's behaviour).
+  FlagParser& on_value(std::string name, std::string value_name,
+                       std::function<bool(const char*)> handler);
+
+  /// Walks argv. Returns false — after printing a usage line to stderr for
+  /// unknown flags and missing values — when the caller should exit 2.
+  [[nodiscard]] bool parse(int argc, char** argv) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string value_name;                       // empty = boolean
+    std::function<bool(const char*)> handler;     // arg is nullptr for booleans
+  };
+
+  void print_usage(const char* argv0) const;
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace bench

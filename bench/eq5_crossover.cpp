@@ -68,10 +68,13 @@
 #include <optional>
 #include <vector>
 
+#include "common_flags.h"
 #include "edc/checkpoint/thresholds.h"
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
+#include "edc/spec/fleet_spec.h"
 #include "edc/sweep/cache.h"
+#include "edc/sweep/fleet.h"
 #include "edc/sweep/grid.h"
 #include "edc/sweep/report.h"
 #include "edc/sweep/runner.h"
@@ -228,66 +231,75 @@ int main(int argc, char** argv) {
   bool mixed_plan_ok = false;
   bool solve = false;
   bool solve_check = false;
+  bool fleet_mode = false;
+  std::size_t fleet_nodes = 3;
   const char* search_csv_path = nullptr;
   const char* search_name = "Eq5Solve";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
-      shard = sweep::Shard::parse(argv[++i]);
-    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-      csv_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--timing-csv") == 0 && i + 1 < argc) {
-      timing_csv_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--shard-plan") == 0 && i + 1 < argc) {
-      shard_plan_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
-      cache.emplace(argv[++i]);
-    } else if (std::strcmp(argv[i], "--macro") == 0) {
+  bench::FlagParser flags;
+  flags.on_value("--shard", "k/N",
+                 [&](const char* v) { shard = sweep::Shard::parse(v); return true; })
+      .on_value("--csv", "FILE", [&](const char* v) { csv_path = v; return true; })
+      .on_value("--timing-csv", "FILE",
+                [&](const char* v) { timing_csv_path = v; return true; })
+      .on_value("--shard-plan", "FILE",
+                [&](const char* v) { shard_plan_path = v; return true; })
+      .on_value("--cache", "DIR", [&](const char* v) { cache.emplace(v); return true; })
       // Event-horizon macro-stepping across the whole grid: the low-f
       // points are outage-dominated (long brown-out tails), which is
       // exactly the regime the macro stepper collapses to O(1) per span.
-      macro = true;
-    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      .on("--macro", [&] { macro = true; })
       // Batched SoA execution (sweep/batch.h): the two policies at each
       // interrupt frequency share a source, so they step as one two-lane
       // group. Rows are bit-identical to the scalar path; per-point
       // timings become amortized lane costs (provenance 'b' in the
       // timing CSV and shard plan).
-      batch = true;
-    } else if (std::strcmp(argv[i], "--mixed-plan-ok") == 0) {
-      mixed_plan_ok = true;
-    } else if (std::strcmp(argv[i], "--solve") == 0) {
-      solve = true;
-    } else if (std::strcmp(argv[i], "--solve-check") == 0) {
-      solve = true;
-      solve_check = true;
-    } else if (std::strcmp(argv[i], "--search-csv") == 0 && i + 1 < argc) {
-      search_csv_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--search-name") == 0 && i + 1 < argc) {
-      search_name = argv[++i];
-    } else if (std::strcmp(argv[i], "--t-end") == 0 && i + 1 < argc) {
-      char* end = nullptr;
-      t_end = std::strtod(argv[++i], &end);
-      if (end == argv[i] || *end != '\0' || !(t_end > 0.0)) {
-        std::fprintf(stderr, "--t-end needs a positive number, got '%s'\n", argv[i]);
-        return 2;
-      }
-      t_end_overridden = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--shard k/N] [--csv FILE] [--timing-csv FILE] "
-                   "[--shard-plan FILE] [--cache DIR] [--macro] [--batch] "
-                   "[--mixed-plan-ok] [--solve] [--solve-check] "
-                   "[--search-csv FILE] [--search-name NAME] [--t-end SECONDS]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
+      .on("--batch", [&] { batch = true; })
+      .on("--mixed-plan-ok", [&] { mixed_plan_ok = true; })
+      .on("--solve", [&] { solve = true; })
+      .on("--solve-check", [&] { solve = true; solve_check = true; })
+      // Fleet mode: ignore the crossover grid and run the canonical
+      // shared-RF example fleet (spec::example_rf_fleet) through the
+      // sweep runner instead — the end-to-end path scripts/fleet_smoke
+      // gates cold and warm.
+      .on("--fleet", [&] { fleet_mode = true; })
+      .on_value("--fleet-nodes", "N",
+                [&](const char* v) {
+                  char* end = nullptr;
+                  const unsigned long long n = std::strtoull(v, &end, 10);
+                  if (end == v || *end != '\0' || n < 1) {
+                    std::fprintf(stderr,
+                                 "--fleet-nodes needs a positive integer, got "
+                                 "'%s'\n", v);
+                    return false;
+                  }
+                  fleet_nodes = static_cast<std::size_t>(n);
+                  return true;
+                })
+      .on_value("--search-csv", "FILE",
+                [&](const char* v) { search_csv_path = v; return true; })
+      .on_value("--search-name", "NAME",
+                [&](const char* v) { search_name = v; return true; })
+      .on_value("--t-end", "SECONDS", [&](const char* v) {
+        char* end = nullptr;
+        t_end = std::strtod(v, &end);
+        if (end == v || *end != '\0' || !(t_end > 0.0)) {
+          std::fprintf(stderr, "--t-end needs a positive number, got '%s'\n", v);
+          return false;
+        }
+        t_end_overridden = true;
+        return true;
+      });
+  if (!flags.parse(argc, argv)) return 2;
   if (shard.has_value() && csv_path == nullptr) {
     std::fprintf(stderr, "--shard requires --csv FILE (the shard's output)\n");
     return 2;
   }
   if (solve && shard.has_value()) {
     std::fprintf(stderr, "--solve and --shard are mutually exclusive\n");
+    return 2;
+  }
+  if (fleet_mode && (solve || shard.has_value())) {
+    std::fprintf(stderr, "--fleet is mutually exclusive with --solve/--shard\n");
     return 2;
   }
 
@@ -344,6 +356,59 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.stores),
                  static_cast<unsigned long long>(stats.non_cacheable));
   };
+
+  if (fleet_mode) {
+    // Fleet mode: the canonical N-node shared-RF scenario — one jittered
+    // reader field, inverse-square-law per-node gains, staggered
+    // basestation harvest windows, adaptive-buffer commits. Lowered fleet
+    // nodes are ordinary cacheable sweep points, so --cache gives the
+    // usual cold/warm accounting (fresh == N cold, 0 warm).
+    std::printf("=== Shared-RF fleet (%zu nodes) under the sweep runner ===\n\n",
+                fleet_nodes);
+    const spec::FleetSpec fleet = spec::example_rf_fleet(fleet_nodes);
+    const auto& rf = std::get<spec::SharedRfCoupling>(fleet.coupling);
+
+    sweep::RunReport fleet_report;
+    const sim::FleetResult result = sweep::run_fleet(fleet, runner, &fleet_report);
+
+    sim::Table table({"node", "gain", "phase (s)", "completed",
+                      "harvested (uJ)", "consumed (uJ)", "commits", "torn"});
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      const sim::SimResult& node = result.nodes[i];
+      table.add_row({"node" + std::to_string(i), sim::Table::num(rf.gains[i], 3),
+                     sim::Table::num(rf.phases.empty() ? 0.0 : rf.phases[i], 2),
+                     node.mcu.completed ? "yes" : "no",
+                     sim::Table::num(node.harvested * 1e6, 1),
+                     sim::Table::num(node.consumed * 1e6, 1),
+                     std::to_string(node.nvm_commits),
+                     std::to_string(node.nvm_torn_writes)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nfleet: %zu/%zu nodes completed, %llu commits, %llu torn "
+                "writes fleet-wide\n",
+                result.completed_nodes(), result.size(),
+                static_cast<unsigned long long>(result.total_nvm_commits()),
+                static_cast<unsigned long long>(result.total_nvm_torn_writes()));
+    std::printf("fleet: simulated %zu of %zu nodes, %zu replayed warm\n",
+                fleet_report.fresh_count(), result.size(),
+                fleet_report.warm_count());
+    report_cache();
+
+    if (csv_path != nullptr) {
+      std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n", csv_path);
+        return 1;
+      }
+      sweep::write_csv(out, sweep::fleet_grid(fleet), result.nodes);
+      if (!out.good()) {
+        std::fprintf(stderr, "write to '%s' failed\n", csv_path);
+        return 1;
+      }
+    }
+    return 0;
+  }
 
   if (solve) {
     // Solver-guided mode: answer the crossover question with bracketed
@@ -445,8 +510,7 @@ int main(int argc, char** argv) {
     // of the plan's measured per-point costs instead of index striding —
     // every shard process derives the identical partition from the
     // identical file, so the slices still cover the grid exactly once.
-    std::vector<double> shard_micros;
-    std::vector<char> shard_provenance;
+    sweep::RunReport shard_report;
     std::vector<sim::SimResult> rows;
     std::optional<sweep::ShardAssignment> assignment;
     std::size_t owned_count = 0;
@@ -456,8 +520,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       assignment = sweep::ShardAssignment::balanced(plan, shard->count);
-      rows = runner.run_assignment(grid, *assignment, shard->index, &shard_micros,
-                                   &shard_provenance);
+      rows = runner.run_assignment(grid, *assignment, shard->index, &shard_report);
       owned_count = assignment->owned[shard->index].size();
       std::fprintf(stderr,
                    "shard plan '%s': LPT makespan %.0f us vs striding %.0f us\n",
@@ -465,7 +528,7 @@ int main(int argc, char** argv) {
                    sweep::ShardAssignment::striding(grid.size(), shard->count)
                        .makespan(plan));
     } else {
-      rows = runner.run_shard(grid, *shard, &shard_micros, &shard_provenance);
+      rows = runner.run_shard(grid, *shard, &shard_report);
       owned_count = shard->owned_count(grid.size());
     }
     std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
@@ -498,8 +561,8 @@ int main(int argc, char** argv) {
           assignment.has_value() ? assignment->owned[shard->index]
                                  : shard->owned_points(grid.size());
       for (std::size_t pos = 0; pos < owned.size(); ++pos) {
-        timing << owned[pos] << ',' << shard_micros[pos] << ','
-               << shard_provenance[pos] << '\n';
+        timing << owned[pos] << ',' << shard_report.micros[pos] << ','
+               << shard_report.provenance[pos] << '\n';
       }
       if (!timing.good()) {
         std::fprintf(stderr, "write to '%s' failed\n", timing_csv_path);
@@ -526,18 +589,20 @@ int main(int argc, char** argv) {
               "(50%% supply duty halves the usable on-time => expect ~%.0f Hz)\n\n",
               predicted, predicted / 2);
 
-  std::vector<double> micros;
-  std::vector<char> provenance;
-  const auto results = runner.run(grid, &micros, &provenance);
+  sweep::RunReport run_report;
+  const auto results = runner.run(grid, &run_report);
   report_cache();
 
   if (shard_plan_path != nullptr) {
     // Emit the timing plan for LPT-balanced --shard re-runs (cache hits
     // replay each point's original cost and provenance, so a warm grid
     // re-emits the same plan without simulating).
-    if (!write_shard_plan(shard_plan_path, micros, provenance)) return 1;
+    if (!write_shard_plan(shard_plan_path, run_report.micros,
+                          run_report.provenance)) {
+      return 1;
+    }
     std::fprintf(stderr, "shard plan -> %s (%zu points)\n", shard_plan_path,
-                 micros.size());
+                 run_report.micros.size());
   }
 
   if (csv_path != nullptr) {
@@ -562,7 +627,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open '%s' for writing\n", timing_csv_path);
       return 1;
     }
-    sweep::write_csv(out, grid, results, &micros, &provenance);
+    sweep::write_csv(out, grid, results, &run_report.micros,
+                     &run_report.provenance);
     if (!out.good()) {
       std::fprintf(stderr, "write to '%s' failed\n", timing_csv_path);
       return 1;

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common_flags.h"
 #include "edc/sim/ascii_plot.h"
 #include "edc/sim/table.h"
 #include "edc/trace/power_sources.h"
@@ -30,7 +31,10 @@ void check(bool ok, const char* what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Flagless bench: any argument is a loud error (bench/common_flags.h).
+  if (!bench::FlagParser().parse(argc, argv)) return 2;
+
   std::printf("=== Fig 1(a): micro wind turbine, single gust ===\n\n");
   const auto turbine = trace::WindTurbineSource::single_gust();
   const auto gust = trace::Waveform::sample(

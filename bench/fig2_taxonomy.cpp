@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common_flags.h"
 #include "edc/core/taxonomy.h"
 #include "edc/sim/table.h"
 
@@ -28,7 +29,10 @@ std::string mark(bool member) { return member ? "yes" : "-"; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Flagless bench: any argument is a loud error (bench/common_flags.h).
+  if (!bench::FlagParser().parse(argc, argv)) return 2;
+
   std::printf("=== Fig 2: an energy-based taxonomy of computing systems ===\n\n");
 
   sim::Table table({"system", "storage", "log10(J)", "energy-neutral", "transient",

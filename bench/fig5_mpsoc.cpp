@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common_flags.h"
 #include "edc/neutral/mpsoc.h"
 #include "edc/sim/ascii_plot.h"
 #include "edc/sim/table.h"
@@ -27,7 +28,10 @@ void check(bool ok, const char* what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Flagless bench: any argument is a loud error (bench/common_flags.h).
+  if (!bench::FlagParser().parse(argc, argv)) return 2;
+
   std::printf("=== Fig 5: raytrace FPS vs board power across operating points ===\n\n");
 
   neutral::BigLittleMpsoc model;

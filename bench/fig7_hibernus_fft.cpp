@@ -29,6 +29,7 @@
 #include <iostream>
 #include <limits>
 
+#include "common_flags.h"
 #include "edc/checkpoint/interrupt_policy.h"
 #include "edc/core/system.h"
 #include "edc/sim/ascii_plot.h"
@@ -89,16 +90,9 @@ using macro_survey::wall_millis;
 int main(int argc, char** argv) {
   bool macro = false;
   bool batch = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--macro") == 0) {
-      macro = true;
-    } else if (std::strcmp(argv[i], "--batch") == 0) {
-      batch = true;
-    } else {
-      std::fprintf(stderr, "usage: %s [--macro] [--batch]\n", argv[0]);
-      return 2;
-    }
-  }
+  bench::FlagParser flags;
+  flags.on("--macro", [&] { macro = true; }).on("--batch", [&] { batch = true; });
+  if (!flags.parse(argc, argv)) return 2;
 
   std::printf("=== Fig 7: hibernus running an FFT from a half-wave rectified sine ===\n\n");
 

@@ -28,6 +28,7 @@
 #include <iostream>
 #include <limits>
 
+#include "common_flags.h"
 #include "edc/core/system.h"
 #include "edc/sim/ascii_plot.h"
 #include "edc/sim/result_io.h"
@@ -88,16 +89,9 @@ Seconds longest_uninterrupted_run(const trace::Waveform& state) {
 int main(int argc, char** argv) {
   bool macro = false;
   bool batch = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--macro") == 0) {
-      macro = true;
-    } else if (std::strcmp(argv[i], "--batch") == 0) {
-      batch = true;
-    } else {
-      std::fprintf(stderr, "usage: %s [--macro] [--batch]\n", argv[0]);
-      return 2;
-    }
-  }
+  bench::FlagParser flags;
+  flags.on("--macro", [&] { macro = true; }).on("--batch", [&] { batch = true; });
+  if (!flags.parse(argc, argv)) return 2;
 
   std::printf("=== Fig 8: hibernus-PN on a micro wind turbine ===\n\n");
 

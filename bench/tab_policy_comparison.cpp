@@ -37,6 +37,7 @@
 #include <optional>
 #include <vector>
 
+#include "common_flags.h"
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
 #include "edc/sweep/cache.h"
@@ -59,16 +60,11 @@ void check(bool ok, const char* what) {
 int main(int argc, char** argv) {
   std::optional<sweep::Cache> cache;
   const char* trace_dir = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
-      cache.emplace(argv[++i]);
-    } else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
-      trace_dir = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--cache DIR] [--trace-dir DIR]\n", argv[0]);
-      return 2;
-    }
-  }
+  bench::FlagParser flags;
+  flags.on_value("--cache", "DIR", [&](const char* v) { cache.emplace(v); return true; })
+      .on_value("--trace-dir", "DIR",
+                [&](const char* v) { trace_dir = v; return true; });
+  if (!flags.parse(argc, argv)) return 2;
 
   std::printf("=== Policy comparison across sources (ENSsys'15-style, FFT-2048) ===\n");
 
@@ -136,14 +132,14 @@ int main(int argc, char** argv) {
   sweep::RunnerOptions options;
   if (cache.has_value()) options.cache = &*cache;
   const sweep::Runner runner(options);
-  std::vector<double> micros;
-  const auto cells = runner.run(grid, &micros);
+  sweep::RunReport report;
+  const auto cells = runner.run(grid, &report);
 
   // Per-point wall-time summary on stderr (stdout stays byte-comparable
   // across cold/warm runs): on a warm cache these are the points' original
   // simulation costs replayed from the entries.
   double micros_total = 0.0, micros_max = 0.0;
-  for (const double m : micros) {
+  for (const double m : report.micros) {
     micros_total += m;
     micros_max = std::max(micros_max, m);
   }

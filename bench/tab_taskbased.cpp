@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common_flags.h"
 #include "edc/core/system.h"
 #include "edc/sim/table.h"
 #include "edc/taskmodel/monjolo.h"
@@ -28,7 +29,10 @@ void check(bool ok, const char* what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Flagless bench: any argument is a loud error (bench/common_flags.h).
+  if (!bench::FlagParser().parse(argc, argv)) return 2;
+
   // ------------------------------------------------------------ Monjolo ----
   std::printf("=== Monjolo [6]: charge-and-fire energy metering ===\n\n");
   taskmodel::MonjoloMeter meter({});

@@ -174,6 +174,12 @@ SystemBuilder& SystemBuilder::policy_burst(taskmodel::BurstTaskPolicy::Config co
   return *this;
 }
 
+SystemBuilder& SystemBuilder::policy_adaptive_buffer(
+    taskmodel::AdaptiveBufferPolicy::Config config) {
+  spec_.policy = spec::AdaptiveBuffer{config};
+  return *this;
+}
+
 SystemBuilder& SystemBuilder::policy(std::unique_ptr<checkpoint::PolicyBase> policy) {
   EDC_CHECK(policy != nullptr, "policy must not be null");
   // The instance is shared across builds through a forwarding shim, so a

@@ -142,6 +142,8 @@ class SystemBuilder {
   SystemBuilder& policy_nvp(checkpoint::InterruptPolicy::Config config = {});
   SystemBuilder& policy_mementos(checkpoint::MementosPolicy::Config config = {});
   SystemBuilder& policy_burst(taskmodel::BurstTaskPolicy::Config config = {});
+  SystemBuilder& policy_adaptive_buffer(
+      taskmodel::AdaptiveBufferPolicy::Config config = {});
   /// Custom policy instance (its attach() configures the MCU). The instance
   /// is shared across builds of this builder, matching the historical
   /// behaviour — so a spec taken from to_spec() after this call must NOT be

@@ -1,0 +1,22 @@
+#include "edc/sim/fleet.h"
+
+#include <utility>
+
+#include "edc/core/system.h"
+
+namespace edc::sim {
+
+FleetSimulator::FleetSimulator(spec::FleetSpec fleet) : fleet_(std::move(fleet)) {
+  spec::validate_fleet(fleet_);
+}
+
+FleetResult FleetSimulator::run() const {
+  FleetResult result;
+  result.nodes.reserve(fleet_.size());
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    result.nodes.push_back(spec::instantiate(spec::fleet_node_spec(fleet_, i)).run());
+  }
+  return result;
+}
+
+}  // namespace edc::sim

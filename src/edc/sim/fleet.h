@@ -1,0 +1,51 @@
+// Node-count-N front end over the scalar simulation stack.
+//
+// FleetSimulator advances every node of a spec::FleetSpec across the shared
+// dt lattice and returns one FleetResult. It is deliberately *not* a new
+// integrator: each node is lowered to its effective single-node SystemSpec
+// (spec::fleet_node_spec) and run through the ordinary spec::instantiate →
+// core::EnergyDrivenSystem → sim::Simulator path, so every scalar-path
+// invariant — the quiescent engine, span certificates, macro stepping, the
+// energy ledger — holds per node unchanged.
+//
+// Coupling terms are broadcast once per substep in the declarative sense:
+// the shared-RF field's seeded burst schedule is a pure function of the
+// coupling spec, so each node's CoupledRfPower source reconstructs
+// bit-identical field samples at every shared-lattice substep — the same
+// value a runtime broadcast bus would deliver, realized the way the batch
+// kernel realizes its once-per-substep circuit::DriverSample broadcast
+// (one sample per instant, fanned out to all lanes). validate_fleet()
+// enforces the shared lattice (dt / node_substeps / t_end) that makes the
+// per-substep instants line up across nodes.
+//
+// Consequences pinned by tests/fleet_test.cpp:
+//  * N=1 uncoupled fleets are event-for-event bit-identical to running the
+//    node's spec through sim::Simulator directly (lowering is the identity
+//    for them);
+//  * fleet nodes remain ordinary, independently cacheable sweep points, so
+//    the Cache/Runner/Search stack works on fleets unchanged (sweep/fleet.h).
+#pragma once
+
+#include "edc/sim/fleet_result.h"
+#include "edc/spec/fleet_spec.h"
+
+namespace edc::sim {
+
+class FleetSimulator {
+ public:
+  /// Validates the fleet's cross-node invariants up front (throws
+  /// std::invalid_argument, see spec::validate_fleet).
+  explicit FleetSimulator(spec::FleetSpec fleet);
+
+  /// Runs every node over the shared lattice; nodes() entries appear in
+  /// fleet node order. Repeatable: each call re-instantiates the nodes
+  /// from the spec, so back-to-back runs return identical results.
+  [[nodiscard]] FleetResult run() const;
+
+  [[nodiscard]] const spec::FleetSpec& fleet() const noexcept { return fleet_; }
+
+ private:
+  spec::FleetSpec fleet_;
+};
+
+}  // namespace edc::sim

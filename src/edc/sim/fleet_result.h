@@ -1,0 +1,71 @@
+// Aggregated result bundle for a fleet simulation.
+//
+// A FleetResult is the node-count-N counterpart of sim::SimResult: one
+// per-node SimResult in fleet node order, plus aggregate views over the
+// quantities the fleet tools report (completion census, fleet-wide energy
+// ledger, NVM commit/torn accounting for the adaptive-buffer policy).
+// Each node entry is bit-identical to what a standalone run of the lowered
+// node spec produces — the fleet layer adds structure, never perturbation —
+// which is what the N=1 differential suite in tests/fleet_test.cpp pins.
+//
+// Serialization lives in edc/sim/result_io (serialize_fleet_result /
+// parse_fleet_result): a framing wrapper of length-prefixed node blocks,
+// each block the exact serialize_result() byte stream of that node.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "edc/sim/simulator.h"
+
+namespace edc::sim {
+
+struct FleetResult {
+  /// One entry per fleet node, in spec::FleetSpec::nodes order.
+  std::vector<SimResult> nodes;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes.size(); }
+
+  /// Number of nodes whose workload ran to completion.
+  [[nodiscard]] std::size_t completed_nodes() const noexcept {
+    std::size_t count = 0;
+    for (const SimResult& node : nodes) count += node.mcu.completed ? 1 : 0;
+    return count;
+  }
+
+  /// True when every node completed its workload.
+  [[nodiscard]] bool all_completed() const noexcept {
+    return completed_nodes() == nodes.size();
+  }
+
+  /// Fleet-wide harvested energy (sum over nodes), joules.
+  [[nodiscard]] double total_harvested() const noexcept {
+    double total = 0.0;
+    for (const SimResult& node : nodes) total += node.harvested;
+    return total;
+  }
+
+  /// Fleet-wide consumed energy (sum over nodes), joules.
+  [[nodiscard]] double total_consumed() const noexcept {
+    double total = 0.0;
+    for (const SimResult& node : nodes) total += node.consumed;
+    return total;
+  }
+
+  /// Fleet-wide committed NVM writes (the adaptive-buffer policy's currency).
+  [[nodiscard]] std::uint64_t total_nvm_commits() const noexcept {
+    std::uint64_t total = 0;
+    for (const SimResult& node : nodes) total += node.nvm_commits;
+    return total;
+  }
+
+  /// Fleet-wide torn NVM writes (power failed mid-commit).
+  [[nodiscard]] std::uint64_t total_nvm_torn_writes() const noexcept {
+    std::uint64_t total = 0;
+    for (const SimResult& node : nodes) total += node.nvm_torn_writes;
+    return total;
+  }
+};
+
+}  // namespace edc::sim

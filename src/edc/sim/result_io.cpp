@@ -213,4 +213,61 @@ SimResult parse_result(const std::string& text) {
   return result;
 }
 
+// ---- fleets ----------------------------------------------------------------
+
+std::string serialize_fleet_result(const FleetResult& result) {
+  std::string out = "edc.FleetResult v" +
+                    std::to_string(kFleetResultFormatVersion) + '\n';
+  out += "nodes " + std::to_string(result.nodes.size()) + '\n';
+  for (const SimResult& node : result.nodes) {
+    const std::string bytes = serialize_result(node);
+    out += "node_bytes " + std::to_string(bytes.size()) + '\n';
+    out += bytes;
+  }
+  return out;
+}
+
+FleetResult parse_fleet_result(const std::string& text) {
+  std::size_t pos = 0;
+  const auto read_line = [&]() -> std::string {
+    const std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) {
+      throw FormatError("fleet result truncated: missing newline");
+    }
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    return line;
+  };
+  const auto prefixed_u64 = [](const std::string& line,
+                               std::string_view prefix) -> std::uint64_t {
+    if (line.rfind(prefix, 0) != 0) {
+      throw FormatError("fleet result: expected '" + std::string(prefix) +
+                        "', got '" + line + "'");
+    }
+    return canon::parse_u64(std::string_view(line).substr(prefix.size()));
+  };
+
+  const std::string magic = read_line();
+  if (magic != "edc.FleetResult v" + std::to_string(kFleetResultFormatVersion)) {
+    throw FormatError("unsupported fleet result header: '" + magic + "'");
+  }
+  const std::uint64_t node_count = prefixed_u64(read_line(), "nodes ");
+
+  FleetResult result;
+  result.nodes.reserve(node_count);
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    const std::uint64_t length = prefixed_u64(read_line(), "node_bytes ");
+    if (pos + length > text.size()) {
+      throw FormatError("fleet result truncated inside node block " +
+                        std::to_string(i));
+    }
+    result.nodes.push_back(parse_result(text.substr(pos, length)));
+    pos += length;
+  }
+  if (pos != text.size()) {
+    throw FormatError("fleet result has trailing bytes after the last node");
+  }
+  return result;
+}
+
 }  // namespace edc::sim

@@ -1,0 +1,109 @@
+#include "edc/spec/fleet_spec.h"
+
+#include <string>
+
+#include "edc/common/check.h"
+
+namespace edc::spec {
+
+void validate_fleet(const FleetSpec& fleet) {
+  EDC_CHECK(!fleet.nodes.empty(), "a fleet needs at least one node");
+  if (!fleet.coupled()) return;
+
+  const auto& rf = std::get<SharedRfCoupling>(fleet.coupling);
+  EDC_CHECK(rf.gains.size() == fleet.nodes.size(),
+            "shared-RF coupling needs one gain per node");
+  for (double gain : rf.gains) {
+    EDC_CHECK(gain >= 0.0, "path gains must be non-negative");
+  }
+  EDC_CHECK(rf.phases.empty() || rf.phases.size() == fleet.nodes.size(),
+            "window phases must be empty or one per node");
+  for (Seconds phase : rf.phases) {
+    EDC_CHECK(phase >= 0.0, "window phases must be non-negative");
+  }
+  EDC_CHECK(rf.horizon > 0.0, "field horizon must be positive");
+  EDC_CHECK(rf.window_period >= 0.0, "window period must be non-negative");
+  if (rf.window_period > 0.0) {
+    EDC_CHECK(rf.window_duty > 0.0 && rf.window_duty <= 1.0,
+              "window duty must be in (0, 1]");
+  }
+
+  const sim::SimConfig& lattice = fleet.nodes.front().sim;
+  for (std::size_t i = 0; i < fleet.nodes.size(); ++i) {
+    const SystemSpec& node = fleet.nodes[i];
+    EDC_CHECK(!has_source(node.source),
+              "coupled node " + std::to_string(i) +
+                  " must leave its source unset — the coupling supplies it");
+    EDC_CHECK(node.sim.dt == lattice.dt &&
+                  node.sim.node_substeps == lattice.node_substeps &&
+                  node.sim.t_end == lattice.t_end,
+              "coupled node " + std::to_string(i) +
+                  " disagrees on the shared dt lattice (sim.dt / "
+                  "node_substeps / t_end must match across the fleet)");
+  }
+}
+
+SystemSpec fleet_node_spec(const FleetSpec& fleet, std::size_t i) {
+  validate_fleet(fleet);
+  EDC_CHECK(i < fleet.nodes.size(), "node index out of range");
+  SystemSpec spec = fleet.nodes[i];
+  if (const auto* rf = std::get_if<SharedRfCoupling>(&fleet.coupling)) {
+    CoupledRfPower source;
+    source.field = rf->field;
+    source.seed = rf->seed;
+    source.horizon = rf->horizon;
+    source.gain = rf->gains[i];
+    source.window_period = rf->window_period;
+    source.window_duty = rf->window_duty;
+    source.window_phase = rf->phases.empty() ? 0.0 : rf->phases[i];
+    spec.source = source;
+  }
+  return spec;
+}
+
+FleetSpec example_rf_fleet(std::size_t node_count) {
+  EDC_CHECK(node_count >= 1, "example fleet needs at least one node");
+  SystemSpec node;
+  node.storage.capacitance = 220e-6;
+  node.workload.kind = "sense";
+  node.workload.seed = 5;
+  node.sim.t_end = 12.0;
+  node.sim.stop_on_completion = false;
+  taskmodel::AdaptiveBufferPolicy::Config policy;
+  policy.task_energy = 30e-6;
+  policy.capacitance = 0.0;  // filled with the node capacitance
+  node.policy = AdaptiveBuffer{policy};
+
+  FleetSpec fleet;
+  fleet.nodes.assign(node_count, node);
+
+  SharedRfCoupling rf;
+  rf.field.field_power = 1.2e-3;
+  rf.field.burst_length = 2.0;
+  rf.field.burst_period = 4.0;
+  rf.field.jitter = 0.1;
+  rf.seed = 17;
+  rf.horizon = node.sim.t_end;
+  // Inverse-square-law gains for nodes at distance ratios 1, sqrt(2),
+  // sqrt(3), ...: node i at gain 1/(i+1).
+  rf.gains.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    rf.gains.push_back(1.0 / static_cast<double>(i + 1));
+  }
+  // Staggered basestation slots: the schedule cycles through the nodes,
+  // each harvesting for its 1/N share of the period.
+  if (node_count > 1) {
+    rf.window_period = 3.0;
+    rf.window_duty = 1.0 / static_cast<double>(node_count);
+    rf.phases.reserve(node_count);
+    for (std::size_t i = 0; i < node_count; ++i) {
+      rf.phases.push_back(rf.window_period * rf.window_duty *
+                          static_cast<double>(i));
+    }
+  }
+  fleet.coupling = rf;
+  validate_fleet(fleet);
+  return fleet;
+}
+
+}  // namespace edc::spec

@@ -173,6 +173,19 @@ void write_source(Writer& w, const SourceSpec& source) {
             w.field("seed", s.seed);
             w.field("horizon", s.horizon);
           },
+          [&](const CoupledRfPower& s) {
+            w.begin("source", "coupled_rf");
+            w.field("field_power", s.field.field_power);
+            w.field("burst_length", s.field.burst_length);
+            w.field("burst_period", s.field.burst_period);
+            w.field("jitter", s.field.jitter);
+            w.field("seed", s.seed);
+            w.field("horizon", s.horizon);
+            w.field("gain", s.gain);
+            w.field("window_period", s.window_period);
+            w.field("window_duty", s.window_duty);
+            w.field("window_phase", s.window_phase);
+          },
           [&](const IndoorPvPower& s) {
             w.begin("source", "indoor_pv");
             w.field("night_current_ua", s.params.night_current_ua);
@@ -286,6 +299,19 @@ SourceSpec read_source(Reader& r) {
     s.seed = r.u64("seed");
     s.horizon = r.number("horizon");
     source = s;
+  } else if (tag == "coupled_rf") {
+    CoupledRfPower s;
+    s.field.field_power = r.number("field_power");
+    s.field.burst_length = r.number("burst_length");
+    s.field.burst_period = r.number("burst_period");
+    s.field.jitter = r.number("jitter");
+    s.seed = r.u64("seed");
+    s.horizon = r.number("horizon");
+    s.gain = r.number("gain");
+    s.window_period = r.number("window_period");
+    s.window_duty = r.number("window_duty");
+    s.window_phase = r.number("window_phase");
+    source = s;
   } else if (tag == "indoor_pv") {
     IndoorPvPower s;
     s.params.night_current_ua = r.number("night_current_ua");
@@ -395,6 +421,16 @@ void write_policy(Writer& w, const PolicySpec& policy) {
             w.field("capacitance", p.config.capacitance);
             w.field("margin", p.config.margin);
           },
+          [&](const AdaptiveBuffer& p) {
+            w.begin("policy", "adaptive_buffer");
+            w.field("task_energy", p.config.task_energy);
+            w.field("capacitance", p.config.capacitance);
+            w.field("margin", p.config.margin);
+            w.field("ewma_alpha", p.config.ewma_alpha);
+            w.field("rate_reference", p.config.rate_reference);
+            w.field("min_buffer", static_cast<std::uint64_t>(p.config.min_buffer));
+            w.field("max_buffer", static_cast<std::uint64_t>(p.config.max_buffer));
+          },
           [&](const CustomPolicy&) {
             throw SpecFormatError("custom policy is not serializable");
           },
@@ -445,6 +481,16 @@ PolicySpec read_policy(Reader& r) {
     p.config.capacitance = r.number("capacitance");
     p.config.margin = r.number("margin");
     policy = p;
+  } else if (tag == "adaptive_buffer") {
+    AdaptiveBuffer p;
+    p.config.task_energy = r.number("task_energy");
+    p.config.capacitance = r.number("capacitance");
+    p.config.margin = r.number("margin");
+    p.config.ewma_alpha = r.number("ewma_alpha");
+    p.config.rate_reference = r.number("rate_reference");
+    p.config.min_buffer = static_cast<unsigned>(r.u64("min_buffer"));
+    p.config.max_buffer = static_cast<unsigned>(r.u64("max_buffer"));
+    policy = p;
   } else {
     throw SpecFormatError("unknown policy tag: '" + tag + "'");
   }
@@ -452,42 +498,9 @@ PolicySpec read_policy(Reader& r) {
   return policy;
 }
 
-}  // namespace
+// ---- spec body (shared by the SystemSpec and FleetSpec containers) --------
 
-// ---- public API -----------------------------------------------------------
-
-std::string non_cacheable_reason(const SystemSpec& spec) {
-  if (std::holds_alternative<CustomVoltageSource>(spec.source)) {
-    return "source: CustomVoltageSource holds an opaque factory callback";
-  }
-  if (std::holds_alternative<CustomPowerSource>(spec.source)) {
-    return "source: CustomPowerSource holds an opaque factory callback";
-  }
-  if (spec.workload.factory) {
-    return "workload: custom program factory is an opaque callback";
-  }
-  if (std::holds_alternative<CustomPolicy>(spec.policy)) {
-    return "policy: CustomPolicy holds an opaque factory callback";
-  }
-  if (const auto* hpp = std::get_if<HibernusPlusPlus>(&spec.policy)) {
-    if (hpp->config.has_value() && hpp->config->capacitance_probe) {
-      return "policy: hibernus++ carries a custom capacitance probe callback";
-    }
-  }
-  return {};
-}
-
-bool is_cacheable(const SystemSpec& spec) { return non_cacheable_reason(spec).empty(); }
-
-std::string serialize(const SystemSpec& spec) {
-  const std::string reason = non_cacheable_reason(spec);
-  if (!reason.empty()) {
-    throw SpecFormatError("spec is not serializable — " + reason);
-  }
-
-  Writer w;
-  w.begin("edc.SystemSpec", "v" + std::to_string(kSpecFormatVersion));
-
+void write_spec_body(Writer& w, const SystemSpec& spec) {
   write_source(w, spec.source);
 
   w.begin("rectifier");
@@ -574,19 +587,9 @@ std::string serialize(const SystemSpec& spec) {
   w.field("ramp_spans", spec.sim.ramp_spans);
   w.field("macro_v_tol", spec.sim.macro_v_tol);
   w.end();
-
-  w.end();
-  return w.take();
 }
 
-SystemSpec parse_spec(const std::string& text) {
-  Reader r(text);
-  const std::string_view version = r.begin_tagged("edc.SystemSpec");
-  if (version != "v" + std::to_string(kSpecFormatVersion)) {
-    throw SpecFormatError("unsupported spec format version: '" +
-                          std::string(version) + "'");
-  }
-
+SystemSpec read_spec_body(Reader& r) {
   SystemSpec spec;
   spec.source = read_source(r);
 
@@ -675,6 +678,58 @@ SystemSpec parse_spec(const std::string& text) {
   spec.sim.macro_v_tol = r.number("macro_v_tol");
   r.end();
 
+  return spec;
+}
+
+}  // namespace
+
+// ---- public API -----------------------------------------------------------
+
+std::string non_cacheable_reason(const SystemSpec& spec) {
+  if (std::holds_alternative<CustomVoltageSource>(spec.source)) {
+    return "source: CustomVoltageSource holds an opaque factory callback";
+  }
+  if (std::holds_alternative<CustomPowerSource>(spec.source)) {
+    return "source: CustomPowerSource holds an opaque factory callback";
+  }
+  if (spec.workload.factory) {
+    return "workload: custom program factory is an opaque callback";
+  }
+  if (std::holds_alternative<CustomPolicy>(spec.policy)) {
+    return "policy: CustomPolicy holds an opaque factory callback";
+  }
+  if (const auto* hpp = std::get_if<HibernusPlusPlus>(&spec.policy)) {
+    if (hpp->config.has_value() && hpp->config->capacitance_probe) {
+      return "policy: hibernus++ carries a custom capacitance probe callback";
+    }
+  }
+  return {};
+}
+
+bool is_cacheable(const SystemSpec& spec) { return non_cacheable_reason(spec).empty(); }
+
+std::string serialize(const SystemSpec& spec) {
+  const std::string reason = non_cacheable_reason(spec);
+  if (!reason.empty()) {
+    throw SpecFormatError("spec is not serializable — " + reason);
+  }
+
+  Writer w;
+  w.begin("edc.SystemSpec", "v" + std::to_string(kSpecFormatVersion));
+  write_spec_body(w, spec);
+  w.end();
+  return w.take();
+}
+
+SystemSpec parse_spec(const std::string& text) {
+  Reader r(text);
+  const std::string_view version = r.begin_tagged("edc.SystemSpec");
+  if (version != "v" + std::to_string(kSpecFormatVersion)) {
+    throw SpecFormatError("unsupported spec format version: '" +
+                          std::string(version) + "'");
+  }
+
+  SystemSpec spec = read_spec_body(r);
   r.end();
   r.finish();
   return spec;
@@ -690,5 +745,122 @@ std::uint64_t fnv1a64(std::string_view bytes) noexcept {
 }
 
 std::uint64_t spec_hash(const SystemSpec& spec) { return fnv1a64(serialize(spec)); }
+
+// ---- fleets ----------------------------------------------------------------
+
+std::string non_cacheable_reason(const FleetSpec& fleet) {
+  for (std::size_t i = 0; i < fleet.nodes.size(); ++i) {
+    const std::string reason = non_cacheable_reason(fleet.nodes[i]);
+    if (!reason.empty()) {
+      return "node " + std::to_string(i) + ": " + reason;
+    }
+  }
+  return {};
+}
+
+bool is_cacheable(const FleetSpec& fleet) {
+  return non_cacheable_reason(fleet).empty();
+}
+
+std::string serialize_fleet(const FleetSpec& fleet) {
+  validate_fleet(fleet);
+  const std::string reason = non_cacheable_reason(fleet);
+  if (!reason.empty()) {
+    throw SpecFormatError("fleet is not serializable — " + reason);
+  }
+
+  Writer w;
+  w.begin("edc.FleetSpec", "v" + std::to_string(kSpecFormatVersion));
+  w.begin("nodes", std::to_string(fleet.nodes.size()));
+  for (std::size_t i = 0; i < fleet.nodes.size(); ++i) {
+    w.begin("node", std::to_string(i));
+    write_spec_body(w, fleet.nodes[i]);
+    w.end();
+  }
+  w.end();
+
+  if (const auto* rf = std::get_if<SharedRfCoupling>(&fleet.coupling)) {
+    w.begin("coupling", "shared_rf");
+    w.field("field_power", rf->field.field_power);
+    w.field("burst_length", rf->field.burst_length);
+    w.field("burst_period", rf->field.burst_period);
+    w.field("jitter", rf->field.jitter);
+    w.field("seed", rf->seed);
+    w.field("horizon", rf->horizon);
+    w.field("window_period", rf->window_period);
+    w.field("window_duty", rf->window_duty);
+    w.begin("gains", std::to_string(rf->gains.size()));
+    for (double g : rf->gains) w.bare(g);
+    w.end();
+    w.begin("phases", std::to_string(rf->phases.size()));
+    for (Seconds p : rf->phases) w.bare(p);
+    w.end();
+    w.end();
+  } else {
+    w.begin("coupling", "none");
+    w.end();
+  }
+
+  w.end();
+  return w.take();
+}
+
+FleetSpec parse_fleet(const std::string& text) {
+  Reader r(text);
+  const std::string_view version = r.begin_tagged("edc.FleetSpec");
+  if (version != "v" + std::to_string(kSpecFormatVersion)) {
+    throw SpecFormatError("unsupported fleet format version: '" +
+                          std::string(version) + "'");
+  }
+
+  FleetSpec fleet;
+  const std::size_t node_count = parse_u64(r.begin_tagged("nodes"));
+  fleet.nodes.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const std::string_view index = r.begin_tagged("node");
+    if (index != std::to_string(i)) {
+      throw SpecFormatError("fleet node blocks out of order: expected node " +
+                            std::to_string(i) + ", got '" + std::string(index) +
+                            "'");
+    }
+    fleet.nodes.push_back(read_spec_body(r));
+    r.end();
+  }
+  r.end();
+
+  const std::string coupling_tag(r.begin_tagged("coupling"));
+  if (coupling_tag == "shared_rf") {
+    SharedRfCoupling rf;
+    rf.field.field_power = r.number("field_power");
+    rf.field.burst_length = r.number("burst_length");
+    rf.field.burst_period = r.number("burst_period");
+    rf.field.jitter = r.number("jitter");
+    rf.seed = r.u64("seed");
+    rf.horizon = r.number("horizon");
+    rf.window_period = r.number("window_period");
+    rf.window_duty = r.number("window_duty");
+    const std::size_t gain_count = parse_u64(r.begin_tagged("gains"));
+    rf.gains.reserve(gain_count);
+    for (std::size_t i = 0; i < gain_count; ++i) rf.gains.push_back(r.bare_number());
+    r.end();
+    const std::size_t phase_count = parse_u64(r.begin_tagged("phases"));
+    rf.phases.reserve(phase_count);
+    for (std::size_t i = 0; i < phase_count; ++i) rf.phases.push_back(r.bare_number());
+    r.end();
+    fleet.coupling = std::move(rf);
+  } else if (coupling_tag != "none") {
+    throw SpecFormatError("unknown coupling tag: '" + coupling_tag + "'");
+  }
+  r.end();
+
+  r.end();
+  r.finish();
+  validate_fleet(fleet);
+  return fleet;
+}
+
+std::uint64_t fleet_hash(const FleetSpec& fleet) {
+  return fnv1a64(serialize_fleet(fleet));
+}
 
 }  // namespace edc::spec

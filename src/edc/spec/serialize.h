@@ -29,6 +29,7 @@
 #include <string_view>
 
 #include "edc/common/canon.h"
+#include "edc/spec/fleet_spec.h"
 #include "edc/spec/system_spec.h"
 
 namespace edc::spec {
@@ -53,7 +54,14 @@ namespace edc::spec {
 // affine chords of sine/wind/trace sources — the field changes the byte
 // stream and the semantics widening ages out macro rows cached under
 // constant-window-only planning.
-inline constexpr int kSpecFormatVersion = 5;
+// v6: the fleet API (PR 10). Two new serializable variants — the
+// coupled_rf source (spec::CoupledRfPower, the FleetSpec lowering target)
+// and the adaptive_buffer policy (spec::AdaptiveBuffer) — plus the
+// edc.FleetSpec container format below. Existing specs' byte streams are
+// unchanged, but the tag vocabulary widened, so the bump keeps old caches
+// from holding entries a newer reader would accept and an older reader
+// would reject.
+inline constexpr int kSpecFormatVersion = 6;
 
 /// Thrown by serialize()/parse_spec() on any deviation from the canonical
 /// format (shared with the SimResult serializer in edc/sim/result_io).
@@ -81,5 +89,31 @@ using SpecFormatError = canon::FormatError;
 /// across runs, platforms and processes for a given format version
 /// (golden-hash tested in tests/spec_serial_test.cpp).
 [[nodiscard]] std::uint64_t spec_hash(const SystemSpec& spec);
+
+// ---- fleets ----------------------------------------------------------------
+// The FleetSpec container shares the version, the strictness contract and
+// the node-body byte format with single-node specs: each node is emitted
+// with exactly the serialize() field stream, wrapped in "node i" blocks,
+// followed by the coupling block. serialize_fleet(parse_fleet(text)) is
+// byte-identical, and fleet_hash is the content address sweep-level fleet
+// tooling reports (per-node cache keys remain the *lowered* node specs'
+// spec_hashes — see sweep/fleet.h).
+
+/// Empty string when every node of the fleet is canonically serializable;
+/// otherwise names the first offending node and its opaque-callback field.
+[[nodiscard]] std::string non_cacheable_reason(const FleetSpec& fleet);
+
+/// True when serialize_fleet() would succeed.
+[[nodiscard]] bool is_cacheable(const FleetSpec& fleet);
+
+/// Canonical byte string of the fleet (validates it first). Throws
+/// SpecFormatError when !is_cacheable(fleet).
+[[nodiscard]] std::string serialize_fleet(const FleetSpec& fleet);
+
+/// Inverse of serialize_fleet(). Strict, like parse_spec().
+[[nodiscard]] FleetSpec parse_fleet(const std::string& text);
+
+/// fnv1a64(serialize_fleet(fleet)); throws when !is_cacheable(fleet).
+[[nodiscard]] std::uint64_t fleet_hash(const FleetSpec& fleet);
 
 }  // namespace edc::spec

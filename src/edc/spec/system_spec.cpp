@@ -92,6 +92,11 @@ std::unique_ptr<trace::PowerSource> make_power_source(const SourceSpec& source) 
           [](const RfFieldPower& s) -> std::unique_ptr<trace::PowerSource> {
             return std::make_unique<trace::RfFieldSource>(s.params, s.seed, s.horizon);
           },
+          [](const CoupledRfPower& s) -> std::unique_ptr<trace::PowerSource> {
+            return std::make_unique<trace::CoupledRfFieldSource>(
+                s.field, s.seed, s.horizon, s.gain, s.window_period, s.window_duty,
+                s.window_phase);
+          },
           [](const IndoorPvPower& s) -> std::unique_ptr<trace::PowerSource> {
             return std::make_unique<trace::IndoorPhotovoltaicSource>(s.params, s.seed,
                                                                      s.days);
@@ -158,6 +163,11 @@ std::unique_ptr<checkpoint::PolicyBase> make_policy(
             auto config = p.config;
             if (config.capacitance <= 0.0) config.capacitance = node_capacitance;
             return std::make_unique<taskmodel::BurstTaskPolicy>(config);
+          },
+          [&](const AdaptiveBuffer& p) -> std::unique_ptr<checkpoint::PolicyBase> {
+            auto config = p.config;
+            if (config.capacitance <= 0.0) config.capacitance = node_capacitance;
+            return std::make_unique<taskmodel::AdaptiveBufferPolicy>(config);
           },
           [&](const CustomPolicy& p) -> std::unique_ptr<checkpoint::PolicyBase> {
             EDC_CHECK(p.make != nullptr, "custom policy factory is empty");

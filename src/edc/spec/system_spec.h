@@ -34,6 +34,7 @@
 #include "edc/mcu/mcu.h"
 #include "edc/neutral/dfs_governor.h"
 #include "edc/sim/simulator.h"
+#include "edc/taskmodel/adaptive_buffer_policy.h"
 #include "edc/taskmodel/burst_policy.h"
 #include "edc/trace/power_sources.h"
 #include "edc/trace/voltage_sources.h"
@@ -122,6 +123,23 @@ struct RfFieldPower {
   Seconds horizon = 60.0;
 };
 
+/// A fleet node's view of a shared RF field (the spec::FleetSpec lowering
+/// target; see spec/fleet_spec.h). The field block is identical — params
+/// and seed — across every node of a coupled fleet, so all nodes observe
+/// the same seeded burst schedule; `gain` is this node's inverse-square-law
+/// path attenuation and the window fields its duty-cycled basestation
+/// harvest slot. Fully serializable, so a fleet point is an ordinary
+/// cacheable grid point.
+struct CoupledRfPower {
+  trace::RfFieldSource::Params field;
+  std::uint64_t seed = 1;
+  Seconds horizon = 60.0;
+  double gain = 1.0;
+  Seconds window_period = 0.0;  ///< 0 = harvest window always open
+  double window_duty = 1.0;
+  Seconds window_phase = 0.0;
+};
+
 /// Indoor photovoltaic cell over `days` days (Fig 1b).
 struct IndoorPvPower {
   trace::IndoorPhotovoltaicSource::Params params;
@@ -153,8 +171,8 @@ struct CustomPowerSource {
 using SourceSpec =
     std::variant<std::monostate, SineSource, DcSource, SquareSource, WindSource,
                  KineticSource, VoltageTraceSource, CustomVoltageSource,
-                 ConstantPower, MarkovPower, RfFieldPower, IndoorPvPower,
-                 SolarPower, PowerTraceSource, CustomPowerSource>;
+                 ConstantPower, MarkovPower, RfFieldPower, CoupledRfPower,
+                 IndoorPvPower, SolarPower, PowerTraceSource, CustomPowerSource>;
 
 /// True if `source` holds a Thevenin voltage alternative (rectifier path);
 /// false for power-envelope alternatives (harvester path) and monostate.
@@ -222,6 +240,13 @@ struct BurstTask {
   taskmodel::BurstTaskPolicy::Config config;
 };
 
+/// Energy-adaptive commit buffering (taskmodel::AdaptiveBufferPolicy):
+/// commit-buffer size tracked against an EWMA of the measured harvest
+/// rate. Zero capacitance = node capacitance.
+struct AdaptiveBuffer {
+  taskmodel::AdaptiveBufferPolicy::Config config;
+};
+
 /// Escape hatch: a factory for any PolicyBase. Receives a live capacitance
 /// probe bound to the node plus the node capacitance, mirroring what the
 /// built-in policies get. Must return a fresh policy per call.
@@ -233,8 +258,9 @@ struct CustomPolicy {
 
 /// One-of policy descriptor; default-constructed = Hibernus with derived
 /// thresholds (the historical SystemBuilder default).
-using PolicySpec = std::variant<Hibernus, NoCheckpoint, HibernusPlusPlus,
-                                QuickRecall, Nvp, Mementos, BurstTask, CustomPolicy>;
+using PolicySpec =
+    std::variant<Hibernus, NoCheckpoint, HibernusPlusPlus, QuickRecall, Nvp,
+                 Mementos, BurstTask, AdaptiveBuffer, CustomPolicy>;
 
 // ---- the spec ------------------------------------------------------------
 

@@ -76,9 +76,15 @@ std::optional<std::string> batch_group_key(const spec::SystemSpec& spec) {
 
 void run_batched(const Grid& grid, const std::vector<BatchPointRef>& points,
                  const RunnerOptions& options, const ScalarPointFn& scalar_point,
-                 std::vector<sim::SimResult>& rows, std::vector<double>* micros,
-                 std::vector<char>* provenance, std::vector<char>* origin) {
+                 std::vector<sim::SimResult>& rows, RunReport* report) {
   Cache* cache = options.cache;
+  const auto record = [report](std::size_t slot, double cost, char source,
+                               char from) {
+    if (report == nullptr) return;
+    report->micros[slot] = cost;
+    report->provenance[slot] = source;
+    report->origin[slot] = from;
+  };
 
   // Phase 1 (serial, cheap): resolve warm cache points, partition the rest
   // into lockstep groups / scalar fallbacks. std::map keeps group order —
@@ -90,9 +96,7 @@ void run_batched(const Grid& grid, const std::vector<BatchPointRef>& points,
     if (cache != nullptr && spec::is_cacheable(point.spec)) {
       if (auto cached = cache->load(spec::serialize(point.spec))) {
         rows[ref.slot] = std::move(cached->result);
-        if (micros != nullptr) (*micros)[ref.slot] = cached->micros;
-        if (provenance != nullptr) (*provenance)[ref.slot] = cached->provenance;
-        if (origin != nullptr) (*origin)[ref.slot] = kOriginWarm;
+        record(ref.slot, cached->micros, cached->provenance, kOriginWarm);
         continue;
       }
     }
@@ -148,9 +152,7 @@ void run_batched(const Grid& grid, const std::vector<BatchPointRef>& points,
       char source = kProvenanceScalar;
       char from = kOriginFresh;
       rows[ref.slot] = scalar_point(point, cost, source, from);
-      if (micros != nullptr) (*micros)[ref.slot] = cost;
-      if (provenance != nullptr) (*provenance)[ref.slot] = source;
-      if (origin != nullptr) (*origin)[ref.slot] = from;
+      record(ref.slot, cost, source, from);
       return;
     }
 
@@ -196,9 +198,7 @@ void run_batched(const Grid& grid, const std::vector<BatchPointRef>& points,
         }
       }
       rows[ref.slot] = std::move(results[k]);
-      if (micros != nullptr) (*micros)[ref.slot] = per_lane[k];
-      if (provenance != nullptr) (*provenance)[ref.slot] = kProvenanceBatch;
-      if (origin != nullptr) (*origin)[ref.slot] = kOriginFresh;
+      record(ref.slot, per_lane[k], kProvenanceBatch, kOriginFresh);
     }
   };
 

@@ -79,16 +79,15 @@ using ScalarPointFn = std::function<sim::SimResult(
     const Point& point, double& micros, char& provenance, char& origin)>;
 
 /// Executes `points` of `grid` under the batching strategy described above
-/// and writes each result into rows[ref.slot] (plus micros/provenance/
-/// origin when non-null; all must already be sized by the caller). Work
-/// units (batch chunks and scalar points) run across options.threads
-/// workers; rows are bit-identical regardless of thread count.
-/// options.cache, when set, resolves warm points up front (replaying their
-/// stored provenance, marked kOriginWarm) and stores freshly batched
-/// points with kProvenanceBatch.
+/// and writes each result into rows[ref.slot] (plus the matching
+/// report columns when `report` is non-null; rows and report must already
+/// be sized by the caller). Work units (batch chunks and scalar points)
+/// run across options.threads workers; rows are bit-identical regardless
+/// of thread count. options.cache, when set, resolves warm points up front
+/// (replaying their stored provenance, marked kOriginWarm) and stores
+/// freshly batched points with kProvenanceBatch.
 void run_batched(const Grid& grid, const std::vector<BatchPointRef>& points,
                  const RunnerOptions& options, const ScalarPointFn& scalar_point,
-                 std::vector<sim::SimResult>& rows, std::vector<double>* micros,
-                 std::vector<char>* provenance, std::vector<char>* origin = nullptr);
+                 std::vector<sim::SimResult>& rows, RunReport* report);
 
 }  // namespace edc::sweep

@@ -68,40 +68,51 @@ sim::SimResult Runner::simulate_point(const Point& point, double& micros,
   return result;
 }
 
-std::vector<sim::SimResult> Runner::run(const Grid& grid, std::vector<double>* micros,
-                                        std::vector<char>* provenance,
-                                        std::vector<char>* origin) const {
+namespace {
+
+/// Sizes all report columns to `rows` with the fresh-scalar defaults every
+/// execution path then overwrites per slot.
+void reset_report(RunReport* report, std::size_t rows) {
+  if (report == nullptr) return;
+  report->micros.assign(rows, 0.0);
+  report->provenance.assign(rows, kProvenanceScalar);
+  report->origin.assign(rows, kOriginFresh);
+}
+
+/// Writes one row's telemetry into its report slot.
+void record_row(RunReport* report, std::size_t slot, double micros,
+                char provenance, char origin) {
+  if (report == nullptr) return;
+  report->micros[slot] = micros;
+  report->provenance[slot] = provenance;
+  report->origin[slot] = origin;
+}
+
+}  // namespace
+
+std::vector<sim::SimResult> Runner::run(const Grid& grid, RunReport* report) const {
   std::vector<sim::SimResult> rows(grid.size());
-  if (micros != nullptr) micros->assign(grid.size(), 0.0);
-  if (provenance != nullptr) provenance->assign(grid.size(), kProvenanceScalar);
-  if (origin != nullptr) origin->assign(grid.size(), kOriginFresh);
+  reset_report(report, rows.size());
   if (options_.batch) {
     std::vector<BatchPointRef> refs(grid.size());
     for (std::size_t i = 0; i < grid.size(); ++i) refs[i] = BatchPointRef{i, i};
-    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance,
-                origin);
+    run_batched(grid, refs, options_, scalar_point_fn(), rows, report);
     return rows;
   }
-  for_each_point(grid, [this, &rows, micros, provenance, origin](const Point& point) {
+  for_each_point(grid, [this, &rows, report](const Point& point) {
     double cost = 0.0;
     char source = kProvenanceScalar;
     char from = kOriginFresh;
     rows[point.index] = simulate_point(point, cost, source, from);
-    if (micros != nullptr) (*micros)[point.index] = cost;
-    if (provenance != nullptr) (*provenance)[point.index] = source;
-    if (origin != nullptr) (*origin)[point.index] = from;
+    record_row(report, point.index, cost, source, from);
   });
   return rows;
 }
 
 std::vector<sim::SimResult> Runner::run_shard(const Grid& grid, const Shard& shard,
-                                              std::vector<double>* micros,
-                                              std::vector<char>* provenance,
-                                              std::vector<char>* origin) const {
+                                              RunReport* report) const {
   std::vector<sim::SimResult> rows(shard.owned_count(grid.size()));
-  if (micros != nullptr) micros->assign(rows.size(), 0.0);
-  if (provenance != nullptr) provenance->assign(rows.size(), kProvenanceScalar);
-  if (origin != nullptr) origin->assign(rows.size(), kOriginFresh);
+  reset_report(report, rows.size());
   if (options_.batch) {
     // Owned points are strided index % count == index0, so the row slot of
     // global point i is simply i / count.
@@ -110,20 +121,16 @@ std::vector<sim::SimResult> Runner::run_shard(const Grid& grid, const Shard& sha
     for (std::size_t slot = 0; slot < rows.size(); ++slot) {
       refs.push_back(BatchPointRef{shard.index + slot * shard.count, slot});
     }
-    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance,
-                origin);
+    run_batched(grid, refs, options_, scalar_point_fn(), rows, report);
     return rows;
   }
-  for_each_point(grid, shard,
-                 [this, &shard, &rows, micros, provenance, origin](const Point& point) {
+  for_each_point(grid, shard, [this, &shard, &rows, report](const Point& point) {
     const std::size_t slot = point.index / shard.count;
     double cost = 0.0;
     char source = kProvenanceScalar;
     char from = kOriginFresh;
     rows[slot] = simulate_point(point, cost, source, from);
-    if (micros != nullptr) (*micros)[slot] = cost;
-    if (provenance != nullptr) (*provenance)[slot] = source;
-    if (origin != nullptr) (*origin)[slot] = from;
+    record_row(report, slot, cost, source, from);
   });
   return rows;
 }
@@ -131,36 +138,28 @@ std::vector<sim::SimResult> Runner::run_shard(const Grid& grid, const Shard& sha
 std::vector<sim::SimResult> Runner::run_assignment(const Grid& grid,
                                                    const ShardAssignment& assignment,
                                                    std::size_t shard_index,
-                                                   std::vector<double>* micros,
-                                                   std::vector<char>* provenance,
-                                                   std::vector<char>* origin) const {
+                                                   RunReport* report) const {
   const std::vector<std::size_t>& owned = assignment.owned.at(shard_index);
   // Row slot of global point i: its position in the (ascending) owned list.
   std::vector<sim::SimResult> rows(owned.size());
-  if (micros != nullptr) micros->assign(rows.size(), 0.0);
-  if (provenance != nullptr) provenance->assign(rows.size(), kProvenanceScalar);
-  if (origin != nullptr) origin->assign(rows.size(), kOriginFresh);
+  reset_report(report, rows.size());
   if (options_.batch) {
     std::vector<BatchPointRef> refs;
     refs.reserve(owned.size());
     for (std::size_t slot = 0; slot < owned.size(); ++slot) {
       refs.push_back(BatchPointRef{owned[slot], slot});
     }
-    run_batched(grid, refs, options_, scalar_point_fn(), rows, micros, provenance,
-                origin);
+    run_batched(grid, refs, options_, scalar_point_fn(), rows, report);
     return rows;
   }
-  for_each_point(grid, owned,
-                 [this, &owned, &rows, micros, provenance, origin](const Point& point) {
+  for_each_point(grid, owned, [this, &owned, &rows, report](const Point& point) {
     const auto slot = static_cast<std::size_t>(
         std::lower_bound(owned.begin(), owned.end(), point.index) - owned.begin());
     double cost = 0.0;
     char source = kProvenanceScalar;
     char from = kOriginFresh;
     rows[slot] = simulate_point(point, cost, source, from);
-    if (micros != nullptr) (*micros)[slot] = cost;
-    if (provenance != nullptr) (*provenance)[slot] = source;
-    if (origin != nullptr) (*origin)[slot] = from;
+    record_row(report, slot, cost, source, from);
   });
   return rows;
 }

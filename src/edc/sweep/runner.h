@@ -60,6 +60,39 @@ class FaultInjector;
 inline constexpr char kOriginFresh = 'f';  ///< simulated on this run
 inline constexpr char kOriginWarm = 'w';   ///< loaded from the cache
 
+/// Per-row execution telemetry for one run()/run_shard()/run_assignment()
+/// call. All three columns are sized to the returned rows and indexed the
+/// same way:
+///
+///  * micros[i]      — the microseconds row i's simulation took on this
+///    run, or — for a cache hit — the cost recorded when the point was
+///    first simulated (what ShardAssignment::balanced turns into an LPT
+///    partition).
+///  * provenance[i]  — the execution-path code ('s' scalar / 'b' batch,
+///    see sweep/batch.h) telling timing consumers how to interpret the
+///    matching micros entry: per-point wall time, or a batch chunk's cost
+///    amortized over its lanes. Cache hits replay the provenance recorded
+///    when the point was first simulated.
+///  * origin[i]      — kOriginFresh when the row was simulated on this
+///    run, kOriginWarm when it was replayed from the cache: the exact
+///    cold-point accounting sweep::Search gates its probe budgets on.
+struct RunReport {
+  std::vector<double> micros;
+  std::vector<char> provenance;
+  std::vector<char> origin;
+
+  /// Rows replayed warm from the cache on this run.
+  [[nodiscard]] std::size_t warm_count() const noexcept {
+    std::size_t n = 0;
+    for (const char code : origin) n += (code == kOriginWarm) ? 1 : 0;
+    return n;
+  }
+  /// Rows simulated fresh on this run.
+  [[nodiscard]] std::size_t fresh_count() const noexcept {
+    return origin.size() - warm_count();
+  }
+};
+
 struct RunnerOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (at least 1).
   /// The pool never exceeds the number of grid points.
@@ -96,46 +129,28 @@ class Runner {
   /// returns the SimResult rows in point order. With options.cache set,
   /// warm points are loaded instead of simulated.
   ///
-  /// When `micros` is non-null it receives one wall-time entry per row:
-  /// the microseconds the point's simulation took on this run, or — for a
-  /// cache hit — the cost recorded when the point was first simulated
-  /// (the input ShardAssignment::balanced turns into an LPT partition for
-  /// run_assignment()).
-  ///
-  /// When `provenance` is non-null it receives one execution-path code per
-  /// row ('s' scalar / 'b' batch, see sweep/batch.h) telling timing
-  /// consumers how to interpret the matching micros entry: per-point wall
-  /// time, or a batch chunk's cost amortized over its lanes. Cache hits
-  /// replay the provenance recorded when the point was first simulated.
-  ///
-  /// When `origin` is non-null it receives one code per row saying whether
-  /// the row was simulated fresh on this run (kOriginFresh) or replayed
-  /// from the cache (kOriginWarm) — the exact cold-point accounting
-  /// sweep::Search gates its probe budgets on.
+  /// When `report` is non-null it receives the per-row execution telemetry
+  /// — micros, provenance and origin columns sized to the returned rows
+  /// (see RunReport above).
   [[nodiscard]] std::vector<sim::SimResult> run(
-      const Grid& grid, std::vector<double>* micros = nullptr,
-      std::vector<char>* provenance = nullptr,
-      std::vector<char>* origin = nullptr) const;
+      const Grid& grid, RunReport* report = nullptr) const;
 
-  /// As run(), but only for the points `shard` owns; rows are returned in
-  /// ascending global-point order (matching Shard::owned_points). The
-  /// k-of-N results of a full partition merge back into the run() rows.
+  /// As run(), but only for the points `shard` owns; rows (and report
+  /// columns) are returned in ascending global-point order (matching
+  /// Shard::owned_points). The k-of-N results of a full partition merge
+  /// back into the run() rows.
   [[nodiscard]] std::vector<sim::SimResult> run_shard(
-      const Grid& grid, const Shard& shard, std::vector<double>* micros = nullptr,
-      std::vector<char>* provenance = nullptr,
-      std::vector<char>* origin = nullptr) const;
+      const Grid& grid, const Shard& shard, RunReport* report = nullptr) const;
 
   /// The cost-weighted re-run path: as run_shard(), but for slice
   /// `shard_index` of an explicit ShardAssignment (e.g. the LPT partition
-  /// ShardAssignment::balanced builds from a previous run's `micros` — a
-  /// warm cached grid replays them without simulating). Rows are returned
-  /// in the slice's ascending global-point order; the slices of a full
-  /// assignment cover the run() rows exactly once.
+  /// ShardAssignment::balanced builds from a previous run's report.micros
+  /// — a warm cached grid replays them without simulating). Rows are
+  /// returned in the slice's ascending global-point order; the slices of a
+  /// full assignment cover the run() rows exactly once.
   [[nodiscard]] std::vector<sim::SimResult> run_assignment(
       const Grid& grid, const ShardAssignment& assignment, std::size_t shard_index,
-      std::vector<double>* micros = nullptr,
-      std::vector<char>* provenance = nullptr,
-      std::vector<char>* origin = nullptr) const;
+      RunReport* report = nullptr) const;
 
   /// As run(), but maps each completed simulation through `fn` inside the
   /// worker thread, while the wired system is still alive. `fn` must be

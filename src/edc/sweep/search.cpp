@@ -102,15 +102,13 @@ const SearchProbe& Search::probe(double x) {
   }
 
   const Grid grid = probe_grid(x);
-  std::vector<double> micros;
-  std::vector<char> provenance;
-  std::vector<char> origin;
+  RunReport report;
   SearchProbe probe;
   probe.x = x;
-  probe.rows = runner_.run(grid, &micros, &provenance, &origin);
+  probe.rows = runner_.run(grid, &report);
   for (std::size_t i = 0; i < probe.rows.size(); ++i) {
-    probe.micros += micros[i];
-    if (origin[i] == kOriginWarm) {
+    probe.micros += report.micros[i];
+    if (report.origin[i] == kOriginWarm) {
       ++probe.warm;
     } else {
       ++probe.simulated;

@@ -58,8 +58,8 @@ struct Shard {
 
 /// Cost-weighted shard scheduling (ROADMAP): an explicit partition of a
 /// grid's points into shards, built from the measured per-point wall times
-/// a previous run recorded (Runner::run(grid, &micros); cache hits replay
-/// the point's original cost, so a warm grid re-shards for free).
+/// a previous run recorded (Runner::run(grid, &report).micros; cache hits
+/// replay the point's original cost, so a warm grid re-shards for free).
 ///
 /// Index striding balances only when per-point cost varies smoothly along
 /// the grid; one expensive corner (a long brown-out tail, a slow policy)

@@ -1,0 +1,125 @@
+#include "edc/taskmodel/adaptive_buffer_policy.h"
+
+#include <algorithm>
+
+#include "edc/checkpoint/thresholds.h"
+#include "edc/common/check.h"
+
+namespace edc::taskmodel {
+
+AdaptiveBufferPolicy::AdaptiveBufferPolicy(const Config& config)
+    : config_(config), buffer_target_(config.min_buffer) {
+  EDC_CHECK(config.task_energy > 0.0, "task energy must be positive");
+  EDC_CHECK(config.capacitance > 0.0, "capacitance must be positive");
+  EDC_CHECK(config.margin >= 1.0, "margin must be at least 1");
+  EDC_CHECK(config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0,
+            "ewma alpha must be in (0, 1]");
+  EDC_CHECK(config.rate_reference > 0.0, "rate reference must be positive");
+  EDC_CHECK(config.min_buffer >= 1, "min buffer must be at least 1");
+  EDC_CHECK(config.max_buffer >= config.min_buffer,
+            "max buffer must be >= min buffer");
+}
+
+void AdaptiveBufferPolicy::attach(mcu::Mcu& mcu) {
+  // Wake when the capacitor holds one (margined) task of energy above
+  // v_min. Zero hysteresis: the burst-continuation poll compares against
+  // v_wake_ itself, so the comparator must re-arm exactly there.
+  v_wake_ = checkpoint::hibernate_threshold(config_.margin * config_.task_energy,
+                                            config_.capacitance, mcu.power().v_min);
+  mcu.add_comparator("VTASK", v_wake_, 0.0);
+}
+
+void AdaptiveBufferPolicy::begin_running(mcu::Mcu& mcu, Seconds t) {
+  if (mcu.ram_valid()) {
+    // Buffered tasks survived in RAM; keep the commit cadence counter.
+    mcu.resume_execution(t);
+    return;
+  }
+  // Restoring (or restarting) rolls back to the last commit: everything
+  // buffered since is gone, so the counter restarts with it.
+  pending_ = 0;
+  if (mcu.nvm().has_valid_snapshot()) {
+    mcu.request_restore(t);
+  } else {
+    mcu.start_program_fresh(t);
+  }
+}
+
+void AdaptiveBufferPolicy::on_boot(mcu::Mcu& mcu, Seconds t) {
+  if (mcu.vcc() >= v_wake_) {
+    begin_running(mcu, t);
+  } else {
+    mcu.enter_wait(t);
+  }
+}
+
+void AdaptiveBufferPolicy::on_comparator(mcu::Mcu& mcu,
+                                         const circuit::ComparatorEvent& event) {
+  if (event.name == "VTASK" && event.edge == circuit::Edge::rising) {
+    const auto state = mcu.state();
+    if (state == mcu::McuState::wait || state == mcu::McuState::sleep) {
+      begin_running(mcu, event.time);
+    }
+  }
+}
+
+void AdaptiveBufferPolicy::observe_boundary(mcu::Mcu& mcu, Seconds t, Volts v) {
+  const Joules stored = 0.5 * config_.capacitance * v * v;
+  if (have_prev_ && t > prev_time_) {
+    // Whatever the capacitor gained plus the task we just ran came from
+    // the harvester over this boundary-to-boundary interval.
+    const Watts sample = std::max(
+        0.0, (stored - prev_stored_ + config_.task_energy) / (t - prev_time_));
+    ewma_rate_ = have_sample_
+                     ? config_.ewma_alpha * sample +
+                           (1.0 - config_.ewma_alpha) * ewma_rate_
+                     : sample;
+    have_sample_ = true;
+    const double extra = ewma_rate_ / config_.rate_reference;
+    const double capped = std::min(
+        extra, static_cast<double>(config_.max_buffer - config_.min_buffer));
+    buffer_target_ = config_.min_buffer + static_cast<unsigned>(capped);
+  }
+  have_prev_ = true;
+  prev_stored_ = stored;
+  prev_time_ = t;
+  (void)mcu;
+}
+
+void AdaptiveBufferPolicy::on_boundary(mcu::Mcu& mcu, workloads::Boundary boundary,
+                                       Seconds t) {
+  if (boundary != workloads::Boundary::function) return;
+  // Task finished: pay one ADC poll to read the gauge, fold the sample
+  // into the rate estimate, then decide whether this boundary commits.
+  const Volts v = mcu.poll_vcc();
+  observe_boundary(mcu, t, v);
+  ++pending_;
+  if (pending_ >= buffer_target_ || v < v_wake_) {
+    // Cadence reached — or the gauge says the burst is about to end, in
+    // which case the buffer must reach NVM before the device sleeps.
+    mcu.request_save(t);
+  }
+  // Otherwise keep running: the task's progress rides in RAM until the
+  // buffer fills.
+}
+
+void AdaptiveBufferPolicy::on_save_complete(mcu::Mcu& mcu, Seconds t) {
+  pending_ = 0;
+  // Dynamic burst scaling, as in BurstTaskPolicy: keep executing while the
+  // gauge still holds one task of energy; sleep otherwise. The sleep
+  // decision must use the same level the comparator re-arms at.
+  const Volts v = mcu.poll_vcc();
+  if (v >= v_wake_) {
+    mcu.resume_execution(t);
+    return;
+  }
+  mcu.enter_sleep(t);
+}
+
+void AdaptiveBufferPolicy::on_power_loss(mcu::Mcu&, Seconds) {
+  // The pre-outage gauge sample is stale by the time the node reboots;
+  // restart the rate window rather than attribute the outage to harvest.
+  have_prev_ = false;
+}
+
+}  // namespace edc::taskmodel

@@ -1,0 +1,85 @@
+// Energy-adaptive commit buffering for task-based transient operation.
+//
+// BurstTaskPolicy commits progress to NVM after *every* task — safe, but
+// each commit costs a full snapshot write. When the harvester is strong
+// the capacitor rarely droops between tasks, so most of those commits
+// protect work that was never at risk. This policy sizes a commit buffer
+// against an EWMA of the measured harvest rate: plentiful energy widens
+// the buffer (fewer NVM commits, less write wear), scarce energy shrinks
+// it back to commit-per-task so an outage can only lose one task of work.
+//
+// The rate estimate is observational: at each task boundary the policy
+// polls V_CC (paying the ADC cost), reconstructs stored energy 1/2 C V^2,
+// and attributes the change plus one task of consumption to harvest over
+// the elapsed interval. Buffered-but-uncommitted tasks ride in RAM; a
+// brown-out that kills RAM rolls them back to the last commit, which is
+// exactly the torn/committed accounting the NVM counters expose.
+#pragma once
+
+#include "edc/checkpoint/policy_base.h"
+
+namespace edc::taskmodel {
+
+class AdaptiveBufferPolicy final : public checkpoint::PolicyBase {
+ public:
+  struct Config {
+    /// Energy one task consumes (see BurstTaskPolicy::task_energy).
+    Joules task_energy = 50e-6;
+    /// Node capacitance used for the wake threshold and the stored-energy
+    /// reconstruction. Zero = the node capacitance (filled by the spec
+    /// layer).
+    Farads capacitance = 100e-6;
+    /// Safety margin on the task energy for the wake threshold.
+    double margin = 1.3;
+    /// EWMA smoothing factor for the harvest-rate estimate, in (0, 1];
+    /// 1 = trust only the latest boundary-to-boundary sample.
+    double ewma_alpha = 0.25;
+    /// Harvest rate (watts) worth one extra buffered task: the buffer
+    /// target is min_buffer + floor(ewma_rate / rate_reference), clamped
+    /// to [min_buffer, max_buffer].
+    Watts rate_reference = 1e-4;
+    /// Commit cadence bounds (tasks per NVM commit).
+    unsigned min_buffer = 1;
+    unsigned max_buffer = 8;
+  };
+
+  explicit AdaptiveBufferPolicy(const Config& config);
+
+  void attach(mcu::Mcu& mcu) override;
+  void on_boot(mcu::Mcu& mcu, Seconds t) override;
+  void on_comparator(mcu::Mcu& mcu, const circuit::ComparatorEvent& event) override;
+  void on_boundary(mcu::Mcu& mcu, workloads::Boundary boundary, Seconds t) override;
+  void on_save_complete(mcu::Mcu& mcu, Seconds t) override;
+  void on_power_loss(mcu::Mcu& mcu, Seconds t) override;
+
+  /// Between bursts the device waits for the VTASK comparator (or a
+  /// brown-out) and nothing else, so quiescent spans are plannable.
+  [[nodiscard]] bool wakes_only_by_comparator(mcu::McuState state) const override {
+    return state == mcu::McuState::sleep || state == mcu::McuState::wait ||
+           state == mcu::McuState::done;
+  }
+
+  [[nodiscard]] std::string name() const override { return "adaptive-buffer"; }
+
+  [[nodiscard]] Volts wake_threshold() const noexcept { return v_wake_; }
+  /// Current commit cadence (tasks per commit) — grows with harvest rate.
+  [[nodiscard]] unsigned buffer_target() const noexcept { return buffer_target_; }
+  /// Smoothed harvest-rate estimate in watts (0 until two boundaries seen).
+  [[nodiscard]] Watts harvest_rate() const noexcept { return ewma_rate_; }
+
+ private:
+  void begin_running(mcu::Mcu& mcu, Seconds t);
+  void observe_boundary(mcu::Mcu& mcu, Seconds t, Volts v);
+
+  Config config_;
+  Volts v_wake_ = 0.0;
+  unsigned pending_ = 0;        ///< tasks finished since the last commit
+  unsigned buffer_target_ = 1;  ///< commit after this many buffered tasks
+  Watts ewma_rate_ = 0.0;
+  bool have_sample_ = false;
+  bool have_prev_ = false;
+  Joules prev_stored_ = 0.0;
+  Seconds prev_time_ = 0.0;
+};
+
+}  // namespace edc::taskmodel

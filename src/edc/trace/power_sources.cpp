@@ -181,6 +181,66 @@ Seconds RfFieldSource::dormant_until(Seconds t) const {
   return it == burst_starts_.end() ? kNeverActive : *it;
 }
 
+// --------------------------------------------------------- Coupled RF ------
+
+CoupledRfFieldSource::CoupledRfFieldSource(const RfFieldSource::Params& field,
+                                           std::uint64_t seed, Seconds horizon,
+                                           double gain, Seconds window_period,
+                                           double window_duty, Seconds window_phase)
+    : field_(field, seed, horizon), gain_(gain) {
+  EDC_CHECK(gain >= 0.0, "path gain must be non-negative");
+  EDC_CHECK(window_period >= 0.0, "window period must be non-negative");
+  if (window_period > 0.0) {
+    EDC_CHECK(window_duty > 0.0 && window_duty <= 1.0,
+              "window duty must be in (0, 1]");
+    EDC_CHECK(window_phase >= 0.0, "window phase must be non-negative");
+    open_length_ = window_duty * window_period;
+    // Precompute open-window starts past every instant the field can be
+    // active (last burst start < horizon, active for burst_length more),
+    // so dormant_until never runs off the end while the field is alive.
+    const Seconds cover = horizon + field.burst_length + 2.0 * window_period;
+    for (Seconds s = window_phase; s <= cover; s += window_period) {
+      window_starts_.push_back(s);
+    }
+  }
+}
+
+bool CoupledRfFieldSource::window_open(Seconds t) const {
+  if (window_starts_.empty()) return true;
+  const auto it = std::upper_bound(window_starts_.begin(), window_starts_.end(), t);
+  if (it == window_starts_.begin()) return false;  // before the first slot
+  // Start times are the exact doubles dormant_until hands back, so the
+  // open test needs no tolerance.
+  return (t - *std::prev(it)) <= open_length_;
+}
+
+Watts CoupledRfFieldSource::available_power(Seconds t) const {
+  if (!window_open(t)) return 0.0;
+  return gain_ * field_.available_power(t);
+}
+
+Seconds CoupledRfFieldSource::dormant_until(Seconds t) const {
+  if (gain_ <= 0.0) return kNeverActive;
+  // Alternate the two exact quiet claims — "field dead until the next
+  // burst" and "window closed until the next slot" — until both say t is
+  // live (or one says quiet forever). Every advance crosses a certified
+  // quiet interval, so the returned horizon can never over-claim.
+  Seconds u = t;
+  for (int step = 0; step < 64; ++step) {
+    const Seconds field_live = field_.dormant_until(u);
+    if (field_live == kNeverActive) return kNeverActive;
+    if (field_live > u) {
+      u = field_live;
+      continue;
+    }
+    if (window_open(u)) return u;
+    const auto it = std::upper_bound(window_starts_.begin(), window_starts_.end(), u);
+    if (it == window_starts_.end()) return u;  // out of precomputed slots: claim nothing more
+    u = *it;
+  }
+  return u;  // conservative: iteration cap reached, claim only what is proven
+}
+
 // ------------------------------------------------------------- Markov ------
 
 MarkovOnOffPowerSource::MarkovOnOffPowerSource(Watts on_power, Seconds mean_on,

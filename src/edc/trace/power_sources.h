@@ -124,6 +124,43 @@ class RfFieldSource final : public PowerSource {
   std::vector<Seconds> burst_starts_;
 };
 
+/// A fleet node's view of a shared RF field (spec::FleetSpec lowering):
+/// the fleet-wide reader field — identical Params + seed across every node
+/// of the fleet, so all nodes see the same seeded burst schedule — scaled
+/// by this node's path gain (inverse-square-law distance attenuation) and
+/// gated by its duty-cycled basestation harvest window. The window models
+/// the reader's slotted schedule: node i may only harvest while its slot
+/// [phase + k*period, phase + k*period + duty*period] is open, so one
+/// node's transmission slot is another node's harvest opportunity.
+///
+/// Everything here is a pure function of (params, seed, t): two instances
+/// built from the same values produce bit-identical power streams, which
+/// is what lets a fleet decompose into independently simulated (and
+/// cached) per-node systems while still observing one shared field.
+class CoupledRfFieldSource final : public PowerSource {
+ public:
+  CoupledRfFieldSource(const RfFieldSource::Params& field, std::uint64_t seed,
+                       Seconds horizon, double gain, Seconds window_period,
+                       double window_duty, Seconds window_phase);
+
+  [[nodiscard]] Watts available_power(Seconds t) const override;
+  /// Exact between bursts (delegates to the field's schedule) and across
+  /// closed windows: quiet until the earlier of next-burst / next-window.
+  [[nodiscard]] Seconds dormant_until(Seconds t) const override;
+  [[nodiscard]] std::string name() const override { return "coupled-rf"; }
+
+  [[nodiscard]] double gain() const noexcept { return gain_; }
+  /// True when the node's harvest window is open at time t (always true
+  /// for an ungated source, window_period == 0).
+  [[nodiscard]] bool window_open(Seconds t) const;
+
+ private:
+  RfFieldSource field_;
+  double gain_;
+  Seconds open_length_ = 0.0;         // duty * period (0 = ungated)
+  std::vector<Seconds> window_starts_;  // precomputed open-window starts
+};
+
 /// Two-state Markov on/off power source: exponentially distributed on and
 /// off durations. A convenient abstraction for "highly unpredictable"
 /// intermittency (§I) with controllable outage statistics.

@@ -50,9 +50,8 @@ void expect_bit_identical(const Grid& grid, int lanes = 4,
   batch_options.threads = 1;
   batch_options.batch = true;
   batch_options.batch_lanes = lanes;
-  std::vector<double> micros;
-  std::vector<char> provenance;
-  const auto batch_rows = Runner(batch_options).run(grid, &micros, &provenance);
+  RunReport report;
+  const auto batch_rows = Runner(batch_options).run(grid, &report);
 
   ASSERT_EQ(batch_rows.size(), scalar_rows.size());
   for (std::size_t i = 0; i < scalar_rows.size(); ++i) {
@@ -60,10 +59,10 @@ void expect_bit_identical(const Grid& grid, int lanes = 4,
               sim::serialize_result(scalar_rows[i]))
         << "batch result diverges from scalar at point " << i;
     if (expect_batched) {
-      EXPECT_EQ(provenance[i], kProvenanceBatch)
+      EXPECT_EQ(report.provenance[i], kProvenanceBatch)
           << "point " << i << " silently fell back to the scalar path";
     }
-    EXPECT_GT(micros[i], 0.0) << "point " << i << " reported no cost";
+    EXPECT_GT(report.micros[i], 0.0) << "point " << i << " reported no cost";
   }
 }
 
@@ -296,8 +295,8 @@ TEST(BatchDiff, CustomSourcesFallBackToScalarProvenance) {
   RunnerOptions batch_options;
   batch_options.threads = 1;
   batch_options.batch = true;
-  std::vector<char> provenance;
-  const auto batch_rows = Runner(batch_options).run(grid, nullptr, &provenance);
+  RunReport report;
+  const auto batch_rows = Runner(batch_options).run(grid, &report);
 
   RunnerOptions scalar_options;
   scalar_options.threads = 1;
@@ -306,7 +305,7 @@ TEST(BatchDiff, CustomSourcesFallBackToScalarProvenance) {
   for (std::size_t i = 0; i < scalar_rows.size(); ++i) {
     EXPECT_EQ(sim::serialize_result(batch_rows[i]),
               sim::serialize_result(scalar_rows[i]));
-    EXPECT_EQ(provenance[i], kProvenanceScalar);
+    EXPECT_EQ(report.provenance[i], kProvenanceScalar);
   }
 }
 
@@ -369,9 +368,8 @@ TEST(BatchDiff, CacheReplaysBatchProvenanceOnWarmHits) {
   batch_options.threads = 1;
   batch_options.batch = true;
   batch_options.cache = &cache;
-  std::vector<double> cold_micros;
-  std::vector<char> cold_provenance;
-  const auto cold = Runner(batch_options).run(grid, &cold_micros, &cold_provenance);
+  RunReport cold_report;
+  const auto cold = Runner(batch_options).run(grid, &cold_report);
   EXPECT_EQ(cache.stats().stores, grid.size());
 
   // A warm *scalar* run must replay both the rows and the batch provenance
@@ -379,15 +377,16 @@ TEST(BatchDiff, CacheReplaysBatchProvenanceOnWarmHits) {
   RunnerOptions scalar_options;
   scalar_options.threads = 1;
   scalar_options.cache = &cache;
-  std::vector<double> warm_micros;
-  std::vector<char> warm_provenance;
-  const auto warm = Runner(scalar_options).run(grid, &warm_micros, &warm_provenance);
+  RunReport warm_report;
+  const auto warm = Runner(scalar_options).run(grid, &warm_report);
   ASSERT_EQ(warm.size(), cold.size());
+  EXPECT_EQ(cold_report.warm_count(), 0u);
+  EXPECT_EQ(warm_report.warm_count(), warm.size());
   for (std::size_t i = 0; i < cold.size(); ++i) {
     EXPECT_EQ(sim::serialize_result(warm[i]), sim::serialize_result(cold[i]));
-    EXPECT_EQ(cold_provenance[i], kProvenanceBatch);
-    EXPECT_EQ(warm_provenance[i], kProvenanceBatch);
-    EXPECT_EQ(warm_micros[i], cold_micros[i]);
+    EXPECT_EQ(cold_report.provenance[i], kProvenanceBatch);
+    EXPECT_EQ(warm_report.provenance[i], kProvenanceBatch);
+    EXPECT_EQ(warm_report.micros[i], cold_report.micros[i]);
   }
   std::filesystem::remove_all(dir);
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "edc/checkpoint/null_policy.h"
+#include "edc/spec/fleet_spec.h"
 #include "edc/spec/serialize.h"
 #include "edc/spec/system_spec.h"
 #include "edc/workloads/program.h"
@@ -209,8 +210,64 @@ std::vector<NamedSpec> covering_specs() {
     n.spec.source = std::monostate{};
     specs.push_back(std::move(n));
   }
+  {
+    NamedSpec n{"coupled-rf-windowed", base_spec()};
+    spec::CoupledRfPower c;
+    c.field.field_power = 1.5e-3;
+    c.field.burst_length = 0.75;
+    c.field.burst_period = 2.25;
+    c.field.jitter = 0.1875;
+    c.seed = 17;
+    c.horizon = 15.0;
+    c.gain = 0.375;
+    c.window_period = 3.0;
+    c.window_duty = 0.25;
+    c.window_phase = 1.5;
+    n.spec.source = c;
+    specs.push_back(std::move(n));
+  }
+  {
+    NamedSpec n{"sine-adaptive-buffer", base_spec()};
+    n.spec.source = spec::SineSource{3.3, 4.5, 0.25, 51.0};
+    n.spec.workload.kind = "sense";
+    taskmodel::AdaptiveBufferPolicy::Config c;
+    c.task_energy = 35e-6;
+    c.capacitance = 180e-6;
+    c.margin = 1.5;
+    c.ewma_alpha = 0.375;
+    c.rate_reference = 2.5e-4;
+    c.min_buffer = 2;
+    c.max_buffer = 6;
+    n.spec.policy = spec::AdaptiveBuffer{c};
+    specs.push_back(std::move(n));
+  }
 
   return specs;
+}
+
+// Fleet counterparts: hashes pinned in tests/golden/fleet_hashes.txt under
+// the same versioning contract (the fleet container shares
+// kSpecFormatVersion with the node body).
+struct NamedFleet {
+  std::string name;
+  spec::FleetSpec fleet;
+};
+
+std::vector<NamedFleet> covering_fleets() {
+  std::vector<NamedFleet> fleets;
+  fleets.push_back({"rf-fleet-1", spec::example_rf_fleet(1)});
+  fleets.push_back({"rf-fleet-3", spec::example_rf_fleet(3)});
+  {
+    NamedFleet n{"uncoupled-pair", {}};
+    spec::SystemSpec a = base_spec();
+    a.source = spec::SineSource{3.3, 4.5, 0.25, 51.0};
+    spec::SystemSpec b = base_spec();
+    b.source = spec::ConstantPower{2.5e-3};
+    b.storage.capacitance = 47e-6;
+    n.fleet.nodes = {a, b};
+    fleets.push_back(std::move(n));
+  }
+  return fleets;
 }
 
 TEST(SpecSerial, RoundTripIsByteIdentical) {
@@ -375,49 +432,139 @@ TEST(SpecSerial, OpaqueCallbacksAreNonCacheable) {
   }
 }
 
-// The golden file pins the canonical hashes across runs, machines and
+// ---------------------------------------------------- golden registry -----
+// Every golden file under tests/golden/ is registered here with the
+// function that computes its expected content. EDC_UPDATE_GOLDEN=1
+// regenerates *all* of them in one pass; the checking run compares all of
+// them and fails once, listing every stale file — so an intentional format
+// change is always a single regenerate-and-commit, never a
+// fix-one-discover-the-next loop. A diff in any of these files means
+// every existing cache entry is invalidated: bump spec::kSpecFormatVersion
+// alongside the regeneration (see serialize.h versioning policy).
+
+std::string hash_hex(std::uint64_t hash) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(hash));
+  return hex;
+}
+
+struct GoldenFile {
+  std::string name;  // file name under tests/golden/
+  std::string what;  // one-line description for the file header
+  std::map<std::string, std::string> (*compute)();
+};
+
+const std::vector<GoldenFile>& golden_registry() {
+  static const std::vector<GoldenFile> registry = {
+      {"spec_hashes.txt", "covering SystemSpecs (spec::spec_hash)",
+       [] {
+         std::map<std::string, std::string> entries;
+         for (const NamedSpec& named : covering_specs()) {
+           entries[named.name] = hash_hex(spec::spec_hash(named.spec));
+         }
+         return entries;
+       }},
+      {"fleet_hashes.txt", "covering FleetSpecs (spec::fleet_hash)",
+       [] {
+         std::map<std::string, std::string> entries;
+         for (const NamedFleet& named : covering_fleets()) {
+           entries[named.name] = hash_hex(spec::fleet_hash(named.fleet));
+         }
+         return entries;
+       }},
+  };
+  return registry;
+}
+
+// The golden files pin the canonical hashes across runs, machines and
 // compilers. Regenerate with EDC_UPDATE_GOLDEN=1 after an *intentional*
 // format change — and bump spec::kSpecFormatVersion when you do.
 TEST(SpecSerial, GoldenHashesAreStableAcrossRuns) {
-  const std::string golden_path = std::string(EDC_TESTS_DIR) + "/golden/spec_hashes.txt";
-
-  std::map<std::string, std::string> actual;
-  for (const NamedSpec& named : covering_specs()) {
-    char hex[17];
-    std::snprintf(hex, sizeof(hex), "%016llx",
-                  static_cast<unsigned long long>(spec::spec_hash(named.spec)));
-    actual[named.name] = hex;
-  }
+  const std::string golden_dir = std::string(EDC_TESTS_DIR) + "/golden/";
 
   if (std::getenv("EDC_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(golden_path, std::ios::trunc);
-    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
-    out << "# FNV-1a-64 of the canonical serialization (spec format v"
-        << spec::kSpecFormatVersion << ") of tests/spec_serial_test.cpp's\n"
-        << "# covering specs. Regenerate with EDC_UPDATE_GOLDEN=1; a diff\n"
-        << "# here means every existing cache entry is invalidated, so bump\n"
-        << "# spec::kSpecFormatVersion alongside it.\n";
-    for (const auto& [name, hex] : actual) out << name << ' ' << hex << '\n';
-    GTEST_SKIP() << "golden file regenerated at " << golden_path;
+    // One pass regenerates every registered golden file.
+    for (const GoldenFile& file : golden_registry()) {
+      const std::string path = golden_dir + file.name;
+      std::ofstream out(path, std::ios::trunc);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << "# FNV-1a-64 of the canonical serialization (spec format v"
+          << spec::kSpecFormatVersion << ") of tests/spec_serial_test.cpp's\n"
+          << "# " << file.what << ". EDC_UPDATE_GOLDEN=1 regenerates every\n"
+          << "# golden file in one pass; a diff here invalidates every cache\n"
+          << "# entry, so bump spec::kSpecFormatVersion alongside it.\n";
+      for (const auto& [name, hex] : file.compute()) out << name << ' ' << hex << '\n';
+    }
+    GTEST_SKIP() << "golden files regenerated under " << golden_dir;
   }
 
-  std::ifstream in(golden_path);
-  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
-                         << " (run with EDC_UPDATE_GOLDEN=1 to create)";
-  std::map<std::string, std::string> golden;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
-    std::string name, hex;
-    ASSERT_TRUE(fields >> name >> hex) << "malformed golden line: " << line;
-    golden[name] = hex;
+  std::vector<std::string> stale;
+  for (const GoldenFile& file : golden_registry()) {
+    SCOPED_TRACE(file.name);
+    const std::string path = golden_dir + file.name;
+    std::ifstream in(path);
+    if (!in.good()) {
+      ADD_FAILURE() << "missing golden file " << path;
+      stale.push_back(file.name + " (missing)");
+      continue;
+    }
+    std::map<std::string, std::string> golden;
+    std::string line;
+    bool malformed = false;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream fields(line);
+      std::string name, hex;
+      if (!(fields >> name >> hex)) {
+        ADD_FAILURE() << "malformed golden line in " << file.name << ": " << line;
+        malformed = true;
+        break;
+      }
+      golden[name] = hex;
+    }
+    if (malformed) {
+      stale.push_back(file.name + " (malformed)");
+      continue;
+    }
+    const std::map<std::string, std::string> actual = file.compute();
+    EXPECT_EQ(actual, golden) << "canonical hashes drifted from tests/golden/"
+                              << file.name;
+    if (actual != golden) stale.push_back(file.name);
   }
 
-  EXPECT_EQ(actual, golden)
-      << "canonical hashes drifted from tests/golden/spec_hashes.txt — if "
-         "intentional, bump spec::kSpecFormatVersion and regenerate with "
-         "EDC_UPDATE_GOLDEN=1";
+  EXPECT_TRUE(stale.empty())
+      << "stale golden files: " << [&] {
+           std::string joined;
+           for (const std::string& name : stale) {
+             if (!joined.empty()) joined += ", ";
+             joined += name;
+           }
+           return joined;
+         }() << " — if the format change is intentional, bump "
+                "spec::kSpecFormatVersion and regenerate ALL golden files in "
+                "one pass with EDC_UPDATE_GOLDEN=1";
+}
+
+// ------------------------------------------------- fleet hash coverage -----
+
+TEST(SpecSerial, FleetCoveringSpecsRoundTripAndHashDistinctly) {
+  std::map<std::uint64_t, std::string> seen;
+  for (const NamedFleet& named : covering_fleets()) {
+    SCOPED_TRACE(named.name);
+    const std::string text = spec::serialize_fleet(named.fleet);
+    EXPECT_EQ(spec::serialize_fleet(spec::parse_fleet(text)), text);
+    const std::uint64_t hash = spec::fleet_hash(named.fleet);
+    const auto [it, inserted] = seen.emplace(hash, named.name);
+    EXPECT_TRUE(inserted) << named.name << " collides with " << it->second;
+  }
+}
+
+TEST(SpecSerial, FleetHashIsNotTheNodeHash) {
+  // A 1-node uncoupled fleet must not collide with its node's own hash:
+  // the container header is part of the content address.
+  spec::FleetSpec fleet;
+  fleet.nodes = {base_spec()};
+  EXPECT_NE(spec::fleet_hash(fleet), spec::spec_hash(base_spec()));
 }
 
 }  // namespace

@@ -244,19 +244,21 @@ TEST(SweepCache, RunnerReportsTheOriginalCostOnWarmRuns) {
   sweep::Cache cold_cache(dir);
   sweep::RunnerOptions options;
   options.cache = &cold_cache;
-  std::vector<double> cold_micros;
-  (void)sweep::Runner(options).run(grid, &cold_micros);
-  ASSERT_EQ(cold_micros.size(), grid.size());
-  for (const double m : cold_micros) EXPECT_GT(m, 0.0);
+  sweep::RunReport cold_report;
+  (void)sweep::Runner(options).run(grid, &cold_report);
+  ASSERT_EQ(cold_report.micros.size(), grid.size());
+  for (const double m : cold_report.micros) EXPECT_GT(m, 0.0);
+  EXPECT_EQ(cold_report.fresh_count(), grid.size());
 
   sweep::Cache warm_cache(dir);
   options.cache = &warm_cache;
-  std::vector<double> warm_micros;
-  (void)sweep::Runner(options).run(grid, &warm_micros);
+  sweep::RunReport warm_report;
+  (void)sweep::Runner(options).run(grid, &warm_report);
   EXPECT_EQ(warm_cache.stats().hits, grid.size());
+  EXPECT_EQ(warm_report.warm_count(), grid.size());
   // The canonical double encoding round-trips exactly, so the replayed
   // costs match the measured ones bit for bit.
-  EXPECT_EQ(warm_micros, cold_micros);
+  EXPECT_EQ(warm_report.micros, cold_report.micros);
 }
 
 TEST(SweepCache, FsckAcceptsHealthyAndFlagsCorruptEntries) {

@@ -253,12 +253,12 @@ TEST(ShardAssignment, AssignmentShardCsvsMergeByteIdenticallyToSerialRun) {
   // for skewed partitions striding could never produce.
   const sweep::Grid grid = two_axis_grid();
   const sweep::Runner runner;
-  std::vector<double> micros;
-  const auto serial = runner.run(grid, &micros);
+  sweep::RunReport report;
+  const auto serial = runner.run(grid, &report);
   const std::string expected = full_csv(grid, serial);
 
   for (std::size_t count : {1u, 2u, 3u, 5u}) {
-    const auto assignment = sweep::ShardAssignment::balanced(micros, count);
+    const auto assignment = sweep::ShardAssignment::balanced(report.micros, count);
     std::vector<std::string> shard_texts;
     for (std::size_t k = 0; k < assignment.count(); ++k) {
       const auto rows = runner.run_assignment(grid, assignment, k);
@@ -284,11 +284,11 @@ TEST(ShardAssignment, RunAssignmentMatchesRunBitIdentically) {
   // exact rows of the unsharded run, in each slice's ascending order.
   const sweep::Grid grid = two_axis_grid();
   const sweep::Runner runner;
-  std::vector<double> micros;
-  const auto serial = runner.run(grid, &micros);
-  ASSERT_EQ(micros.size(), grid.size());
+  sweep::RunReport report;
+  const auto serial = runner.run(grid, &report);
+  ASSERT_EQ(report.micros.size(), grid.size());
 
-  const auto assignment = sweep::ShardAssignment::balanced(micros, 3);
+  const auto assignment = sweep::ShardAssignment::balanced(report.micros, 3);
   std::size_t covered = 0;
   for (std::size_t k = 0; k < assignment.count(); ++k) {
     const auto rows = runner.run_assignment(grid, assignment, k);

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "edc/core/system.h"
+#include "edc/taskmodel/adaptive_buffer_policy.h"
 #include "edc/taskmodel/burst_policy.h"
 #include "edc/taskmodel/monjolo.h"
 #include "edc/taskmodel/wispcam.h"
@@ -75,6 +76,88 @@ TEST(BurstPolicy, TaskEnergyHelperIsPositiveAndScalesWithCycles) {
   const Joules large = BurstTaskPolicy::task_energy(system.mcu(), 100000, 3.0);
   EXPECT_GT(small, 0.0);
   EXPECT_GT(large, small);
+}
+
+// ------------------------------------------------- AdaptiveBufferPolicy -----
+
+TEST(AdaptiveBufferPolicy, BufferWidensUnderStrongHarvest) {
+  core::SystemBuilder builder;
+  AdaptiveBufferPolicy::Config config;
+  config.task_energy = 30e-6;
+  auto system = builder
+                    .power_source(std::make_unique<trace::ConstantPowerSource>(3e-3))
+                    .capacitance(100e-6)
+                    .workload("sense", 6)
+                    .policy_adaptive_buffer(config)
+                    .build();
+  const auto& policy = dynamic_cast<const AdaptiveBufferPolicy&>(system.policy());
+  EXPECT_GT(policy.wake_threshold(), system.mcu().power().v_min);
+  EXPECT_EQ(policy.buffer_target(), config.min_buffer);  // cautious until measured
+  const auto result = system.run(20.0);
+  ASSERT_TRUE(result.mcu.completed);
+  // A steady 3 mW harvester is far above rate_reference: once the EWMA has
+  // samples, the commit cadence opens up beyond commit-per-task.
+  EXPECT_GT(policy.harvest_rate(), 0.0);
+  EXPECT_GT(policy.buffer_target(), config.min_buffer);
+  EXPECT_LE(policy.buffer_target(), config.max_buffer);
+}
+
+TEST(AdaptiveBufferPolicy, CommitsLessThanBurstWhenEnergyIsPlentiful) {
+  const auto commits_with = [](auto&& policy_setter) {
+    core::SystemBuilder builder;
+    builder.power_source(std::make_unique<trace::ConstantPowerSource>(3e-3))
+        .capacitance(100e-6)
+        .workload("sense", 6);
+    policy_setter(builder);
+    auto system = builder.build();
+    const auto result = system.run(20.0);
+    EXPECT_TRUE(result.mcu.completed);
+    return result.mcu.saves_completed;
+  };
+  BurstTaskPolicy::Config burst;
+  burst.task_energy = 30e-6;
+  AdaptiveBufferPolicy::Config adaptive;
+  adaptive.task_energy = 30e-6;
+  const auto burst_commits =
+      commits_with([&](core::SystemBuilder& b) { b.policy_burst(burst); });
+  const auto adaptive_commits = commits_with(
+      [&](core::SystemBuilder& b) { b.policy_adaptive_buffer(adaptive); });
+  EXPECT_GT(burst_commits, 0u);
+  EXPECT_LT(adaptive_commits, burst_commits);
+}
+
+TEST(AdaptiveBufferPolicy, ScarceHarvestKeepsCommitPerTask) {
+  core::SystemBuilder builder;
+  AdaptiveBufferPolicy::Config config;
+  config.task_energy = 30e-6;
+  // Rate reference far above anything a 50 uW harvester can deliver: the
+  // buffer must stay pinned at min_buffer, i.e. commit-per-task.
+  config.rate_reference = 1.0;
+  auto system = builder
+                    .power_source(std::make_unique<trace::ConstantPowerSource>(50e-6))
+                    .capacitance(220e-6)
+                    .workload("sense", 3)
+                    .policy_adaptive_buffer(config)
+                    .build();
+  const auto& policy = dynamic_cast<const AdaptiveBufferPolicy&>(system.policy());
+  (void)system.run(30.0);
+  EXPECT_EQ(policy.buffer_target(), config.min_buffer);
+}
+
+TEST(AdaptiveBufferPolicy, CompletesOnIntermittentField) {
+  core::SystemBuilder builder;
+  AdaptiveBufferPolicy::Config config;
+  config.task_energy = 30e-6;
+  auto system = builder
+                    .power_source(std::make_unique<trace::MarkovOnOffPowerSource>(
+                        4e-3, 0.05, 0.05, 7, 30.0))
+                    .capacitance(220e-6)
+                    .workload("sense", 3)
+                    .policy_adaptive_buffer(config)
+                    .build();
+  const auto result = system.run(30.0);
+  ASSERT_TRUE(result.mcu.completed);
+  EXPECT_GT(result.mcu.saves_completed, 0u);
 }
 
 // ------------------------------------------------------------- Monjolo -----

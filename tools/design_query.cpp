@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "edc/sim/table.h"
+#include "edc/spec/fleet_spec.h"
 #include "edc/spec/serialize.h"
 #include "edc/spec/system_spec.h"
 #include "edc/sweep/cache.h"
@@ -62,7 +63,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s (--demo | --spec FILE|-)\n"
+      "usage: %s (--demo | --fleet-demo | --spec FILE|-)\n"
       "          [--axis capacitance|bleed|t-end|frequency|duty|amplitude]\n"
       "          [--lo X --hi X] [--tol X | --lattice N | --log-lattice N]\n"
       "          [--objective completed|brownouts|forward-cycles|final-energy]\n"
@@ -192,6 +193,7 @@ bool parse_double(const char* text, double& out) {
 
 int main(int argc, char** argv) {
   bool demo = false;
+  bool fleet_demo = false;
   bool print_spec = false;
   const char* spec_path = nullptr;
   std::string axis_name = "capacitance";
@@ -199,6 +201,7 @@ int main(int argc, char** argv) {
   double target = 0.0;
   double lo = 1e-6;
   double hi = 1e-3;
+  bool hi_overridden = false;
   double tol = 1e-6;
   long lattice_n = 0;
   bool log_lattice = false;
@@ -221,6 +224,8 @@ int main(int argc, char** argv) {
     double lattice_value = 0.0;
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--fleet-demo") == 0) {
+      fleet_demo = true;
     } else if (std::strcmp(argv[i], "--print-spec") == 0) {
       print_spec = true;
     } else if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
@@ -235,8 +240,10 @@ int main(int argc, char** argv) {
       search_csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--search-name") == 0 && i + 1 < argc) {
       search_name = argv[++i];
+    } else if (number_flag("--hi", hi)) {
+      hi_overridden = true;
     } else if (number_flag("--target", target) || number_flag("--lo", lo) ||
-               number_flag("--hi", hi) || number_flag("--tol", tol)) {
+               number_flag("--tol", tol)) {
       // parsed in the condition
     } else if (number_flag("--max-probes", probes_value)) {
       max_probes = static_cast<long>(probes_value);
@@ -250,8 +257,9 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (demo == (spec_path != nullptr)) {
-    std::fprintf(stderr, "pick exactly one of --demo / --spec FILE\n");
+  if ((demo ? 1 : 0) + (fleet_demo ? 1 : 0) + (spec_path != nullptr ? 1 : 0) != 1) {
+    std::fprintf(stderr,
+                 "pick exactly one of --demo / --fleet-demo / --spec FILE\n");
     return usage(argv[0]);
   }
   if (!(lo < hi) || !(tol > 0.0) || max_probes < 2 ||
@@ -263,6 +271,118 @@ int main(int argc, char** argv) {
   if (log_lattice && !(lo > 0.0)) {
     std::fprintf(stderr, "--log-lattice needs --lo > 0\n");
     return 2;
+  }
+
+  if (fleet_demo) {
+    // Fleet inverse question on the canonical shared-RF example
+    // (spec::example_rf_fleet): the smallest node capacitance at which
+    // *every* coupled node rides its staggered harvest windows to workload
+    // completion. The fleet's node axis becomes the search's variant axis
+    // — each probe simulates all N lowered nodes at the candidate C and
+    // the objective sees all rows — so the solver brackets the fleet-wide
+    // threshold in O(log) simulations, cacheable like any other probes.
+    //
+    // The example fleet is homogeneous apart from the lowered per-node
+    // source, so the variants substitute only the source; the capacitance
+    // axis (applied first, see sweep::Grid axis order) then composes with
+    // every variant.
+    const spec::FleetSpec fleet = spec::example_rf_fleet(3);
+    if (!hi_overridden) {
+      // The generic 1 mF ceiling is past the fleet's pass band (a huge
+      // node never charges to v_on through its duty-cycled window inside
+      // the horizon, so both endpoints would fail). Default to the example
+      // node's own 220 uF — a known all-complete endpoint.
+      hi = fleet.nodes[0].storage.capacitance;
+    }
+    std::vector<sweep::AxisValue> node_variants;
+    node_variants.reserve(fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      node_variants.push_back(
+          {"node" + std::to_string(i),
+           [source = spec::fleet_node_spec(fleet, i).source](
+               spec::SystemSpec& s) { s.source = source; }});
+    }
+
+    sweep::SearchOptions options;
+    options.max_probes = static_cast<std::size_t>(max_probes);
+    if (cache.has_value()) options.runner.cache = &*cache;
+
+    try {
+      sweep::Search search(
+          fleet.nodes[0], make_axis("capacitance"), "node", node_variants,
+          [](double, const std::vector<sim::SimResult>& rows) {
+            // +1 when every node completed, -1 as soon as one did not:
+            // sign-rising in C (more storage rides longer window gaps).
+            for (const sim::SimResult& row : rows) {
+              if (!row.mcu.completed) return -1.0;
+            }
+            return 1.0;
+          },
+          options);
+
+      // Geometric capacitance lattice, 16 cells across [lo, hi].
+      std::vector<double> lattice;
+      const long n = lattice_n > 0 ? lattice_n : 17;
+      lattice.reserve(static_cast<std::size_t>(n));
+      for (long i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+        lattice.push_back(lo * std::pow(hi / lo, t));
+      }
+      const std::size_t dense_points = lattice.size() * fleet.size();
+      const sweep::SearchOutcome outcome = search.bracket_on(lattice);
+
+      sim::Table table({"probe", "capacitance", "nodes completed", "objective",
+                        "origin"});
+      for (std::size_t i = 0; i < outcome.probes.size(); ++i) {
+        const sweep::SearchProbe& probe = outcome.probes[i];
+        std::size_t completed = 0;
+        for (const sim::SimResult& row : probe.rows) {
+          completed += row.mcu.completed ? 1 : 0;
+        }
+        table.add_row({std::to_string(i), sim::Table::eng(probe.x, "F", 1),
+                       std::to_string(completed) + "/" +
+                           std::to_string(probe.rows.size()),
+                       sim::Table::num(probe.value, 0),
+                       probe.warm == 0 ? "fresh"
+                                       : (probe.simulated == 0 ? "warm" : "mixed")});
+      }
+      std::printf("=== fleet design query: min capacitance completing all %zu "
+                  "shared-RF nodes ===\n\n",
+                  fleet.size());
+      table.print(std::cout);
+
+      std::printf("\nthreshold bracket: some node fails at %s, all complete at "
+                  "%s\n",
+                  sim::Table::eng(outcome.lo, "F", 1).c_str(),
+                  sim::Table::eng(outcome.hi, "F", 1).c_str());
+      std::printf("simulated %zu of %zu dense-equivalent points, %zu replayed "
+                  "warm (%zu probes)\n",
+                  outcome.simulated_points(), dense_points,
+                  outcome.warm_points(), outcome.probe_count());
+
+      if (search_csv_path != nullptr) {
+        sweep::append_search_telemetry(search_csv_path, search_name, search,
+                                       dense_points);
+        std::fprintf(stderr, "search telemetry -> %s (%s)\n", search_csv_path,
+                     search_name);
+      }
+    } catch (const sweep::SearchError& error) {
+      std::fprintf(stderr, "search failed (%s): %s\n",
+                   sweep::search_error_kind_name(error.kind()), error.what());
+      return 1;
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return 2;
+    }
+
+    if (cache.has_value()) {
+      const sweep::CacheStats stats = cache->stats();
+      std::fprintf(stderr, "cache: %llu hits, %llu misses, %llu stored\n",
+                   static_cast<unsigned long long>(stats.hits),
+                   static_cast<unsigned long long>(stats.misses),
+                   static_cast<unsigned long long>(stats.stores));
+    }
+    return 0;
   }
 
   spec::SystemSpec base;
